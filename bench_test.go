@@ -1,0 +1,80 @@
+// Package yesquel_test wires the paper-reproduction experiments E1–E8
+// (internal/bench, DESIGN.md experiment index) into `go test -bench`.
+// Each benchmark runs the corresponding experiment once per b.N with
+// scaled-down parameters and reports ops/sec for its headline metric;
+// the full parameter sweeps with paper-style tables come from
+// `go run ./cmd/ybench`.
+package yesquel_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"yesquel/internal/bench"
+)
+
+// benchParams keeps -bench wall time reasonable while preserving each
+// experiment's shape. ybench uses bigger defaults.
+func benchParams() bench.Params {
+	return bench.Params{
+		Duration: 500 * time.Millisecond,
+		Records:  2000,
+		Workers:  8,
+		Servers:  []int{1, 2, 4},
+	}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	var exp bench.Experiment
+	for _, e := range bench.All() {
+		if e.ID == id {
+			exp = e
+		}
+	}
+	if exp.Run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		table, err := exp.Run(ctx, benchParams())
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 && testing.Verbose() {
+			fmt.Println(table.Render())
+		}
+	}
+}
+
+// BenchmarkE1_DBTMicro regenerates E1 (YDBT operation microbenchmark:
+// per-op latency on one server).
+func BenchmarkE1_DBTMicro(b *testing.B) { runExperiment(b, "e1") }
+
+// BenchmarkE2_DBTScalability regenerates E2 (aggregate DBT throughput
+// as servers are added).
+func BenchmarkE2_DBTScalability(b *testing.B) { runExperiment(b, "e2") }
+
+// BenchmarkE3_YCSB regenerates E3 (YCSB A–F, Yesquel vs the NOSQL
+// comparator).
+func BenchmarkE3_YCSB(b *testing.B) { runExperiment(b, "e3") }
+
+// BenchmarkE4_Wikipedia regenerates E4 (Wikipedia application, Yesquel
+// vs the centralized SQL comparator).
+func BenchmarkE4_Wikipedia(b *testing.B) { runExperiment(b, "e4") }
+
+// BenchmarkE5_Ablation regenerates E5 (YDBT optimizations disabled one
+// at a time).
+func BenchmarkE5_Ablation(b *testing.B) { runExperiment(b, "e5") }
+
+// BenchmarkE6_CommitLatency regenerates E6 (commit latency vs number of
+// 2PC participants).
+func BenchmarkE6_CommitLatency(b *testing.B) { runExperiment(b, "e6") }
+
+// BenchmarkE7_Scans regenerates E7 (scan throughput vs the naive DBT).
+func BenchmarkE7_Scans(b *testing.B) { runExperiment(b, "e7") }
+
+// BenchmarkE8_SQLMicro regenerates E8 (per-statement SQL latency).
+func BenchmarkE8_SQLMicro(b *testing.B) { runExperiment(b, "e8") }

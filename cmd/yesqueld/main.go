@@ -1,0 +1,64 @@
+// yesqueld is the Yesquel storage server daemon: one instance of the
+// transactional key-value store (boxes 3 in Figure 1 of the paper).
+// Start one per storage machine and hand the full address list to the
+// clients.
+//
+//	yesqueld -addr :7000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"yesquel/internal/kv/kvserver"
+)
+
+func main() {
+	addr := flag.String("addr", ":7000", "listen address")
+	retention := flag.Duration("retention", 10*time.Second, "how long superseded MVCC versions remain readable")
+	maxVersions := flag.Int("max-versions", 64, "hard cap on a hot object's version chain")
+	logPath := flag.String("log", "", "write-ahead log path (empty = in-memory only)")
+	logSync := flag.Bool("log-sync", false, "fsync the log on every commit")
+	mirror := flag.String("mirror", "", "backup server address to replicate commits to")
+	flag.Parse()
+
+	store, err := kvserver.OpenStore(nil, kvserver.Config{
+		RetentionMillis: uint64(retention.Milliseconds()),
+		MaxVersions:     *maxVersions,
+		LogPath:         *logPath,
+		LogSync:         *logSync,
+	})
+	if err != nil {
+		log.Fatalf("yesqueld: %v", err)
+	}
+	srv := kvserver.NewServer(store)
+	if *mirror != "" {
+		if err := srv.SetMirror(*mirror); err != nil {
+			log.Fatalf("yesqueld: %v", err)
+		}
+		log.Printf("yesqueld: replicating commits to %s", *mirror)
+	}
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatalf("yesqueld: %v", err)
+	}
+	log.Printf("yesqueld: serving on %s (retention %v, max versions %d)", srv.Addr(), *retention, *maxVersions)
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "yesqueld: shutting down; reads=%d commits=%d fastcommits=%d conflicts=%d gc=%d\n",
+			st.Reads, st.Commits, st.FastCommits, st.Conflicts, st.GCVersions)
+		srv.Close()
+		store.CloseLog()
+	}()
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("yesqueld: %v", err)
+	}
+}

@@ -1,0 +1,209 @@
+// ysql is an interactive SQL shell for Yesquel. It embeds the full
+// query processor (the paper's architecture: query processing happens
+// in the client) and talks to the storage servers listed on the
+// command line.
+//
+//	ysql -servers 127.0.0.1:7000,127.0.0.1:7001
+//	ysql -servers 127.0.0.1:7000 -e "SELECT * FROM users"
+//	ysql -local 3        # spin up 3 in-process servers (demo mode)
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"yesquel/internal/cluster"
+	"yesquel/internal/core"
+	"yesquel/internal/kv/kvserver"
+	"yesquel/internal/sql"
+)
+
+func main() {
+	serversFlag := flag.String("servers", "", "comma-separated storage server addresses")
+	local := flag.Int("local", 0, "start N in-process storage servers instead of connecting")
+	execStmt := flag.String("e", "", "execute one statement and exit")
+	flag.Parse()
+
+	var addrs []string
+	if *local > 0 {
+		cl, err := cluster.Start(*local, kvserver.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cl.Close()
+		addrs = cl.Addrs
+		fmt.Fprintf(os.Stderr, "started %d local servers: %s\n", *local, strings.Join(addrs, ", "))
+	} else {
+		if *serversFlag == "" {
+			log.Fatal("ysql: need -servers host:port[,host:port...] or -local N")
+		}
+		addrs = strings.Split(*serversFlag, ",")
+	}
+
+	yc, err := core.Connect(addrs, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer yc.Close()
+	db := yc.Session()
+	ctx := context.Background()
+
+	if *execStmt != "" {
+		if err := runStatement(ctx, db, *execStmt); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, "ysql — Yesquel SQL shell (end statements with ';', \\q to quit)")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if db.InTx() {
+			fmt.Fprint(os.Stderr, "ysql*> ")
+		} else {
+			fmt.Fprint(os.Stderr, "ysql> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "\\q" || trimmed == "exit" || trimmed == "quit" {
+			return
+		}
+		if strings.HasPrefix(trimmed, ".") {
+			if err := dotCommand(ctx, db, trimmed); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(strings.TrimSpace(buf.String()), ";") {
+			stmt := strings.TrimSpace(buf.String())
+			buf.Reset()
+			if err := runStatement(ctx, db, stmt); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+		}
+		prompt()
+	}
+}
+
+// dotCommand handles the shell's meta commands.
+func dotCommand(ctx context.Context, db *sql.DB, cmd string) error {
+	switch {
+	case cmd == ".tables":
+		tables, err := db.Tables(ctx)
+		if err != nil {
+			return err
+		}
+		for _, ts := range tables {
+			fmt.Println(ts.Name)
+		}
+		return nil
+	case cmd == ".indexes":
+		idxs, err := db.Indexes(ctx)
+		if err != nil {
+			return err
+		}
+		for _, is := range idxs {
+			unique := ""
+			if is.Unique {
+				unique = " UNIQUE"
+			}
+			fmt.Printf("%s ON %s (%s)%s\n", is.Name, is.Table, is.Col, unique)
+		}
+		return nil
+	case strings.HasPrefix(cmd, ".schema"):
+		name := strings.TrimSpace(strings.TrimPrefix(cmd, ".schema"))
+		tables, err := db.Tables(ctx)
+		if err != nil {
+			return err
+		}
+		for _, ts := range tables {
+			if name != "" && ts.Name != name {
+				continue
+			}
+			fmt.Printf("CREATE TABLE %s (\n", ts.Name)
+			for i, c := range ts.Cols {
+				line := fmt.Sprintf("  %s %s", c.Name, c.Type)
+				if c.PrimaryKey {
+					line += " PRIMARY KEY"
+				}
+				if c.NotNull {
+					line += " NOT NULL"
+				}
+				if i < len(ts.Cols)-1 {
+					line += ","
+				}
+				fmt.Println(line)
+			}
+			fmt.Println(");")
+		}
+		return nil
+	case cmd == ".help":
+		fmt.Fprintln(os.Stderr, ".tables        list tables\n.indexes       list indexes\n.schema [tbl]  show DDL\n\\q             quit")
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (try .help)", cmd)
+}
+
+func runStatement(ctx context.Context, db *sql.DB, stmt string) error {
+	start := time.Now()
+	rows, err := db.Query(ctx, stmt)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if len(rows.Columns) > 0 {
+		printTable(rows)
+	}
+	fmt.Fprintf(os.Stderr, "(%d rows, %v)\n", rows.Len(), elapsed.Round(time.Microsecond))
+	return nil
+}
+
+func printTable(rows *sql.Rows) {
+	widths := make([]int, len(rows.Columns))
+	for i, c := range rows.Columns {
+		widths[i] = len(c)
+	}
+	all := rows.All()
+	rendered := make([][]string, len(all))
+	for r, row := range all {
+		rendered[r] = make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			rendered[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range rows.Columns {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+	}
+	fmt.Println(strings.TrimRight(sb.String(), " "))
+	sb.Reset()
+	for i := range rows.Columns {
+		sb.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	fmt.Println(strings.TrimRight(sb.String(), " "))
+	for _, row := range rendered {
+		sb.Reset()
+		for i, s := range row {
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], s)
+		}
+		fmt.Println(strings.TrimRight(sb.String(), " "))
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: start a three-server Yesquel cluster in-process, create a
+// table, and run a few queries through the embedded query processor.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"yesquel/internal/cluster"
+	"yesquel/internal/core"
+	"yesquel/internal/kv/kvserver"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Start three storage servers (in production these run as
+	// `yesqueld` processes on separate machines).
+	cl, err := cluster.Start(3, kvserver.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	fmt.Println("storage servers:", cl.Addrs)
+
+	// Connect a Yesquel client: SQL query processing happens here, in
+	// this process; only storage operations go to the servers.
+	yc, err := core.Connect(cl.Addrs, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer yc.Close()
+	db := yc.Session()
+
+	for _, q := range []string{
+		"CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT, karma INTEGER)",
+		"CREATE INDEX users_karma ON users (karma)",
+	} {
+		if _, err := db.Exec(ctx, q); err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+	}
+
+	names := []string{"ada", "grace", "barbara", "katherine", "hedy"}
+	for i, n := range names {
+		if _, err := db.Exec(ctx, "INSERT INTO users VALUES (?, ?, ?)",
+			core.Int(int64(i+1)), core.Text(n), core.Int(int64(10*(i+1)))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rows, err := db.Query(ctx, "SELECT name, karma FROM users WHERE karma >= ? ORDER BY karma DESC", core.Int(30))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("users with karma >= 30:")
+	for rows.Next() {
+		r := rows.Row()
+		fmt.Printf("  %-10s %d\n", r[0].S, r[1].I)
+	}
+
+	// Transactions: transfer karma atomically.
+	for _, q := range []string{
+		"BEGIN",
+		"UPDATE users SET karma = karma - 15 WHERE name = 'hedy'",
+		"UPDATE users SET karma = karma + 15 WHERE name = 'ada'",
+		"COMMIT",
+	} {
+		if _, err := db.Exec(ctx, q); err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+	}
+	rows, err = db.Query(ctx, "SELECT sum(karma) FROM users")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows.Next()
+	fmt.Println("total karma (conserved):", rows.Row()[0].I)
+}

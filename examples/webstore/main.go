@@ -1,0 +1,191 @@
+// Webstore: the shopping-cart scenario from the paper's motivation —
+// dynamic Web content backed by SQL, with many concurrent application
+// servers sharing one storage engine.
+//
+// Eight "application servers" (goroutines, each with its own embedded
+// query processor session) serve customers browsing a catalog, filling
+// carts, and checking out. Checkout is a multi-statement transaction:
+// it must atomically empty the cart, decrement stock, and record the
+// order; snapshot isolation plus first-committer-wins turns oversells
+// into retries.
+//
+//	go run ./examples/webstore
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"yesquel/internal/cluster"
+	"yesquel/internal/core"
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvserver"
+	"yesquel/internal/sql"
+)
+
+const (
+	products   = 50
+	appServers = 8
+	customers  = 100 // sessions per app server
+	stockEach  = 40
+)
+
+func main() {
+	ctx := context.Background()
+	cl, err := cluster.Start(4, kvserver.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	yc, err := core.Connect(cl.Addrs, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer yc.Close()
+
+	setup := yc.Session()
+	for _, q := range []string{
+		`CREATE TABLE product (id INTEGER PRIMARY KEY, name TEXT, price REAL, stock INTEGER)`,
+		`CREATE TABLE cart (id INTEGER PRIMARY KEY, customer INTEGER, product INTEGER, qty INTEGER)`,
+		`CREATE INDEX cart_customer ON cart (customer)`,
+		`CREATE TABLE orders (id INTEGER PRIMARY KEY, customer INTEGER, total REAL)`,
+	} {
+		if _, err := setup.Exec(ctx, q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for p := 1; p <= products; p++ {
+		if _, err := setup.Exec(ctx, "INSERT INTO product VALUES (?, ?, ?, ?)",
+			core.Int(int64(p)), core.Text(fmt.Sprintf("widget-%02d", p)),
+			core.Float(float64(p)+0.99), core.Int(stockEach)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var orders, retries, soldOut atomic.Int64
+	var wg sync.WaitGroup
+	for s := 0; s < appServers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			db := yc.Session() // one embedded query processor per app server
+			rng := rand.New(rand.NewSource(int64(s)))
+			for c := 0; c < customers; c++ {
+				customer := int64(s*customers + c)
+				if err := shop(ctx, db, rng, customer, &retries, &soldOut); err != nil {
+					log.Printf("customer %d: %v", customer, err)
+					continue
+				}
+				orders.Add(1)
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// Verify conservation: units sold + units in stock == initial stock.
+	rows, err := setup.Query(ctx, "SELECT sum(stock) FROM product")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows.Next()
+	remaining := rows.Row()[0].I
+	rows, err = setup.Query(ctx, "SELECT count(*), sum(total) FROM orders")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows.Next()
+	nOrders, revenue := rows.Row()[0].I, rows.Row()[1]
+
+	fmt.Printf("app servers:        %d\n", appServers)
+	fmt.Printf("customers served:   %d\n", orders.Load())
+	fmt.Printf("orders recorded:    %d\n", nOrders)
+	fmt.Printf("checkout retries:   %d\n", retries.Load())
+	fmt.Printf("sold-out rejections:%d\n", soldOut.Load())
+	fmt.Printf("stock remaining:    %d of %d\n", remaining, products*stockEach)
+	fmt.Printf("revenue:            %.2f\n", revenue.F)
+	if remaining < 0 {
+		log.Fatal("OVERSOLD: negative stock — isolation broken")
+	}
+}
+
+// shop fills a cart with 1-3 items and checks out.
+func shop(ctx context.Context, db *sql.DB, rng *rand.Rand, customer int64, retries, soldOut *atomic.Int64) error {
+	items := 1 + rng.Intn(3)
+	for i := 0; i < items; i++ {
+		cartID := customer*10 + int64(i)
+		if _, err := db.Exec(ctx, "INSERT INTO cart VALUES (?, ?, ?, ?)",
+			core.Int(cartID), core.Int(customer),
+			core.Int(int64(1+rng.Intn(products))), core.Int(int64(1+rng.Intn(2)))); err != nil {
+			return err
+		}
+	}
+	// Checkout transaction with conflict retries.
+	for attempt := 0; ; attempt++ {
+		err := checkout(ctx, db, customer)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, errSoldOut):
+			soldOut.Add(1)
+			// Abandon the cart.
+			_, derr := db.Exec(ctx, "DELETE FROM cart WHERE customer = ?", core.Int(customer))
+			return derr
+		case errors.Is(err, kv.ErrConflict) && attempt < 50:
+			retries.Add(1)
+			continue
+		default:
+			return err
+		}
+	}
+}
+
+var errSoldOut = errors.New("sold out")
+
+func checkout(ctx context.Context, db *sql.DB, customer int64) error {
+	if _, err := db.Exec(ctx, "BEGIN"); err != nil {
+		return err
+	}
+	abort := func(e error) error {
+		db.Exec(ctx, "ROLLBACK")
+		return e
+	}
+	items, err := db.Query(ctx, "SELECT product, qty FROM cart WHERE customer = ?", core.Int(customer))
+	if err != nil {
+		return abort(err)
+	}
+	total := 0.0
+	for _, it := range items.All() {
+		prod, qty := it[0].I, it[1].I
+		rows, err := db.Query(ctx, "SELECT price, stock FROM product WHERE id = ?", core.Int(prod))
+		if err != nil {
+			return abort(err)
+		}
+		if rows.Len() != 1 {
+			return abort(fmt.Errorf("product %d missing", prod))
+		}
+		price, stock := rows.All()[0][0].F, rows.All()[0][1].I
+		if stock < qty {
+			return abort(errSoldOut)
+		}
+		if _, err := db.Exec(ctx, "UPDATE product SET stock = stock - ? WHERE id = ?",
+			core.Int(qty), core.Int(prod)); err != nil {
+			return abort(err)
+		}
+		total += price * float64(qty)
+	}
+	if _, err := db.Exec(ctx, "INSERT INTO orders VALUES (?, ?, ?)",
+		core.Int(customer), core.Int(customer), core.Float(total)); err != nil {
+		return abort(err)
+	}
+	if _, err := db.Exec(ctx, "DELETE FROM cart WHERE customer = ?", core.Int(customer)); err != nil {
+		return abort(err)
+	}
+	_, err = db.Exec(ctx, "COMMIT")
+	return err
+}

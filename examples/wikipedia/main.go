@@ -1,0 +1,93 @@
+// Wikipedia: the paper's flagship SQL application — a wiki served by
+// many Web servers, each linking Yesquel's embedded query processor,
+// all sharing the distributed storage engine.
+//
+// The example loads a small wiki (pages, revisions, links with a
+// zipfian popularity), then serves a read-heavy mix (90% page renders,
+// 10% edits) from several concurrent workers and prints throughput.
+//
+//	go run ./examples/wikipedia
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"yesquel/internal/cluster"
+	"yesquel/internal/core"
+	"yesquel/internal/dbt"
+	"yesquel/internal/kv/kvserver"
+	"yesquel/internal/wiki"
+)
+
+const (
+	servers  = 4
+	pages    = 200
+	links    = 4
+	workers  = 8
+	duration = 3 * time.Second
+)
+
+func main() {
+	ctx := context.Background()
+	cl, err := cluster.Start(servers, kvserver.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	yc, err := core.Connect(cl.Addrs, core.Options{TreeConfig: dbt.Config{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer yc.Close()
+
+	fmt.Printf("loading %d pages with %d links each...\n", pages, links)
+	loadStart := time.Now()
+	if err := wiki.Load(ctx, wiki.DBExecutor{DB: yc.Session()}, pages, links); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded in %v\n", time.Since(loadStart).Round(time.Millisecond))
+
+	fmt.Printf("serving with %d web workers for %v...\n", workers, duration)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	ws := make([]*wiki.Worker, workers)
+	for i := 0; i < workers; i++ {
+		ws[i] = wiki.NewWorker(wiki.DBExecutor{DB: yc.Session()}, pages, 0.1, int64(i+1))
+		wg.Add(1)
+		go func(w *wiki.Worker) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if err := w.Step(ctx); err != nil {
+					log.Printf("step: %v", err)
+				}
+			}
+		}(ws[i])
+	}
+	wg.Wait()
+
+	var reads, edits, errors uint64
+	for _, w := range ws {
+		reads += w.Reads
+		edits += w.Edits
+		errors += w.Errors
+	}
+	total := reads + edits
+	fmt.Printf("page renders: %d\n", reads)
+	fmt.Printf("edits:        %d\n", edits)
+	fmt.Printf("errors:       %d\n", errors)
+	fmt.Printf("throughput:   %.0f ops/s\n", float64(total)/duration.Seconds())
+
+	// Show the hottest page's revision history grew.
+	rows, err := yc.Session().Query(ctx,
+		"SELECT count(*) FROM revision WHERE page_id = 0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows.Next()
+	fmt.Printf("revisions of hottest page: %d\n", rows.Row()[0].I)
+}

@@ -1,0 +1,169 @@
+package baseline_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"yesquel/internal/baseline"
+	"yesquel/internal/cluster"
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvserver"
+	"yesquel/internal/sql"
+)
+
+func TestRawKVGetSetDelete(t *testing.T) {
+	cl, err := cluster.Start(3, kvserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := baseline.NewRawKV(c)
+	ctx := context.Background()
+
+	if _, err := r.Get(ctx, "missing"); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	if err := r.Set(ctx, "k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Get(ctx, "k1")
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("%q %v", v, err)
+	}
+	if err := r.Set(ctx, "k1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.Get(ctx, "k1"); string(v) != "v2" {
+		t.Fatalf("overwrite: %q", v)
+	}
+	if err := r.Delete(ctx, "k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(ctx, "k1"); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+}
+
+func TestRawKVSpreadsAcrossServers(t *testing.T) {
+	cl, err := cluster.Start(4, kvserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := baseline.NewRawKV(c)
+	ctx := context.Background()
+	for i := 0; i < 200; i++ {
+		if err := r.Set(ctx, string(rune('a'+i%26))+string(rune('0'+i/26)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, srv := range cl.Servers {
+		if srv.Store().NumObjects() == 0 {
+			t.Fatalf("server %d got no keys", i)
+		}
+	}
+}
+
+func TestCentralSQLEndToEnd(t *testing.T) {
+	srv, err := baseline.NewCentralSQLServer(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+
+	c, err := baseline.DialCentralSQL(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	if err := c.Exec(ctx, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec(ctx, "INSERT INTO t VALUES (?, ?)", sql.Int(1), sql.Text("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec(ctx, "INSERT INTO t VALUES (2, 'two')"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Query(ctx, "SELECT v FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0].S != "one" || rows[1][0].S != "two" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	// Errors travel back as application errors.
+	if err := c.Exec(ctx, "SELECT * FROM nonexistent"); err == nil {
+		t.Fatal("error did not propagate")
+	}
+}
+
+func TestCentralSQLConcurrentClients(t *testing.T) {
+	srv, err := baseline.NewCentralSQLServer(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	ctx := context.Background()
+
+	setup, err := baseline.DialCentralSQL(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	if err := setup.Exec(ctx, "CREATE TABLE c (id INTEGER PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			c, err := baseline.DialCentralSQL(srv.Addr())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 20; i++ {
+				if err := c.Exec(ctx, "INSERT INTO c VALUES (?)", sql.Int(int64(w*100+i))); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := setup.Query(ctx, "SELECT count(*) FROM c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].I != 160 {
+		t.Fatalf("count = %d", rows[0][0].I)
+	}
+}

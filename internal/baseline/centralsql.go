@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"context"
+	"net"
+
+	"yesquel/internal/dbt"
+	"yesquel/internal/kv/kvclient"
+	"yesquel/internal/kv/kvserver"
+	"yesquel/internal/rpc"
+	"yesquel/internal/sql"
+	"yesquel/internal/wire"
+)
+
+// CentralSQLServer is the centralized-DBMS comparator: one process owns
+// both the storage engine and ALL query processing. Clients ship SQL
+// text; a fixed pool of worker sessions executes it. Adding clients
+// adds no query-processing capacity — the architectural contrast with
+// Yesquel's embedded query processors.
+type CentralSQLServer struct {
+	store    *kvserver.Store
+	kvSrv    *kvserver.Server
+	rpcSrv   *rpc.Server
+	ln       net.Listener
+	sessions chan *sql.DB
+}
+
+const methodExec = "csql.exec"
+
+// NewCentralSQLServer builds the server with `workers` query-processing
+// sessions (the worker-pool size models the DBMS's thread pool).
+func NewCentralSQLServer(workers int) (*CentralSQLServer, error) {
+	if workers <= 0 {
+		workers = 8
+	}
+	s := &CentralSQLServer{
+		store:    kvserver.NewStore(nil, kvserver.Config{}),
+		rpcSrv:   rpc.NewServer(),
+		sessions: make(chan *sql.DB, workers),
+	}
+	// The engine's storage is local to this process: sessions reach it
+	// through a loopback kv server, mirroring a DBMS whose query layer
+	// sits on top of its own storage layer.
+	s.kvSrv = kvserver.NewServer(s.store)
+	if err := s.kvSrv.Listen("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	go s.kvSrv.Serve()
+	kvc, err := kvclient.Open([]string{s.kvSrv.Addr()})
+	if err != nil {
+		s.kvSrv.Close()
+		return nil, err
+	}
+	cat := sql.NewCatalog(kvc, dbt.Config{})
+	for i := 0; i < workers; i++ {
+		s.sessions <- sql.NewDBWithCatalog(kvc, cat)
+	}
+	s.rpcSrv.Register(methodExec, s.handleExec)
+	return s, nil
+}
+
+// Listen binds the client-facing address.
+func (s *CentralSQLServer) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Serve runs the accept loop (blocking).
+func (s *CentralSQLServer) Serve() error { return s.rpcSrv.Serve(s.ln) }
+
+// Addr returns the bound client-facing address.
+func (s *CentralSQLServer) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts down both RPC layers.
+func (s *CentralSQLServer) Close() {
+	s.rpcSrv.Close()
+	s.kvSrv.Close()
+}
+
+func (s *CentralSQLServer) handleExec(ctx context.Context, req []byte) ([]byte, error) {
+	r := wire.NewReader(req)
+	query, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	argsRaw, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	args, err := sql.DecodeRow(argsRaw)
+	if err != nil {
+		return nil, err
+	}
+	// Acquire a worker session: this is the centralized bottleneck.
+	db := <-s.sessions
+	defer func() { s.sessions <- db }()
+	rows, err := db.Query(ctx, query, args...)
+	if err != nil {
+		return nil, err
+	}
+	b := wire.NewBuffer(256)
+	b.PutUvarint(uint64(len(rows.Columns)))
+	for _, c := range rows.Columns {
+		b.PutString(c)
+	}
+	all := rows.All()
+	b.PutUvarint(uint64(len(all)))
+	for _, row := range all {
+		b.PutBytes(sql.EncodeRow(row))
+	}
+	return b.Bytes(), nil
+}
+
+// CentralSQLClient is the thin client of the centralized engine.
+type CentralSQLClient struct {
+	c *rpc.Client
+}
+
+// DialCentralSQL connects to a CentralSQLServer.
+func DialCentralSQL(addr string) (*CentralSQLClient, error) {
+	c, err := rpc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &CentralSQLClient{c: c}, nil
+}
+
+// Close closes the connection.
+func (c *CentralSQLClient) Close() { c.c.Close() }
+
+// Query ships a SQL statement and returns the resulting rows.
+func (c *CentralSQLClient) Query(ctx context.Context, query string, args ...sql.Value) ([][]sql.Value, error) {
+	b := wire.NewBuffer(64 + len(query))
+	b.PutString(query)
+	b.PutBytes(sql.EncodeRow(args))
+	resp, err := c.c.Call(ctx, methodExec, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	ncols, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < ncols; i++ {
+		if _, err := r.String(); err != nil {
+			return nil, err
+		}
+	}
+	nrows, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]sql.Value, 0, nrows)
+	for i := uint64(0); i < nrows; i++ {
+		raw, err := r.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		row, err := sql.DecodeRow(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Exec ships a statement, discarding rows.
+func (c *CentralSQLClient) Exec(ctx context.Context, query string, args ...sql.Value) error {
+	_, err := c.Query(ctx, query, args...)
+	return err
+}

@@ -1,0 +1,112 @@
+// Package clock provides hybrid logical clocks (HLC) for Yesquel's
+// snapshot-isolation timestamps.
+//
+// The paper notes that Yesquel's transaction protocol, unlike F1/
+// Spanner, "does not require special hardware clocks". We use a hybrid
+// logical clock: timestamps are (physical milliseconds, logical
+// counter) packed into a uint64 so they are totally ordered, close to
+// real time, and advance monotonically even when the OS clock steps
+// backwards. Every message between clients and servers carries a
+// timestamp and the receiver merges it, so causally related events are
+// ordered.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Timestamp is a hybrid logical clock reading. The high 48 bits hold
+// physical milliseconds since the Unix epoch; the low 16 bits hold a
+// logical counter that disambiguates events within one millisecond.
+// The zero Timestamp sorts before every real timestamp.
+type Timestamp uint64
+
+const logicalBits = 16
+const logicalMask = (1 << logicalBits) - 1
+
+// Max is the largest representable timestamp. Reading at Max yields the
+// latest committed data.
+const Max = Timestamp(^uint64(0))
+
+// Make assembles a Timestamp from wall milliseconds and a logical
+// counter.
+func Make(wallMillis uint64, logical uint16) Timestamp {
+	return Timestamp(wallMillis<<logicalBits | uint64(logical))
+}
+
+// WallMillis extracts the physical component in milliseconds.
+func (t Timestamp) WallMillis() uint64 { return uint64(t) >> logicalBits }
+
+// Logical extracts the logical counter.
+func (t Timestamp) Logical() uint16 { return uint16(uint64(t) & logicalMask) }
+
+// Next returns the smallest timestamp greater than t.
+func (t Timestamp) Next() Timestamp { return t + 1 }
+
+// HLC is a hybrid logical clock. The zero value is ready to use and
+// reads the system clock; tests can substitute a fake physical source
+// with SetPhysical.
+type HLC struct {
+	mu       sync.Mutex
+	last     Timestamp
+	physical func() uint64 // wall milliseconds
+}
+
+// New returns an HLC backed by the system clock.
+func New() *HLC { return &HLC{} }
+
+// SetPhysical replaces the physical clock source (wall milliseconds).
+// Pass nil to restore the system clock. Intended for tests.
+func (c *HLC) SetPhysical(f func() uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.physical = f
+}
+
+func (c *HLC) now() uint64 {
+	if c.physical != nil {
+		return c.physical()
+	}
+	return uint64(time.Now().UnixMilli())
+}
+
+// Now returns a timestamp strictly greater than every previous Now or
+// Observe result on this clock.
+func (c *HLC) Now() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wall := c.now()
+	t := Make(wall, 0)
+	if t <= c.last {
+		t = c.last.Next()
+	}
+	c.last = t
+	return t
+}
+
+// Observe merges a timestamp received from another node, guaranteeing
+// that subsequent Now results exceed it. It returns the merged local
+// reading.
+func (c *HLC) Observe(remote Timestamp) Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wall := c.now()
+	t := Make(wall, 0)
+	if t <= c.last {
+		t = c.last
+	}
+	if t <= remote {
+		t = remote
+	}
+	t = t.Next()
+	c.last = t
+	return t
+}
+
+// Last returns the most recent timestamp issued, without advancing.
+func (c *HLC) Last() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}

@@ -1,0 +1,137 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeFields(t *testing.T) {
+	ts := Make(12345, 678)
+	if ts.WallMillis() != 12345 {
+		t.Fatalf("WallMillis = %d", ts.WallMillis())
+	}
+	if ts.Logical() != 678 {
+		t.Fatalf("Logical = %d", ts.Logical())
+	}
+}
+
+func TestOrderingByWallThenLogical(t *testing.T) {
+	if !(Make(1, 0) < Make(2, 0)) {
+		t.Fatal("wall ordering broken")
+	}
+	if !(Make(1, 5) < Make(1, 6)) {
+		t.Fatal("logical ordering broken")
+	}
+	if !(Make(1, 65535) < Make(2, 0)) {
+		t.Fatal("wall must dominate logical")
+	}
+	var zero Timestamp
+	if !(zero < Make(1, 0)) {
+		t.Fatal("zero must sort first")
+	}
+}
+
+func TestNowMonotonic(t *testing.T) {
+	c := New()
+	prev := c.Now()
+	for i := 0; i < 10000; i++ {
+		cur := c.Now()
+		if cur <= prev {
+			t.Fatalf("Now not strictly increasing: %d then %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestNowMonotonicUnderClockStepBack(t *testing.T) {
+	c := New()
+	wall := uint64(1000)
+	c.SetPhysical(func() uint64 { return wall })
+	a := c.Now()
+	wall = 500 // OS clock steps backwards
+	b := c.Now()
+	if b <= a {
+		t.Fatalf("HLC went backwards with the physical clock: %d then %d", a, b)
+	}
+	wall = 2000 // clock recovers; HLC should follow
+	d := c.Now()
+	if d.WallMillis() != 2000 {
+		t.Fatalf("HLC did not resume tracking wall time: %d", d.WallMillis())
+	}
+}
+
+func TestObserveAdvancesPastRemote(t *testing.T) {
+	c := New()
+	c.SetPhysical(func() uint64 { return 100 })
+	remote := Make(5000, 3) // far in our future
+	got := c.Observe(remote)
+	if got <= remote {
+		t.Fatalf("Observe(%d) = %d, want > remote", remote, got)
+	}
+	if next := c.Now(); next <= got {
+		t.Fatalf("Now after Observe not increasing: %d then %d", got, next)
+	}
+}
+
+func TestObserveOldRemoteStillAdvances(t *testing.T) {
+	c := New()
+	c.SetPhysical(func() uint64 { return 100 })
+	a := c.Now()
+	got := c.Observe(Make(1, 0)) // remote far in the past
+	if got <= a {
+		t.Fatalf("Observe must still advance local clock: %d then %d", a, got)
+	}
+}
+
+func TestConcurrentNowUnique(t *testing.T) {
+	c := New()
+	const workers = 8
+	const per = 2000
+	var mu sync.Mutex
+	seen := make(map[Timestamp]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]Timestamp, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, c.Now())
+			}
+			mu.Lock()
+			for _, ts := range local {
+				if seen[ts] {
+					mu.Unlock()
+					t.Errorf("duplicate timestamp %d", ts)
+					return
+				}
+				seen[ts] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestQuickMakeRoundTrip(t *testing.T) {
+	f := func(wall uint64, logical uint16) bool {
+		wall &= (1 << 48) - 1 // field width
+		ts := Make(wall, logical)
+		return ts.WallMillis() == wall && ts.Logical() == logical
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLast(t *testing.T) {
+	c := New()
+	if c.Last() != 0 {
+		t.Fatal("fresh clock Last should be zero")
+	}
+	ts := c.Now()
+	if c.Last() != ts {
+		t.Fatalf("Last = %d, want %d", c.Last(), ts)
+	}
+}

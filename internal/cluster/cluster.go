@@ -1,0 +1,81 @@
+// Package cluster starts a Yesquel storage cluster in-process: N
+// storage servers, each listening on its own loopback TCP port. Tests,
+// examples, and benchmarks use it to stand up the system the way the
+// paper's testbed stood up N storage machines (see DESIGN.md,
+// substitution 1).
+package cluster
+
+import (
+	"fmt"
+
+	"yesquel/internal/kv/kvclient"
+	"yesquel/internal/kv/kvserver"
+)
+
+// Cluster is a set of running storage servers.
+type Cluster struct {
+	Servers []*kvserver.Server
+	Addrs   []string
+}
+
+// Start launches n storage servers on ephemeral loopback ports.
+func Start(n int, cfg kvserver.Config) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one server, got %d", n)
+	}
+	cl := &Cluster{}
+	for i := 0; i < n; i++ {
+		scfg := cfg
+		if scfg.LogPath != "" {
+			// LogPath names a directory; each server logs to its own
+			// file inside it.
+			scfg.LogPath = fmt.Sprintf("%s/server-%d.log", cfg.LogPath, i)
+		}
+		store, err := kvserver.OpenStore(nil, scfg)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
+		}
+		srv := kvserver.NewServer(store)
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
+		}
+		go srv.Serve()
+		cl.Servers = append(cl.Servers, srv)
+		cl.Addrs = append(cl.Addrs, srv.Addr())
+	}
+	return cl, nil
+}
+
+// NewClient opens a kv client connected to every server.
+func (cl *Cluster) NewClient() (*kvclient.Client, error) {
+	return kvclient.Open(cl.Addrs)
+}
+
+// Close shuts all servers down (flushing their logs, if any).
+func (cl *Cluster) Close() {
+	for _, s := range cl.Servers {
+		if s != nil {
+			s.Close()
+			s.Store().CloseLog()
+		}
+	}
+}
+
+// Stats aggregates the stores' counters across servers.
+func (cl *Cluster) Stats() kvserver.StatsSnapshot {
+	var out kvserver.StatsSnapshot
+	for _, s := range cl.Servers {
+		st := s.Store().Stats()
+		out.Reads += st.Reads
+		out.ReadWaits += st.ReadWaits
+		out.Prepares += st.Prepares
+		out.Commits += st.Commits
+		out.FastCommits += st.FastCommits
+		out.Aborts += st.Aborts
+		out.Conflicts += st.Conflicts
+		out.GCVersions += st.GCVersions
+	}
+	return out
+}

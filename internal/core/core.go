@@ -1,0 +1,94 @@
+// Package core is Yesquel's public client API — what a Web application
+// links against. A Client embeds the full query processor (package sql)
+// and the YDBT storage-engine library (package dbt), per the paper's
+// architecture: "each client has its own embedded query processor ...
+// the query processors all share a common storage engine".
+//
+// Typical use:
+//
+//	yc, err := core.Connect([]string{"10.0.0.1:7000", "10.0.0.2:7000"}, core.Options{})
+//	defer yc.Close()
+//	db := yc.Session()
+//	db.Exec(ctx, "CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT)")
+//	db.Exec(ctx, "INSERT INTO users VALUES (?, ?)", core.Int(1), core.Text("ada"))
+//	rows, err := db.Query(ctx, "SELECT name FROM users WHERE id = ?", core.Int(1))
+//
+// Sessions from one Client share the schema catalog and the client-side
+// DBT node cache; each session is single-goroutine (open one per
+// worker, like one connection per request handler).
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"yesquel/internal/dbt"
+	"yesquel/internal/kv/kvclient"
+	"yesquel/internal/sql"
+)
+
+// Options tunes a Client.
+type Options struct {
+	// TreeConfig configures the DBT handles (node size, caching,
+	// split policy). The zero value is the full Yesquel behaviour.
+	TreeConfig dbt.Config
+}
+
+// Client is a Yesquel client: a kv connection to the storage servers
+// plus the shared catalog used by its sessions.
+type Client struct {
+	kv  *kvclient.Client
+	cat *sql.Catalog
+}
+
+// Connect dials the storage servers.
+func Connect(addrs []string, opts Options) (*Client, error) {
+	kvc, err := kvclient.Open(addrs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Client{kv: kvc, cat: sql.NewCatalog(kvc, opts.TreeConfig)}, nil
+}
+
+// Close releases the catalog and closes server connections.
+func (c *Client) Close() error {
+	c.cat.Close()
+	return c.kv.Close()
+}
+
+// Session returns a new SQL session. Sessions are cheap; they share the
+// client's catalog, caches, and connections.
+func (c *Client) Session() *sql.DB {
+	return sql.NewDBWithCatalog(c.kv, c.cat)
+}
+
+// KV exposes the transactional key-value client for applications that
+// want to bypass SQL (or mix SQL and direct DBT access).
+func (c *Client) KV() *kvclient.Client { return c.kv }
+
+// OpenTree opens an existing DBT by id for direct tree access.
+func (c *Client) OpenTree(ctx context.Context, id uint64, cfg dbt.Config) (*dbt.Tree, error) {
+	return dbt.Open(ctx, c.kv, id, cfg)
+}
+
+// CreateTree creates a DBT by id for direct tree access. User tree ids
+// must not collide with ids allocated by the SQL catalog; use ids below
+// 16 or coordinate through the catalog.
+func (c *Client) CreateTree(ctx context.Context, id uint64, cfg dbt.Config) (*dbt.Tree, error) {
+	return dbt.Create(ctx, c.kv, id, cfg)
+}
+
+// Null is the SQL NULL value, re-exported for application convenience.
+var Null = sql.Null
+
+// Int wraps an int64 as a SQL value.
+func Int(i int64) sql.Value { return sql.Int(i) }
+
+// Float wraps a float64 as a SQL value.
+func Float(f float64) sql.Value { return sql.Float(f) }
+
+// Text wraps a string as a SQL value.
+func Text(s string) sql.Value { return sql.Text(s) }
+
+// Blob wraps bytes as a SQL value.
+func Blob(b []byte) sql.Value { return sql.Blob(b) }

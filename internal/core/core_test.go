@@ -1,0 +1,109 @@
+package core_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"yesquel/internal/cluster"
+	"yesquel/internal/core"
+	"yesquel/internal/kv/kvserver"
+)
+
+func connect(t *testing.T, servers int) *core.Client {
+	t.Helper()
+	cl, err := cluster.Start(servers, kvserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	yc, err := core.Connect(cl.Addrs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { yc.Close() })
+	return yc
+}
+
+func TestConnectAndQuery(t *testing.T) {
+	yc := connect(t, 3)
+	ctx := context.Background()
+	db := yc.Session()
+	if _, err := db.Exec(ctx, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(ctx, "INSERT INTO t VALUES (?, ?)", core.Int(1), core.Text("hello")); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query(ctx, "SELECT v FROM t WHERE id = ?", core.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.All()[0][0].S != "hello" {
+		t.Fatalf("rows: %+v", rows.All())
+	}
+}
+
+func TestManySessionsConcurrently(t *testing.T) {
+	// The architecture's core claim: many clients, each with an
+	// embedded query processor, sharing the storage engine.
+	yc := connect(t, 4)
+	ctx := context.Background()
+	setup := yc.Session()
+	if _, err := setup.Exec(ctx, "CREATE TABLE counters (id INTEGER PRIMARY KEY, n INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			db := yc.Session()
+			for i := 0; i < 25; i++ {
+				id := int64(w*1000 + i)
+				if _, err := db.Exec(ctx, "INSERT INTO counters VALUES (?, ?)", core.Int(id), core.Int(0)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	rows, err := yc.Session().Query(ctx, "SELECT count(*) FROM counters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.All()[0][0].I != workers*25 {
+		t.Fatalf("count = %d", rows.All()[0][0].I)
+	}
+}
+
+func TestDirectTreeAccess(t *testing.T) {
+	yc := connect(t, 2)
+	ctx := context.Background()
+	tree, err := yc.CreateTree(ctx, 3, core.Options{}.TreeConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	tx := yc.KV().Begin()
+	if err := tree.Put(ctx, tx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tx = yc.KV().Begin()
+	defer tx.Abort()
+	v, err := tree.Get(ctx, tx, []byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("%q %v", v, err)
+	}
+}

@@ -1,0 +1,64 @@
+package dbt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"yesquel/internal/kv"
+)
+
+// nodeCache holds inner nodes fetched by this client. Entries may be
+// arbitrarily stale — the back-down search validates against leaf
+// fences — so the cache needs no coherence protocol, which is what
+// makes it cheap: a hit costs zero communication.
+//
+// Values stored here are committed versions and are treated as
+// immutable by the whole client.
+type nodeCache struct {
+	mu    sync.RWMutex
+	nodes map[kv.OID]*kv.Value
+	hits  atomic.Uint64
+	miss  atomic.Uint64
+}
+
+func newNodeCache() *nodeCache {
+	return &nodeCache{nodes: make(map[kv.OID]*kv.Value)}
+}
+
+func (c *nodeCache) get(oid kv.OID) (*kv.Value, bool) {
+	c.mu.RLock()
+	v, ok := c.nodes[oid]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.miss.Add(1)
+	}
+	return v, ok
+}
+
+func (c *nodeCache) put(oid kv.OID, v *kv.Value) {
+	c.mu.Lock()
+	c.nodes[oid] = v
+	c.mu.Unlock()
+}
+
+func (c *nodeCache) invalidate(oids ...kv.OID) {
+	c.mu.Lock()
+	for _, oid := range oids {
+		delete(c.nodes, oid)
+	}
+	c.mu.Unlock()
+}
+
+func (c *nodeCache) clear() {
+	c.mu.Lock()
+	c.nodes = make(map[kv.OID]*kv.Value)
+	c.mu.Unlock()
+}
+
+func (c *nodeCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.nodes)
+}

@@ -1,0 +1,98 @@
+// Package dbt implements YDBT, Yesquel's distributed balanced tree —
+// the paper's storage engine (box 2 in Figure 1). A tree is a B+-tree
+// whose nodes are supervalues in the transactional key-value store, so
+// every structural change (a split, a root grow) is an ordinary
+// distributed transaction and is atomic by construction: "the Yesquel
+// DBT uses transactions to atomically move data across DBT nodes".
+//
+// Performance mechanisms, each individually switchable for the ablation
+// experiment (E5 in DESIGN.md):
+//
+//   - Client-side caching of inner nodes. Descents consult the cache
+//     without any server communication; only the leaf is read
+//     transactionally.
+//   - Back-down searches. Cached nodes may be stale; the leaf's fence
+//     keys expose staleness, and the search invalidates the cached path
+//     and descends again with transactional reads.
+//   - Delta operations. Inserts and deletes stage one-cell supervalue
+//     deltas (ListAdd / ListDelRange) instead of rewriting the node.
+//   - Delegated (asynchronous) splits. Writers enqueue oversized
+//     leaves; a splitter goroutine splits them in separate
+//     transactions, off the insert's critical path.
+package dbt
+
+import "yesquel/internal/kv"
+
+// Supervalue attribute slots used for tree nodes.
+const (
+	// AttrHeight is 0 for leaves and grows toward the root.
+	AttrHeight = 0
+	// AttrNext holds the OID of the leaf to the right (0 = none); kept
+	// for diagnostics, scans navigate by fence keys.
+	AttrNext = 1
+	// AttrTree holds the tree id, for integrity checking.
+	AttrTree = 2
+)
+
+// Config tunes one tree handle. The zero value gives the full Yesquel
+// behaviour with default sizes.
+type Config struct {
+	// MaxCells is the split threshold: a node holding more cells gets
+	// split. Default 128.
+	MaxCells int
+
+	// NoCache disables the client-side inner-node cache: every descent
+	// reads every level transactionally (ablation a).
+	NoCache bool
+
+	// NoDelta disables delta operations: updates read the whole leaf
+	// and write it back with Put (ablation b).
+	NoDelta bool
+
+	// NoPartial disables partial node reads: every leaf access ships
+	// the whole node over the network instead of just the cells the
+	// operation needs (ablation d).
+	NoPartial bool
+
+	// SyncSplit makes the writer split oversized leaves synchronously
+	// after its transaction commits, instead of delegating to the
+	// background splitter (ablation c). Tests also use it for
+	// determinism.
+	SyncSplit bool
+
+	// Placement picks the server slot for a newly created node, given
+	// the number of servers. Nil defaults to round-robin, which spreads
+	// the tree across the cluster — the paper's reason for
+	// distribution: "to scale the performance of the DBT".
+	Placement func(numServers int) uint16
+
+	// MaxDescentRetries bounds back-down retries before the search
+	// gives up caching entirely. Default 6.
+	MaxDescentRetries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxCells == 0 {
+		c.MaxCells = 128
+	}
+	if c.MaxDescentRetries == 0 {
+		c.MaxDescentRetries = 6
+	}
+	return c
+}
+
+// NaiveConfig returns the configuration of the naive-DBT baseline used
+// in the ablation benchmarks: no caching, no deltas, no partial reads,
+// writer-side splits. Every descent reads every level, whole, over the
+// network.
+func NaiveConfig() Config {
+	return Config{NoCache: true, NoDelta: true, NoPartial: true, SyncSplit: true}
+}
+
+// RootOID returns the well-known OID of the root node of tree id for a
+// cluster with numServers servers. Roots use a reserved local-id range
+// (top local bit set) so they never collide with allocated node ids.
+func RootOID(id uint64, numServers int) kv.OID {
+	slot := uint16(id % uint64(numServers))
+	return kv.MakeOID(slot, 1<<46|id&((1<<46)-1))
+}

@@ -1,0 +1,124 @@
+package dbt
+
+import (
+	"context"
+
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvclient"
+)
+
+// Iterator walks the tree's cells in ascending key order within one
+// transaction's snapshot. Iteration navigates by fence keys: after
+// exhausting a leaf, it descends for the leaf's high fence. Because
+// inner-node descents are served by the cache, advancing to the next
+// leaf costs one transactional leaf read — the same as following a
+// sibling pointer, but immune to stale links.
+type Iterator struct {
+	t   *Tree
+	tx  *kvclient.Tx
+	ctx context.Context
+
+	cells []kv.Cell
+	pos   int
+	next  []byte // low key of the next leaf to fetch; nil = exhausted
+	done  bool
+	err   error
+}
+
+// NewIterator returns an iterator positioned at the first key >= start
+// (use nil or empty to scan from the beginning).
+func (t *Tree) NewIterator(ctx context.Context, tx *kvclient.Tx, start []byte) *Iterator {
+	if start == nil {
+		start = []byte{}
+	}
+	it := &Iterator{t: t, tx: tx, ctx: ctx}
+	it.load(start)
+	return it
+}
+
+// load fetches the leaf containing key and positions at the first cell
+// >= key.
+func (it *Iterator) load(key []byte) {
+	for {
+		li, err := it.t.descend(it.ctx, it.tx, key, tailWindow(key))
+		if err != nil {
+			it.err = err
+			it.done = true
+			return
+		}
+		leaf := li.node
+		it.cells = leaf.Cells
+		// First cell >= key.
+		lo, hi := 0, len(it.cells)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if compare(it.cells[mid].Key, key) < 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		it.pos = lo
+		if leaf.HighKey == nil {
+			it.next = nil
+		} else {
+			it.next = append([]byte(nil), leaf.HighKey...)
+		}
+		if it.pos < len(it.cells) {
+			return
+		}
+		// Empty tail in this leaf: move on, or finish.
+		if it.next == nil {
+			it.done = true
+			return
+		}
+		key = it.next
+	}
+}
+
+// Valid reports whether the iterator is positioned at a cell.
+func (it *Iterator) Valid() bool { return !it.done && it.err == nil }
+
+// Err returns the first error the iterator encountered, if any.
+func (it *Iterator) Err() error { return it.err }
+
+// Key returns the current cell's key. Valid must be true.
+func (it *Iterator) Key() []byte { return it.cells[it.pos].Key }
+
+// Value returns the current cell's value. Valid must be true.
+func (it *Iterator) Value() []byte { return it.cells[it.pos].Value }
+
+// Next advances to the following cell, fetching the next leaf when the
+// current one is exhausted.
+func (it *Iterator) Next() {
+	if it.done || it.err != nil {
+		return
+	}
+	it.pos++
+	if it.pos < len(it.cells) {
+		return
+	}
+	if it.next == nil {
+		it.done = true
+		return
+	}
+	it.load(it.next)
+}
+
+// Scan collects up to limit cells starting at the first key >= start.
+// A negative limit collects everything. It is a convenience wrapper
+// over the iterator.
+func (t *Tree) Scan(ctx context.Context, tx *kvclient.Tx, start []byte, limit int) ([]kv.Cell, error) {
+	var out []kv.Cell
+	it := t.NewIterator(ctx, tx, start)
+	for ; it.Valid(); it.Next() {
+		if limit >= 0 && len(out) >= limit {
+			break
+		}
+		out = append(out, kv.Cell{Key: it.Key(), Value: it.Value()})
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,314 @@
+package dbt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvclient"
+)
+
+// Splits. An oversized node is split in its own transaction, separate
+// from the transaction that grew it — the paper's "delegated splits":
+// clients never block on structural maintenance, and because the split
+// runs under the same snapshot-isolation transactions as everything
+// else, readers either see the tree entirely before or entirely after
+// the split.
+//
+// A split of node X with fences [l, h) at a mid key m:
+//   - creates a fresh right sibling R on a server chosen by the
+//     placement policy, holding X's cells >= m with fences [m, h);
+//   - shrinks X in place to [l, m) by deleting the moved cells and
+//     updating its fence (delta operations, so the left half is not
+//     rewritten);
+//   - adds the routing cell (m -> R) to X's parent.
+//
+// Splitting the root grows the tree instead: the root's cells move into
+// two fresh children and the root is rewritten in place as an inner
+// node of height+1, so the root OID never changes.
+
+type splitter struct {
+	t      *Tree
+	mu     sync.Mutex
+	queued map[kv.OID]bool
+	ch     chan kv.OID
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+func (t *Tree) startSplitter() {
+	s := &splitter{
+		t:      t,
+		queued: make(map[kv.OID]bool),
+		ch:     make(chan kv.OID, 1024),
+		stopCh: make(chan struct{}),
+	}
+	t.splitter = s
+	if !t.cfg.SyncSplit {
+		s.wg.Add(1)
+		go s.run()
+	}
+}
+
+// noteOversized reports that a node looked oversized; the splitter will
+// verify against committed state and split if warranted. With SyncSplit
+// the caller must invoke MaintainNow after committing.
+func (t *Tree) noteOversized(oid kv.OID) {
+	s := t.splitter
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.queued[oid] {
+		s.mu.Unlock()
+		return
+	}
+	s.queued[oid] = true
+	s.mu.Unlock()
+	if t.cfg.SyncSplit {
+		return // drained by MaintainNow
+	}
+	select {
+	case s.ch <- oid:
+	default:
+		// Queue full: drop; the next write to the node re-triggers.
+		s.mu.Lock()
+		delete(s.queued, oid)
+		s.mu.Unlock()
+	}
+}
+
+// MaintainNow synchronously splits every queued node (and any parents
+// that overflow as a result). Used with SyncSplit and by tests.
+func (t *Tree) MaintainNow(ctx context.Context) error {
+	s := t.splitter
+	if s == nil {
+		return nil
+	}
+	for {
+		s.mu.Lock()
+		var oid kv.OID
+		found := false
+		for o := range s.queued {
+			oid, found = o, true
+			break
+		}
+		if found {
+			delete(s.queued, oid)
+		}
+		s.mu.Unlock()
+		if !found {
+			return nil
+		}
+		if err := t.splitNode(ctx, oid); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *splitter) run() {
+	defer s.wg.Done()
+	ctx := context.Background()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case oid := <-s.ch:
+			s.mu.Lock()
+			delete(s.queued, oid)
+			s.mu.Unlock()
+			// Conflicts with concurrent writers are expected; retry a
+			// few times with a small pause, then give up — the next
+			// write re-triggers the split.
+			for i := 0; i < 5; i++ {
+				err := s.t.splitNode(ctx, oid)
+				if err == nil || !errors.Is(err, kv.ErrConflict) {
+					break
+				}
+				s.t.stats.SplitConflict.Add(1)
+				select {
+				case <-s.stopCh:
+					return
+				case <-time.After(time.Duration(i+1) * time.Millisecond):
+				}
+			}
+		}
+	}
+}
+
+func (s *splitter) stop() {
+	s.mu.Lock()
+	select {
+	case <-s.stopCh:
+		s.mu.Unlock()
+		return
+	default:
+	}
+	close(s.stopCh)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// splitNode splits oid if its committed state is oversized. A split
+// that would overflow the parent queues the parent too.
+func (t *Tree) splitNode(ctx context.Context, oid kv.OID) error {
+	tx := t.c.Begin()
+	defer func() {
+		// Commit is explicit below; Abort on a committed tx is a no-op
+		// guard for early returns.
+		tx.Abort()
+	}()
+	node, err := tx.Read(ctx, oid)
+	if err != nil {
+		if errors.Is(err, kv.ErrNotFound) {
+			return nil // already split away or deleted
+		}
+		return err
+	}
+	if node.Kind != kv.KindSuper || node.Attrs[AttrTree] != t.id {
+		return nil
+	}
+	if node.NumCells() <= t.cfg.MaxCells {
+		return nil // shrank since it was queued
+	}
+
+	mid := node.NumCells() / 2
+	midKey := node.Cells[mid].Key
+	// Degenerate: all cells share a prefix region such that midKey
+	// equals the low fence; cannot split there.
+	if compare(midKey, node.LowKey) == 0 {
+		return nil
+	}
+
+	if oid == t.root {
+		err = t.growRoot(ctx, tx, node, mid)
+	} else {
+		err = t.splitNonRoot(ctx, tx, oid, node, mid)
+	}
+	if err != nil {
+		return err
+	}
+	if err := tx.Commit(ctx); err != nil {
+		return err
+	}
+	t.stats.SplitsDone.Add(1)
+	// Routing changed: drop cached copies of what we rewrote.
+	t.cache.invalidate(oid)
+	return nil
+}
+
+// growRoot turns the (oversized) root into an inner node with two fresh
+// children. The root OID is preserved — clients hold it statically.
+func (t *Tree) growRoot(ctx context.Context, tx *kvclient.Tx, root *kv.Value, mid int) error {
+	midKey := root.Cells[mid].Key
+
+	left := kv.NewSuper()
+	left.Attrs[AttrHeight] = root.Attrs[AttrHeight]
+	left.Attrs[AttrTree] = t.id
+	left.LowKey = root.LowKey
+	left.HighKey = append([]byte(nil), midKey...)
+	left.Cells = append([]kv.Cell(nil), root.Cells[:mid]...)
+
+	right := kv.NewSuper()
+	right.Attrs[AttrHeight] = root.Attrs[AttrHeight]
+	right.Attrs[AttrTree] = t.id
+	right.LowKey = append([]byte(nil), midKey...)
+	right.HighKey = root.HighKey
+	right.Cells = append([]kv.Cell(nil), root.Cells[mid:]...)
+
+	leftOID := t.newNodeOID()
+	rightOID := t.newNodeOID()
+	left.Attrs[AttrNext] = uint64(rightOID)
+	right.Attrs[AttrNext] = root.Attrs[AttrNext]
+
+	newRoot := kv.NewSuper()
+	newRoot.Attrs[AttrHeight] = root.Attrs[AttrHeight] + 1
+	newRoot.Attrs[AttrTree] = t.id
+	newRoot.LowKey = root.LowKey
+	newRoot.HighKey = root.HighKey
+	lowCell := root.LowKey
+	if lowCell == nil {
+		lowCell = []byte{}
+	}
+	newRoot.ListAdd(lowCell, encodeChild(leftOID))
+	newRoot.ListAdd(midKey, encodeChild(rightOID))
+
+	tx.Put(leftOID, left)
+	tx.Put(rightOID, right)
+	tx.Put(t.root, newRoot)
+	return nil
+}
+
+// splitNonRoot moves the upper half of node into a fresh sibling and
+// links it into the parent.
+func (t *Tree) splitNonRoot(ctx context.Context, tx *kvclient.Tx, oid kv.OID, node *kv.Value, mid int) error {
+	midKey := node.Cells[mid].Key
+
+	rightOID := t.newNodeOID()
+	right := kv.NewSuper()
+	right.Attrs[AttrHeight] = node.Attrs[AttrHeight]
+	right.Attrs[AttrTree] = t.id
+	right.Attrs[AttrNext] = node.Attrs[AttrNext]
+	right.LowKey = append([]byte(nil), midKey...)
+	right.HighKey = node.HighKey
+	right.Cells = append([]kv.Cell(nil), node.Cells[mid:]...)
+	tx.Put(rightOID, right)
+
+	// Shrink the left half in place with deltas: the surviving cells
+	// are not rewritten.
+	tx.ListDelRange(oid, midKey, nil)
+	tx.SetBounds(oid, node.LowKey, midKey)
+	tx.AttrSet(oid, AttrNext, uint64(rightOID))
+
+	// Link the new sibling into the parent. The parent is found by a
+	// fully transactional descent to height+1 — splits are rare enough
+	// that the uncached walk does not matter.
+	parentOID, parent, err := t.findParent(ctx, tx, node, oid)
+	if err != nil {
+		return err
+	}
+	tx.ListAdd(parentOID, midKey, encodeChild(rightOID))
+	if parent.NumCells()+1 > t.cfg.MaxCells {
+		t.noteOversized(parentOID)
+	}
+	return nil
+}
+
+// findParent locates the node at child's height+1 whose range covers
+// child's low fence, reading transactionally within tx.
+func (t *Tree) findParent(ctx context.Context, tx *kvclient.Tx, child *kv.Value, childOIDv kv.OID) (kv.OID, *kv.Value, error) {
+	wantHeight := child.Attrs[AttrHeight] + 1
+	key := child.LowKey
+	if key == nil {
+		key = []byte{}
+	}
+	cur := t.root
+	const maxDepth = 64
+	for depth := 0; depth < maxDepth; depth++ {
+		node, err := tx.Read(ctx, cur)
+		if err != nil {
+			return 0, nil, err
+		}
+		h := node.Attrs[AttrHeight]
+		if h == wantHeight {
+			// Verify it actually routes to the child.
+			c, err := childFor(node, key)
+			if err != nil || c != childOIDv {
+				return 0, nil, fmt.Errorf("%w: parent does not route to child", kv.ErrConflict)
+			}
+			return cur, node, nil
+		}
+		if h < wantHeight {
+			return 0, nil, fmt.Errorf("%w: child deeper than tree", kv.ErrConflict)
+		}
+		next, err := childFor(node, key)
+		if err != nil {
+			return 0, nil, err
+		}
+		cur = next
+	}
+	return 0, nil, fmt.Errorf("dbt: findParent exceeded max depth")
+}

@@ -1,0 +1,415 @@
+package dbt
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvclient"
+)
+
+// Errors returned by tree operations.
+var (
+	// ErrKeyNotFound reports a Get or Delete of an absent key.
+	ErrKeyNotFound = errors.New("dbt: key not found")
+	// ErrTreeNotFound reports opening a tree whose root does not exist.
+	ErrTreeNotFound = errors.New("dbt: tree not found")
+	// errStale is an internal signal that a descent followed stale
+	// routing information and must back down.
+	errStale = errors.New("dbt: stale descent")
+)
+
+// Stats counts tree-level activity for one handle.
+type Stats struct {
+	Descents      atomic.Uint64
+	BackDowns     atomic.Uint64 // descents retried due to stale cache
+	CacheHits     atomic.Uint64 // inner-node reads served from cache
+	NodeReads     atomic.Uint64 // transactional node reads (RPC)
+	SplitsDone    atomic.Uint64
+	SplitConflict atomic.Uint64
+}
+
+// StatsSnapshot is a plain copy of the counters.
+type StatsSnapshot struct {
+	Descents, BackDowns, CacheHits, NodeReads, SplitsDone, SplitConflict uint64
+}
+
+// Tree is a client handle to one distributed balanced tree. Handles are
+// safe for concurrent use; each operation runs inside a caller-supplied
+// kv transaction, so one SQL statement can touch many trees atomically.
+type Tree struct {
+	c    *kvclient.Client
+	id   uint64
+	root kv.OID
+	cfg  Config
+
+	cache    *nodeCache
+	stats    Stats
+	place    atomic.Uint64 // round-robin placement counter
+	splitter *splitter
+}
+
+// Create writes an empty tree with the given id and returns a handle to
+// it. The root starts as an empty leaf covering the whole key space.
+func Create(ctx context.Context, c *kvclient.Client, id uint64, cfg Config) (*Tree, error) {
+	t := newTree(c, id, cfg)
+	root := kv.NewSuper()
+	root.Attrs[AttrHeight] = 0
+	root.Attrs[AttrTree] = id
+	root.LowKey = []byte{} // "" is the minimum key: unbounded below
+	root.HighKey = nil     // unbounded above
+	tx := c.Begin()
+	tx.Put(t.root, root)
+	if err := tx.Commit(ctx); err != nil {
+		return nil, fmt.Errorf("dbt: creating tree %d: %w", id, err)
+	}
+	t.startSplitter()
+	return t, nil
+}
+
+// Open returns a handle to an existing tree, verifying the root exists.
+func Open(ctx context.Context, c *kvclient.Client, id uint64, cfg Config) (*Tree, error) {
+	t := newTree(c, id, cfg)
+	tx := c.Begin()
+	if _, err := tx.Read(ctx, t.root); err != nil {
+		if errors.Is(err, kv.ErrNotFound) {
+			return nil, ErrTreeNotFound
+		}
+		return nil, err
+	}
+	t.startSplitter()
+	return t, nil
+}
+
+// OpenUnchecked returns a handle without verifying the root exists.
+// Used when the tree's root was created inside a not-yet-committed
+// transaction (e.g. CREATE INDEX backfill): operations through that
+// transaction see the staged root, while a fresh verification
+// transaction would not.
+func OpenUnchecked(c *kvclient.Client, id uint64, cfg Config) (*Tree, error) {
+	t := newTree(c, id, cfg)
+	t.startSplitter()
+	return t, nil
+}
+
+func newTree(c *kvclient.Client, id uint64, cfg Config) *Tree {
+	return &Tree{
+		c:     c,
+		id:    id,
+		root:  RootOID(id, c.NumServers()),
+		cfg:   cfg.withDefaults(),
+		cache: newNodeCache(),
+	}
+}
+
+// ID returns the tree id.
+func (t *Tree) ID() uint64 { return t.id }
+
+// Client returns the underlying kv client.
+func (t *Tree) Client() *kvclient.Client { return t.c }
+
+// Close stops the background splitter. The tree data is unaffected.
+func (t *Tree) Close() {
+	if t.splitter != nil {
+		t.splitter.stop()
+	}
+}
+
+// Stats returns a snapshot of the handle's counters.
+func (t *Tree) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Descents:      t.stats.Descents.Load(),
+		BackDowns:     t.stats.BackDowns.Load(),
+		CacheHits:     t.stats.CacheHits.Load(),
+		NodeReads:     t.stats.NodeReads.Load(),
+		SplitsDone:    t.stats.SplitsDone.Load(),
+		SplitConflict: t.stats.SplitConflict.Load(),
+	}
+}
+
+// CacheSize reports the number of cached inner nodes (tests).
+func (t *Tree) CacheSize() int { return t.cache.len() }
+
+// ClearCache drops the inner-node cache (tests and ablations).
+func (t *Tree) ClearCache() { t.cache.clear() }
+
+// newNodeOID mints an OID for a fresh node, choosing its server with
+// the placement policy.
+func (t *Tree) newNodeOID() kv.OID {
+	n := t.c.NumServers()
+	var slot uint16
+	if t.cfg.Placement != nil {
+		slot = t.cfg.Placement(n)
+	} else {
+		slot = uint16(t.place.Add(1) % uint64(n))
+	}
+	return t.c.NewOID(slot)
+}
+
+// childOID decodes the child pointer stored in an inner-node cell.
+func childOID(cell kv.Cell) (kv.OID, error) {
+	if len(cell.Value) != 8 {
+		return 0, fmt.Errorf("dbt: corrupt child pointer (%d bytes)", len(cell.Value))
+	}
+	return kv.OID(binary.BigEndian.Uint64(cell.Value)), nil
+}
+
+// encodeChild encodes a child pointer for an inner-node cell.
+func encodeChild(oid kv.OID) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(oid))
+	return b[:]
+}
+
+// childFor routes key through inner node v: the child is the cell with
+// the greatest key <= search key (cell keys are the children's
+// inclusive lower bounds).
+func childFor(v *kv.Value, key []byte) (kv.OID, error) {
+	idx, found := cellFloor(v, key)
+	if idx < 0 {
+		return 0, fmt.Errorf("%w: key below first separator", errStale)
+	}
+	_ = found
+	return childOID(v.Cells[idx])
+}
+
+// cellFloor returns the index of the last cell with Key <= key, or -1.
+func cellFloor(v *kv.Value, key []byte) (int, bool) {
+	// cellIndex-equivalent search over the sorted cells.
+	lo, hi := 0, len(v.Cells)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compare(v.Cells[mid].Key, key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return -1, false
+	}
+	idx := lo - 1
+	return idx, compare(v.Cells[idx].Key, key) == 0
+}
+
+func compare(a, b []byte) int { return bytes.Compare(a, b) }
+
+// window describes which cells of the leaf a descent actually needs.
+// Point operations request a single-key window; iterators request a
+// tail; full forces whole-node reads (NoDelta rewrites, ablations).
+type window struct {
+	from, to []byte
+	max      uint32
+	full     bool
+}
+
+func pointWindow(key []byte) window {
+	// Max 2: the floor cell (possibly the predecessor) plus the key's
+	// own cell.
+	return window{from: key, to: upperBoundExclusive(key), max: 2}
+}
+
+func tailWindow(start []byte) window { return window{from: start} }
+
+// leafInfo is the result of a descent: the leaf (possibly a windowed
+// view of it) and its total cell count for split heuristics.
+type leafInfo struct {
+	oid   kv.OID
+	node  *kv.Value
+	total int
+}
+
+// descend is the core search. It walks from the root to the leaf whose
+// fence interval contains key, using cached inner nodes when allowed
+// and validating at the leaf. On stale routing (fence miss, dangling
+// pointer) it invalidates the cached path and retries — the back-down
+// search. The final cache-free attempt is guaranteed to terminate
+// because transactional reads see a consistent snapshot of the tree.
+// Leaf reads fetch only the requested window unless the configuration
+// disables partial reads.
+func (t *Tree) descend(ctx context.Context, tx *kvclient.Tx, key []byte, win window) (leafInfo, error) {
+	t.stats.Descents.Add(1)
+	maxAttempts := t.cfg.MaxDescentRetries
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		// The last two attempts bypass the cache entirely.
+		useCache := !t.cfg.NoCache && attempt < maxAttempts-2
+		li, err := t.descendOnce(ctx, tx, key, win, useCache)
+		if err == nil {
+			return li, nil
+		}
+		if !errors.Is(err, errStale) {
+			return leafInfo{}, err
+		}
+		t.stats.BackDowns.Add(1)
+	}
+	return leafInfo{}, fmt.Errorf("dbt: descent for key %q did not converge", key)
+}
+
+// readNode fetches cur, windowed when the caller expects a leaf and the
+// configuration allows. It returns the node and its total cell count.
+func (t *Tree) readNode(ctx context.Context, tx *kvclient.Tx, cur kv.OID, win window, expectLeaf bool) (*kv.Value, int, error) {
+	t.stats.NodeReads.Add(1)
+	if expectLeaf && !win.full && !t.cfg.NoPartial {
+		node, total, err := tx.ReadPart(ctx, cur, win.from, win.to, win.max)
+		return node, total, err
+	}
+	node, err := tx.Read(ctx, cur)
+	if err != nil {
+		return nil, 0, err
+	}
+	return node, node.NumCells(), nil
+}
+
+func (t *Tree) descendOnce(ctx context.Context, tx *kvclient.Tx, key []byte, win window, useCache bool) (leafInfo, error) {
+	cur := t.root
+	var path []kv.OID
+	expectLeaf := false // unknown height at the root: read it whole
+	const maxDepth = 64
+	for depth := 0; depth < maxDepth; depth++ {
+		var node *kv.Value
+		total := 0
+		fromCache := false
+		partial := false
+		if useCache {
+			if v, ok := t.cache.get(cur); ok {
+				node = v
+				total = v.NumCells()
+				fromCache = true
+				t.stats.CacheHits.Add(1)
+			}
+		}
+		if node == nil {
+			v, n, err := t.readNode(ctx, tx, cur, win, expectLeaf)
+			if err != nil {
+				if errors.Is(err, kv.ErrNotFound) {
+					// Dangling pointer: the node was moved by a split
+					// newer than our routing information.
+					t.cache.invalidate(append(path, cur)...)
+					return leafInfo{}, fmt.Errorf("%w: dangling node %v", errStale, cur)
+				}
+				return leafInfo{}, err
+			}
+			node, total = v, n
+			partial = expectLeaf && !win.full && !t.cfg.NoPartial
+		}
+		if node.Kind != kv.KindSuper || node.Attrs[AttrTree] != t.id {
+			t.cache.invalidate(append(path, cur)...)
+			return leafInfo{}, fmt.Errorf("%w: foreign node %v", errStale, cur)
+		}
+		if node.Attrs[AttrHeight] == 0 {
+			// Leaf: always read transactionally, and the fence check is
+			// what validates the whole (possibly stale) cached path.
+			if fromCache {
+				// Leaves are never cached; a cached leaf means the node
+				// shrank from inner to leaf under an old OID — treat as
+				// stale routing.
+				t.cache.invalidate(append(path, cur)...)
+				return leafInfo{}, fmt.Errorf("%w: cached node became leaf", errStale)
+			}
+			if !node.InBounds(key) {
+				t.cache.invalidate(append(path, cur)...)
+				return leafInfo{}, fmt.Errorf("%w: leaf fence miss", errStale)
+			}
+			return leafInfo{oid: cur, node: node, total: total}, nil
+		}
+		// Inner node. Freshly full-read nodes are validated by their
+		// own fences and enter the cache; windowed reads that turned
+		// out to be inner nodes still route via their floor cell but
+		// are not cacheable.
+		if !fromCache {
+			if !node.InBounds(key) {
+				t.cache.invalidate(append(path, cur)...)
+				return leafInfo{}, fmt.Errorf("%w: inner fence miss", errStale)
+			}
+			if useCache && !partial {
+				t.cache.put(cur, node)
+			}
+		}
+		child, err := childFor(node, key)
+		if err != nil {
+			t.cache.invalidate(append(path, cur)...)
+			return leafInfo{}, err
+		}
+		path = append(path, cur)
+		cur = child
+		expectLeaf = node.Attrs[AttrHeight] == 1
+	}
+	t.cache.clear()
+	return leafInfo{}, fmt.Errorf("%w: descent exceeded max depth", errStale)
+}
+
+// Get returns the value stored under key, as seen by tx's snapshot
+// (including tx's own buffered writes).
+func (t *Tree) Get(ctx context.Context, tx *kvclient.Tx, key []byte) ([]byte, error) {
+	li, err := t.descend(ctx, tx, key, pointWindow(key))
+	if err != nil {
+		return nil, err
+	}
+	v, ok := li.node.ListGet(key)
+	if !ok {
+		return nil, ErrKeyNotFound
+	}
+	return v, nil
+}
+
+// Put inserts or replaces key's value within tx. The write is staged as
+// a one-cell delta (unless NoDelta), so committing it costs no
+// read-modify-write of the leaf.
+func (t *Tree) Put(ctx context.Context, tx *kvclient.Tx, key, value []byte) error {
+	win := pointWindow(key)
+	if t.cfg.NoDelta {
+		win.full = true // rewriting the node needs all of it
+	}
+	li, err := t.descend(ctx, tx, key, win)
+	if err != nil {
+		return err
+	}
+	if t.cfg.NoDelta {
+		// Ablation: rewrite the whole leaf.
+		clone := li.node.Clone()
+		clone.ListAdd(key, value)
+		tx.Put(li.oid, clone)
+	} else {
+		tx.ListAdd(li.oid, key, value)
+	}
+	if li.total+1 > t.cfg.MaxCells {
+		t.noteOversized(li.oid)
+	}
+	return nil
+}
+
+// Delete removes key within tx. Deleting an absent key returns
+// ErrKeyNotFound (and stages nothing).
+func (t *Tree) Delete(ctx context.Context, tx *kvclient.Tx, key []byte) error {
+	win := pointWindow(key)
+	if t.cfg.NoDelta {
+		win.full = true
+	}
+	li, err := t.descend(ctx, tx, key, win)
+	if err != nil {
+		return err
+	}
+	if _, ok := li.node.ListGet(key); !ok {
+		return ErrKeyNotFound
+	}
+	if t.cfg.NoDelta {
+		clone := li.node.Clone()
+		clone.ListDelRange(key, upperBoundExclusive(key))
+		tx.Put(li.oid, clone)
+	} else {
+		tx.ListDelRange(li.oid, key, upperBoundExclusive(key))
+	}
+	return nil
+}
+
+// upperBoundExclusive returns the smallest key greater than key, so
+// [key, bound) covers exactly key.
+func upperBoundExclusive(key []byte) []byte {
+	out := make([]byte, len(key)+1)
+	copy(out, key)
+	return out
+}

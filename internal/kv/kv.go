@@ -1,0 +1,494 @@
+// Package kv defines the data model of Yesquel's transactional
+// key-value storage system — the lowest layer of the architecture
+// (boxes 3 in Figure 1 of the paper), where distributed transactions
+// are provided.
+//
+// Objects are identified by 64-bit OIDs. An OID embeds the id of the
+// storage server responsible for it, so placement requires no lookup
+// service and the DBT layer can choose where each tree node lives.
+//
+// An object's value is either a plain byte string or a "supervalue": a
+// small structure holding fixed 64-bit attributes, optional lower/upper
+// bound keys (used by the DBT for fence keys), and an ordered list of
+// cells. Supervalues support delta operations (ListAdd, ListDelRange,
+// AttrSet, SetBounds) so that a DBT leaf insert updates one cell
+// instead of rewriting the node — the mechanism that keeps Yesquel's
+// write amplification low.
+//
+// The store is multi-versioned; transactions run under snapshot
+// isolation (Berenson et al.), with versions tagged by hybrid logical
+// clock timestamps (internal/clock).
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"yesquel/internal/clock"
+	"yesquel/internal/wire"
+)
+
+// OID identifies an object. The top 16 bits name the storage server
+// slot; the remainder is assigned by the creator.
+type OID uint64
+
+const serverBits = 16
+
+// MakeOID builds an OID owned by server slot, with the given local id.
+func MakeOID(slot uint16, local uint64) OID {
+	return OID(uint64(slot)<<(64-serverBits) | (local &^ (uint64(0xffff) << (64 - serverBits))))
+}
+
+// Slot returns the server slot embedded in the OID.
+func (o OID) Slot() uint16 { return uint16(uint64(o) >> (64 - serverBits)) }
+
+// Local returns the server-local part of the OID.
+func (o OID) Local() uint64 { return uint64(o) &^ (uint64(0xffff) << (64 - serverBits)) }
+
+func (o OID) String() string { return fmt.Sprintf("oid(%d:%x)", o.Slot(), o.Local()) }
+
+// NumAttrs is the number of 64-bit attribute slots in a supervalue.
+// The DBT uses a handful (height, next leaf, tree id); eight matches
+// the paper's "small array of attributes".
+const NumAttrs = 8
+
+// Cell is one element of a supervalue's ordered list. Cells are kept
+// sorted by Key under bytes.Compare; layers above encode typed keys
+// order-preservingly.
+type Cell struct {
+	Key   []byte
+	Value []byte
+}
+
+// Kind discriminates plain values from supervalues.
+type Kind uint8
+
+const (
+	// KindPlain is an uninterpreted byte string.
+	KindPlain Kind = iota
+	// KindSuper is a structured supervalue.
+	KindSuper
+)
+
+// Value is an object's value at one version.
+type Value struct {
+	Kind Kind
+
+	// Plain payload (KindPlain only).
+	Data []byte
+
+	// Supervalue state (KindSuper only).
+	Attrs   [NumAttrs]uint64
+	LowKey  []byte // inclusive lower bound (DBT fence); nil = unbounded
+	HighKey []byte // exclusive upper bound (DBT fence); nil = unbounded
+	Cells   []Cell // sorted by Key
+}
+
+// NewSuper returns an empty supervalue.
+func NewSuper() *Value { return &Value{Kind: KindSuper} }
+
+// NewPlain returns a plain value holding data (not copied).
+func NewPlain(data []byte) *Value { return &Value{Kind: KindPlain, Data: data} }
+
+// Clone returns a deep copy of v. The MVCC store clones the latest
+// version before applying delta operations so older versions stay
+// immutable.
+func (v *Value) Clone() *Value {
+	if v == nil {
+		return nil
+	}
+	out := &Value{Kind: v.Kind, Attrs: v.Attrs}
+	if v.Data != nil {
+		out.Data = append([]byte(nil), v.Data...)
+	}
+	if v.LowKey != nil {
+		out.LowKey = append([]byte(nil), v.LowKey...)
+	}
+	if v.HighKey != nil {
+		out.HighKey = append([]byte(nil), v.HighKey...)
+	}
+	if v.Cells != nil {
+		out.Cells = make([]Cell, len(v.Cells))
+		for i, c := range v.Cells {
+			out.Cells[i] = Cell{
+				Key:   append([]byte(nil), c.Key...),
+				Value: append([]byte(nil), c.Value...),
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports deep equality of two values.
+func (v *Value) Equal(o *Value) bool {
+	if v == nil || o == nil {
+		return v == o
+	}
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindPlain:
+		return bytes.Equal(v.Data, o.Data)
+	case KindSuper:
+		if v.Attrs != o.Attrs || !bytes.Equal(v.LowKey, o.LowKey) || !bytes.Equal(v.HighKey, o.HighKey) {
+			return false
+		}
+		if len(v.Cells) != len(o.Cells) {
+			return false
+		}
+		for i := range v.Cells {
+			if !bytes.Equal(v.Cells[i].Key, o.Cells[i].Key) || !bytes.Equal(v.Cells[i].Value, o.Cells[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// EncodedSize returns an upper bound on the wire size of v, used to
+// size buffers and to account node sizes in the DBT.
+func (v *Value) EncodedSize() int {
+	if v == nil {
+		return 1
+	}
+	n := 1 + len(v.Data) + 8*NumAttrs + len(v.LowKey) + len(v.HighKey) + 24
+	for _, c := range v.Cells {
+		n += len(c.Key) + len(c.Value) + 8
+	}
+	return n
+}
+
+// Errors shared by the kv client and server.
+var (
+	// ErrConflict reports a write-write conflict or lock conflict under
+	// snapshot isolation; the transaction was aborted and may be
+	// retried by the caller.
+	ErrConflict = errors.New("kv: transaction conflict")
+	// ErrAborted reports that the transaction was already aborted.
+	ErrAborted = errors.New("kv: transaction aborted")
+	// ErrNotFound reports a read of an object with no visible version.
+	ErrNotFound = errors.New("kv: object not found")
+	// ErrBadRequest reports a malformed request.
+	ErrBadRequest = errors.New("kv: bad request")
+)
+
+// OpKind enumerates write operations staged by a transaction.
+type OpKind uint8
+
+const (
+	// OpPut overwrites the object with a full value.
+	OpPut OpKind = iota
+	// OpDelete removes the object (a tombstone version).
+	OpDelete
+	// OpListAdd inserts or replaces one cell in a supervalue.
+	OpListAdd
+	// OpListDelRange deletes cells with keys in [From, To).
+	OpListDelRange
+	// OpAttrSet sets one 64-bit attribute.
+	OpAttrSet
+	// OpSetBounds replaces the supervalue's fence keys.
+	OpSetBounds
+)
+
+// Op is one staged write operation on an object.
+type Op struct {
+	Kind OpKind
+	OID  OID
+
+	Value *Value // OpPut
+	Cell  Cell   // OpListAdd
+	From  []byte // OpListDelRange (inclusive)
+	To    []byte // OpListDelRange (exclusive)
+	Attr  uint8  // OpAttrSet
+	Num   uint64 // OpAttrSet value
+	Low   []byte // OpSetBounds
+	High  []byte // OpSetBounds
+}
+
+// Apply applies op to base and returns the resulting value. base may be
+// nil (object absent); delta ops on an absent object create an empty
+// supervalue first, so a blind ListAdd works without a prior read.
+// Apply never mutates base.
+func (op *Op) Apply(base *Value) (*Value, error) {
+	switch op.Kind {
+	case OpPut:
+		return op.Value.Clone(), nil
+	case OpDelete:
+		return nil, nil
+	}
+	// Delta operations need a supervalue to operate on.
+	var v *Value
+	switch {
+	case base == nil:
+		v = NewSuper()
+	case base.Kind != KindSuper:
+		return nil, fmt.Errorf("%w: delta op on plain value", ErrBadRequest)
+	default:
+		v = base.Clone()
+	}
+	switch op.Kind {
+	case OpListAdd:
+		v.ListAdd(op.Cell.Key, op.Cell.Value)
+	case OpListDelRange:
+		v.ListDelRange(op.From, op.To)
+	case OpAttrSet:
+		if op.Attr >= NumAttrs {
+			return nil, fmt.Errorf("%w: attr index %d", ErrBadRequest, op.Attr)
+		}
+		v.Attrs[op.Attr] = op.Num
+	case OpSetBounds:
+		v.LowKey = append([]byte(nil), op.Low...)
+		v.HighKey = append([]byte(nil), op.High...)
+	default:
+		return nil, fmt.Errorf("%w: op kind %d", ErrBadRequest, op.Kind)
+	}
+	return v, nil
+}
+
+// CommutativeTouch classifies op for conflict detection. Commutative
+// operations (a one-cell insert/replace, a one-cell delete, an
+// attribute write) return the conflict key they touch: two concurrent
+// transactions whose delta operations touch disjoint keys of the same
+// supervalue commute and may both commit — this is what lets many
+// clients insert into the same DBT leaf without aborting each other.
+// Structural operations (full Put, Delete, SetBounds, multi-key
+// ListDelRange — the ops a node split performs) return ok=false and
+// conflict with every concurrent write to the object.
+func (op *Op) CommutativeTouch() ([]byte, bool) {
+	switch op.Kind {
+	case OpListAdd:
+		return op.Cell.Key, true
+	case OpAttrSet:
+		return attrTouchKey(op.Attr), true
+	case OpListDelRange:
+		// Single-key form: [k, k+"\x00") deletes exactly k.
+		if op.From != nil && op.To != nil &&
+			len(op.To) == len(op.From)+1 &&
+			op.To[len(op.From)] == 0x00 &&
+			bytes.Equal(op.To[:len(op.From)], op.From) {
+			return op.From, true
+		}
+	}
+	return nil, false
+}
+
+// attrTouchKey is the synthetic conflict key for attribute slot i. A
+// real cell key could collide with it, costing only a spurious
+// conflict, never a missed one.
+func attrTouchKey(i uint8) []byte { return []byte{0xff, 0xfe, 'A', i} }
+
+// --- wire encoding ---
+
+// EncodeValue appends v to b. A nil value encodes as a tombstone.
+func EncodeValue(b *wire.Buffer, v *Value) {
+	if v == nil {
+		b.PutByte(0xff)
+		return
+	}
+	b.PutByte(byte(v.Kind))
+	switch v.Kind {
+	case KindPlain:
+		b.PutBytes(v.Data)
+	case KindSuper:
+		for _, a := range v.Attrs {
+			b.PutUvarint(a)
+		}
+		b.PutBytes(v.LowKey)
+		b.PutBytes(v.HighKey)
+		b.PutBool(v.LowKey != nil)
+		b.PutBool(v.HighKey != nil)
+		b.PutUvarint(uint64(len(v.Cells)))
+		for _, c := range v.Cells {
+			b.PutBytes(c.Key)
+			b.PutBytes(c.Value)
+		}
+	}
+}
+
+// DecodeValue reads a value encoded by EncodeValue. Byte slices are
+// copied out of the frame.
+func DecodeValue(r *wire.Reader) (*Value, error) {
+	k, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if k == 0xff {
+		return nil, nil
+	}
+	v := &Value{Kind: Kind(k)}
+	switch v.Kind {
+	case KindPlain:
+		v.Data, err = r.BytesCopy()
+		return v, err
+	case KindSuper:
+		for i := range v.Attrs {
+			v.Attrs[i], err = r.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+		}
+		low, err := r.BytesCopy()
+		if err != nil {
+			return nil, err
+		}
+		high, err := r.BytesCopy()
+		if err != nil {
+			return nil, err
+		}
+		hasLow, err := r.Bool()
+		if err != nil {
+			return nil, err
+		}
+		hasHigh, err := r.Bool()
+		if err != nil {
+			return nil, err
+		}
+		if hasLow {
+			v.LowKey = low
+		}
+		if hasHigh {
+			v.HighKey = high
+		}
+		n, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(wire.MaxFrameSize) {
+			return nil, ErrBadRequest
+		}
+		v.Cells = make([]Cell, 0, n)
+		for i := uint64(0); i < n; i++ {
+			key, err := r.BytesCopy()
+			if err != nil {
+				return nil, err
+			}
+			val, err := r.BytesCopy()
+			if err != nil {
+				return nil, err
+			}
+			v.Cells = append(v.Cells, Cell{Key: key, Value: val})
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("%w: value kind %d", ErrBadRequest, k)
+	}
+}
+
+// EncodeOp appends op to b.
+func EncodeOp(b *wire.Buffer, op *Op) {
+	b.PutByte(byte(op.Kind))
+	b.PutUint64(uint64(op.OID))
+	switch op.Kind {
+	case OpPut:
+		EncodeValue(b, op.Value)
+	case OpDelete:
+	case OpListAdd:
+		b.PutBytes(op.Cell.Key)
+		b.PutBytes(op.Cell.Value)
+	case OpListDelRange:
+		b.PutBytes(op.From)
+		b.PutBytes(op.To)
+		b.PutBool(op.From != nil)
+		b.PutBool(op.To != nil)
+	case OpAttrSet:
+		b.PutByte(op.Attr)
+		b.PutUvarint(op.Num)
+	case OpSetBounds:
+		b.PutBytes(op.Low)
+		b.PutBytes(op.High)
+		b.PutBool(op.Low != nil)
+		b.PutBool(op.High != nil)
+	}
+}
+
+// DecodeOp reads an op encoded by EncodeOp.
+func DecodeOp(r *wire.Reader) (*Op, error) {
+	k, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	oid, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	op := &Op{Kind: OpKind(k), OID: OID(oid)}
+	switch op.Kind {
+	case OpPut:
+		op.Value, err = DecodeValue(r)
+		return op, err
+	case OpDelete:
+		return op, nil
+	case OpListAdd:
+		if op.Cell.Key, err = r.BytesCopy(); err != nil {
+			return nil, err
+		}
+		if op.Cell.Value, err = r.BytesCopy(); err != nil {
+			return nil, err
+		}
+		return op, nil
+	case OpListDelRange:
+		from, err := r.BytesCopy()
+		if err != nil {
+			return nil, err
+		}
+		to, err := r.BytesCopy()
+		if err != nil {
+			return nil, err
+		}
+		hasFrom, err := r.Bool()
+		if err != nil {
+			return nil, err
+		}
+		hasTo, err := r.Bool()
+		if err != nil {
+			return nil, err
+		}
+		if hasFrom {
+			op.From = from
+		}
+		if hasTo {
+			op.To = to
+		}
+		return op, nil
+	case OpAttrSet:
+		if op.Attr, err = r.Byte(); err != nil {
+			return nil, err
+		}
+		if op.Num, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		return op, nil
+	case OpSetBounds:
+		low, err := r.BytesCopy()
+		if err != nil {
+			return nil, err
+		}
+		high, err := r.BytesCopy()
+		if err != nil {
+			return nil, err
+		}
+		hasLow, err := r.Bool()
+		if err != nil {
+			return nil, err
+		}
+		hasHigh, err := r.Bool()
+		if err != nil {
+			return nil, err
+		}
+		if hasLow {
+			op.Low = low
+		}
+		if hasHigh {
+			op.High = high
+		}
+		return op, nil
+	default:
+		return nil, fmt.Errorf("%w: op kind %d", ErrBadRequest, k)
+	}
+}
+
+// Timestamp re-exports the clock timestamp for convenience of kv users.
+type Timestamp = clock.Timestamp

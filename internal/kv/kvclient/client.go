@@ -1,0 +1,137 @@
+// Package kvclient is the client library of Yesquel's transactional
+// key-value storage system (the "client lib" box in Figure 1 of the
+// paper). It connects to the storage servers, places objects by the
+// server slot embedded in their OIDs, and runs transactions under
+// snapshot isolation: buffered writes, first-committer-wins conflict
+// detection, one-round-trip fast commit for single-participant
+// transactions, and two-phase commit otherwise.
+package kvclient
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"yesquel/internal/clock"
+	"yesquel/internal/kv"
+	"yesquel/internal/rpc"
+)
+
+// Client is a connection to a set of storage servers. It is safe for
+// concurrent use; transactions created from it are not (a transaction
+// belongs to one goroutine, as in the paper's per-client query
+// processor).
+type Client struct {
+	addrs []string
+	conns []*rpc.Client
+	hlc   *clock.HLC
+
+	nextTx  atomic.Uint64
+	nextOID atomic.Uint64
+}
+
+// Open dials every storage server. The order of addrs defines server
+// slots: an OID with slot s lives on addrs[s % len(addrs)].
+func Open(addrs []string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("kvclient: no servers")
+	}
+	c := &Client{addrs: addrs, hlc: clock.New()}
+	// Random bases make transaction ids and OIDs unique across client
+	// processes without coordination.
+	var seed [16]byte
+	if _, err := crand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("kvclient: seeding ids: %v", err)
+	}
+	c.nextTx.Store(binary.LittleEndian.Uint64(seed[0:8]))
+	c.nextOID.Store(binary.LittleEndian.Uint64(seed[8:16]) & ((1 << 40) - 1))
+	for _, a := range addrs {
+		conn, err := rpc.Dial(a)
+		if err != nil {
+			for _, prev := range c.conns {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("kvclient: dial %s: %w", a, err)
+		}
+		c.conns = append(c.conns, conn)
+	}
+	return c, nil
+}
+
+// Close tears down all server connections.
+func (c *Client) Close() error {
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	return nil
+}
+
+// NumServers returns the number of storage servers.
+func (c *Client) NumServers() int { return len(c.addrs) }
+
+// Clock exposes the client's hybrid logical clock.
+func (c *Client) Clock() *clock.HLC { return c.hlc }
+
+// ServerFor maps an OID to the index of its storage server.
+func (c *Client) ServerFor(oid kv.OID) int {
+	return int(oid.Slot()) % len(c.conns)
+}
+
+// NewOID mints a fresh OID on server slot. Local ids combine a random
+// per-client base with a counter, so distinct clients do not collide.
+func (c *Client) NewOID(slot uint16) kv.OID {
+	return kv.MakeOID(slot, c.nextOID.Add(1))
+}
+
+func (c *Client) conn(server int) *rpc.Client { return c.conns[server] }
+
+// Ping round-trips to server i, merging clocks.
+func (c *Client) Ping(ctx context.Context, server int) error {
+	resp, err := c.conns[server].Call(ctx, kv.MethodPing, nil)
+	if err != nil {
+		return err
+	}
+	ack, err := kv.DecodeAck(resp)
+	if err != nil {
+		return err
+	}
+	c.hlc.Observe(ack.Clock)
+	return nil
+}
+
+// readAt fetches the newest version of oid visible at snap.
+func (c *Client) readAt(ctx context.Context, oid kv.OID, snap clock.Timestamp) (*kv.Value, error) {
+	req := kv.ReadReq{OID: oid, Snap: snap}
+	respB, err := c.conn(c.ServerFor(oid)).Call(ctx, kv.MethodRead, req.Encode())
+	if err != nil {
+		return nil, translateRPCErr(err)
+	}
+	resp, err := kv.DecodeReadResp(respB)
+	if err != nil {
+		return nil, err
+	}
+	c.hlc.Observe(resp.Clock)
+	if !resp.Found {
+		return nil, kv.ErrNotFound
+	}
+	return resp.Value, nil
+}
+
+// translateRPCErr maps application errors from the server back to the
+// package's sentinel errors so callers can match with errors.Is.
+func translateRPCErr(err error) error {
+	var app *rpc.AppError
+	if errors.As(err, &app) {
+		switch {
+		case strings.Contains(app.Msg, kv.ErrConflict.Error()):
+			return fmt.Errorf("%w: %s", kv.ErrConflict, app.Msg)
+		case strings.Contains(app.Msg, kv.ErrBadRequest.Error()):
+			return fmt.Errorf("%w: %s", kv.ErrBadRequest, app.Msg)
+		}
+	}
+	return err
+}

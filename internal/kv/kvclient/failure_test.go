@@ -1,0 +1,148 @@
+package kvclient_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"yesquel/internal/cluster"
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvserver"
+)
+
+// TestReadTimesOutOnAbandonedPrepare covers the coordinator-failure
+// window: a transaction prepared but never committed or aborted blocks
+// conflicting readers only up to the configured lock-wait timeout, then
+// they fail with a retryable conflict instead of hanging.
+func TestReadTimesOutOnAbandonedPrepare(t *testing.T) {
+	cl, err := cluster.Start(1, kvserver.Config{LockWaitTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	oid := c.NewOID(0)
+
+	// Prepare directly against the store and abandon the transaction,
+	// simulating a client that died between phases.
+	store := cl.Servers[0].Store()
+	if _, err := store.Prepare(424242, store.Clock().Now(),
+		[]*kv.Op{{Kind: kv.OpPut, OID: oid, Value: kv.NewPlain([]byte("zombie"))}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Advance the client clock past the server's proposed timestamp so
+	// the read's snapshot could be affected by the pending commit and
+	// must wait (a snapshot below the proposal may correctly skip it).
+	if err := c.Ping(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	tx := c.Begin()
+	defer tx.Abort()
+	start := time.Now()
+	_, err = tx.Read(ctx, oid)
+	elapsed := time.Since(start)
+	if !errors.Is(err, kv.ErrConflict) {
+		t.Fatalf("read of abandoned-locked object: %v", err)
+	}
+	if elapsed < 80*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("timeout fired after %v, want ~100ms", elapsed)
+	}
+}
+
+// TestCallsFailFastAfterServerDown verifies operations surface errors
+// (rather than hanging) once a storage server is gone.
+func TestCallsFailFastAfterServerDown(t *testing.T) {
+	cl, err := cluster.Start(2, kvserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	oid0 := c.NewOID(0)
+	oid1 := c.NewOID(1)
+	tx := c.Begin()
+	tx.Put(oid0, kv.NewPlain([]byte("a")))
+	tx.Put(oid1, kv.NewPlain([]byte("b")))
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	cl.Servers[1].Close()
+
+	// Reads from the dead server error out.
+	tx2 := c.Begin()
+	defer tx2.Abort()
+	if _, err := tx2.Read(ctx, oid1); err == nil {
+		t.Fatal("read from dead server succeeded")
+	}
+	// The surviving server still works through the same client.
+	tx3 := c.Begin()
+	defer tx3.Abort()
+	if v, err := tx3.Read(ctx, oid0); err != nil || string(v.Data) != "a" {
+		t.Fatalf("surviving server read: %v %v", v, err)
+	}
+	// A 2PC spanning the dead server fails and leaves the survivor
+	// consistent.
+	tx4 := c.Begin()
+	tx4.Put(oid0, kv.NewPlain([]byte("a2")))
+	tx4.Put(oid1, kv.NewPlain([]byte("b2")))
+	if err := tx4.Commit(ctx); err == nil {
+		t.Fatal("commit spanning dead server succeeded")
+	}
+	tx5 := c.Begin()
+	defer tx5.Abort()
+	if v, err := tx5.Read(ctx, oid0); err != nil || string(v.Data) != "a" {
+		t.Fatalf("partial commit leaked to survivor: %v %v", v, err)
+	}
+}
+
+// TestContextDeadlineOnRead verifies per-call deadlines propagate.
+func TestContextDeadlineOnRead(t *testing.T) {
+	cl, err := cluster.Start(1, kvserver.Config{LockWaitTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	oid := c.NewOID(0)
+
+	// Abandoned lock with a long server-side wait: the client's context
+	// must cut the call short.
+	store := cl.Servers[0].Store()
+	if _, err := store.Prepare(53535, store.Clock().Now(),
+		[]*kv.Op{{Kind: kv.OpPut, OID: oid, Value: kv.NewPlain([]byte("x"))}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	tx := c.Begin()
+	defer tx.Abort()
+	start := time.Now()
+	_, err = tx.Read(ctx, oid)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline did not cut the call short")
+	}
+}

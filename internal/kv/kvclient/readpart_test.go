@@ -1,0 +1,106 @@
+package kvclient_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"yesquel/internal/kv"
+)
+
+func TestTxReadPartBasic(t *testing.T) {
+	_, c := startCluster(t, 2)
+	ctx := context.Background()
+	oid := c.NewOID(1)
+
+	init := c.Begin()
+	v := kv.NewSuper()
+	for i := 0; i < 20; i++ {
+		v.ListAdd([]byte(fmt.Sprintf("c%02d", i)), []byte{byte(i)})
+	}
+	init.Put(oid, v)
+	if err := init.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := c.Begin()
+	defer tx.Abort()
+	part, total, err := tx.ReadPart(ctx, oid, []byte("c05"), []byte("c05\x00"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 20 {
+		t.Fatalf("total = %d", total)
+	}
+	if got, ok := part.ListGet([]byte("c05")); !ok || got[0] != 5 {
+		t.Fatalf("cell: %v %v", got, ok)
+	}
+	if part.NumCells() > 2 {
+		t.Fatalf("window too big: %d cells shipped", part.NumCells())
+	}
+}
+
+func TestTxReadPartSeesOwnDeltas(t *testing.T) {
+	_, c := startCluster(t, 1)
+	ctx := context.Background()
+	oid := c.NewOID(0)
+
+	init := c.Begin()
+	v := kv.NewSuper()
+	v.ListAdd([]byte("a"), []byte("old"))
+	init.Put(oid, v)
+	if err := init.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := c.Begin()
+	defer tx.Abort()
+	tx.ListAdd(oid, []byte("a"), []byte("mine"))
+	tx.ListAdd(oid, []byte("b"), []byte("new"))
+	part, total, err := tx.ReadPart(ctx, oid, []byte("a"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := part.ListGet([]byte("a")); string(got) != "mine" {
+		t.Fatalf("own overwrite invisible: %q", got)
+	}
+	if got, ok := part.ListGet([]byte("b")); !ok || string(got) != "new" {
+		t.Fatalf("own insert invisible: %q %v", got, ok)
+	}
+	if total < 2 {
+		t.Fatalf("total %d does not reflect staged inserts", total)
+	}
+}
+
+func TestTxReadPartAfterOwnPut(t *testing.T) {
+	_, c := startCluster(t, 1)
+	ctx := context.Background()
+	oid := c.NewOID(0)
+
+	tx := c.Begin()
+	defer tx.Abort()
+	v := kv.NewSuper()
+	v.ListAdd([]byte("x"), []byte("1"))
+	v.ListAdd([]byte("y"), []byte("2"))
+	tx.Put(oid, v) // never committed: ReadPart must materialize locally
+	part, total, err := tx.ReadPart(ctx, oid, []byte("y"), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 {
+		t.Fatalf("total = %d", total)
+	}
+	if got, ok := part.ListGet([]byte("y")); !ok || string(got) != "2" {
+		t.Fatalf("windowed own put: %q %v", got, ok)
+	}
+}
+
+func TestTxReadPartMissing(t *testing.T) {
+	_, c := startCluster(t, 1)
+	tx := c.Begin()
+	defer tx.Abort()
+	if _, _, err := tx.ReadPart(context.Background(), c.NewOID(0), nil, nil, 0); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("missing object: %v", err)
+	}
+}

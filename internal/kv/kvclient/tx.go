@@ -1,0 +1,365 @@
+package kvclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"yesquel/internal/clock"
+	"yesquel/internal/kv"
+)
+
+// Tx is a snapshot-isolation transaction. Reads see the state as of the
+// start timestamp plus the transaction's own buffered writes; writes
+// are staged locally and sent to the servers only at Commit. A Tx is
+// not safe for concurrent use.
+type Tx struct {
+	c     *Client
+	txid  uint64
+	start clock.Timestamp
+	done  bool
+
+	// Staged operations in program order, plus a per-OID index used for
+	// read-your-own-writes.
+	ops   []*kv.Op
+	byOID map[kv.OID][]*kv.Op
+}
+
+// Begin starts a transaction at a fresh snapshot. The snapshot reflects
+// everything this client has previously observed (reads merge server
+// clocks), so a client sees its own earlier commits.
+func (c *Client) Begin() *Tx {
+	return c.BeginAt(c.hlc.Now())
+}
+
+// BeginAt starts a transaction reading at the given snapshot. Used for
+// time-travel reads and by layers that coordinate snapshots themselves.
+func (c *Client) BeginAt(snap clock.Timestamp) *Tx {
+	return &Tx{
+		c:     c,
+		txid:  c.nextTx.Add(1),
+		start: snap,
+		byOID: make(map[kv.OID][]*kv.Op),
+	}
+}
+
+// Snapshot returns the transaction's start timestamp.
+func (t *Tx) Snapshot() clock.Timestamp { return t.start }
+
+// NumWrites reports how many operations are staged.
+func (t *Tx) NumWrites() int { return len(t.ops) }
+
+// stage appends a write operation.
+func (t *Tx) stage(op *kv.Op) {
+	t.ops = append(t.ops, op)
+	t.byOID[op.OID] = append(t.byOID[op.OID], op)
+}
+
+// Put stages a full overwrite of oid with v.
+func (t *Tx) Put(oid kv.OID, v *kv.Value) {
+	t.stage(&kv.Op{Kind: kv.OpPut, OID: oid, Value: v})
+}
+
+// Delete stages removal of oid.
+func (t *Tx) Delete(oid kv.OID) {
+	t.stage(&kv.Op{Kind: kv.OpDelete, OID: oid})
+}
+
+// ListAdd stages insertion of one cell into the supervalue at oid. The
+// operation is "blind": it requires no prior read, so a DBT leaf insert
+// costs zero read round trips.
+func (t *Tx) ListAdd(oid kv.OID, key, value []byte) {
+	t.stage(&kv.Op{Kind: kv.OpListAdd, OID: oid, Cell: kv.Cell{Key: key, Value: value}})
+}
+
+// ListDelRange stages deletion of cells with keys in [from, to).
+func (t *Tx) ListDelRange(oid kv.OID, from, to []byte) {
+	t.stage(&kv.Op{Kind: kv.OpListDelRange, OID: oid, From: from, To: to})
+}
+
+// AttrSet stages setting attribute attr of the supervalue at oid.
+func (t *Tx) AttrSet(oid kv.OID, attr uint8, num uint64) {
+	t.stage(&kv.Op{Kind: kv.OpAttrSet, OID: oid, Attr: attr, Num: num})
+}
+
+// SetBounds stages replacement of the supervalue's fence keys.
+func (t *Tx) SetBounds(oid kv.OID, low, high []byte) {
+	t.stage(&kv.Op{Kind: kv.OpSetBounds, OID: oid, Low: low, High: high})
+}
+
+// Read returns oid's value as this transaction sees it: the snapshot
+// version overlaid with the transaction's own staged operations.
+func (t *Tx) Read(ctx context.Context, oid kv.OID) (*kv.Value, error) {
+	if t.done {
+		return nil, kv.ErrAborted
+	}
+	staged := t.byOID[oid]
+	// If the last full overwrite (Put/Delete) precedes some suffix of
+	// delta ops, the base below that point is irrelevant.
+	baseNeeded := true
+	from := 0
+	for i := len(staged) - 1; i >= 0; i-- {
+		if staged[i].Kind == kv.OpPut || staged[i].Kind == kv.OpDelete {
+			baseNeeded = false
+			from = i
+			break
+		}
+	}
+	var base *kv.Value
+	if baseNeeded {
+		v, err := t.c.readAt(ctx, oid, t.start)
+		if err != nil && !errors.Is(err, kv.ErrNotFound) {
+			return nil, err
+		}
+		base = v
+	}
+	for _, op := range staged[from:] {
+		next, err := op.Apply(base)
+		if err != nil {
+			return nil, err
+		}
+		base = next
+	}
+	if base == nil {
+		return nil, kv.ErrNotFound
+	}
+	return base, nil
+}
+
+// ReadPart returns a windowed view of a supervalue as this transaction
+// sees it: cells in [floor(from), to) capped at max, plus the node's
+// (approximate, see below) total cell count. Compared with Read it
+// ships only the needed cells over the network — the mechanism that
+// keeps DBT point operations off the bandwidth cliff for large nodes.
+//
+// The transaction's own staged delta operations are overlaid on the
+// window. The returned total is exact for clean objects; staged inserts
+// make it an upper-bound estimate (callers use it only as a split
+// heuristic).
+func (t *Tx) ReadPart(ctx context.Context, oid kv.OID, from, to []byte, max uint32) (*kv.Value, int, error) {
+	if t.done {
+		return nil, 0, kv.ErrAborted
+	}
+	staged := t.byOID[oid]
+	// A staged full overwrite makes the server state irrelevant from
+	// that op onward: materialize locally via Read and slice.
+	for i := len(staged) - 1; i >= 0; i-- {
+		if staged[i].Kind == kv.OpPut || staged[i].Kind == kv.OpDelete {
+			full, err := t.Read(ctx, oid)
+			if err != nil {
+				return nil, 0, err
+			}
+			if full.Kind != kv.KindSuper {
+				return full, 0, nil
+			}
+			part := &kv.Value{Kind: kv.KindSuper, Attrs: full.Attrs, LowKey: full.LowKey, HighKey: full.HighKey}
+			part.Cells = full.WindowCells(from, to, max)
+			return part, full.NumCells(), nil
+		}
+	}
+
+	req := kv.ReadPartReq{OID: oid, Snap: t.start, From: from, To: to, Max: max}
+	respB, err := t.c.conn(t.c.ServerFor(oid)).Call(ctx, kv.MethodReadPart, req.Encode())
+	if err != nil {
+		return nil, 0, translateRPCErr(err)
+	}
+	resp, err := kv.DecodeReadPartResp(respB)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.c.hlc.Observe(resp.Clock)
+
+	var base *kv.Value
+	total := int(resp.Total)
+	if resp.Found {
+		base = resp.Value
+	} else if len(staged) == 0 {
+		return nil, 0, kv.ErrNotFound
+	}
+	if len(staged) == 0 {
+		return base, total, nil
+	}
+	// Overlay staged deltas. Extra cells outside the window are
+	// harmless for the callers (they select by key anyway).
+	v := base
+	for _, op := range staged {
+		next, err := op.Apply(v)
+		if err != nil {
+			return nil, 0, err
+		}
+		v = next
+		if op.Kind == kv.OpListAdd {
+			total++ // upper bound: the key may have existed already
+		}
+	}
+	if v == nil {
+		return nil, 0, kv.ErrNotFound
+	}
+	return v, total, nil
+}
+
+// Commit atomically applies the staged writes. Read-only transactions
+// commit locally with no communication. Transactions touching one
+// server use the one-round-trip fast path; otherwise two-phase commit
+// runs across the participants. On conflict, Commit returns
+// kv.ErrConflict and the transaction has no effect.
+func (t *Tx) Commit(ctx context.Context) error {
+	if t.done {
+		return kv.ErrAborted
+	}
+	t.done = true
+	if len(t.ops) == 0 {
+		return nil // read-only: snapshot isolation needs nothing more
+	}
+
+	// Partition staged ops by participant server, preserving order.
+	byServer := make(map[int][]*kv.Op)
+	var servers []int
+	for _, op := range t.ops {
+		s := t.c.ServerFor(op.OID)
+		if _, ok := byServer[s]; !ok {
+			servers = append(servers, s)
+		}
+		byServer[s] = append(byServer[s], op)
+	}
+
+	if len(servers) == 1 {
+		return t.fastCommit(ctx, servers[0], byServer[servers[0]])
+	}
+	return t.twoPhaseCommit(ctx, servers, byServer)
+}
+
+func (t *Tx) fastCommit(ctx context.Context, server int, ops []*kv.Op) error {
+	req := kv.FastCommitReq{TxID: t.txid, Start: t.start, Ops: ops}
+	respB, err := t.c.conn(server).Call(ctx, kv.MethodFastCommit, req.Encode())
+	if err != nil {
+		return translateRPCErr(err)
+	}
+	resp, err := kv.DecodeFastCommitResp(respB)
+	if err != nil {
+		return err
+	}
+	t.c.hlc.Observe(resp.Clock)
+	if !resp.OK {
+		return kv.ErrConflict
+	}
+	t.c.hlc.Observe(resp.CommitTS)
+	return nil
+}
+
+func (t *Tx) twoPhaseCommit(ctx context.Context, servers []int, byServer map[int][]*kv.Op) error {
+	type voteResult struct {
+		server   int
+		ok       bool
+		proposed clock.Timestamp
+		err      error
+	}
+	votes := make(chan voteResult, len(servers))
+	for _, s := range servers {
+		go func(s int) {
+			req := kv.PrepareReq{TxID: t.txid, Start: t.start, Ops: byServer[s]}
+			respB, err := t.c.conn(s).Call(ctx, kv.MethodPrepare, req.Encode())
+			if err != nil {
+				votes <- voteResult{server: s, err: translateRPCErr(err)}
+				return
+			}
+			resp, err := kv.DecodePrepareResp(respB)
+			if err != nil {
+				votes <- voteResult{server: s, err: err}
+				return
+			}
+			t.c.hlc.Observe(resp.Clock)
+			votes <- voteResult{server: s, ok: resp.OK, proposed: resp.Proposed}
+		}(s)
+	}
+
+	commitTS := clock.Timestamp(0)
+	allOK := true
+	var firstErr error
+	for range servers {
+		v := <-votes
+		switch {
+		case v.err != nil:
+			allOK = false
+			if firstErr == nil {
+				firstErr = v.err
+			}
+		case !v.ok:
+			allOK = false
+			if firstErr == nil {
+				firstErr = kv.ErrConflict
+			}
+		default:
+			if v.proposed > commitTS {
+				commitTS = v.proposed
+			}
+		}
+	}
+
+	if !allOK {
+		t.abortAll(ctx, servers)
+		if firstErr == nil {
+			firstErr = kv.ErrConflict
+		}
+		return firstErr
+	}
+
+	// Decision point: all participants voted yes. Phase two.
+	errs := make(chan error, len(servers))
+	for _, s := range servers {
+		go func(s int) {
+			req := kv.CommitReq{TxID: t.txid, CommitTS: commitTS}
+			respB, err := t.c.conn(s).Call(ctx, kv.MethodCommit, req.Encode())
+			if err != nil {
+				errs <- fmt.Errorf("commit on server %d: %w", s, err)
+				return
+			}
+			if ack, err := kv.DecodeAck(respB); err == nil {
+				t.c.hlc.Observe(ack.Clock)
+			}
+			errs <- nil
+		}(s)
+	}
+	var commitErr error
+	for range servers {
+		if err := <-errs; err != nil && commitErr == nil {
+			commitErr = err
+		}
+	}
+	t.c.hlc.Observe(commitTS)
+	if commitErr != nil {
+		// The transaction is decided-committed; a failed phase-two RPC
+		// means a server is unreachable and its locks will resolve when
+		// it recovers. Surface the error: callers must not assume the
+		// write is readable everywhere.
+		return fmt.Errorf("kv: commit incomplete: %w", commitErr)
+	}
+	return nil
+}
+
+func (t *Tx) abortAll(ctx context.Context, servers []int) {
+	req := kv.AbortReq{TxID: t.txid}
+	done := make(chan struct{}, len(servers))
+	for _, s := range servers {
+		go func(s int) {
+			defer func() { done <- struct{}{} }()
+			respB, err := t.c.conn(s).Call(ctx, kv.MethodAbort, req.Encode())
+			if err == nil {
+				if ack, err := kv.DecodeAck(respB); err == nil {
+					t.c.hlc.Observe(ack.Clock)
+				}
+			}
+		}(s)
+	}
+	for range servers {
+		<-done
+	}
+}
+
+// Abort discards the transaction. Since writes are buffered
+// client-side, nothing is on the servers yet; Abort is local.
+func (t *Tx) Abort() {
+	t.done = true
+	t.ops = nil
+	t.byOID = nil
+}

@@ -1,0 +1,172 @@
+package kvserver_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvclient"
+	"yesquel/internal/kv/kvserver"
+)
+
+// startServer launches a kvserver on an ephemeral port.
+func startServer(t *testing.T) *kvserver.Server {
+	t.Helper()
+	srv := kvserver.NewServer(kvserver.NewStore(nil, kvserver.Config{}))
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestMirrorReplicatesAndFailsOver(t *testing.T) {
+	primary := startServer(t)
+	backup := startServer(t)
+	if err := primary.SetMirror(backup.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	c, err := kvclient.Open([]string{primary.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A mix of full writes and deltas, some multi-object.
+	oids := make([]kv.OID, 5)
+	for i := range oids {
+		oids[i] = c.NewOID(0)
+	}
+	tx := c.Begin()
+	tx.Put(oids[0], kv.NewPlain([]byte("zero")))
+	tx.Put(oids[1], kv.NewPlain([]byte("one")))
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tx = c.Begin()
+	tx.ListAdd(oids[2], []byte("cell"), []byte("v"))
+	tx.AttrSet(oids[2], 1, 42)
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tx = c.Begin()
+	tx.Put(oids[0], kv.NewPlain([]byte("zero-v2")))
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tx = c.Begin()
+	tx.Delete(oids[1])
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail over: kill the primary, connect to the backup.
+	primary.Close()
+	c2, err := kvclient.Open([]string{backup.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	check := c2.Begin()
+	defer check.Abort()
+	if v, err := check.Read(ctx, oids[0]); err != nil || string(v.Data) != "zero-v2" {
+		t.Fatalf("failover oids[0]: %v %v", v, err)
+	}
+	if _, err := check.Read(ctx, oids[1]); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("failover deleted object: %v", err)
+	}
+	if v, err := check.Read(ctx, oids[2]); err != nil || v.NumCells() != 1 || v.Attrs[1] != 42 {
+		t.Fatalf("failover deltas: %+v %v", v, err)
+	}
+	// The backup accepts new writes (it was a plain server all along).
+	tx2 := c2.Begin()
+	tx2.Put(oids[3], kv.NewPlain([]byte("after-failover")))
+	if err := tx2.Commit(ctx); err != nil {
+		t.Fatalf("write after failover: %v", err)
+	}
+}
+
+func TestMirrorPreservesVersionOrderUnderLoad(t *testing.T) {
+	primary := startServer(t)
+	backup := startServer(t)
+	if err := primary.SetMirror(backup.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	c, err := kvclient.Open([]string{primary.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Many sequential commits to one object plus scattered writes.
+	oid := c.NewOID(0)
+	for i := 0; i < 50; i++ {
+		tx := c.Begin()
+		tx.Put(oid, kv.NewPlain([]byte(fmt.Sprintf("v%d", i))))
+		other := c.NewOID(0)
+		tx.Put(other, kv.NewPlain([]byte("x")))
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2, err := kvclient.Open([]string{backup.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	check := c2.Begin()
+	defer check.Abort()
+	v, err := check.Read(ctx, oid)
+	if err != nil || string(v.Data) != "v49" {
+		t.Fatalf("backup newest version: %v %v", v, err)
+	}
+}
+
+func TestMirrorStrictFailure(t *testing.T) {
+	primary := startServer(t)
+	backup := startServer(t)
+	if err := primary.SetMirror(backup.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	c, err := kvclient.Open([]string{primary.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	oid := c.NewOID(0)
+	tx := c.Begin()
+	tx.Put(oid, kv.NewPlain([]byte("ok")))
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Backup gone: strict replication refuses to commit.
+	backup.Close()
+	tx = c.Begin()
+	tx.Put(oid, kv.NewPlain([]byte("lost")))
+	if err := tx.Commit(ctx); err == nil {
+		t.Fatal("commit succeeded with dead backup")
+	}
+	// Detach the backup: the primary serves alone again.
+	if err := primary.SetMirror(""); err != nil {
+		t.Fatal(err)
+	}
+	tx = c.Begin()
+	tx.Put(oid, kv.NewPlain([]byte("solo")))
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatalf("commit after detaching backup: %v", err)
+	}
+	check := c.Begin()
+	defer check.Abort()
+	if v, err := check.Read(ctx, oid); err != nil || string(v.Data) != "solo" {
+		t.Fatalf("%v %v", v, err)
+	}
+}

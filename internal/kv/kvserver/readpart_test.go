@@ -1,0 +1,121 @@
+package kvserver
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"yesquel/internal/kv"
+)
+
+func loadedSuperStore(t *testing.T) (*Store, kv.OID) {
+	t.Helper()
+	s := NewStore(nil, Config{})
+	oid := kv.MakeOID(0, 1)
+	v := kv.NewSuper()
+	v.Attrs[0] = 5
+	v.LowKey = []byte("a")
+	v.HighKey = []byte("z")
+	for i := 0; i < 10; i++ {
+		v.ListAdd([]byte(fmt.Sprintf("k%02d", i)), []byte{byte(i)})
+	}
+	if err := prepCommit(t, s, s.Clock().Now(), []*kv.Op{{Kind: kv.OpPut, OID: oid, Value: v}}); err != nil {
+		t.Fatal(err)
+	}
+	return s, oid
+}
+
+func TestReadPartWindow(t *testing.T) {
+	s, oid := loadedSuperStore(t)
+	snap := s.Clock().Now()
+
+	// Exact-key window returns the cell (floor == the key itself).
+	v, total, _, err := s.ReadPart(oid, snap, []byte("k03"), []byte("k03\x00"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+	if got, ok := v.ListGet([]byte("k03")); !ok || got[0] != 3 {
+		t.Fatalf("cell k03: %v %v", got, ok)
+	}
+	// Fences and attrs always come back.
+	if string(v.LowKey) != "a" || string(v.HighKey) != "z" || v.Attrs[0] != 5 {
+		t.Fatalf("header lost: %+v", v)
+	}
+
+	// Between keys: the floor (predecessor) is included so routing and
+	// absence checks work.
+	v, _, _, err = s.ReadPart(oid, snap, []byte("k03x"), []byte("k03x\x00"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.ListGet([]byte("k03x")); ok {
+		t.Fatal("phantom cell")
+	}
+	if _, ok := v.ListGet([]byte("k03")); !ok {
+		t.Fatal("floor cell missing")
+	}
+
+	// Tail window.
+	v, _, _, err = s.ReadPart(oid, snap, []byte("k07"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumCells() != 3 {
+		t.Fatalf("tail cells = %d, want 3", v.NumCells())
+	}
+
+	// Max cap.
+	v, _, _, err = s.ReadPart(oid, snap, []byte("k00"), nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumCells() != 4 {
+		t.Fatalf("capped cells = %d", v.NumCells())
+	}
+
+	// Before the first cell: no floor, window starts at the beginning.
+	v, _, _, err = s.ReadPart(oid, snap, []byte("a"), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumCells() != 1 || string(v.Cells[0].Key) != "k00" {
+		t.Fatalf("window before first cell: %+v", v.Cells)
+	}
+}
+
+func TestReadPartPlainValueAndMissing(t *testing.T) {
+	s := NewStore(nil, Config{})
+	oid := kv.MakeOID(0, 2)
+	if err := prepCommit(t, s, s.Clock().Now(), []*kv.Op{{Kind: kv.OpPut, OID: oid, Value: kv.NewPlain([]byte("p"))}}); err != nil {
+		t.Fatal(err)
+	}
+	v, total, _, err := s.ReadPart(oid, s.Clock().Now(), []byte("x"), nil, 1)
+	if err != nil || v.Kind != kv.KindPlain || string(v.Data) != "p" || total != 0 {
+		t.Fatalf("plain through ReadPart: %+v %d %v", v, total, err)
+	}
+	if _, _, _, err := s.ReadPart(kv.MakeOID(0, 99), s.Clock().Now(), nil, nil, 0); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestReadPartSnapshotConsistency(t *testing.T) {
+	s, oid := loadedSuperStore(t)
+	snap := s.Clock().Now()
+	// Mutate after the snapshot.
+	if err := prepCommit(t, s, s.Clock().Now(), []*kv.Op{{Kind: kv.OpListAdd, OID: oid, Cell: kv.Cell{Key: []byte("k05x"), Value: []byte("new")}}}); err != nil {
+		t.Fatal(err)
+	}
+	v, total, _, err := s.ReadPart(oid, snap, []byte("k05"), nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 10 {
+		t.Fatalf("old snapshot total = %d", total)
+	}
+	if _, ok := v.ListGet([]byte("k05x")); ok {
+		t.Fatal("future cell visible at old snapshot")
+	}
+}

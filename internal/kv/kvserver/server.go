@@ -1,0 +1,236 @@
+package kvserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"yesquel/internal/kv"
+	"yesquel/internal/rpc"
+)
+
+// Server exposes a Store over the RPC stack. One Server corresponds to
+// one storage-server process in Figure 1 of the paper.
+type Server struct {
+	store      *Store
+	rpc        *rpc.Server
+	ln         net.Listener
+	sweeper    *time.Ticker
+	stopCh     chan struct{}
+	mirrorConn *rpc.Client
+}
+
+// NewServer wraps store in an RPC service. Call Serve (or ListenAndServe)
+// to start it.
+func NewServer(store *Store) *Server {
+	s := &Server{store: store, rpc: rpc.NewServer(), stopCh: make(chan struct{})}
+	// Background hygiene: tombstone sweeping at half the retention
+	// period.
+	s.sweeper = time.NewTicker(time.Duration(store.cfg.RetentionMillis/2+1) * time.Millisecond)
+	go func() {
+		for {
+			select {
+			case <-s.stopCh:
+				return
+			case <-s.sweeper.C:
+				s.store.SweepTombstones()
+			}
+		}
+	}()
+	s.rpc.Register(kv.MethodRead, s.handleRead)
+	s.rpc.Register(kv.MethodReadPart, s.handleReadPart)
+	s.rpc.Register(kv.MethodPrepare, s.handlePrepare)
+	s.rpc.Register(kv.MethodCommit, s.handleCommit)
+	s.rpc.Register(kv.MethodAbort, s.handleAbort)
+	s.rpc.Register(kv.MethodFastCommit, s.handleFastCommit)
+	s.rpc.Register(kv.MethodPing, s.handlePing)
+	s.rpc.Register(kv.MethodMirror, s.handleMirror)
+	return s
+}
+
+// SetMirror makes this server a primary that synchronously replicates
+// every commit to the backup at addr before acknowledging it. The
+// backup is a plain kvserver that applies mirrored commits; on primary
+// failure, clients reconnect to the backup and see every acknowledged
+// write (in-flight prepares are lost, so open transactions abort).
+// Pass "" to detach.
+func (s *Server) SetMirror(addr string) error {
+	if addr == "" {
+		s.store.SetMirror(nil)
+		if s.mirrorConn != nil {
+			s.mirrorConn.Close()
+			s.mirrorConn = nil
+		}
+		return nil
+	}
+	conn, err := rpc.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("kvserver: dialing backup: %w", err)
+	}
+	s.mirrorConn = conn
+	s.store.SetMirror(func(commitTS kv.Timestamp, ops []*kv.Op) error {
+		req := kv.MirrorReq{CommitTS: commitTS, Ops: ops}
+		_, err := conn.Call(context.Background(), kv.MethodMirror, req.Encode())
+		return err
+	})
+	return nil
+}
+
+func (s *Server) handleMirror(_ context.Context, p []byte) ([]byte, error) {
+	req, err := kv.DecodeMirrorReq(p)
+	if err != nil {
+		return nil, err
+	}
+	s.store.ApplyReplicated(req.CommitTS, req.Ops)
+	return (&kv.Ack{Clock: s.store.Clock().Now()}).Encode(), nil
+}
+
+// Store returns the underlying storage engine.
+func (s *Server) Store() *Store { return s.store }
+
+// ListenAndServe binds addr and serves until Close. It returns the
+// bound address on a channel-free API: call Addr after it returns nil
+// from Listen. For tests, use Listen + Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return s.rpc.Serve(ln)
+}
+
+// Listen binds addr without serving. Serve must be called next.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Serve runs the accept loop on the listener from Listen. It blocks.
+func (s *Server) Serve() error { return s.rpc.Serve(s.ln) }
+
+// Addr returns the bound address (valid after Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts down the RPC server and all connections.
+func (s *Server) Close() error {
+	select {
+	case <-s.stopCh:
+	default:
+		close(s.stopCh)
+		s.sweeper.Stop()
+	}
+	return s.rpc.Close()
+}
+
+func (s *Server) handleRead(_ context.Context, p []byte) ([]byte, error) {
+	req, err := kv.DecodeReadReq(p)
+	if err != nil {
+		return nil, err
+	}
+	resp := &kv.ReadResp{}
+	val, ver, err := s.store.Read(req.OID, req.Snap)
+	switch {
+	case err == nil:
+		resp.Found = true
+		resp.Version = ver
+		resp.Value = val
+	case errors.Is(err, kv.ErrNotFound):
+		// Found=false response, not an RPC error: absence is a normal
+		// outcome for reads.
+	default:
+		return nil, err
+	}
+	resp.Clock = s.store.Clock().Now()
+	return resp.Encode(), nil
+}
+
+func (s *Server) handleReadPart(_ context.Context, p []byte) ([]byte, error) {
+	req, err := kv.DecodeReadPartReq(p)
+	if err != nil {
+		return nil, err
+	}
+	resp := &kv.ReadPartResp{}
+	val, total, ver, err := s.store.ReadPart(req.OID, req.Snap, req.From, req.To, req.Max)
+	switch {
+	case err == nil:
+		resp.Found = true
+		resp.Version = ver
+		resp.Value = val
+		resp.Total = uint32(total)
+	case errors.Is(err, kv.ErrNotFound):
+	default:
+		return nil, err
+	}
+	resp.Clock = s.store.Clock().Now()
+	return resp.Encode(), nil
+}
+
+func (s *Server) handlePrepare(_ context.Context, p []byte) ([]byte, error) {
+	req, err := kv.DecodePrepareReq(p)
+	if err != nil {
+		return nil, err
+	}
+	resp := &kv.PrepareResp{}
+	proposed, err := s.store.Prepare(req.TxID, req.Start, req.Ops)
+	if err == nil {
+		resp.OK = true
+		resp.Proposed = proposed
+	} else if !errors.Is(err, kv.ErrConflict) && !errors.Is(err, kv.ErrBadRequest) {
+		return nil, err
+	}
+	resp.Clock = s.store.Clock().Now()
+	return resp.Encode(), nil
+}
+
+func (s *Server) handleCommit(_ context.Context, p []byte) ([]byte, error) {
+	req, err := kv.DecodeCommitReq(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.store.Commit(req.TxID, req.CommitTS); err != nil {
+		return nil, err
+	}
+	return (&kv.Ack{Clock: s.store.Clock().Now()}).Encode(), nil
+}
+
+func (s *Server) handleAbort(_ context.Context, p []byte) ([]byte, error) {
+	req, err := kv.DecodeAbortReq(p)
+	if err != nil {
+		return nil, err
+	}
+	s.store.Abort(req.TxID)
+	return (&kv.Ack{Clock: s.store.Clock().Now()}).Encode(), nil
+}
+
+func (s *Server) handleFastCommit(_ context.Context, p []byte) ([]byte, error) {
+	req, err := kv.DecodeFastCommitReq(p)
+	if err != nil {
+		return nil, err
+	}
+	resp := &kv.FastCommitResp{}
+	commitTS, err := s.store.FastCommit(req.TxID, req.Start, req.Ops)
+	if err == nil {
+		resp.OK = true
+		resp.CommitTS = commitTS
+	} else if !errors.Is(err, kv.ErrConflict) && !errors.Is(err, kv.ErrBadRequest) {
+		return nil, err
+	}
+	resp.Clock = s.store.Clock().Now()
+	return resp.Encode(), nil
+}
+
+func (s *Server) handlePing(_ context.Context, _ []byte) ([]byte, error) {
+	return (&kv.Ack{Clock: s.store.Clock().Now()}).Encode(), nil
+}

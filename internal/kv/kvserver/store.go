@@ -1,0 +1,629 @@
+// Package kvserver implements a Yesquel storage server: a multi-version
+// key-value store with snapshot-isolation transactions (prepare /
+// commit / abort participant logic) exposed over RPC.
+//
+// Concurrency control follows the paper's description of the lowest
+// layer: multi-version concurrency control with versions managed "at
+// the layer that stores the actual data". Writers stage operations
+// under per-object write locks during prepare; readers never block
+// writers; a reader blocks only in the narrow window where a prepared
+// transaction could commit below the reader's snapshot (the Clock-SI
+// read rule), which lasts one commit round trip.
+package kvserver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"yesquel/internal/clock"
+	"yesquel/internal/kv"
+)
+
+const numShards = 64
+
+// Config tunes a Store. Zero values select defaults.
+type Config struct {
+	// MaxVersions caps the length of a version chain (default 64).
+	MaxVersions int
+	// RetentionMillis is how long superseded versions stay readable
+	// (default 10000). Snapshots older than this may miss versions.
+	RetentionMillis uint64
+	// LockWaitTimeout bounds how long a read waits for a prepared
+	// transaction to resolve (default 2s).
+	LockWaitTimeout time.Duration
+	// LogPath enables the write-ahead log: committed operations are
+	// appended there and replayed by OpenStore after a restart. Empty
+	// disables durability (pure in-memory server).
+	LogPath string
+	// LogSync fsyncs the log on every commit. Off, the log is still
+	// written in commit order but a host crash can lose the tail.
+	LogSync bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxVersions == 0 {
+		out.MaxVersions = 64
+	}
+	if out.RetentionMillis == 0 {
+		out.RetentionMillis = 10000
+	}
+	if out.LockWaitTimeout == 0 {
+		out.LockWaitTimeout = 2 * time.Second
+	}
+	return out
+}
+
+// Stats counts store activity; read with Snapshot.
+type Stats struct {
+	Reads       atomic.Uint64
+	ReadWaits   atomic.Uint64
+	Prepares    atomic.Uint64
+	Commits     atomic.Uint64
+	FastCommits atomic.Uint64
+	Aborts      atomic.Uint64
+	Conflicts   atomic.Uint64
+	GCVersions  atomic.Uint64
+}
+
+// StatsSnapshot is a plain copy of the counters.
+type StatsSnapshot struct {
+	Reads, ReadWaits, Prepares, Commits, FastCommits, Aborts, Conflicts, GCVersions uint64
+}
+
+type version struct {
+	ts  clock.Timestamp
+	val *kv.Value // nil = tombstone
+	// Conflict metadata: structural commits (full writes, fence
+	// changes, range deletes) conflict with every concurrent write;
+	// commutative commits record the cell/attr keys they touched and
+	// conflict only with overlapping touches.
+	structural bool
+	touched    map[string]struct{}
+}
+
+// classifyOps computes the conflict metadata for a set of ops on one
+// object.
+func classifyOps(ops []*kv.Op) (structural bool, touched map[string]struct{}) {
+	touched = make(map[string]struct{}, len(ops))
+	for _, op := range ops {
+		key, ok := op.CommutativeTouch()
+		if !ok {
+			return true, nil
+		}
+		touched[string(key)] = struct{}{}
+	}
+	return false, touched
+}
+
+type lockState struct {
+	txid     uint64
+	proposed clock.Timestamp
+	ops      []*kv.Op
+	done     chan struct{} // closed when the transaction resolves
+}
+
+type object struct {
+	versions []version // ascending by ts; values are immutable once stored
+	lock     *lockState
+	// gcFloor is the highest timestamp whose version was garbage-
+	// collected; conflict checks for snapshots at or below it must be
+	// conservative because the trimmed history is unknown.
+	gcFloor clock.Timestamp
+}
+
+type shard struct {
+	mu   sync.Mutex
+	objs map[kv.OID]*object
+}
+
+type txRecord struct {
+	oids []kv.OID
+}
+
+// Store is the storage engine of one server. It is safe for concurrent
+// use and may also be embedded in-process (the centralized-SQL baseline
+// does this).
+type Store struct {
+	cfg   Config
+	clock *clock.HLC
+	shard [numShards]shard
+
+	txMu sync.Mutex
+	txs  map[uint64]*txRecord
+
+	wal *wal
+	// mirror, when set, replicates every committed transaction to a
+	// backup before it becomes visible (see Server.SetMirror).
+	mirror func(commitTS clock.Timestamp, ops []*kv.Op) error
+
+	stats Stats
+}
+
+// SetMirror installs fn as the replication hook. Pass nil to detach the
+// backup (e.g. when it fails and the operator removes it from the
+// replication group).
+func (s *Store) SetMirror(fn func(commitTS clock.Timestamp, ops []*kv.Op) error) {
+	s.txMu.Lock()
+	s.mirror = fn
+	s.txMu.Unlock()
+}
+
+func (s *Store) mirrorFn() func(clock.Timestamp, []*kv.Op) error {
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
+	return s.mirror
+}
+
+// NewStore returns an empty store using hlc for timestamps. A nil hlc
+// allocates a fresh clock.
+func NewStore(hlc *clock.HLC, cfg Config) *Store {
+	if hlc == nil {
+		hlc = clock.New()
+	}
+	s := &Store{cfg: cfg.withDefaults(), clock: hlc, txs: make(map[uint64]*txRecord)}
+	for i := range s.shard {
+		s.shard[i].objs = make(map[kv.OID]*object)
+	}
+	return s
+}
+
+// Clock returns the store's hybrid logical clock.
+func (s *Store) Clock() *clock.HLC { return s.clock }
+
+// Stats returns a snapshot of activity counters.
+func (s *Store) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Reads:       s.stats.Reads.Load(),
+		ReadWaits:   s.stats.ReadWaits.Load(),
+		Prepares:    s.stats.Prepares.Load(),
+		Commits:     s.stats.Commits.Load(),
+		FastCommits: s.stats.FastCommits.Load(),
+		Aborts:      s.stats.Aborts.Load(),
+		Conflicts:   s.stats.Conflicts.Load(),
+		GCVersions:  s.stats.GCVersions.Load(),
+	}
+}
+
+func (s *Store) shardFor(oid kv.OID) *shard {
+	// OID locals are assigned sequentially or randomly; fold the bits.
+	h := uint64(oid)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return &s.shard[h%numShards]
+}
+
+// Read returns the newest version of oid visible at snap. The returned
+// value must not be mutated by the caller (versions are immutable).
+func (s *Store) Read(oid kv.OID, snap clock.Timestamp) (*kv.Value, clock.Timestamp, error) {
+	s.stats.Reads.Add(1)
+	// Advance the local clock past the snapshot before touching the
+	// store: together with assigning proposed timestamps only after all
+	// prepare locks are held, this guarantees that any commit that this
+	// read could not see lands strictly above snap (Clock-SI).
+	s.clock.Observe(snap)
+	sh := s.shardFor(oid)
+	deadline := time.Now().Add(s.cfg.LockWaitTimeout)
+	for {
+		sh.mu.Lock()
+		obj := sh.objs[oid]
+		if obj == nil {
+			sh.mu.Unlock()
+			return nil, 0, kv.ErrNotFound
+		}
+		// Clock-SI read rule: a prepared-but-unresolved transaction with
+		// proposed <= snap might commit below our snapshot; wait for it.
+		if obj.lock != nil && obj.lock.proposed <= snap {
+			ch := obj.lock.done
+			sh.mu.Unlock()
+			s.stats.ReadWaits.Add(1)
+			select {
+			case <-ch:
+				continue
+			case <-time.After(time.Until(deadline)):
+				return nil, 0, fmt.Errorf("%w: read blocked on prepared transaction", kv.ErrConflict)
+			}
+		}
+		v, ts, ok := visibleVersion(obj, snap)
+		sh.mu.Unlock()
+		if !ok || v == nil {
+			return nil, 0, kv.ErrNotFound
+		}
+		return v, ts, nil
+	}
+}
+
+// ReadPart returns a windowed view of oid at snap: attributes and
+// bounds always, cells limited to [floor(from), to) capped at max, and
+// the node's total cell count. Plain values come back whole.
+func (s *Store) ReadPart(oid kv.OID, snap clock.Timestamp, from, to []byte, max uint32) (*kv.Value, int, clock.Timestamp, error) {
+	v, ts, err := s.Read(oid, snap)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if v.Kind != kv.KindSuper {
+		return v, 0, ts, nil
+	}
+	// Versions are immutable; build a shallow partial view.
+	part := &kv.Value{
+		Kind:    kv.KindSuper,
+		Attrs:   v.Attrs,
+		LowKey:  v.LowKey,
+		HighKey: v.HighKey,
+		Cells:   v.WindowCells(from, to, max),
+	}
+	return part, len(v.Cells), ts, nil
+}
+
+func visibleVersion(obj *object, snap clock.Timestamp) (*kv.Value, clock.Timestamp, bool) {
+	// versions ascend by ts; find the newest with ts <= snap.
+	i := sort.Search(len(obj.versions), func(i int) bool {
+		return obj.versions[i].ts > snap
+	})
+	if i == 0 {
+		return nil, 0, false
+	}
+	ver := obj.versions[i-1]
+	return ver.val, ver.ts, true
+}
+
+// groupOps partitions ops by OID, preserving per-OID order, and returns
+// the distinct OIDs in sorted order (so lock acquisition is
+// deterministic).
+func groupOps(ops []*kv.Op) ([]kv.OID, map[kv.OID][]*kv.Op) {
+	byOID := make(map[kv.OID][]*kv.Op)
+	var oids []kv.OID
+	for _, op := range ops {
+		if _, ok := byOID[op.OID]; !ok {
+			oids = append(oids, op.OID)
+		}
+		byOID[op.OID] = append(byOID[op.OID], op)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	return oids, byOID
+}
+
+// Prepare validates and locks the transaction's writes. On success it
+// returns the proposed commit timestamp (a lower bound chosen by this
+// participant). On conflict it returns kv.ErrConflict and leaves no
+// state behind.
+func (s *Store) Prepare(txid uint64, start clock.Timestamp, ops []*kv.Op) (clock.Timestamp, error) {
+	s.stats.Prepares.Add(1)
+	oids, byOID := groupOps(ops)
+
+	s.txMu.Lock()
+	if _, dup := s.txs[txid]; dup {
+		s.txMu.Unlock()
+		return 0, fmt.Errorf("%w: duplicate prepare for tx %d", kv.ErrBadRequest, txid)
+	}
+	s.txs[txid] = &txRecord{oids: oids}
+	s.txMu.Unlock()
+
+	locked := make([]kv.OID, 0, len(oids))
+	fail := func(reason error) (clock.Timestamp, error) {
+		s.releaseLocks(txid, locked)
+		s.txMu.Lock()
+		delete(s.txs, txid)
+		s.txMu.Unlock()
+		s.stats.Conflicts.Add(1)
+		return 0, reason
+	}
+
+	for _, oid := range oids {
+		sh := s.shardFor(oid)
+		sh.mu.Lock()
+		obj := sh.objs[oid]
+		if obj == nil {
+			obj = &object{}
+			sh.objs[oid] = obj
+		}
+		if obj.lock != nil {
+			holder := obj.lock.txid
+			sh.mu.Unlock()
+			return fail(fmt.Errorf("%w: %v locked by tx %d", kv.ErrConflict, oid, holder))
+		}
+		// First-committer-wins at cell granularity: a version committed
+		// after our snapshot conflicts if either side is structural or
+		// their touch sets intersect. Purely commutative deltas on
+		// disjoint cells (concurrent inserts into one DBT leaf) pass.
+		if err := conflictLocked(obj, start, byOID[oid]); err != nil {
+			sh.mu.Unlock()
+			return fail(err)
+		}
+		// Dry-run the ops so commit cannot fail later: the base cannot
+		// change while we hold the lock.
+		base, _, _ := visibleVersion(obj, clock.Max)
+		ok := true
+		var applyErr error
+		for _, op := range byOID[oid] {
+			base, applyErr = op.Apply(base)
+			if applyErr != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			sh.mu.Unlock()
+			return fail(fmt.Errorf("%w: %v", kv.ErrBadRequest, applyErr))
+		}
+		// proposed stays 0 (sentinel) until every lock is held; readers
+		// that hit the lock in this window wait conservatively.
+		obj.lock = &lockState{txid: txid, ops: byOID[oid], done: make(chan struct{})}
+		sh.mu.Unlock()
+		locked = append(locked, oid)
+	}
+
+	// All locks held: choose the proposed commit timestamp. Issuing it
+	// only now guarantees it exceeds the snapshot of every read already
+	// served for these objects (each read Observed its snapshot before
+	// finding the object unlocked), so the eventual commit timestamp
+	// (>= proposed) cannot land below a snapshot that missed it.
+	proposed := s.clock.Observe(start)
+	for _, oid := range oids {
+		sh := s.shardFor(oid)
+		sh.mu.Lock()
+		if obj := sh.objs[oid]; obj != nil && obj.lock != nil && obj.lock.txid == txid {
+			obj.lock.proposed = proposed
+		}
+		sh.mu.Unlock()
+	}
+	return proposed, nil
+}
+
+// conflictLocked applies the first-committer-wins rule for a
+// transaction with snapshot start writing ops to obj. Caller holds the
+// shard mutex.
+func conflictLocked(obj *object, start clock.Timestamp, ops []*kv.Op) error {
+	n := len(obj.versions)
+	if n == 0 || obj.versions[n-1].ts <= start {
+		return nil // nothing committed since the snapshot
+	}
+	if start <= obj.gcFloor {
+		// History below the GC floor is gone; we cannot prove the
+		// touched sets are disjoint.
+		return fmt.Errorf("%w: snapshot predates GC horizon", kv.ErrConflict)
+	}
+	txStructural, txTouched := classifyOps(ops)
+	for i := n - 1; i >= 0 && obj.versions[i].ts > start; i-- {
+		v := &obj.versions[i]
+		if txStructural || v.structural {
+			return fmt.Errorf("%w: concurrent structural write", kv.ErrConflict)
+		}
+		for k := range txTouched {
+			if _, hit := v.touched[k]; hit {
+				return fmt.Errorf("%w: concurrent write to same cell", kv.ErrConflict)
+			}
+		}
+	}
+	return nil
+}
+
+// Commit applies a prepared transaction's staged operations at commitTS
+// and releases its locks. Committing an unknown transaction is an
+// error (the client must have prepared first).
+func (s *Store) Commit(txid uint64, commitTS clock.Timestamp) error {
+	s.txMu.Lock()
+	rec := s.txs[txid]
+	delete(s.txs, txid)
+	s.txMu.Unlock()
+	if rec == nil {
+		return fmt.Errorf("%w: commit of unknown tx %d", kv.ErrBadRequest, txid)
+	}
+	s.clock.Observe(commitTS)
+	// Write-ahead and replication: the commit must be durable (log) and
+	// replicated (mirror) before any of its effects become visible. The
+	// per-object locks are still held here, so a successor writer to
+	// the same objects cannot commit — and hence cannot mirror — until
+	// this transaction's mirror call has been acknowledged, which keeps
+	// per-object version order identical on the backup.
+	mirror := s.mirrorFn()
+	if s.wal != nil || mirror != nil {
+		var all []*kv.Op
+		for _, oid := range rec.oids {
+			sh := s.shardFor(oid)
+			sh.mu.Lock()
+			if obj := sh.objs[oid]; obj != nil && obj.lock != nil && obj.lock.txid == txid {
+				all = append(all, obj.lock.ops...)
+			}
+			sh.mu.Unlock()
+		}
+		undo := func(reason string, err error) error {
+			s.txMu.Lock()
+			s.txs[txid] = rec
+			s.txMu.Unlock()
+			s.Abort(txid)
+			return fmt.Errorf("kv: %s commit: %w", reason, err)
+		}
+		// Mirror before logging: a mirror failure aborts cleanly (nothing
+		// durable yet); a log failure after a successful mirror is a
+		// double fault that leaves the backup one commit ahead, which an
+		// operator resolves by resyncing the backup from the log.
+		if mirror != nil {
+			if err := mirror(commitTS, all); err != nil {
+				return undo("replicating", err)
+			}
+		}
+		if s.wal != nil {
+			if err := s.wal.append(commitTS, all); err != nil {
+				return undo("logging", err)
+			}
+		}
+	}
+	for _, oid := range rec.oids {
+		sh := s.shardFor(oid)
+		sh.mu.Lock()
+		obj := sh.objs[oid]
+		if obj == nil || obj.lock == nil || obj.lock.txid != txid {
+			sh.mu.Unlock()
+			continue // defensive; cannot happen with a correct client
+		}
+		base, _, _ := visibleVersion(obj, clock.Max)
+		val := base
+		for _, op := range obj.lock.ops {
+			next, err := op.Apply(val)
+			if err != nil {
+				// Validated at prepare; unreachable unless the client
+				// mutated ops concurrently. Keep prior value.
+				break
+			}
+			val = next
+		}
+		structural, touched := classifyOps(obj.lock.ops)
+		obj.versions = append(obj.versions, version{ts: commitTS, val: val, structural: structural, touched: touched})
+		s.trimLocked(obj)
+		close(obj.lock.done)
+		obj.lock = nil
+		// Tombstones are kept until the retention horizon passes (the
+		// sweeper removes them): erasing the object now would also
+		// erase the conflict history a concurrent transaction with an
+		// older snapshot still needs.
+		sh.mu.Unlock()
+	}
+	s.stats.Commits.Add(1)
+	return nil
+}
+
+// Abort releases a prepared transaction's locks without applying.
+// Aborting an unknown transaction is a no-op (idempotent, so the
+// coordinator can abort blindly after a partial prepare).
+func (s *Store) Abort(txid uint64) {
+	s.txMu.Lock()
+	rec := s.txs[txid]
+	delete(s.txs, txid)
+	s.txMu.Unlock()
+	if rec == nil {
+		return
+	}
+	s.releaseLocks(txid, rec.oids)
+	s.stats.Aborts.Add(1)
+}
+
+func (s *Store) releaseLocks(txid uint64, oids []kv.OID) {
+	for _, oid := range oids {
+		sh := s.shardFor(oid)
+		sh.mu.Lock()
+		obj := sh.objs[oid]
+		if obj != nil && obj.lock != nil && obj.lock.txid == txid {
+			close(obj.lock.done)
+			obj.lock = nil
+			if len(obj.versions) == 0 {
+				delete(sh.objs, oid)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// FastCommit executes a single-participant transaction in one step:
+// prepare and commit without a second round trip. It returns the commit
+// timestamp.
+func (s *Store) FastCommit(txid uint64, start clock.Timestamp, ops []*kv.Op) (clock.Timestamp, error) {
+	proposed, err := s.Prepare(txid, start, ops)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.Commit(txid, proposed); err != nil {
+		return 0, err
+	}
+	s.stats.FastCommits.Add(1)
+	return proposed, nil
+}
+
+// trimLocked garbage-collects superseded versions. Caller holds the
+// shard mutex. We always keep the newest version, plus the newest
+// version at or below the retention horizon (the base any
+// within-retention snapshot could need).
+func (s *Store) trimLocked(obj *object) {
+	if len(obj.versions) <= 1 {
+		return
+	}
+	nowMillis := s.clock.Last().WallMillis()
+	var horizon clock.Timestamp
+	if nowMillis > s.cfg.RetentionMillis {
+		horizon = clock.Make(nowMillis-s.cfg.RetentionMillis, 0)
+	}
+	// Index of newest version with ts <= horizon; everything before it
+	// is unreachable by any snapshot >= horizon.
+	cut := 0
+	for i, v := range obj.versions {
+		if v.ts <= horizon {
+			cut = i
+		}
+	}
+	// Hard cap: never let a hot object's chain grow without bound even
+	// inside the retention window.
+	if over := len(obj.versions) - s.cfg.MaxVersions; over > cut {
+		cut = over
+	}
+	if cut > 0 {
+		s.stats.GCVersions.Add(uint64(cut))
+		if f := obj.versions[cut-1].ts; f > obj.gcFloor {
+			obj.gcFloor = f
+		}
+		obj.versions = append([]version(nil), obj.versions[cut:]...)
+	}
+}
+
+// SweepTombstones removes unlocked objects whose only version is a
+// tombstone older than the retention horizon. The server runs this
+// periodically; tests call it directly.
+func (s *Store) SweepTombstones() int {
+	nowMillis := s.clock.Last().WallMillis()
+	var horizon clock.Timestamp
+	if nowMillis > s.cfg.RetentionMillis {
+		horizon = clock.Make(nowMillis-s.cfg.RetentionMillis, 0)
+	}
+	removed := 0
+	for i := range s.shard {
+		sh := &s.shard[i]
+		sh.mu.Lock()
+		for oid, obj := range sh.objs {
+			n := len(obj.versions)
+			if obj.lock == nil && n > 0 &&
+				obj.versions[n-1].val == nil && obj.versions[n-1].ts <= horizon {
+				// Newest version is a tombstone past the horizon: no
+				// snapshot inside retention can see older data.
+				delete(sh.objs, oid)
+				removed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
+// NumObjects reports the number of live objects (for tests and stats).
+func (s *Store) NumObjects() int {
+	n := 0
+	for i := range s.shard {
+		s.shard[i].mu.Lock()
+		n += len(s.shard[i].objs)
+		s.shard[i].mu.Unlock()
+	}
+	return n
+}
+
+// VersionCount reports the number of stored versions of oid (tests).
+func (s *Store) VersionCount(oid kv.OID) int {
+	sh := s.shardFor(oid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	obj := sh.objs[oid]
+	if obj == nil {
+		return 0
+	}
+	return len(obj.versions)
+}
+
+// IsLocked reports whether oid currently carries a prepare lock (tests).
+func (s *Store) IsLocked(oid kv.OID) bool {
+	sh := s.shardFor(oid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	obj := sh.objs[oid]
+	return obj != nil && obj.lock != nil
+}

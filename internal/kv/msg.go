@@ -1,0 +1,477 @@
+package kv
+
+import (
+	"yesquel/internal/wire"
+)
+
+// RPC method names served by a storage server.
+const (
+	MethodRead       = "kv.read"
+	MethodReadPart   = "kv.readpart"
+	MethodPrepare    = "kv.prepare"
+	MethodCommit     = "kv.commit"
+	MethodAbort      = "kv.abort"
+	MethodFastCommit = "kv.fastcommit"
+	MethodPing       = "kv.ping"
+	// MethodMirror carries a committed transaction from a primary to
+	// its backup replica (see kvserver.Server.SetMirror).
+	MethodMirror = "kv.mirror"
+)
+
+// MirrorReq replicates one committed transaction to a backup.
+type MirrorReq struct {
+	CommitTS Timestamp
+	Ops      []*Op
+}
+
+func (m *MirrorReq) Encode() []byte {
+	b := wire.NewBuffer(64)
+	b.PutUint64(uint64(m.CommitTS))
+	encodeOps(b, m.Ops)
+	return b.Bytes()
+}
+
+func DecodeMirrorReq(p []byte) (*MirrorReq, error) {
+	r := wire.NewReader(p)
+	ts, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	ops, err := decodeOps(r)
+	if err != nil {
+		return nil, err
+	}
+	return &MirrorReq{CommitTS: Timestamp(ts), Ops: ops}, nil
+}
+
+// ReadReq asks for the newest version of OID visible at Snap.
+type ReadReq struct {
+	OID  OID
+	Snap Timestamp
+}
+
+// ReadResp carries the result of a read. Clock is the server's HLC
+// reading, merged into the client clock (every message carries a
+// timestamp; see internal/clock).
+type ReadResp struct {
+	Found   bool
+	Version Timestamp
+	Value   *Value
+	Clock   Timestamp
+}
+
+// ReadPartReq asks for a window of a supervalue: the cells with keys in
+// [floor(From), To), at most Max cells (0 = unlimited), where floor(From)
+// is the greatest cell key <= From. The floor semantics serve both leaf
+// point reads (the cell equal to the key, if any) and inner-node routing
+// (the child pointer covering the key) without shipping the whole node.
+// A bounds/attrs-only header always comes back, plus the node's total
+// cell count, so fence checks and split heuristics work on the window.
+type ReadPartReq struct {
+	OID  OID
+	Snap Timestamp
+	From []byte
+	To   []byte // nil = unbounded
+	Max  uint32 // 0 = unlimited
+}
+
+// ReadPartResp carries the windowed value and the total cell count of
+// the full node.
+type ReadPartResp struct {
+	Found   bool
+	Version Timestamp
+	Value   *Value // partial supervalue (or full plain value)
+	Total   uint32
+	Clock   Timestamp
+}
+
+func (m *ReadPartReq) Encode() []byte {
+	b := wire.NewBuffer(32 + len(m.From) + len(m.To))
+	b.PutUint64(uint64(m.OID))
+	b.PutUint64(uint64(m.Snap))
+	b.PutBytes(m.From)
+	b.PutBytes(m.To)
+	b.PutBool(m.To != nil)
+	b.PutUint32(m.Max)
+	return b.Bytes()
+}
+
+func DecodeReadPartReq(p []byte) (*ReadPartReq, error) {
+	r := wire.NewReader(p)
+	m := &ReadPartReq{}
+	v, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	m.OID = OID(v)
+	if v, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	m.Snap = Timestamp(v)
+	if m.From, err = r.BytesCopy(); err != nil {
+		return nil, err
+	}
+	to, err := r.BytesCopy()
+	if err != nil {
+		return nil, err
+	}
+	hasTo, err := r.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasTo {
+		m.To = to
+	}
+	if m.Max, err = r.Uint32(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *ReadPartResp) Encode() []byte {
+	b := wire.NewBuffer(40 + m.Value.EncodedSize())
+	b.PutBool(m.Found)
+	b.PutUint64(uint64(m.Version))
+	EncodeValue(b, m.Value)
+	b.PutUint32(m.Total)
+	b.PutUint64(uint64(m.Clock))
+	return b.Bytes()
+}
+
+func DecodeReadPartResp(p []byte) (*ReadPartResp, error) {
+	r := wire.NewReader(p)
+	m := &ReadPartResp{}
+	var err error
+	if m.Found, err = r.Bool(); err != nil {
+		return nil, err
+	}
+	ver, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	m.Version = Timestamp(ver)
+	if m.Value, err = DecodeValue(r); err != nil {
+		return nil, err
+	}
+	if m.Total, err = r.Uint32(); err != nil {
+		return nil, err
+	}
+	ck, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	m.Clock = Timestamp(ck)
+	return m, nil
+}
+
+// WindowCells returns the cells of v with keys in [floor(from), to),
+// capped at max (0 = unlimited), plus the index where the window
+// starts. The returned slice aliases v's cells; callers treat it as
+// immutable.
+func (v *Value) WindowCells(from, to []byte, max uint32) []Cell {
+	start := 0
+	if from != nil {
+		i, found := v.cellIndex(from)
+		switch {
+		case found:
+			start = i
+		case i > 0:
+			start = i - 1 // floor: include the predecessor cell
+		default:
+			start = 0
+		}
+	}
+	end := len(v.Cells)
+	if to != nil {
+		end, _ = v.cellIndex(to)
+	}
+	if end < start {
+		end = start
+	}
+	if max > 0 && end-start > int(max) {
+		end = start + int(max)
+	}
+	return v.Cells[start:end]
+}
+
+// PrepareReq is phase one of two-phase commit: validate write-write
+// conflicts and lock the written objects.
+type PrepareReq struct {
+	TxID  uint64
+	Start Timestamp
+	Ops   []*Op
+}
+
+// PrepareResp reports the vote. When OK, Proposed is this participant's
+// lower bound for the commit timestamp.
+type PrepareResp struct {
+	OK       bool
+	Proposed Timestamp
+	Clock    Timestamp
+}
+
+// CommitReq is phase two: make the transaction's writes visible at
+// CommitTS and release its locks.
+type CommitReq struct {
+	TxID     uint64
+	CommitTS Timestamp
+}
+
+// AbortReq discards the transaction's locks and staged writes.
+type AbortReq struct {
+	TxID uint64
+}
+
+// FastCommitReq commits a single-participant transaction in one round
+// trip: validate, choose a commit timestamp, and apply atomically.
+type FastCommitReq struct {
+	TxID  uint64
+	Start Timestamp
+	Ops   []*Op
+}
+
+// FastCommitResp reports the outcome of a fast commit.
+type FastCommitResp struct {
+	OK       bool
+	CommitTS Timestamp
+	Clock    Timestamp
+}
+
+// Ack is the generic response for commit/abort/ping.
+type Ack struct {
+	Clock Timestamp
+}
+
+func (m *ReadReq) Encode() []byte {
+	b := wire.NewBuffer(24)
+	b.PutUint64(uint64(m.OID))
+	b.PutUint64(uint64(m.Snap))
+	return b.Bytes()
+}
+
+func DecodeReadReq(p []byte) (*ReadReq, error) {
+	r := wire.NewReader(p)
+	oid, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	snap, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	return &ReadReq{OID: OID(oid), Snap: Timestamp(snap)}, nil
+}
+
+func (m *ReadResp) Encode() []byte {
+	b := wire.NewBuffer(32 + m.Value.EncodedSize())
+	b.PutBool(m.Found)
+	b.PutUint64(uint64(m.Version))
+	EncodeValue(b, m.Value)
+	b.PutUint64(uint64(m.Clock))
+	return b.Bytes()
+}
+
+func DecodeReadResp(p []byte) (*ReadResp, error) {
+	r := wire.NewReader(p)
+	m := &ReadResp{}
+	var err error
+	if m.Found, err = r.Bool(); err != nil {
+		return nil, err
+	}
+	ver, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	m.Version = Timestamp(ver)
+	if m.Value, err = DecodeValue(r); err != nil {
+		return nil, err
+	}
+	ck, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	m.Clock = Timestamp(ck)
+	return m, nil
+}
+
+func encodeOps(b *wire.Buffer, ops []*Op) {
+	b.PutUvarint(uint64(len(ops)))
+	for _, op := range ops {
+		EncodeOp(b, op)
+	}
+}
+
+func decodeOps(r *wire.Reader) ([]*Op, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(wire.MaxFrameSize) {
+		return nil, ErrBadRequest
+	}
+	ops := make([]*Op, 0, n)
+	for i := uint64(0); i < n; i++ {
+		op, err := DecodeOp(r)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+func (m *PrepareReq) Encode() []byte {
+	b := wire.NewBuffer(64)
+	b.PutUint64(m.TxID)
+	b.PutUint64(uint64(m.Start))
+	encodeOps(b, m.Ops)
+	return b.Bytes()
+}
+
+func DecodePrepareReq(p []byte) (*PrepareReq, error) {
+	r := wire.NewReader(p)
+	m := &PrepareReq{}
+	v, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	m.TxID = v
+	if v, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	m.Start = Timestamp(v)
+	if m.Ops, err = decodeOps(r); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *PrepareResp) Encode() []byte {
+	b := wire.NewBuffer(24)
+	b.PutBool(m.OK)
+	b.PutUint64(uint64(m.Proposed))
+	b.PutUint64(uint64(m.Clock))
+	return b.Bytes()
+}
+
+func DecodePrepareResp(p []byte) (*PrepareResp, error) {
+	r := wire.NewReader(p)
+	m := &PrepareResp{}
+	var err error
+	if m.OK, err = r.Bool(); err != nil {
+		return nil, err
+	}
+	v, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	m.Proposed = Timestamp(v)
+	if v, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	m.Clock = Timestamp(v)
+	return m, nil
+}
+
+func (m *CommitReq) Encode() []byte {
+	b := wire.NewBuffer(20)
+	b.PutUint64(m.TxID)
+	b.PutUint64(uint64(m.CommitTS))
+	return b.Bytes()
+}
+
+func DecodeCommitReq(p []byte) (*CommitReq, error) {
+	r := wire.NewReader(p)
+	tx, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	ts, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	return &CommitReq{TxID: tx, CommitTS: Timestamp(ts)}, nil
+}
+
+func (m *AbortReq) Encode() []byte {
+	b := wire.NewBuffer(12)
+	b.PutUint64(m.TxID)
+	return b.Bytes()
+}
+
+func DecodeAbortReq(p []byte) (*AbortReq, error) {
+	r := wire.NewReader(p)
+	tx, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	return &AbortReq{TxID: tx}, nil
+}
+
+func (m *FastCommitReq) Encode() []byte {
+	b := wire.NewBuffer(64)
+	b.PutUint64(m.TxID)
+	b.PutUint64(uint64(m.Start))
+	encodeOps(b, m.Ops)
+	return b.Bytes()
+}
+
+func DecodeFastCommitReq(p []byte) (*FastCommitReq, error) {
+	r := wire.NewReader(p)
+	m := &FastCommitReq{}
+	v, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	m.TxID = v
+	if v, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	m.Start = Timestamp(v)
+	if m.Ops, err = decodeOps(r); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *FastCommitResp) Encode() []byte {
+	b := wire.NewBuffer(24)
+	b.PutBool(m.OK)
+	b.PutUint64(uint64(m.CommitTS))
+	b.PutUint64(uint64(m.Clock))
+	return b.Bytes()
+}
+
+func DecodeFastCommitResp(p []byte) (*FastCommitResp, error) {
+	r := wire.NewReader(p)
+	m := &FastCommitResp{}
+	var err error
+	if m.OK, err = r.Bool(); err != nil {
+		return nil, err
+	}
+	v, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	m.CommitTS = Timestamp(v)
+	if v, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	m.Clock = Timestamp(v)
+	return m, nil
+}
+
+func (m *Ack) Encode() []byte {
+	b := wire.NewBuffer(12)
+	b.PutUint64(uint64(m.Clock))
+	return b.Bytes()
+}
+
+func DecodeAck(p []byte) (*Ack, error) {
+	r := wire.NewReader(p)
+	v, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	return &Ack{Clock: Timestamp(v)}, nil
+}

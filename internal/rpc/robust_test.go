@@ -1,0 +1,98 @@
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"yesquel/internal/wire"
+)
+
+// Malformed input must never crash or wedge the server; it drops the
+// offending connection and keeps serving others.
+
+func TestServerSurvivesGarbageConnection(t *testing.T) {
+	s := NewServer()
+	s.Register("echo", func(_ context.Context, req []byte) ([]byte, error) { return req, nil })
+	addr := startServer(t, s)
+
+	// Raw garbage bytes.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("GET / HTTP/1.1\r\nHost: nope\r\n\r\n"))
+	conn.Close()
+
+	// A frame with a bogus kind byte.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire.WriteFrame(conn2, []byte{0x77, 0x01, 0x02})
+	conn2.Close()
+
+	// An oversize frame header.
+	conn3, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 0xffffffff)
+	conn3.Write(hdr[:])
+	conn3.Close()
+
+	// A truncated valid-looking frame (header promises more bytes).
+	conn4, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	conn4.Write(hdr[:])
+	conn4.Write([]byte("short"))
+	conn4.Close()
+
+	// The server must still serve a well-behaved client.
+	time.Sleep(20 * time.Millisecond)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(context.Background(), "echo", []byte("alive"))
+	if err != nil || string(resp) != "alive" {
+		t.Fatalf("server wedged after garbage: %q %v", resp, err)
+	}
+}
+
+func TestClientSurvivesGarbageResponse(t *testing.T) {
+	// A fake "server" that answers with a corrupt frame: the client
+	// must fail the call cleanly, not hang or panic.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		wire.ReadFrame(conn) // swallow the request
+		wire.WriteFrame(conn, []byte{0x55, 0xaa})
+		conn.Close()
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Call(ctx, "anything", nil); err == nil {
+		t.Fatal("corrupt response produced a successful call")
+	}
+}

@@ -1,0 +1,376 @@
+// Package rpc implements the remote procedure call stack used between
+// Yesquel clients and storage servers.
+//
+// Design:
+//
+//   - One TCP connection per (client, server) pair, multiplexed: many
+//     in-flight calls share the connection and responses may arrive out
+//     of order, matched to callers by request id.
+//   - Payloads are opaque []byte; marshalling belongs to the caller
+//     (internal/kv hand-rolls encoders with internal/wire).
+//   - Contexts: a call fails with ctx.Err() when its context is done;
+//     cancellation does not tear down the connection.
+//   - Errors returned by handlers travel back as application errors and
+//     are distinguished from transport errors.
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"yesquel/internal/wire"
+)
+
+// Handler processes one request and returns the response payload.
+// Returning an error sends an application error to the caller; the
+// connection stays healthy.
+type Handler func(ctx context.Context, req []byte) ([]byte, error)
+
+// Errors surfaced by the package.
+var (
+	ErrClosed        = errors.New("rpc: connection closed")
+	ErrUnknownMethod = errors.New("rpc: unknown method")
+)
+
+// AppError is an error returned by the remote handler (as opposed to a
+// transport failure). The text crosses the wire; the type does not.
+type AppError struct{ Msg string }
+
+func (e *AppError) Error() string { return e.Msg }
+
+// frame kinds
+const (
+	kindRequest  = 0
+	kindResponse = 1
+)
+
+// response status
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+func encodeRequest(id uint64, method string, body []byte) []byte {
+	b := wire.NewBuffer(16 + len(method) + len(body))
+	b.PutByte(kindRequest)
+	b.PutUvarint(id)
+	b.PutString(method)
+	b.PutBytes(body)
+	return b.Bytes()
+}
+
+func encodeResponse(id uint64, body []byte, appErr error) []byte {
+	b := wire.NewBuffer(16 + len(body))
+	b.PutByte(kindResponse)
+	b.PutUvarint(id)
+	if appErr != nil {
+		b.PutByte(statusErr)
+		b.PutString(appErr.Error())
+	} else {
+		b.PutByte(statusOK)
+		b.PutBytes(body)
+	}
+	return b.Bytes()
+}
+
+// Server serves RPC requests on a listener. Methods are registered
+// before Serve is called; registration after Serve starts is not
+// supported (no locking on the read path).
+type Server struct {
+	handlers map[string]Handler
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	baseCtx  context.Context
+	cancelFn context.CancelFunc
+}
+
+// NewServer returns a Server with no registered methods.
+func NewServer() *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+		baseCtx:  ctx,
+		cancelFn: cancel,
+	}
+}
+
+// Register installs h as the handler for method. It must be called
+// before Serve.
+func (s *Server) Register(method string, h Handler) {
+	s.handlers[method] = h
+}
+
+// Serve accepts connections on ln until Close is called. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handler
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.cancelFn()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+
+	var writeMu sync.Mutex
+	var handlerWG sync.WaitGroup
+	defer handlerWG.Wait()
+
+	for {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		r := wire.NewReader(payload)
+		kind, err := r.Byte()
+		if err != nil || kind != kindRequest {
+			return // protocol error: drop the connection
+		}
+		id, err := r.Uvarint()
+		if err != nil {
+			return
+		}
+		method, err := r.String()
+		if err != nil {
+			return
+		}
+		body, err := r.Bytes()
+		if err != nil {
+			return
+		}
+		h, ok := s.handlers[method]
+		if !ok {
+			writeMu.Lock()
+			wire.WriteFrame(conn, encodeResponse(id, nil, fmt.Errorf("%s: %s", ErrUnknownMethod, method)))
+			writeMu.Unlock()
+			continue
+		}
+		// Handlers run concurrently: a slow prepare must not block an
+		// unrelated read on the same connection.
+		handlerWG.Add(1)
+		go func(id uint64, body []byte) {
+			defer handlerWG.Done()
+			resp, appErr := h(s.baseCtx, body)
+			writeMu.Lock()
+			err := wire.WriteFrame(conn, encodeResponse(id, resp, appErr))
+			writeMu.Unlock()
+			if err != nil {
+				conn.Close()
+			}
+		}(id, body)
+	}
+}
+
+// Client is a multiplexed RPC client bound to one server address.
+// It is safe for concurrent use by multiple goroutines.
+type Client struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan callResult
+	closed  bool
+	err     error
+
+	nextID atomic.Uint64
+}
+
+type callResult struct {
+	body []byte
+	err  error
+}
+
+// Dial connects to a server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // small RPCs dominate; never batch at the kernel
+	}
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan callResult),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection. In-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	return nil
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	for id, ch := range c.pending {
+		ch <- callResult{err: err}
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	for {
+		payload, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		r := wire.NewReader(payload)
+		kind, err := r.Byte()
+		if err != nil || kind != kindResponse {
+			c.fail(fmt.Errorf("%w: bad frame", ErrClosed))
+			return
+		}
+		id, err := r.Uvarint()
+		if err != nil {
+			c.fail(fmt.Errorf("%w: bad frame", ErrClosed))
+			return
+		}
+		status, err := r.Byte()
+		if err != nil {
+			c.fail(fmt.Errorf("%w: bad frame", ErrClosed))
+			return
+		}
+		var res callResult
+		if status == statusErr {
+			msg, err := r.String()
+			if err != nil {
+				c.fail(fmt.Errorf("%w: bad frame", ErrClosed))
+				return
+			}
+			res.err = &AppError{Msg: msg}
+		} else {
+			body, err := r.BytesCopy()
+			if err != nil {
+				c.fail(fmt.Errorf("%w: bad frame", ErrClosed))
+				return
+			}
+			res.body = body
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- res
+		}
+		// A response for an unknown id means the call was cancelled;
+		// drop it.
+	}
+}
+
+// Call issues method(req) and waits for the response or ctx done.
+func (c *Client) Call(ctx context.Context, method string, req []byte) ([]byte, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan callResult, 1)
+
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := c.send(encodeRequest(id, method, req)); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case res := <-ch:
+		return res.body, res.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+func (c *Client) send(frame []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return wire.WriteFrame(c.conn, frame)
+}

@@ -1,0 +1,249 @@
+package sql
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"yesquel/internal/wire"
+)
+
+// Row and key encodings.
+//
+// Rows are stored as compact (non-ordered) tuples in table-tree leaf
+// cells. Keys — primary keys and secondary-index entries — use an
+// order-preserving encoding so that bytes.Compare on encoded keys
+// equals SQL ordering, which is what lets the DBT serve ORDER BY and
+// range predicates with a plain scan.
+
+// Order-preserving key encoding, per value:
+//
+//	0x00                         NULL
+//	0x10 <8B sortable int>       INTEGER
+//	0x11 <8B sortable float>     REAL  (same class as INTEGER: see below)
+//	0x20 <escaped bytes> 0x00 0x01   TEXT
+//	0x30 <escaped bytes> 0x00 0x01   BLOB
+//
+// Numeric ordering across int/float inside one key column is handled by
+// encoding both through the float64 sortable form with an exactness
+// tie-break for integers; since declared column types are enforced at
+// insert, a given column is in practice homogeneous and the simple
+// per-type forms above sort correctly.
+
+const (
+	keyTagNull  = 0x00
+	keyTagInt   = 0x10
+	keyTagFloat = 0x11
+	keyTagText  = 0x20
+	keyTagBlob  = 0x30
+)
+
+// sortableInt maps int64 to uint64 preserving order.
+func sortableInt(i int64) uint64 { return uint64(i) ^ (1 << 63) }
+
+func unsortableInt(u uint64) int64 { return int64(u ^ (1 << 63)) }
+
+// sortableFloat maps float64 bits to uint64 preserving order.
+func sortableFloat(f float64) uint64 {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		return ^u // negative: flip everything
+	}
+	return u | (1 << 63) // positive: flip sign
+}
+
+func unsortableFloat(u uint64) float64 {
+	if u&(1<<63) != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// appendEscaped writes b with 0x00 escaped as 0x00 0xFF, then the
+// terminator 0x00 0x01. The terminator sorts below any continuation
+// (escaped zero is 0x00 0xFF > 0x00 0x01) and above nothing... i.e. a
+// prefix sorts before its extensions, as required.
+func appendEscaped(dst, b []byte) []byte {
+	for _, c := range b {
+		if c == 0x00 {
+			dst = append(dst, 0x00, 0xff)
+		} else {
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, 0x00, 0x01)
+}
+
+// EncodeKeyValue appends the order-preserving encoding of v to dst.
+func EncodeKeyValue(dst []byte, v Value) []byte {
+	switch v.T {
+	case TypeNull:
+		return append(dst, keyTagNull)
+	case TypeInt:
+		dst = append(dst, keyTagInt)
+		return binary.BigEndian.AppendUint64(dst, sortableInt(v.I))
+	case TypeFloat:
+		dst = append(dst, keyTagFloat)
+		return binary.BigEndian.AppendUint64(dst, sortableFloat(v.F))
+	case TypeText:
+		dst = append(dst, keyTagText)
+		return appendEscaped(dst, []byte(v.S))
+	case TypeBlob:
+		dst = append(dst, keyTagBlob)
+		return appendEscaped(dst, v.B)
+	}
+	return dst
+}
+
+// EncodeKey encodes a multi-value key (e.g. index column + rowid).
+func EncodeKey(vals ...Value) []byte {
+	var out []byte
+	for _, v := range vals {
+		out = EncodeKeyValue(out, v)
+	}
+	return out
+}
+
+// DecodeKeyValue decodes one value from a key encoding, returning the
+// rest of the buffer.
+func DecodeKeyValue(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return Value{}, nil, fmt.Errorf("sql: empty key")
+	}
+	tag := b[0]
+	b = b[1:]
+	switch tag {
+	case keyTagNull:
+		return Null, b, nil
+	case keyTagInt:
+		if len(b) < 8 {
+			return Value{}, nil, fmt.Errorf("sql: short int key")
+		}
+		return Int(unsortableInt(binary.BigEndian.Uint64(b))), b[8:], nil
+	case keyTagFloat:
+		if len(b) < 8 {
+			return Value{}, nil, fmt.Errorf("sql: short float key")
+		}
+		return Float(unsortableFloat(binary.BigEndian.Uint64(b))), b[8:], nil
+	case keyTagText, keyTagBlob:
+		var out []byte
+		for i := 0; i < len(b); i++ {
+			if b[i] != 0x00 {
+				out = append(out, b[i])
+				continue
+			}
+			if i+1 >= len(b) {
+				return Value{}, nil, fmt.Errorf("sql: unterminated string key")
+			}
+			switch b[i+1] {
+			case 0xff:
+				out = append(out, 0x00)
+				i++
+			case 0x01:
+				rest := b[i+2:]
+				if tag == keyTagText {
+					return Text(string(out)), rest, nil
+				}
+				return Blob(out), rest, nil
+			default:
+				return Value{}, nil, fmt.Errorf("sql: bad string key escape")
+			}
+		}
+		return Value{}, nil, fmt.Errorf("sql: unterminated string key")
+	default:
+		return Value{}, nil, fmt.Errorf("sql: bad key tag %#x", tag)
+	}
+}
+
+// DecodeKey decodes all values of a key.
+func DecodeKey(b []byte) ([]Value, error) {
+	var out []Value
+	for len(b) > 0 {
+		v, rest, err := DecodeKeyValue(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		b = rest
+	}
+	return out, nil
+}
+
+// KeySuccessor returns the smallest key strictly greater than every key
+// with prefix k — used to turn an equality predicate into a range scan
+// bound: [k, KeySuccessor(k)).
+func KeySuccessor(k []byte) []byte {
+	out := make([]byte, len(k)+1)
+	copy(out, k)
+	out[len(k)] = 0xff
+	return out
+}
+
+// EncodeRow encodes a row (all column values, in schema order) for
+// storage in a table-tree leaf cell.
+func EncodeRow(vals []Value) []byte {
+	b := wire.NewBuffer(16 * len(vals))
+	b.PutUvarint(uint64(len(vals)))
+	for _, v := range vals {
+		b.PutByte(byte(v.T))
+		switch v.T {
+		case TypeNull:
+		case TypeInt:
+			b.PutVarint(v.I)
+		case TypeFloat:
+			b.PutFloat64(v.F)
+		case TypeText:
+			b.PutString(v.S)
+		case TypeBlob:
+			b.PutBytes(v.B)
+		}
+	}
+	return b.Bytes()
+}
+
+// DecodeRow decodes a row encoded by EncodeRow.
+func DecodeRow(p []byte) ([]Value, error) {
+	r := wire.NewReader(p)
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Value, 0, n)
+	for i := uint64(0); i < n; i++ {
+		tag, err := r.Byte()
+		if err != nil {
+			return nil, err
+		}
+		switch Type(tag) {
+		case TypeNull:
+			out = append(out, Null)
+		case TypeInt:
+			v, err := r.Varint()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Int(v))
+		case TypeFloat:
+			v, err := r.Float64()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Float(v))
+		case TypeText:
+			v, err := r.String()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Text(v))
+		case TypeBlob:
+			v, err := r.BytesCopy()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Blob(v))
+		default:
+			return nil, fmt.Errorf("sql: bad row tag %d", tag)
+		}
+	}
+	return out, nil
+}

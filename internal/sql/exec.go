@@ -1,0 +1,551 @@
+package sql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"yesquel/internal/dbt"
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvclient"
+)
+
+// DB is one session of the embedded query processor. A DB is bound to
+// one kv client and is intended for use by one goroutine at a time
+// (open one DB per worker, as a Web application opens one connection
+// per request handler). Multiple DBs over the same or different
+// kvclient.Clients compose freely — that is the architecture's point.
+type DB struct {
+	c   *kvclient.Client
+	cat *Catalog
+
+	tx         *kvclient.Tx // non-nil inside BEGIN..COMMIT
+	maxRetries int
+	parseCache map[string]parsedEntry
+}
+
+// Result reports the effect of a statement.
+type Result struct {
+	RowsAffected int64
+}
+
+// Rows is a materialized query result.
+type Rows struct {
+	Columns []string
+	rows    [][]Value
+	pos     int
+}
+
+// Next advances to the next row; it must be called before the first Row.
+func (r *Rows) Next() bool {
+	if r.pos >= len(r.rows) {
+		return false
+	}
+	r.pos++
+	return true
+}
+
+// Row returns the current row after a successful Next.
+func (r *Rows) Row() []Value { return r.rows[r.pos-1] }
+
+// Len returns the number of rows.
+func (r *Rows) Len() int { return len(r.rows) }
+
+// All returns every row.
+func (r *Rows) All() [][]Value { return r.rows }
+
+// NewDB returns a session over the client. treeCfg configures the DBT
+// handles this session opens.
+func NewDB(c *kvclient.Client, treeCfg dbt.Config) *DB {
+	return &DB{c: c, cat: NewCatalog(c, treeCfg), maxRetries: defaultMaxRetries}
+}
+
+// defaultMaxRetries bounds auto-commit conflict retries. Conflicts come
+// in bursts when a hot leaf is being split (structural writes abort
+// concurrent deltas by design), so the budget is generous; the backoff
+// grows to ~25ms, long enough to ride out a split chain.
+const defaultMaxRetries = 30
+
+// NewDBWithCatalog returns a session sharing an existing catalog (and
+// hence its tree handles and caches); used to run many sessions per
+// process without one splitter goroutine per session.
+func NewDBWithCatalog(c *kvclient.Client, cat *Catalog) *DB {
+	return &DB{c: c, cat: cat, maxRetries: defaultMaxRetries}
+}
+
+// Catalog exposes the session's catalog.
+func (db *DB) Catalog() *Catalog { return db.cat }
+
+// Client exposes the underlying kv client.
+func (db *DB) Client() *kvclient.Client { return db.c }
+
+// Close releases catalog handles. It does not close the kv client.
+func (db *DB) Close() { db.cat.Close() }
+
+// InTx reports whether an explicit transaction is open.
+func (db *DB) InTx() bool { return db.tx != nil }
+
+// Tables lists the database's table schemas (outside any explicit
+// transaction: at a fresh snapshot).
+func (db *DB) Tables(ctx context.Context) ([]*TableSchema, error) {
+	if err := db.cat.Ensure(ctx); err != nil {
+		return nil, err
+	}
+	tx := db.tx
+	if tx == nil {
+		tx = db.c.Begin()
+		defer tx.Abort()
+	}
+	return db.cat.ListTables(ctx, tx)
+}
+
+// Indexes lists the database's index schemas.
+func (db *DB) Indexes(ctx context.Context) ([]*IndexSchema, error) {
+	if err := db.cat.Ensure(ctx); err != nil {
+		return nil, err
+	}
+	tx := db.tx
+	if tx == nil {
+		tx = db.c.Begin()
+		defer tx.Abort()
+	}
+	return db.cat.ListIndexes(ctx, tx)
+}
+
+// Exec runs a statement that returns no rows.
+func (db *DB) Exec(ctx context.Context, query string, args ...Value) (Result, error) {
+	res, _, err := db.run(ctx, query, args)
+	return res, err
+}
+
+// Query runs a statement and returns its rows (empty for non-SELECT).
+func (db *DB) Query(ctx context.Context, query string, args ...Value) (*Rows, error) {
+	_, rows, err := db.run(ctx, query, args)
+	if rows == nil {
+		rows = &Rows{}
+	}
+	return rows, err
+}
+
+func (db *DB) run(ctx context.Context, query string, args []Value) (Result, *Rows, error) {
+	stmt, _, err := db.parse(query)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return db.runParsed(ctx, stmt, args)
+}
+
+func (db *DB) runParsed(ctx context.Context, stmt Stmt, args []Value) (Result, *Rows, error) {
+	// Bootstrap the catalog before any snapshot is taken (see Ensure).
+	if err := db.cat.Ensure(ctx); err != nil {
+		return Result{}, nil, err
+	}
+	switch stmt.(type) {
+	case Begin:
+		if db.tx != nil {
+			return Result{}, nil, errors.New("sql: transaction already open")
+		}
+		db.tx = db.c.Begin()
+		return Result{}, nil, nil
+	case Commit:
+		if db.tx == nil {
+			return Result{}, nil, errors.New("sql: no transaction open")
+		}
+		tx := db.tx
+		db.tx = nil
+		if err := tx.Commit(ctx); err != nil {
+			return Result{}, nil, err
+		}
+		return Result{}, nil, nil
+	case Rollback:
+		if db.tx == nil {
+			return Result{}, nil, errors.New("sql: no transaction open")
+		}
+		db.tx.Abort()
+		db.tx = nil
+		return Result{}, nil, nil
+	}
+
+	if db.tx != nil {
+		// Inside an explicit transaction: no auto-retry (the snapshot is
+		// pinned; the application owns conflict handling at COMMIT).
+		return db.runStmt(ctx, db.tx, stmt, args)
+	}
+
+	// Auto-commit: one kv transaction per statement, retried on
+	// conflict with jittered backoff (splits and write races are
+	// expected and transient).
+	var lastErr error
+	for attempt := 0; attempt <= db.maxRetries; attempt++ {
+		tx := db.c.Begin()
+		res, rows, err := db.runStmt(ctx, tx, stmt, args)
+		if err == nil {
+			if cerr := tx.Commit(ctx); cerr == nil {
+				return res, rows, nil
+			} else {
+				err = cerr
+			}
+		} else {
+			tx.Abort()
+		}
+		if !errors.Is(err, kv.ErrConflict) {
+			return Result{}, nil, err
+		}
+		lastErr = err
+		sleepJitter(attempt)
+	}
+	return Result{}, nil, fmt.Errorf("sql: giving up after %d conflicts: %w", db.maxRetries, lastErr)
+}
+
+func sleepJitter(attempt int) {
+	base := time.Duration(1<<uint(min(attempt, 8))) * 100 * time.Microsecond
+	time.Sleep(base + time.Duration(rand.Int63n(int64(base)+1)))
+}
+
+func (db *DB) runStmt(ctx context.Context, tx *kvclient.Tx, stmt Stmt, args []Value) (Result, *Rows, error) {
+	switch st := stmt.(type) {
+	case CreateTable:
+		return Result{}, nil, db.cat.CreateTable(ctx, tx, st)
+	case DropTable:
+		return Result{}, nil, db.cat.DropTable(ctx, tx, st)
+	case CreateIndex:
+		return Result{}, nil, db.execCreateIndex(ctx, tx, st)
+	case DropIndex:
+		return Result{}, nil, db.cat.DropIndex(ctx, tx, st)
+	case Insert:
+		res, err := db.execInsert(ctx, tx, st, args)
+		return res, nil, err
+	case Update:
+		res, err := db.execUpdate(ctx, tx, st, args)
+		return res, nil, err
+	case Delete:
+		res, err := db.execDelete(ctx, tx, st, args)
+		return res, nil, err
+	case Select:
+		rows, err := db.execSelect(ctx, tx, st, args)
+		return Result{}, rows, err
+	case Explain:
+		rows, err := db.execExplain(ctx, tx, st)
+		return Result{}, rows, err
+	}
+	return Result{}, nil, fmt.Errorf("sql: unhandled statement %T", stmt)
+}
+
+// rowKeyFor computes the storage key for a full row, allocating a rowid
+// when the table has no declared primary key.
+func (db *DB) rowKeyFor(table *Table, vals []Value) ([]byte, error) {
+	s := table.Schema
+	if s.PKCol >= 0 {
+		pk := vals[s.PKCol]
+		if pk.IsNull() {
+			return nil, fmt.Errorf("sql: NULL primary key in %s", s.Name)
+		}
+		return EncodeKey(pk), nil
+	}
+	rowid := int64(db.c.NewOID(0).Local())
+	return EncodeKey(Int(rowid)), nil
+}
+
+// indexEntryKey builds the index-tree key for a row: the encoded column
+// value concatenated with the row key (making entries unique per row
+// and range-scannable by value prefix).
+func indexEntryKey(colVal Value, rowKey []byte) []byte {
+	k := EncodeKey(colVal)
+	out := make([]byte, 0, len(k)+len(rowKey))
+	out = append(out, k...)
+	return append(out, rowKey...)
+}
+
+// checkUnique verifies no index entry exists for value v.
+func (db *DB) checkUnique(ctx context.Context, tx *kvclient.Tx, table *Table, idxPos int, v Value) error {
+	is := table.Schema.Indexes[idxPos]
+	if v.IsNull() {
+		return nil // SQL: NULLs are exempt from UNIQUE
+	}
+	k := EncodeKey(v)
+	cells, err := table.IndexTrees[idxPos].Scan(ctx, tx, k, 1)
+	if err != nil {
+		return err
+	}
+	if len(cells) > 0 && bytesCompare(cells[0].Key, KeySuccessor(k)) < 0 {
+		return fmt.Errorf("sql: UNIQUE constraint failed: %s.%s", is.Table, is.Col)
+	}
+	return nil
+}
+
+// insertIndexEntries stages index entries for a new/updated row.
+func (db *DB) insertIndexEntries(ctx context.Context, tx *kvclient.Tx, table *Table, rowKey []byte, vals []Value) error {
+	for i, is := range table.Schema.Indexes {
+		v := vals[is.ColIdx]
+		if is.Unique {
+			if err := db.checkUnique(ctx, tx, table, i, v); err != nil {
+				return err
+			}
+		}
+		if err := table.IndexTrees[i].Put(ctx, tx, indexEntryKey(v, rowKey), rowKey); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deleteIndexEntries stages removal of a row's index entries.
+func (db *DB) deleteIndexEntries(ctx context.Context, tx *kvclient.Tx, table *Table, rowKey []byte, vals []Value) error {
+	for i, is := range table.Schema.Indexes {
+		err := table.IndexTrees[i].Delete(ctx, tx, indexEntryKey(vals[is.ColIdx], rowKey))
+		if err != nil && !errors.Is(err, dbt.ErrKeyNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) execInsert(ctx context.Context, tx *kvclient.Tx, st Insert, args []Value) (Result, error) {
+	table, err := db.cat.GetTable(ctx, tx, st.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	s := table.Schema
+
+	// Map the statement's column list to schema positions.
+	colPos := make([]int, 0, len(st.Cols))
+	if len(st.Cols) == 0 {
+		for i := range s.Cols {
+			colPos = append(colPos, i)
+		}
+	} else {
+		for _, c := range st.Cols {
+			i := s.ColIndex(c)
+			if i < 0 {
+				return Result{}, fmt.Errorf("sql: no such column %s.%s", s.Name, c)
+			}
+			colPos = append(colPos, i)
+		}
+	}
+
+	e := &env{params: args}
+	var affected int64
+	for _, rowExprs := range st.Rows {
+		if len(rowExprs) != len(colPos) {
+			return Result{}, fmt.Errorf("sql: %d values for %d columns", len(rowExprs), len(colPos))
+		}
+		vals := make([]Value, len(s.Cols))
+		for j, x := range rowExprs {
+			v, err := e.eval(x)
+			if err != nil {
+				return Result{}, err
+			}
+			cv, err := Coerce(v, s.Cols[colPos[j]].Type)
+			if err != nil {
+				return Result{}, err
+			}
+			vals[colPos[j]] = cv
+		}
+		for i, c := range s.Cols {
+			if (c.NotNull || i == s.PKCol) && vals[i].IsNull() {
+				return Result{}, fmt.Errorf("sql: NOT NULL constraint failed: %s.%s", s.Name, c.Name)
+			}
+		}
+		rowKey, err := db.rowKeyFor(table, vals)
+		if err != nil {
+			return Result{}, err
+		}
+		if s.PKCol >= 0 {
+			if _, err := table.Tree.Get(ctx, tx, rowKey); err == nil {
+				return Result{}, fmt.Errorf("sql: UNIQUE constraint failed: %s.%s",
+					s.Name, s.Cols[s.PKCol].Name)
+			} else if !errors.Is(err, dbt.ErrKeyNotFound) {
+				return Result{}, err
+			}
+		}
+		if err := table.Tree.Put(ctx, tx, rowKey, EncodeRow(vals)); err != nil {
+			return Result{}, err
+		}
+		if err := db.insertIndexEntries(ctx, tx, table, rowKey, vals); err != nil {
+			return Result{}, err
+		}
+		affected++
+	}
+	return Result{RowsAffected: affected}, nil
+}
+
+type matchedRow struct {
+	key []byte
+	row []Value
+}
+
+// collectMatches gathers rows of table matching where (for UPDATE and
+// DELETE; mutation happens after the scan so the scan's iterator does
+// not chase its own writes).
+func (db *DB) collectMatches(ctx context.Context, tx *kvclient.Tx, table *Table, alias string, where Expr, args []Value) ([]matchedRow, error) {
+	conj := conjuncts(where, nil)
+	path := planAccess(table, alias, conj, nil)
+	e := &env{params: args}
+	b := &binding{alias: alias, schema: table.Schema}
+	e.bindings = []*binding{b}
+	var out []matchedRow
+	err := db.scanTable(ctx, tx, table, path, e, func(rowKey []byte, row []Value) (bool, error) {
+		b.row = row
+		if where != nil {
+			v, err := e.eval(where)
+			if err != nil {
+				return false, err
+			}
+			if v.IsNull() || !v.Truthy() {
+				return true, nil
+			}
+		}
+		out = append(out, matchedRow{key: append([]byte(nil), rowKey...), row: row})
+		return true, nil
+	})
+	return out, err
+}
+
+func (db *DB) execUpdate(ctx context.Context, tx *kvclient.Tx, st Update, args []Value) (Result, error) {
+	table, err := db.cat.GetTable(ctx, tx, st.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	s := table.Schema
+	setPos := make([]int, len(st.Set))
+	for i, set := range st.Set {
+		p := s.ColIndex(set.Col)
+		if p < 0 {
+			return Result{}, fmt.Errorf("sql: no such column %s.%s", s.Name, set.Col)
+		}
+		setPos[i] = p
+	}
+	matches, err := db.collectMatches(ctx, tx, table, st.Table, st.Where, args)
+	if err != nil {
+		return Result{}, err
+	}
+	e := &env{params: args}
+	b := &binding{alias: st.Table, schema: s}
+	e.bindings = []*binding{b}
+	for _, m := range matches {
+		b.row = m.row
+		newVals := append([]Value(nil), m.row...)
+		for i, set := range st.Set {
+			v, err := e.eval(set.E)
+			if err != nil {
+				return Result{}, err
+			}
+			cv, err := Coerce(v, s.Cols[setPos[i]].Type)
+			if err != nil {
+				return Result{}, err
+			}
+			newVals[setPos[i]] = cv
+		}
+		for i, c := range s.Cols {
+			if (c.NotNull || i == s.PKCol) && newVals[i].IsNull() {
+				return Result{}, fmt.Errorf("sql: NOT NULL constraint failed: %s.%s", s.Name, c.Name)
+			}
+		}
+		newKey := m.key
+		pkChanged := false
+		if s.PKCol >= 0 && Compare(m.row[s.PKCol], newVals[s.PKCol]) != 0 {
+			pkChanged = true
+			newKey = EncodeKey(newVals[s.PKCol])
+		}
+		if pkChanged {
+			if _, err := table.Tree.Get(ctx, tx, newKey); err == nil {
+				return Result{}, fmt.Errorf("sql: UNIQUE constraint failed: %s.%s", s.Name, s.Cols[s.PKCol].Name)
+			} else if !errors.Is(err, dbt.ErrKeyNotFound) {
+				return Result{}, err
+			}
+			if err := table.Tree.Delete(ctx, tx, m.key); err != nil {
+				return Result{}, err
+			}
+		}
+		if err := db.deleteIndexEntries(ctx, tx, table, m.key, m.row); err != nil {
+			return Result{}, err
+		}
+		if err := table.Tree.Put(ctx, tx, newKey, EncodeRow(newVals)); err != nil {
+			return Result{}, err
+		}
+		if err := db.insertIndexEntries(ctx, tx, table, newKey, newVals); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{RowsAffected: int64(len(matches))}, nil
+}
+
+func (db *DB) execDelete(ctx context.Context, tx *kvclient.Tx, st Delete, args []Value) (Result, error) {
+	table, err := db.cat.GetTable(ctx, tx, st.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	matches, err := db.collectMatches(ctx, tx, table, st.Table, st.Where, args)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, m := range matches {
+		if err := table.Tree.Delete(ctx, tx, m.key); err != nil && !errors.Is(err, dbt.ErrKeyNotFound) {
+			return Result{}, err
+		}
+		if err := db.deleteIndexEntries(ctx, tx, table, m.key, m.row); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{RowsAffected: int64(len(matches))}, nil
+}
+
+// execCreateIndex creates the index and backfills it from the table, all
+// in one transaction.
+func (db *DB) execCreateIndex(ctx context.Context, tx *kvclient.Tx, st CreateIndex) error {
+	// Hold the pre-DDL table handle for the backfill scan.
+	table, err := db.cat.GetTable(ctx, tx, st.Table)
+	if err != nil {
+		return err
+	}
+	is, err := db.cat.CreateIndex(ctx, tx, st)
+	if err != nil || is == nil {
+		return err
+	}
+	// Backfill: scan the table at this snapshot and stage entries into
+	// the new tree. The tree root was staged in tx, so the backfill
+	// writes see it and the whole DDL commits atomically.
+	idxTree, err := dbt.OpenUnchecked(db.c, is.TreeID, db.cat.treeCfg)
+	if err != nil {
+		return err
+	}
+	defer idxTree.Close()
+	cells, err := table.Tree.Scan(ctx, tx, nil, -1)
+	if err != nil {
+		return err
+	}
+	for _, cell := range cells {
+		vals, err := DecodeRow(cell.Value)
+		if err != nil {
+			return err
+		}
+		v := vals[is.ColIdx]
+		if err := idxTree.Put(ctx, tx, indexEntryKey(v, cell.Key), cell.Key); err != nil {
+			return err
+		}
+	}
+	if is.Unique {
+		// Table scans come out in rowKey order, not value order, so
+		// duplicates are detected on the freshly built index, where
+		// equal values are adjacent. NULLs are exempt (SQL standard).
+		idxCells, err := idxTree.Scan(ctx, tx, nil, -1)
+		if err != nil {
+			return err
+		}
+		nullPrefix := EncodeKey(Null)
+		var prevPrefix []byte
+		for _, c := range idxCells {
+			prefix := c.Key[:len(c.Key)-len(c.Value)] // strip rowKey suffix
+			if bytesCompare(prefix, nullPrefix) == 0 {
+				continue
+			}
+			if prevPrefix != nil && bytesCompare(prefix, prevPrefix) == 0 {
+				return fmt.Errorf("sql: UNIQUE constraint failed building index %s", is.Name)
+			}
+			prevPrefix = append(prevPrefix[:0], prefix...)
+		}
+	}
+	return nil
+}

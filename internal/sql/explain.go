@@ -1,0 +1,131 @@
+package sql
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"yesquel/internal/kv/kvclient"
+)
+
+// EXPLAIN: report the access paths the planner would use, one line per
+// table in join order, without executing the statement.
+
+func (p accessPath) describe(table *Table) string {
+	s := table.Schema
+	switch p.kind {
+	case pathPKEq:
+		return fmt.Sprintf("PRIMARY KEY lookup on %s (%s = ...)", s.Name, s.Cols[s.PKCol].Name)
+	case pathPKRange:
+		return fmt.Sprintf("PRIMARY KEY range scan on %s (%s)", s.Name, describeBounds(s.Cols[s.PKCol].Name, p))
+	case pathIdxEq:
+		is := s.Indexes[p.idx]
+		return fmt.Sprintf("INDEX lookup on %s via %s (%s = ...)", s.Name, is.Name, is.Col)
+	case pathIdxRange:
+		is := s.Indexes[p.idx]
+		return fmt.Sprintf("INDEX range scan on %s via %s (%s)", s.Name, is.Name, describeBounds(is.Col, p))
+	default:
+		return fmt.Sprintf("FULL SCAN of %s", s.Name)
+	}
+}
+
+func describeBounds(col string, p accessPath) string {
+	var parts []string
+	if p.lo != nil {
+		op := ">"
+		if p.lo.incl {
+			op = ">="
+		}
+		parts = append(parts, fmt.Sprintf("%s %s ...", col, op))
+	}
+	if p.hi != nil {
+		op := "<"
+		if p.hi.incl {
+			op = "<="
+		}
+		parts = append(parts, fmt.Sprintf("%s %s ...", col, op))
+	}
+	return strings.Join(parts, " AND ")
+}
+
+func (db *DB) execExplain(ctx context.Context, tx *kvclient.Tx, st Explain) (*Rows, error) {
+	rows := &Rows{Columns: []string{"plan"}}
+	addLine := func(depth int, line string) {
+		rows.rows = append(rows.rows, []Value{Text(strings.Repeat("  ", depth) + line)})
+	}
+	switch s := st.Stmt.(type) {
+	case Select:
+		if s.From == nil {
+			addLine(0, "CONSTANT ROW (no FROM)")
+			break
+		}
+		refs := []TableRef{*s.From}
+		for _, j := range s.Joins {
+			refs = append(refs, j.Right)
+		}
+		var conj []Expr
+		conj = conjuncts(s.Where, conj)
+		for _, j := range s.Joins {
+			conj = conjuncts(j.On, conj)
+		}
+		outer := make(map[string]bool)
+		for depth, r := range refs {
+			alias := r.Alias
+			if alias == "" {
+				alias = r.Name
+			}
+			table, err := db.cat.GetTable(ctx, tx, r.Name)
+			if err != nil {
+				return nil, err
+			}
+			path := planAccess(table, alias, conj, outer)
+			prefix := ""
+			if depth > 0 {
+				prefix = "NESTED LOOP JOIN: "
+			}
+			addLine(depth, prefix+path.describe(table))
+			outer[alias] = true
+		}
+		agg := len(s.GroupBy) > 0 || s.Having != nil
+		for _, it := range s.Items {
+			if hasAggregate(it.E) {
+				agg = true
+			}
+		}
+		if agg {
+			addLine(0, fmt.Sprintf("HASH AGGREGATE (%d group-by keys)", len(s.GroupBy)))
+		}
+		if s.Distinct {
+			addLine(0, "DISTINCT")
+		}
+		if len(s.OrderBy) > 0 {
+			addLine(0, fmt.Sprintf("SORT (%d keys)", len(s.OrderBy)))
+		}
+		if s.Limit != nil {
+			addLine(0, "LIMIT")
+		}
+	case Update:
+		table, err := db.cat.GetTable(ctx, tx, s.Table)
+		if err != nil {
+			return nil, err
+		}
+		path := planAccess(table, s.Table, conjuncts(s.Where, nil), nil)
+		addLine(0, "UPDATE via "+path.describe(table))
+		if len(table.Schema.Indexes) > 0 {
+			addLine(1, fmt.Sprintf("maintains %d secondary index(es)", len(table.Schema.Indexes)))
+		}
+	case Delete:
+		table, err := db.cat.GetTable(ctx, tx, s.Table)
+		if err != nil {
+			return nil, err
+		}
+		path := planAccess(table, s.Table, conjuncts(s.Where, nil), nil)
+		addLine(0, "DELETE via "+path.describe(table))
+		if len(table.Schema.Indexes) > 0 {
+			addLine(1, fmt.Sprintf("maintains %d secondary index(es)", len(table.Schema.Indexes)))
+		}
+	default:
+		return nil, fmt.Errorf("sql: cannot explain %T", st.Stmt)
+	}
+	return rows, nil
+}

@@ -1,0 +1,862 @@
+package sql
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+)
+
+// Parse parses one SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSym, ";")
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("sql: unexpected %s after statement", p.cur())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	params int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+// accept consumes the current token if it matches.
+func (p *parser) accept(kind tokKind, text string) bool {
+	t := p.cur()
+	if t.kind == kind && (text == "" || t.text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// acceptKw consumes a keyword.
+func (p *parser) acceptKw(kw string) bool { return p.accept(tokKeyword, kw) }
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if t.kind == kind && (text == "" || t.text == text) {
+		p.pos++
+		return t, nil
+	}
+	want := text
+	if want == "" {
+		want = map[tokKind]string{tokIdent: "identifier", tokInt: "integer"}[kind]
+	}
+	return t, fmt.Errorf("sql: expected %s, got %s", want, t)
+}
+
+func (p *parser) expectKw(kw string) error {
+	_, err := p.expect(tokKeyword, kw)
+	return err
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	// Allow non-reserved keywords (count, key, ...) as identifiers in
+	// easy positions? Keep strict: identifiers only.
+	if t.kind == tokIdent {
+		p.pos++
+		return t.text, nil
+	}
+	return "", fmt.Errorf("sql: expected identifier, got %s", t)
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return nil, fmt.Errorf("sql: expected statement, got %s", t)
+	}
+	switch t.text {
+	case "explain":
+		p.next()
+		inner, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		switch inner.(type) {
+		case Select, Update, Delete:
+			return Explain{Stmt: inner}, nil
+		}
+		return nil, fmt.Errorf("sql: EXPLAIN supports SELECT, UPDATE, and DELETE")
+	case "create":
+		return p.parseCreate()
+	case "drop":
+		return p.parseDrop()
+	case "insert":
+		return p.parseInsert()
+	case "select":
+		return p.parseSelect()
+	case "update":
+		return p.parseUpdate()
+	case "delete":
+		return p.parseDelete()
+	case "begin":
+		p.next()
+		p.acceptKw("transaction")
+		return Begin{}, nil
+	case "commit":
+		p.next()
+		return Commit{}, nil
+	case "rollback":
+		p.next()
+		return Rollback{}, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported statement %s", t)
+}
+
+func (p *parser) parseCreate() (Stmt, error) {
+	p.next() // create
+	unique := p.acceptKw("unique")
+	switch {
+	case p.acceptKw("table"):
+		if unique {
+			return nil, fmt.Errorf("sql: UNIQUE TABLE is not a thing")
+		}
+		return p.parseCreateTable()
+	case p.acceptKw("index"):
+		return p.parseCreateIndex(unique)
+	}
+	return nil, fmt.Errorf("sql: expected TABLE or INDEX after CREATE, got %s", p.cur())
+}
+
+func (p *parser) parseIfNotExists() bool {
+	if p.cur().kind == tokKeyword && p.cur().text == "if" {
+		p.next()
+		p.acceptKw("not")
+		p.acceptKw("exists")
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseCreateTable() (Stmt, error) {
+	ine := p.parseIfNotExists()
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSym, "("); err != nil {
+		return nil, err
+	}
+	st := CreateTable{Name: name, IfNotExists: ine}
+	for {
+		col, err := p.parseColDef()
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, col)
+		if p.accept(tokSym, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSym, ")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseColDef() (ColDef, error) {
+	var cd ColDef
+	name, err := p.ident()
+	if err != nil {
+		return cd, err
+	}
+	cd.Name = name
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return cd, fmt.Errorf("sql: expected column type, got %s", t)
+	}
+	switch t.text {
+	case "integer", "int":
+		cd.Type = TypeInt
+	case "real", "float":
+		cd.Type = TypeFloat
+	case "text", "varchar":
+		cd.Type = TypeText
+	case "blob":
+		cd.Type = TypeBlob
+	default:
+		return cd, fmt.Errorf("sql: unknown column type %s", t)
+	}
+	p.next()
+	// VARCHAR(255)-style size, ignored.
+	if p.accept(tokSym, "(") {
+		if _, err := p.expect(tokInt, ""); err != nil {
+			return cd, err
+		}
+		if _, err := p.expect(tokSym, ")"); err != nil {
+			return cd, err
+		}
+	}
+	for {
+		switch {
+		case p.acceptKw("primary"):
+			if err := p.expectKw("key"); err != nil {
+				return cd, err
+			}
+			cd.PrimaryKey = true
+		case p.acceptKw("not"):
+			if err := p.expectKw("null"); err != nil {
+				return cd, err
+			}
+			cd.NotNull = true
+		default:
+			return cd, nil
+		}
+	}
+}
+
+func (p *parser) parseCreateIndex(unique bool) (Stmt, error) {
+	ine := p.parseIfNotExists()
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("on"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSym, "("); err != nil {
+		return nil, err
+	}
+	st := CreateIndex{Name: name, Table: table, Unique: unique, IfNotExists: ine}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, col)
+		if p.accept(tokSym, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSym, ")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseDrop() (Stmt, error) {
+	p.next() // drop
+	switch {
+	case p.acceptKw("table"):
+		ie := p.parseIfExists()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return DropTable{Name: name, IfExists: ie}, nil
+	case p.acceptKw("index"):
+		ie := p.parseIfExists()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return DropIndex{Name: name, IfExists: ie}, nil
+	}
+	return nil, fmt.Errorf("sql: expected TABLE or INDEX after DROP")
+}
+
+func (p *parser) parseIfExists() bool {
+	if p.cur().kind == tokKeyword && p.cur().text == "if" {
+		p.next()
+		p.acceptKw("exists")
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	p.next() // insert
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := Insert{Table: table}
+	if p.accept(tokSym, "(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col)
+			if p.accept(tokSym, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSym, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("values"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokSym, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(tokSym, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSym, ")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if p.accept(tokSym, ",") {
+			continue
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelect() (Stmt, error) {
+	p.next() // select
+	st := Select{}
+	st.Distinct = p.acceptKw("distinct")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if p.accept(tokSym, ",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKw("from") {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		st.From = &tr
+		for {
+			inner := p.acceptKw("inner")
+			if !p.acceptKw("join") {
+				if inner {
+					return nil, fmt.Errorf("sql: expected JOIN after INNER")
+				}
+				break
+			}
+			right, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("on"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Joins = append(st.Joins, Join{Right: right, On: on})
+		}
+	}
+	if p.acceptKw("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.acceptKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, e)
+			if p.accept(tokSym, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Having = e
+	}
+	if p.acceptKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{E: e}
+			if p.acceptKw("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKw("asc")
+			}
+			st.OrderBy = append(st.OrderBy, item)
+			if p.accept(tokSym, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("limit") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Limit = e
+		if p.acceptKw("offset") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Offset = e
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	// *, table.*
+	if p.accept(tokSym, "*") {
+		return SelectItem{E: Star{}}, nil
+	}
+	if p.cur().kind == tokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tokSym && p.toks[p.pos+1].text == "." &&
+		p.toks[p.pos+2].kind == tokSym && p.toks[p.pos+2].text == "*" {
+		table := p.next().text
+		p.next() // .
+		p.next() // *
+		return SelectItem{E: Star{Table: table}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{E: e}
+	if p.acceptKw("as") {
+		alias, err := p.ident()
+		if err != nil {
+			return item, err
+		}
+		item.Alias = alias
+	} else if p.cur().kind == tokIdent {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: name}
+	if p.acceptKw("as") {
+		alias, err := p.ident()
+		if err != nil {
+			return tr, err
+		}
+		tr.Alias = alias
+	} else if p.cur().kind == tokIdent {
+		tr.Alias = p.next().text
+	}
+	return tr, nil
+}
+
+func (p *parser) parseUpdate() (Stmt, error) {
+	p.next() // update
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	st := Update{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSym, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, struct {
+			Col string
+			E   Expr
+		}{col, e})
+		if p.accept(tokSym, ",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKw("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (Stmt, error) {
+	p.next() // delete
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := Delete{Table: table}
+	if p.acceptKw("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+// --- expressions (precedence climbing) ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = BinOp{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = BinOp{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKw("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return UnOp{Op: "not", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKw("is") {
+		not := p.acceptKw("not")
+		if err := p.expectKw("null"); err != nil {
+			return nil, err
+		}
+		return IsNull{E: l, Not: not}, nil
+	}
+	notIn := false
+	if p.cur().kind == tokKeyword && p.cur().text == "not" &&
+		p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokKeyword &&
+		(p.toks[p.pos+1].text == "in" || p.toks[p.pos+1].text == "between" || p.toks[p.pos+1].text == "like") {
+		p.next()
+		notIn = true
+	}
+	if p.acceptKw("in") {
+		if _, err := p.expect(tokSym, "("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.accept(tokSym, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSym, ")"); err != nil {
+			return nil, err
+		}
+		return InList{E: l, List: list, Not: notIn}, nil
+	}
+	if p.acceptKw("between") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return Between{E: l, Lo: lo, Hi: hi, Not: notIn}, nil
+	}
+	if p.acceptKw("like") {
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		e := Expr(BinOp{Op: "like", L: l, R: r})
+		if notIn {
+			e = UnOp{Op: "not", E: e}
+		}
+		return e, nil
+	}
+	t := p.cur()
+	if t.kind == tokSym {
+		switch t.text {
+		case "=", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return BinOp{Op: t.text, L: l, R: r}, nil
+		case "!=", "<>":
+			p.next()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return BinOp{Op: "!=", L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokSym && (t.text == "+" || t.text == "-" || t.text == "||") {
+			p.next()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = BinOp{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokSym && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.next()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = BinOp{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokSym, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnOp{Op: "-", E: e}, nil
+	}
+	if p.accept(tokSym, "+") {
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad integer %q", t.text)
+		}
+		return Lit{V: Int(i)}, nil
+	case tokFloat:
+		p.next()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return Lit{V: Float(f)}, nil
+	case tokString:
+		p.next()
+		return Lit{V: Text(t.text)}, nil
+	case tokBlob:
+		p.next()
+		b, err := hex.DecodeString(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad blob literal")
+		}
+		return Lit{V: Blob(b)}, nil
+	case tokParam:
+		p.next()
+		n := p.params
+		p.params++
+		return Param{N: n}, nil
+	case tokKeyword:
+		switch t.text {
+		case "null":
+			p.next()
+			return Lit{V: Null}, nil
+		case "count", "sum", "avg", "min", "max":
+			return p.parseCall(t.text)
+		case "not":
+			p.next()
+			e, err := p.parseNot()
+			if err != nil {
+				return nil, err
+			}
+			return UnOp{Op: "not", E: e}, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected %s in expression", t)
+	case tokIdent:
+		// function call or column ref
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokSym && p.toks[p.pos+1].text == "(" {
+			return p.parseCall(t.text)
+		}
+		p.next()
+		if p.accept(tokSym, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return ColRef{Table: t.text, Col: col}, nil
+		}
+		return ColRef{Col: t.text}, nil
+	case tokSym:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSym, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected %s in expression", t)
+}
+
+func (p *parser) parseCall(fn string) (Expr, error) {
+	p.next() // name
+	if _, err := p.expect(tokSym, "("); err != nil {
+		return nil, err
+	}
+	call := Call{Fn: fn}
+	if fn == "count" && p.accept(tokSym, "*") {
+		call.Star = true
+		if _, err := p.expect(tokSym, ")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	call.Distinct = p.acceptKw("distinct")
+	if !p.accept(tokSym, ")") {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, e)
+			if p.accept(tokSym, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSym, ")"); err != nil {
+			return nil, err
+		}
+	}
+	return call, nil
+}

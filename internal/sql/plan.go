@@ -1,0 +1,360 @@
+package sql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"yesquel/internal/dbt"
+	"yesquel/internal/kv/kvclient"
+)
+
+// Access-path planning. The planner is deliberately modest — Web
+// workloads are point lookups, short range scans, and small joins — but
+// it picks the three access paths that matter:
+//
+//	pkEq:     WHERE pk = e        -> one DBT Get
+//	pkRange:  WHERE pk <op> e ... -> bounded DBT scan
+//	idxEq/idxRange: predicates on an indexed column -> bounded scan of
+//	          the index tree, then row fetches by primary key
+//	full:     everything else    -> full table scan
+//
+// The full WHERE clause is always re-evaluated on each row, so access
+// paths are pure optimizations and cannot change results.
+
+type pathKind uint8
+
+const (
+	pathFull pathKind = iota
+	pathPKEq
+	pathPKRange
+	pathIdxEq
+	pathIdxRange
+)
+
+type bound struct {
+	e    Expr
+	incl bool
+}
+
+type accessPath struct {
+	kind pathKind
+	idx  int // position in Schema.Indexes for idx paths
+	eq   Expr
+	lo   *bound
+	hi   *bound
+}
+
+// conjuncts flattens nested ANDs.
+func conjuncts(e Expr, out []Expr) []Expr {
+	if b, ok := e.(BinOp); ok && b.Op == "and" {
+		out = conjuncts(b.L, out)
+		return conjuncts(b.R, out)
+	}
+	if e != nil {
+		out = append(out, e)
+	}
+	return out
+}
+
+// refsOnly reports whether e references columns only through the given
+// aliases (i.e. it can be evaluated before scanning the planned table).
+func refsOnly(e Expr, allowed map[string]bool) bool {
+	switch t := e.(type) {
+	case Lit, Param:
+		return true
+	case ColRef:
+		// An unqualified column could belong to the planned table;
+		// only qualified refs to outer tables are safely evaluable.
+		return t.Table != "" && allowed[t.Table]
+	case BinOp:
+		return refsOnly(t.L, allowed) && refsOnly(t.R, allowed)
+	case UnOp:
+		return refsOnly(t.E, allowed)
+	case IsNull:
+		return refsOnly(t.E, allowed)
+	case Between:
+		return refsOnly(t.E, allowed) && refsOnly(t.Lo, allowed) && refsOnly(t.Hi, allowed)
+	case InList:
+		if !refsOnly(t.E, allowed) {
+			return false
+		}
+		for _, le := range t.List {
+			if !refsOnly(le, allowed) {
+				return false
+			}
+		}
+		return true
+	case Call:
+		for _, a := range t.Args {
+			if !refsOnly(a, allowed) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// colPredicate matches a conjunct of the form <col> <op> <expr> or
+// <expr> <op> <col> where col belongs to the table being planned
+// (alias) and expr is evaluable from outer bindings.
+func colPredicate(e Expr, alias string, schema *TableSchema, outer map[string]bool) (col string, op string, rhs Expr, ok bool) {
+	b, isBin := e.(BinOp)
+	if !isBin {
+		return "", "", nil, false
+	}
+	switch b.Op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return "", "", nil, false
+	}
+	try := func(l, r Expr, op string) (string, string, Expr, bool) {
+		c, isCol := l.(ColRef)
+		if !isCol {
+			return "", "", nil, false
+		}
+		if c.Table != "" && c.Table != alias {
+			return "", "", nil, false
+		}
+		if schema.ColIndex(c.Col) < 0 {
+			return "", "", nil, false
+		}
+		if !refsOnly(r, outer) {
+			return "", "", nil, false
+		}
+		return c.Col, op, r, true
+	}
+	if c, op2, r, ok2 := try(b.L, b.R, b.Op); ok2 {
+		return c, op2, r, true
+	}
+	// Mirror: expr <op> col.
+	mirror := map[string]string{"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+	if c, op2, r, ok2 := try(b.R, b.L, mirror[b.Op]); ok2 {
+		return c, op2, r, true
+	}
+	return "", "", nil, false
+}
+
+// planAccess chooses the access path for a table given the WHERE/ON
+// conjuncts and the set of already-bound (outer) aliases.
+func planAccess(table *Table, alias string, conj []Expr, outer map[string]bool) accessPath {
+	schema := table.Schema
+	pkName := ""
+	if schema.PKCol >= 0 {
+		pkName = schema.Cols[schema.PKCol].Name
+	}
+	type colBounds struct {
+		eq     Expr
+		lo, hi *bound
+	}
+	byCol := make(map[string]*colBounds)
+	for _, c := range conj {
+		col, op, rhs, ok := colPredicate(c, alias, schema, outer)
+		if !ok {
+			continue
+		}
+		cb := byCol[col]
+		if cb == nil {
+			cb = &colBounds{}
+			byCol[col] = cb
+		}
+		switch op {
+		case "=":
+			cb.eq = rhs
+		case ">":
+			cb.lo = &bound{e: rhs}
+		case ">=":
+			cb.lo = &bound{e: rhs, incl: true}
+		case "<":
+			cb.hi = &bound{e: rhs}
+		case "<=":
+			cb.hi = &bound{e: rhs, incl: true}
+		}
+	}
+	// Also treat BETWEEN as a range.
+	for _, c := range conj {
+		bt, ok := c.(Between)
+		if !ok || bt.Not {
+			continue
+		}
+		cr, ok := bt.E.(ColRef)
+		if !ok || (cr.Table != "" && cr.Table != alias) || schema.ColIndex(cr.Col) < 0 {
+			continue
+		}
+		if !refsOnly(bt.Lo, outer) || !refsOnly(bt.Hi, outer) {
+			continue
+		}
+		cb := byCol[cr.Col]
+		if cb == nil {
+			cb = &colBounds{}
+			byCol[cr.Col] = cb
+		}
+		if cb.lo == nil {
+			cb.lo = &bound{e: bt.Lo, incl: true}
+		}
+		if cb.hi == nil {
+			cb.hi = &bound{e: bt.Hi, incl: true}
+		}
+	}
+
+	// Primary key first: it avoids the extra index hop.
+	if pkName != "" {
+		if cb := byCol[pkName]; cb != nil {
+			if cb.eq != nil {
+				return accessPath{kind: pathPKEq, eq: cb.eq}
+			}
+			if cb.lo != nil || cb.hi != nil {
+				return accessPath{kind: pathPKRange, lo: cb.lo, hi: cb.hi}
+			}
+		}
+	}
+	for i, is := range schema.Indexes {
+		if cb := byCol[is.Col]; cb != nil {
+			if cb.eq != nil {
+				return accessPath{kind: pathIdxEq, idx: i, eq: cb.eq}
+			}
+			if cb.lo != nil || cb.hi != nil {
+				return accessPath{kind: pathIdxRange, idx: i, lo: cb.lo, hi: cb.hi}
+			}
+		}
+	}
+	return accessPath{kind: pathFull}
+}
+
+// rowVisitor receives each fetched row; returning false stops the scan.
+type rowVisitor func(rowKey []byte, row []Value) (bool, error)
+
+// keyRange evaluates the path's bounds into encoded key bounds for a
+// key column of declared type ct. ok=false means the bound expression
+// could not be coerced; the caller falls back to a full scan.
+func evalKeyBounds(e *env, path accessPath, ct Type) (lo, hi []byte, ok bool, err error) {
+	if path.eq != nil {
+		v, err := e.eval(path.eq)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if v.IsNull() {
+			// col = NULL matches nothing; empty range.
+			return []byte{}, []byte{}, true, nil
+		}
+		cv, cerr := Coerce(v, ct)
+		if cerr != nil {
+			return nil, nil, false, nil
+		}
+		k := EncodeKey(cv)
+		return k, KeySuccessor(k), true, nil
+	}
+	if path.lo != nil {
+		v, err := e.eval(path.lo.e)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if v.IsNull() {
+			return []byte{}, []byte{}, true, nil
+		}
+		cv, cerr := Coerce(v, ct)
+		if cerr != nil {
+			return nil, nil, false, nil
+		}
+		k := EncodeKey(cv)
+		if path.lo.incl {
+			lo = k
+		} else {
+			lo = KeySuccessor(k)
+		}
+	}
+	if path.hi != nil {
+		v, err := e.eval(path.hi.e)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if v.IsNull() {
+			return []byte{}, []byte{}, true, nil
+		}
+		cv, cerr := Coerce(v, ct)
+		if cerr != nil {
+			return nil, nil, false, nil
+		}
+		k := EncodeKey(cv)
+		if path.hi.incl {
+			hi = KeySuccessor(k)
+		} else {
+			hi = k
+		}
+	}
+	return lo, hi, true, nil
+}
+
+// scanTable drives the chosen access path, invoking visit for each row.
+func (db *DB) scanTable(ctx context.Context, tx *kvclient.Tx, table *Table, path accessPath, e *env, visit rowVisitor) error {
+	schema := table.Schema
+	switch path.kind {
+	case pathPKEq, pathPKRange:
+		ct := schema.Cols[schema.PKCol].Type
+		lo, hi, ok, err := evalKeyBounds(e, path, ct)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return db.scanTreeRange(ctx, tx, table.Tree, lo, hi, func(key, val []byte) (bool, error) {
+				row, err := DecodeRow(val)
+				if err != nil {
+					return false, err
+				}
+				return visit(key, row)
+			})
+		}
+	case pathIdxEq, pathIdxRange:
+		is := schema.Indexes[path.idx]
+		ct := schema.Cols[is.ColIdx].Type
+		lo, hi, ok, err := evalKeyBounds(e, path, ct)
+		if err != nil {
+			return err
+		}
+		if ok {
+			idxTree := table.IndexTrees[path.idx]
+			return db.scanTreeRange(ctx, tx, idxTree, lo, hi, func(_, rowKey []byte) (bool, error) {
+				raw, err := table.Tree.Get(ctx, tx, rowKey)
+				if err != nil {
+					if errors.Is(err, dbt.ErrKeyNotFound) {
+						return false, fmt.Errorf("sql: index %s points at missing row", is.Name)
+					}
+					return false, err
+				}
+				row, err := DecodeRow(raw)
+				if err != nil {
+					return false, err
+				}
+				return visit(rowKey, row)
+			})
+		}
+	}
+	// Full scan.
+	return db.scanTreeRange(ctx, tx, table.Tree, nil, nil, func(key, val []byte) (bool, error) {
+		row, err := DecodeRow(val)
+		if err != nil {
+			return false, err
+		}
+		return visit(key, row)
+	})
+}
+
+// scanTreeRange iterates tree cells with keys in [lo, hi); nil bounds
+// are unbounded.
+func (db *DB) scanTreeRange(ctx context.Context, tx *kvclient.Tx, tree *dbt.Tree, lo, hi []byte, visit func(key, val []byte) (bool, error)) error {
+	it := tree.NewIterator(ctx, tx, lo)
+	for ; it.Valid(); it.Next() {
+		if hi != nil && bytesCompare(it.Key(), hi) >= 0 {
+			break
+		}
+		cont, err := visit(it.Key(), it.Value())
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return it.Err()
+}

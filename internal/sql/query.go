@@ -1,0 +1,779 @@
+package sql
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"yesquel/internal/kv/kvclient"
+)
+
+// SELECT execution: a left-deep nested-loop join over planned access
+// paths, feeding either a plain projector or a hash aggregator, then
+// DISTINCT, ORDER BY, and LIMIT/OFFSET. Everything after the scans is
+// in-memory — the paper's workload is small fast queries, and the DBT
+// delivers rows already ordered by key for the common ORDER-BY-PK case.
+
+// aggRef is an internal expression node: a reference to the i-th
+// aggregate computed for the current group.
+type aggRef struct{ N int }
+
+func (aggRef) expr() {}
+
+// rewriteAggs replaces aggregate calls in x with aggRef nodes,
+// appending the original calls to *aggs.
+func rewriteAggs(x Expr, aggs *[]Call) Expr {
+	switch t := x.(type) {
+	case Call:
+		switch t.Fn {
+		case "count", "sum", "avg", "min", "max":
+			*aggs = append(*aggs, t)
+			return aggRef{N: len(*aggs) - 1}
+		}
+		args := make([]Expr, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = rewriteAggs(a, aggs)
+		}
+		return Call{Fn: t.Fn, Args: args, Star: t.Star, Distinct: t.Distinct}
+	case BinOp:
+		return BinOp{Op: t.Op, L: rewriteAggs(t.L, aggs), R: rewriteAggs(t.R, aggs)}
+	case UnOp:
+		return UnOp{Op: t.Op, E: rewriteAggs(t.E, aggs)}
+	case IsNull:
+		return IsNull{E: rewriteAggs(t.E, aggs), Not: t.Not}
+	case Between:
+		return Between{E: rewriteAggs(t.E, aggs), Lo: rewriteAggs(t.Lo, aggs), Hi: rewriteAggs(t.Hi, aggs), Not: t.Not}
+	case InList:
+		list := make([]Expr, len(t.List))
+		for i, le := range t.List {
+			list[i] = rewriteAggs(le, aggs)
+		}
+		return InList{E: rewriteAggs(t.E, aggs), List: list, Not: t.Not}
+	}
+	return x
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	sumIsInt bool
+	haveSum  bool
+	min, max Value
+	distinct map[string]bool
+}
+
+func (a *aggState) add(v Value, distinct bool) {
+	if v.IsNull() {
+		return
+	}
+	if distinct {
+		if a.distinct == nil {
+			a.distinct = make(map[string]bool)
+		}
+		k := string(EncodeKey(v))
+		if a.distinct[k] {
+			return
+		}
+		a.distinct[k] = true
+	}
+	a.count++
+	switch v.T {
+	case TypeInt:
+		if !a.haveSum {
+			a.sumIsInt = true
+		}
+		a.sumI += v.I
+		a.sumF += float64(v.I)
+	case TypeFloat:
+		a.sumIsInt = false
+		a.sumF += v.F
+	}
+	a.haveSum = true
+	if a.min.IsNull() || Compare(v, a.min) < 0 {
+		a.min = v
+	}
+	if a.max.IsNull() || Compare(v, a.max) > 0 {
+		a.max = v
+	}
+}
+
+func (a *aggState) result(fn string) Value {
+	switch fn {
+	case "count":
+		return Int(a.count)
+	case "sum":
+		if !a.haveSum {
+			return Null
+		}
+		if a.sumIsInt {
+			return Int(a.sumI)
+		}
+		return Float(a.sumF)
+	case "avg":
+		if a.count == 0 {
+			return Null
+		}
+		return Float(a.sumF / float64(a.count))
+	case "min":
+		return a.min
+	case "max":
+		return a.max
+	}
+	return Null
+}
+
+// aggEnv evaluates expressions containing aggRef nodes.
+type aggEnv struct {
+	*env
+	aggVals []Value
+}
+
+func (e *aggEnv) eval(x Expr) (Value, error) {
+	if r, ok := x.(aggRef); ok {
+		return e.aggVals[r.N], nil
+	}
+	// Recurse through composite nodes so nested aggRefs resolve; leaves
+	// fall through to the plain evaluator.
+	switch t := x.(type) {
+	case BinOp:
+		return e.evalBin(t)
+	case UnOp:
+		v, err := e.eval(t.E)
+		if err != nil {
+			return Null, err
+		}
+		return e.env.eval(UnOp{Op: t.Op, E: Lit{V: v}})
+	case IsNull:
+		v, err := e.eval(t.E)
+		if err != nil {
+			return Null, err
+		}
+		return e.env.eval(IsNull{E: Lit{V: v}, Not: t.Not})
+	case Between:
+		v, err := e.eval(t.E)
+		if err != nil {
+			return Null, err
+		}
+		lo, err := e.eval(t.Lo)
+		if err != nil {
+			return Null, err
+		}
+		hi, err := e.eval(t.Hi)
+		if err != nil {
+			return Null, err
+		}
+		return e.env.eval(Between{E: Lit{V: v}, Lo: Lit{V: lo}, Hi: Lit{V: hi}, Not: t.Not})
+	case InList:
+		v, err := e.eval(t.E)
+		if err != nil {
+			return Null, err
+		}
+		list := make([]Expr, len(t.List))
+		for i, le := range t.List {
+			lv, err := e.eval(le)
+			if err != nil {
+				return Null, err
+			}
+			list[i] = Lit{V: lv}
+		}
+		return e.env.eval(InList{E: Lit{V: v}, List: list, Not: t.Not})
+	case Call:
+		args := make([]Expr, len(t.Args))
+		for i, a := range t.Args {
+			v, err := e.eval(a)
+			if err != nil {
+				return Null, err
+			}
+			args[i] = Lit{V: v}
+		}
+		return e.env.eval(Call{Fn: t.Fn, Args: args, Star: t.Star})
+	}
+	return e.env.eval(x)
+}
+
+func (e *aggEnv) evalBin(t BinOp) (Value, error) {
+	// Short-circuit semantics preserved by delegating to env after
+	// resolving the sides (aggregates cannot appear under AND/OR with
+	// side effects anyway).
+	l, err := e.eval(t.L)
+	if err != nil {
+		return Null, err
+	}
+	r, err := e.eval(t.R)
+	if err != nil {
+		return Null, err
+	}
+	return e.env.eval(BinOp{Op: t.Op, L: Lit{V: l}, R: Lit{V: r}})
+}
+
+// joinedRow is one output of the join pipeline: the bindings' rows at
+// the moment the row matched.
+type joinedRow struct {
+	rows [][]Value
+}
+
+func (db *DB) execSelect(ctx context.Context, tx *kvclient.Tx, st Select, args []Value) (*Rows, error) {
+	// Resolve FROM tables.
+	type src struct {
+		ref   TableRef
+		alias string
+		table *Table
+	}
+	var srcs []src
+	if st.From != nil {
+		refs := []TableRef{*st.From}
+		for _, j := range st.Joins {
+			refs = append(refs, j.Right)
+		}
+		for _, r := range refs {
+			alias := r.Alias
+			if alias == "" {
+				alias = r.Name
+			}
+			table, err := db.cat.GetTable(ctx, tx, r.Name)
+			if err != nil {
+				return nil, err
+			}
+			srcs = append(srcs, src{ref: r, alias: alias, table: table})
+		}
+	}
+
+	// Build the evaluation environment.
+	e := &env{params: args}
+	for _, s := range srcs {
+		e.bindings = append(e.bindings, &binding{alias: s.alias, schema: s.table.Schema})
+	}
+
+	// Gather all predicate conjuncts (WHERE plus every ON): each is
+	// applied as soon as all its tables are bound.
+	var allConj []Expr
+	allConj = conjuncts(st.Where, allConj)
+	for _, j := range st.Joins {
+		allConj = conjuncts(j.On, allConj)
+	}
+
+	// Projection expansion (*, t.*) and output naming.
+	items, colNames, err := expandItems(st.Items, e)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate detection.
+	isAgg := len(st.GroupBy) > 0 || st.Having != nil
+	for _, it := range items {
+		if hasAggregate(it.E) {
+			isAgg = true
+		}
+	}
+
+	// ORDER BY pushdown: a single-table query ordered by the primary
+	// key ascending needs no sort — the DBT scan already delivers rows
+	// in primary-key order (and an index-equality scan delivers them in
+	// row-key order within the fixed value). This also re-enables early
+	// LIMIT termination for the Web-typical `ORDER BY pk LIMIT n`.
+	orderBy := st.OrderBy
+	if len(srcs) == 1 && !isAgg && !st.Distinct && len(orderBy) == 1 && !orderBy[0].Desc {
+		s0 := srcs[0]
+		if pk := s0.table.Schema.PKCol; pk >= 0 {
+			if cr, ok := orderBy[0].E.(ColRef); ok &&
+				cr.Col == s0.table.Schema.Cols[pk].Name &&
+				(cr.Table == "" || cr.Table == s0.alias) {
+				path := planAccess(s0.table, s0.alias, allConj, nil)
+				if path.kind != pathIdxRange {
+					orderBy = nil // scan order == requested order
+				}
+			}
+		}
+	}
+
+	// The scan pipeline produces joined rows.
+	var joined []joinedRow
+	limitEarly := -1
+	if !isAgg && len(orderBy) == 0 && !st.Distinct && st.Limit != nil {
+		// Early termination: LIMIT without sorting can stop the scan.
+		lim, off, err := evalLimit(e, st)
+		if err != nil {
+			return nil, err
+		}
+		if lim >= 0 {
+			limitEarly = lim + off
+		}
+	}
+
+	// Conjunct readiness: a conjunct applies at depth d if it
+	// references only aliases bound at depths <= d.
+	aliasDepth := make(map[string]int)
+	for i, s := range srcs {
+		aliasDepth[s.alias] = i
+	}
+	conjDepth := make([][]Expr, len(srcs)+1)
+	for _, c := range allConj {
+		d := predicateDepth(c, aliasDepth, e)
+		conjDepth[d] = append(conjDepth[d], c)
+	}
+
+	var recurse func(depth int) (bool, error)
+	recurse = func(depth int) (bool, error) {
+		if depth == len(srcs) {
+			rows := make([][]Value, len(e.bindings))
+			for i, b := range e.bindings {
+				rows[i] = b.row
+			}
+			joined = append(joined, joinedRow{rows: rows})
+			if limitEarly >= 0 && len(joined) >= limitEarly {
+				return false, nil
+			}
+			return true, nil
+		}
+		s := srcs[depth]
+		outer := make(map[string]bool)
+		for i := 0; i < depth; i++ {
+			outer[srcs[i].alias] = true
+		}
+		path := planAccess(s.table, s.alias, conjDepth[depth+1], outer)
+		cont := true
+		err := db.scanTable(ctx, tx, s.table, path, e, func(rowKey []byte, row []Value) (bool, error) {
+			e.bindings[depth].row = row
+			// Apply predicates that become decidable at this depth.
+			for _, c := range conjDepth[depth+1] {
+				v, err := e.eval(c)
+				if err != nil {
+					return false, err
+				}
+				if v.IsNull() || !v.Truthy() {
+					return true, nil // next row of this table
+				}
+			}
+			c2, err := recurse(depth + 1)
+			if err != nil {
+				return false, err
+			}
+			cont = c2
+			return c2, nil
+		})
+		e.bindings[depth].row = nil
+		return cont, err
+	}
+
+	if st.From == nil {
+		// SELECT without FROM: one empty row, filtered by WHERE if any.
+		keep := true
+		if st.Where != nil {
+			v, err := e.eval(st.Where)
+			if err != nil {
+				return nil, err
+			}
+			keep = !v.IsNull() && v.Truthy()
+		}
+		if keep {
+			joined = append(joined, joinedRow{rows: nil})
+		}
+	} else {
+		if _, err := recurse(0); err != nil {
+			return nil, err
+		}
+	}
+
+	// Project (plain or aggregate).
+	var outRows [][]Value
+	var orderKeys [][]Value
+	if isAgg {
+		outRows, orderKeys, err = db.aggregate(e, st, items, joined)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for _, jr := range joined {
+			for i, b := range e.bindings {
+				b.row = jr.rows[i]
+			}
+			row := make([]Value, len(items))
+			for i, it := range items {
+				v, err := e.eval(it.E)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			outRows = append(outRows, row)
+			if len(orderBy) > 0 {
+				keys, err := evalOrderKeys(e, orderBy, items, row)
+				if err != nil {
+					return nil, err
+				}
+				orderKeys = append(orderKeys, keys)
+			}
+		}
+	}
+
+	// DISTINCT.
+	if st.Distinct {
+		seen := make(map[string]bool)
+		kept := outRows[:0]
+		var keptKeys [][]Value
+		for i, r := range outRows {
+			k := string(EncodeKey(r...))
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, r)
+			if orderKeys != nil {
+				keptKeys = append(keptKeys, orderKeys[i])
+			}
+		}
+		outRows = kept
+		if orderKeys != nil {
+			orderKeys = keptKeys
+		}
+	}
+
+	// ORDER BY.
+	if len(orderBy) > 0 {
+		idx := make([]int, len(outRows))
+		for i := range idx {
+			idx[i] = i
+		}
+		var sortErr error
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := orderKeys[idx[a]], orderKeys[idx[b]]
+			for i := range orderBy {
+				c := Compare(ka[i], kb[i])
+				if c != 0 {
+					if orderBy[i].Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		sorted := make([][]Value, len(outRows))
+		for i, j := range idx {
+			sorted[i] = outRows[j]
+		}
+		outRows = sorted
+	}
+
+	// LIMIT / OFFSET.
+	lim, off, err := evalLimit(e, st)
+	if err != nil {
+		return nil, err
+	}
+	if off > 0 {
+		if off >= len(outRows) {
+			outRows = nil
+		} else {
+			outRows = outRows[off:]
+		}
+	}
+	if lim >= 0 && lim < len(outRows) {
+		outRows = outRows[:lim]
+	}
+
+	return &Rows{Columns: colNames, rows: outRows}, nil
+}
+
+// predicateDepth returns 1 + the highest binding index referenced, i.e.
+// the join depth at which the conjunct becomes decidable. Unqualified
+// column refs resolve to whichever binding has the column.
+func predicateDepth(c Expr, aliasDepth map[string]int, e *env) int {
+	max := 0
+	var walk func(x Expr)
+	walk = func(x Expr) {
+		switch t := x.(type) {
+		case ColRef:
+			d := 0
+			if t.Table != "" {
+				if ad, ok := aliasDepth[t.Table]; ok {
+					d = ad + 1
+				}
+			} else {
+				for i, b := range e.bindings {
+					if b.schema.ColIndex(t.Col) >= 0 {
+						d = i + 1
+						break
+					}
+				}
+			}
+			if d > max {
+				max = d
+			}
+		case BinOp:
+			walk(t.L)
+			walk(t.R)
+		case UnOp:
+			walk(t.E)
+		case IsNull:
+			walk(t.E)
+		case Between:
+			walk(t.E)
+			walk(t.Lo)
+			walk(t.Hi)
+		case InList:
+			walk(t.E)
+			for _, le := range t.List {
+				walk(le)
+			}
+		case Call:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(c)
+	if max == 0 {
+		max = len(e.bindings) // constant predicates: apply at the first row
+	}
+	return max
+}
+
+// expandItems expands * and t.* and derives output column names.
+func expandItems(items []SelectItem, e *env) ([]SelectItem, []string, error) {
+	var out []SelectItem
+	var names []string
+	for _, it := range items {
+		if star, ok := it.E.(Star); ok {
+			found := false
+			for _, b := range e.bindings {
+				if star.Table != "" && star.Table != b.alias {
+					continue
+				}
+				found = true
+				for _, c := range b.schema.Cols {
+					out = append(out, SelectItem{E: ColRef{Table: b.alias, Col: c.Name}})
+					names = append(names, c.Name)
+				}
+			}
+			if !found {
+				return nil, nil, fmt.Errorf("sql: no table for %s.*", star.Table)
+			}
+			continue
+		}
+		out = append(out, it)
+		switch {
+		case it.Alias != "":
+			names = append(names, it.Alias)
+		default:
+			if cr, ok := it.E.(ColRef); ok {
+				names = append(names, cr.Col)
+			} else {
+				names = append(names, fmt.Sprintf("col%d", len(names)+1))
+			}
+		}
+	}
+	return out, names, nil
+}
+
+// evalOrderKeys computes the sort key values for one output row.
+// ORDER BY can reference output aliases, column positions (1-based
+// integers), or arbitrary expressions over the source row.
+func evalOrderKeys(e *env, order []OrderItem, items []SelectItem, outRow []Value) ([]Value, error) {
+	keys := make([]Value, len(order))
+	for i, oi := range order {
+		// Positional: ORDER BY 2.
+		if lit, ok := oi.E.(Lit); ok && lit.V.T == TypeInt {
+			n := int(lit.V.I)
+			if n < 1 || n > len(outRow) {
+				return nil, fmt.Errorf("sql: ORDER BY position %d out of range", n)
+			}
+			keys[i] = outRow[n-1]
+			continue
+		}
+		// Alias reference.
+		if cr, ok := oi.E.(ColRef); ok && cr.Table == "" {
+			matched := false
+			for j, it := range items {
+				if it.Alias == cr.Col {
+					keys[i] = outRow[j]
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+		}
+		v, err := e.eval(oi.E)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+func evalLimit(e *env, st Select) (lim, off int, err error) {
+	lim = -1
+	if st.Limit != nil {
+		v, err := e.eval(st.Limit)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v.T != TypeInt || v.I < 0 {
+			return 0, 0, fmt.Errorf("sql: bad LIMIT %s", v)
+		}
+		lim = int(v.I)
+	}
+	if st.Offset != nil {
+		v, err := e.eval(st.Offset)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v.T != TypeInt || v.I < 0 {
+			return 0, 0, fmt.Errorf("sql: bad OFFSET %s", v)
+		}
+		off = int(v.I)
+	}
+	return lim, off, nil
+}
+
+// aggregate runs hash aggregation over the joined rows and returns the
+// projected group rows plus their ORDER BY keys.
+func (db *DB) aggregate(e *env, st Select, items []SelectItem, joined []joinedRow) ([][]Value, [][]Value, error) {
+	// Rewrite aggregates out of the projection, HAVING, and ORDER BY.
+	var aggs []Call
+	rewritten := make([]Expr, len(items))
+	for i, it := range items {
+		rewritten[i] = rewriteAggs(it.E, &aggs)
+	}
+	var havingR Expr
+	if st.Having != nil {
+		havingR = rewriteAggs(st.Having, &aggs)
+	}
+	orderR := make([]Expr, len(st.OrderBy))
+	for i, oi := range st.OrderBy {
+		orderR[i] = rewriteAggs(oi.E, &aggs)
+	}
+
+	type group struct {
+		keyVals []Value
+		states  []*aggState
+		first   joinedRow
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	for _, jr := range joined {
+		for i, b := range e.bindings {
+			b.row = jr.rows[i]
+		}
+		keyVals := make([]Value, len(st.GroupBy))
+		for i, g := range st.GroupBy {
+			v, err := e.eval(g)
+			if err != nil {
+				return nil, nil, err
+			}
+			keyVals[i] = v
+		}
+		k := string(EncodeKey(keyVals...))
+		g := groups[k]
+		if g == nil {
+			g = &group{keyVals: keyVals, states: make([]*aggState, len(aggs)), first: jr}
+			for i := range g.states {
+				g.states[i] = &aggState{}
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, call := range aggs {
+			if call.Star {
+				g.states[i].count++
+				continue
+			}
+			if len(call.Args) != 1 {
+				return nil, nil, fmt.Errorf("sql: %s() takes one argument", call.Fn)
+			}
+			v, err := e.eval(call.Args[0])
+			if err != nil {
+				return nil, nil, err
+			}
+			g.states[i].add(v, call.Distinct)
+		}
+	}
+
+	// No GROUP BY: aggregates over the empty input still yield one row.
+	if len(st.GroupBy) == 0 && len(groups) == 0 {
+		g := &group{states: make([]*aggState, len(aggs))}
+		for i := range g.states {
+			g.states[i] = &aggState{}
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	var outRows [][]Value
+	var orderKeys [][]Value
+	for _, k := range order {
+		g := groups[k]
+		for i, b := range e.bindings {
+			if g.first.rows != nil {
+				b.row = g.first.rows[i]
+			} else {
+				b.row = nil
+			}
+		}
+		aggVals := make([]Value, len(aggs))
+		for i, call := range aggs {
+			aggVals[i] = g.states[i].result(call.Fn)
+		}
+		ae := &aggEnv{env: e, aggVals: aggVals}
+		if havingR != nil {
+			v, err := ae.eval(havingR)
+			if err != nil {
+				return nil, nil, err
+			}
+			if v.IsNull() || !v.Truthy() {
+				continue
+			}
+		}
+		row := make([]Value, len(rewritten))
+		for i, rx := range rewritten {
+			v, err := ae.eval(rx)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = v
+		}
+		outRows = append(outRows, row)
+		if len(st.OrderBy) > 0 {
+			keys := make([]Value, len(orderR))
+			for i, ox := range orderR {
+				// Positional and alias forms first.
+				if lit, ok := st.OrderBy[i].E.(Lit); ok && lit.V.T == TypeInt {
+					n := int(lit.V.I)
+					if n < 1 || n > len(row) {
+						return nil, nil, fmt.Errorf("sql: ORDER BY position %d out of range", n)
+					}
+					keys[i] = row[n-1]
+					continue
+				}
+				if cr, ok := st.OrderBy[i].E.(ColRef); ok && cr.Table == "" {
+					matched := false
+					for j, it := range items {
+						if it.Alias == cr.Col {
+							keys[i] = row[j]
+							matched = true
+							break
+						}
+					}
+					if matched {
+						continue
+					}
+				}
+				v, err := ae.eval(ox)
+				if err != nil {
+					return nil, nil, err
+				}
+				keys[i] = v
+			}
+			orderKeys = append(orderKeys, keys)
+		}
+	}
+	return outRows, orderKeys, nil
+}

@@ -1,0 +1,123 @@
+package wiki_test
+
+import (
+	"context"
+	"testing"
+
+	"yesquel/internal/baseline"
+	"yesquel/internal/cluster"
+	"yesquel/internal/core"
+	"yesquel/internal/dbt"
+	"yesquel/internal/kv/kvserver"
+	"yesquel/internal/wiki"
+)
+
+func setup(t *testing.T, servers, pages int) (*core.Client, wiki.DBExecutor) {
+	t.Helper()
+	cl, err := cluster.Start(servers, kvserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	yc, err := core.Connect(cl.Addrs, core.Options{TreeConfig: dbt.Config{MaxCells: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { yc.Close() })
+	ex := wiki.DBExecutor{DB: yc.Session()}
+	if err := wiki.Load(context.Background(), ex, pages, 3); err != nil {
+		t.Fatal(err)
+	}
+	return yc, ex
+}
+
+func TestLoadAndRead(t *testing.T) {
+	_, ex := setup(t, 2, 20)
+	w := wiki.NewWorker(ex, 20, 0, 1)
+	ctx := context.Background()
+	for p := int64(0); p < 20; p++ {
+		if err := w.Read(ctx, p); err != nil {
+			t.Fatalf("read page %d: %v", p, err)
+		}
+	}
+}
+
+func TestEditUpdatesLatestRevision(t *testing.T) {
+	_, ex := setup(t, 2, 5)
+	ctx := context.Background()
+	w := wiki.NewWorker(ex, 5, 1.0, 7)
+
+	before, err := ex.Query(ctx, "SELECT latest FROM page WHERE title = ?", core.Text(wiki.Title(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Edit(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ex.Query(ctx, "SELECT latest FROM page WHERE title = ?", core.Text(wiki.Title(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before[0][0].I == after[0][0].I {
+		t.Fatal("edit did not advance latest revision")
+	}
+	// The revision count for the page grew.
+	revs, err := ex.Query(ctx, "SELECT count(*) FROM revision WHERE page_id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revs[0][0].I != 2 {
+		t.Fatalf("revisions = %d, want 2", revs[0][0].I)
+	}
+	// Reading still works after the edit.
+	if err := w.Read(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerMixedSteps(t *testing.T) {
+	_, ex := setup(t, 2, 10)
+	w := wiki.NewWorker(ex, 10, 0.2, 42)
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		if err := w.Step(ctx); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if w.Reads == 0 || w.Edits == 0 {
+		t.Fatalf("mix not exercised: reads=%d edits=%d", w.Reads, w.Edits)
+	}
+}
+
+func TestWorkloadAgainstCentralSQLComparator(t *testing.T) {
+	// The same workload must run unchanged against the centralized
+	// comparator — that is the point of the Executor interface.
+	srv, err := baseline.NewCentralSQLServer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	c, err := baseline.DialCentralSQL(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	if err := wiki.Load(ctx, c, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+	w := wiki.NewWorker(c, 8, 0.25, 5)
+	for i := 0; i < 30; i++ {
+		if err := w.Step(ctx); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if w.Reads == 0 || w.Edits == 0 {
+		t.Fatalf("mix not exercised: reads=%d edits=%d", w.Reads, w.Edits)
+	}
+}
