@@ -78,3 +78,6 @@ func BenchmarkE7_Scans(b *testing.B) { runExperiment(b, "e7") }
 
 // BenchmarkE8_SQLMicro regenerates E8 (per-statement SQL latency).
 func BenchmarkE8_SQLMicro(b *testing.B) { runExperiment(b, "e8") }
+
+// BenchmarkE9_Replication regenerates E9 (replicated vs plain writes).
+func BenchmarkE9_Replication(b *testing.B) { runExperiment(b, "e9") }

@@ -25,18 +25,37 @@ func main() {
 	logPath := flag.String("log", "", "write-ahead log path (empty = in-memory only)")
 	logSync := flag.Bool("log-sync", false, "fsync the log on every commit")
 	mirror := flag.String("mirror", "", "backup server address to replicate commits to")
+	replLog := flag.String("replication-log", "auto", "keep the in-memory replication log so backups can resync from this server (auto/on/off; auto = on when replication flags are set)")
+	syncFrom := flag.String("sync-from", "", "primary address to stream missed commits from before serving (join or rejoin a replication group as its backup)")
 	flag.Parse()
 
+	if *replLog != "auto" && *replLog != "on" && *replLog != "off" {
+		log.Fatalf("yesqueld: -replication-log must be auto, on, or off (got %q)", *replLog)
+	}
+	keepRepLog := *replLog == "on" || (*replLog == "auto" && (*mirror != "" || *syncFrom != ""))
 	store, err := kvserver.OpenStore(nil, kvserver.Config{
 		RetentionMillis: uint64(retention.Milliseconds()),
 		MaxVersions:     *maxVersions,
 		LogPath:         *logPath,
 		LogSync:         *logSync,
+		ReplicationLog:  keepRepLog,
 	})
 	if err != nil {
 		log.Fatalf("yesqueld: %v", err)
 	}
 	srv := kvserver.NewServer(store)
+	if *syncFrom != "" {
+		// Catch up before serving or mirroring starts. Attach this
+		// server on the primary (its -mirror flag, or restart it) only
+		// after the catch-up completes; commits the primary acknowledges
+		// between this sync and that attach are not replicated here.
+		store.StartResync()
+		log.Printf("yesqueld: syncing history from %s", *syncFrom)
+		if err := srv.SyncFrom(*syncFrom, 0); err != nil {
+			log.Fatalf("yesqueld: %v", err)
+		}
+		log.Printf("yesqueld: synced %d commits", store.ReplSeq())
+	}
 	if *mirror != "" {
 		if err := srv.SetMirror(*mirror); err != nil {
 			log.Fatalf("yesqueld: %v", err)

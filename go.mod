@@ -1,0 +1,3 @@
+module yesquel
+
+go 1.21

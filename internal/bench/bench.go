@@ -199,5 +199,6 @@ func All() []Experiment {
 		{"e6", "Commit latency vs participants", RunE6, true},
 		{"e7", "Scan throughput vs naive DBT", RunE7, true},
 		{"e8", "SQL statement microbenchmarks", RunE8, true},
+		{"e9", "Replication overhead on the write path", RunE9, true},
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync/atomic"
 	"time"
 
@@ -912,6 +913,78 @@ func RunE8(ctx context.Context, p Params) (*Table, error) {
 		}
 		table.Rows = append(table.Rows, Row{Cells: []string{
 			st.name, fmtDur(lat.mean()), fmtDur(lat.percentile(0.5)), fmtDur(lat.percentile(0.99)),
+		}})
+	}
+	return table, nil
+}
+
+// RunE9 — replication overhead: the synchronous primary-backup write
+// path (every commit mirrored and acknowledged before the client sees
+// it) against the plain single-server write path, plus the same
+// comparison under the write-ahead log. Storage-layer replication is
+// what lets the SQL layer above stay stateless, so its cost is the
+// price of the paper's fault-tolerance story.
+func RunE9(ctx context.Context, p Params) (*Table, error) {
+	p = p.WithDefaults()
+	table := &Table{
+		Title:   "E9: replicated vs plain write path (1 slot)",
+		Comment: "rf=2 pays one synchronous mirror round trip per commit, serialized\nthrough the replication stream; reads are unaffected (not shown)",
+		Header:  []string{"config", "writes/s", "mean", "p99"},
+	}
+	configs := []struct {
+		name string
+		rf   int
+		wal  bool
+	}{
+		{"rf=1 (plain)", 1, false},
+		{"rf=2 (mirrored)", 2, false},
+		{"rf=1 + WAL", 1, true},
+		{"rf=2 + WAL", 2, true},
+	}
+	for _, cfg := range configs {
+		scfg := kvserver.Config{}
+		if cfg.wal {
+			dir, err := os.MkdirTemp("", "yesquel-e9-*")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			scfg.LogPath = dir
+		}
+		cl, err := cluster.StartReplicated(1, cfg.rf, scfg)
+		if err != nil {
+			return nil, err
+		}
+		lat := &latencies{}
+		var seq atomic.Uint64
+		ops, errs, elapsed := runFor(p.Duration, p.Workers, func(worker int) (int, error) {
+			c, err := cl.NewClient()
+			if err != nil {
+				return 0, err
+			}
+			defer c.Close()
+			n := 0
+			deadline := time.Now().Add(p.Duration)
+			for time.Now().Before(deadline) {
+				tx := c.Begin()
+				tx.Put(c.NewOID(0), kv.NewPlain([]byte(fmt.Sprintf("w%d", seq.Add(1)))))
+				t0 := time.Now()
+				if err := tx.Commit(ctx); err != nil {
+					return n, err
+				}
+				lat.add(time.Since(t0))
+				n++
+			}
+			return n, nil
+		})
+		cl.Close()
+		if errs > 0 {
+			return nil, fmt.Errorf("e9 %s: %d workers failed", cfg.name, errs)
+		}
+		table.Rows = append(table.Rows, Row{Cells: []string{
+			cfg.name,
+			fmt.Sprintf("%.0f", float64(ops)/elapsed.Seconds()),
+			fmtDur(lat.mean()), fmtDur(lat.percentile(0.99)),
 		}})
 	}
 	return table, nil

@@ -1,0 +1,215 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"yesquel/internal/cluster"
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvserver"
+)
+
+// ackedWrite is one write whose Commit returned nil: the system
+// promised it, so it must survive any single failure.
+type ackedWrite struct {
+	oid kv.OID
+	val string
+}
+
+// TestKillPrimaryUnderLoadLosesNoAckedWrite is the headline replication
+// guarantee: a YCSB-style insert workload runs against a replicated
+// cluster, the primary of slot 0 is killed mid-stream, the clients fail
+// over to the backup, and every single acknowledged write is still
+// readable afterwards. Commits whose acknowledgment was lost in the
+// crash surface kv.ErrUncertain and are allowed to have gone either way.
+func TestKillPrimaryUnderLoadLosesNoAckedWrite(t *testing.T) {
+	cl, err := cluster.StartReplicated(2, 2, kvserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	const workers = 8
+	const writesPerWorker = 120
+	const killAfter = 30 // per worker, before the primary dies
+
+	var mu sync.Mutex
+	var acked []ackedWrite
+	var uncertain, failed int
+
+	killed := make(chan struct{})
+	var killOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := cl.NewClient()
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < writesPerWorker; i++ {
+				if i == killAfter && w == 0 {
+					killOnce.Do(func() {
+						if err := cl.KillPrimary(0); err != nil {
+							t.Errorf("kill primary: %v", err)
+						}
+						close(killed)
+					})
+				}
+				// Spread writes over both slots; slot 0 is the one that
+				// fails over mid-run.
+				oid := c.NewOID(uint16(i % 2))
+				val := fmt.Sprintf("w%d-%d", w, i)
+				tx := c.Begin()
+				tx.Put(oid, kv.NewPlain([]byte(val)))
+				err := tx.Commit(ctx)
+				mu.Lock()
+				switch {
+				case err == nil:
+					acked = append(acked, ackedWrite{oid, val})
+				case errors.Is(err, kv.ErrUncertain):
+					uncertain++
+				default:
+					failed++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case <-killed:
+	default:
+		t.Fatal("workload finished before the primary was killed")
+	}
+	if len(acked) < workers*writesPerWorker/2 {
+		t.Fatalf("only %d/%d writes acknowledged (uncertain=%d failed=%d)",
+			len(acked), workers*writesPerWorker, uncertain, failed)
+	}
+	t.Logf("acked=%d uncertain=%d failed=%d", len(acked), uncertain, failed)
+
+	// Every acknowledged write must be readable after the failover —
+	// through a fresh client that only knows the surviving replicas.
+	verify, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer verify.Close()
+	check := verify.Begin()
+	defer check.Abort()
+	lost := 0
+	for _, aw := range acked {
+		v, err := check.Read(ctx, aw.oid)
+		if err != nil || string(v.Data) != aw.val {
+			lost++
+			t.Errorf("acknowledged write %v=%q lost: %v %v", aw.oid, aw.val, v, err)
+			if lost > 5 {
+				t.Fatal("... giving up")
+			}
+		}
+	}
+
+	// Restart re-forms the pair: a fresh backup streams the whole
+	// history from the acting primary and resumes mirroring.
+	if err := cl.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	g := cl.Groups[0]
+	if g.Backup == nil {
+		t.Fatal("no backup after Restart")
+	}
+	if got, want := g.Backup.Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
+		t.Fatalf("restarted backup digest %x != acting primary digest %x", got, want)
+	}
+
+	// New writes reach the re-formed pair synchronously.
+	tx := verify.Begin()
+	oid := verify.NewOID(0)
+	tx.Put(oid, kv.NewPlain([]byte("post-restart")))
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.Backup.Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
+		t.Fatalf("after post-restart write: backup digest %x != primary digest %x", got, want)
+	}
+}
+
+// TestRestartWhileWritesContinue re-forms a pair while the workload is
+// still running: the new backup's catch-up stream and the primary's
+// live mirror interleave, and sequence-order buffering must keep the
+// replicas identical.
+func TestRestartWhileWritesContinue(t *testing.T) {
+	cl, err := cluster.StartReplicated(1, 2, kvserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 40; i++ {
+		tx := c.Begin()
+		tx.Put(c.NewOID(0), kv.NewPlain([]byte(fmt.Sprintf("pre-%d", i))))
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.KillPrimary(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writers hammer the acting primary while the pair re-forms.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc, err := cl.NewClient()
+			if err != nil {
+				t.Errorf("writer %d: %v", w, err)
+				return
+			}
+			defer wc.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := wc.Begin()
+				tx.Put(wc.NewOID(0), kv.NewPlain([]byte(fmt.Sprintf("live-%d-%d", w, i))))
+				if err := tx.Commit(ctx); err != nil && !errors.Is(err, kv.ErrUncertain) {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	if err := cl.Restart(0); err != nil {
+		close(stop)
+		wg.Wait()
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	g := cl.Groups[0]
+	if got, want := g.Backup.Store().ReplSeq(), g.Primary.Store().ReplSeq(); got != want {
+		t.Fatalf("backup seq %d != primary seq %d", got, want)
+	}
+	if got, want := g.Backup.Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
+		t.Fatalf("backup digest %x != primary digest %x", got, want)
+	}
+}

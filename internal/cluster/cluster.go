@@ -1,8 +1,8 @@
 // Package cluster starts a Yesquel storage cluster in-process: N
-// storage servers, each listening on its own loopback TCP port. Tests,
-// examples, and benchmarks use it to stand up the system the way the
-// paper's testbed stood up N storage machines (see DESIGN.md,
-// substitution 1).
+// logical server slots, each a single server or a primary+backup
+// replication group, listening on loopback TCP ports. Tests, examples,
+// and benchmarks use it to stand up the system the way the paper's
+// testbed stood up N storage machines (see DESIGN.md, substitution 1).
 package cluster
 
 import (
@@ -12,58 +12,187 @@ import (
 	"yesquel/internal/kv/kvserver"
 )
 
-// Cluster is a set of running storage servers.
-type Cluster struct {
-	Servers []*kvserver.Server
-	Addrs   []string
+// Group is one server slot's replication group: an acting primary and,
+// when the replication factor is 2, a synchronously mirrored backup.
+type Group struct {
+	Primary *kvserver.Server
+	Backup  *kvserver.Server // nil when unreplicated or after a failover
+	Addrs   []string         // replica addresses, acting primary first
+
+	gen int // restart generation, for unique log file names
 }
 
-// Start launches n storage servers on ephemeral loopback ports.
+// Cluster is a set of running storage server slots.
+type Cluster struct {
+	// Servers holds each slot's acting primary; Addrs its address.
+	// (Kept flat for the common unreplicated case and compatibility.)
+	Servers []*kvserver.Server
+	Addrs   []string
+	Groups  []*Group
+
+	cfg kvserver.Config
+	rf  int
+}
+
+// Start launches n unreplicated storage servers on ephemeral loopback
+// ports. Equivalent to StartReplicated(n, 1, cfg).
 func Start(n int, cfg kvserver.Config) (*Cluster, error) {
+	return StartReplicated(n, 1, cfg)
+}
+
+// StartReplicated launches n logical server slots with the given
+// replication factor (1 = standalone, 2 = primary+backup pairs wired
+// together at startup). With rf 2, every commit is synchronously
+// mirrored to the slot's backup before it is acknowledged, and clients
+// opened with NewClient fail over to the backup when the primary dies.
+func StartReplicated(n, rf int, cfg kvserver.Config) (*Cluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one server, got %d", n)
 	}
-	cl := &Cluster{}
+	if rf < 1 || rf > 2 {
+		return nil, fmt.Errorf("cluster: replication factor must be 1 or 2, got %d", rf)
+	}
+	cl := &Cluster{cfg: cfg, rf: rf}
 	for i := 0; i < n; i++ {
-		scfg := cfg
-		if scfg.LogPath != "" {
-			// LogPath names a directory; each server logs to its own
-			// file inside it.
-			scfg.LogPath = fmt.Sprintf("%s/server-%d.log", cfg.LogPath, i)
-		}
-		store, err := kvserver.OpenStore(nil, scfg)
+		g := &Group{}
+		primary, err := cl.startMember(i, "")
 		if err != nil {
 			cl.Close()
 			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
 		}
-		srv := kvserver.NewServer(store)
-		if err := srv.Listen("127.0.0.1:0"); err != nil {
-			cl.Close()
-			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
+		g.Primary = primary
+		g.Addrs = []string{primary.Addr()}
+		cl.Groups = append(cl.Groups, g)
+		cl.Servers = append(cl.Servers, primary)
+		cl.Addrs = append(cl.Addrs, primary.Addr())
+		if rf == 2 {
+			if err := cl.attachBackup(i); err != nil {
+				cl.Close()
+				return nil, fmt.Errorf("cluster: server %d backup: %w", i, err)
+			}
 		}
-		go srv.Serve()
-		cl.Servers = append(cl.Servers, srv)
-		cl.Addrs = append(cl.Addrs, srv.Addr())
 	}
 	return cl, nil
 }
 
-// NewClient opens a kv client connected to every server.
+// startMember launches one storage server for slot i. suffix
+// distinguishes the member's log file within the slot ("" for the
+// original primary, e.g. "b1" for the first backup generation).
+func (cl *Cluster) startMember(i int, suffix string) (*kvserver.Server, error) {
+	scfg := cl.cfg
+	if scfg.LogPath != "" {
+		// LogPath names a directory; each member logs to its own file.
+		if suffix == "" {
+			scfg.LogPath = fmt.Sprintf("%s/server-%d.log", cl.cfg.LogPath, i)
+		} else {
+			scfg.LogPath = fmt.Sprintf("%s/server-%d.%s.log", cl.cfg.LogPath, i, suffix)
+		}
+	}
+	// Replicated members keep the replication log so any of them can
+	// serve a MethodSync resync after roles swap.
+	scfg.ReplicationLog = scfg.ReplicationLog || cl.rf > 1
+	store, err := kvserver.OpenStore(nil, scfg)
+	if err != nil {
+		return nil, err
+	}
+	srv := kvserver.NewServer(store)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	go srv.Serve()
+	return srv, nil
+}
+
+// attachBackup starts a fresh backup for slot i, attaches it to the
+// acting primary, and streams any history it is missing. It works both
+// at cluster startup (empty stores, the sync is a no-op) and after a
+// restart on existing write-ahead logs (the backup catches up from the
+// primary's replication log).
+func (cl *Cluster) attachBackup(i int) error {
+	g := cl.Groups[i]
+	g.gen++
+	backup, err := cl.startMember(i, fmt.Sprintf("b%d", g.gen))
+	if err != nil {
+		return err
+	}
+	// Resync mode first, then attach, then stream: live commits
+	// mirrored while history is still streaming are buffered by the
+	// backup and applied in sequence order.
+	backup.Store().StartResync()
+	watermark, err := g.Primary.AttachBackup(backup.Addr())
+	if err != nil {
+		backup.Close()
+		backup.Store().CloseLog()
+		return err
+	}
+	if err := backup.SyncFrom(g.Primary.Addr(), watermark); err != nil {
+		g.Primary.SetMirror("")
+		backup.Close()
+		backup.Store().CloseLog()
+		return err
+	}
+	g.Backup = backup
+	g.Addrs = append(g.Addrs, backup.Addr())
+	return nil
+}
+
+// KillPrimary fails slot's primary: the server is shut down hard and
+// the backup is promoted to acting primary. Connected clients fail
+// over transparently; every write acknowledged before the kill is
+// readable on the promoted backup (commits were mirrored before the
+// acknowledgment).
+func (cl *Cluster) KillPrimary(slot int) error {
+	g := cl.Groups[slot]
+	if g.Backup == nil {
+		return fmt.Errorf("cluster: slot %d has no backup to fail over to", slot)
+	}
+	g.Primary.Close()
+	g.Primary.Store().CloseLog()
+	g.Primary = g.Backup
+	g.Backup = nil
+	g.Addrs = []string{g.Primary.Addr()}
+	cl.Servers[slot] = g.Primary
+	cl.Addrs[slot] = g.Primary.Addr()
+	return nil
+}
+
+// Restart re-forms slot's replication group after a failover: a fresh
+// member starts as the new backup of the acting primary, streams the
+// missed history via MethodSync, and resumes synchronous mirroring —
+// instead of the pre-replication dead end where a broken pair diverged
+// forever. (The restarted member starts from an empty store; its
+// catch-up is a full replay of the primary's replication log.)
+func (cl *Cluster) Restart(slot int) error {
+	g := cl.Groups[slot]
+	if g.Backup != nil {
+		return fmt.Errorf("cluster: slot %d already has a backup", slot)
+	}
+	return cl.attachBackup(slot)
+}
+
+// NewClient opens a kv client connected to every server slot, with
+// failover across each slot's replicas.
 func (cl *Cluster) NewClient() (*kvclient.Client, error) {
-	return kvclient.Open(cl.Addrs)
+	groups := make([][]string, len(cl.Groups))
+	for i, g := range cl.Groups {
+		groups[i] = append([]string(nil), g.Addrs...)
+	}
+	return kvclient.OpenReplicated(groups)
 }
 
 // Close shuts all servers down (flushing their logs, if any).
 func (cl *Cluster) Close() {
-	for _, s := range cl.Servers {
-		if s != nil {
-			s.Close()
-			s.Store().CloseLog()
+	for _, g := range cl.Groups {
+		for _, s := range []*kvserver.Server{g.Primary, g.Backup} {
+			if s != nil {
+				s.Close()
+				s.Store().CloseLog()
+			}
 		}
 	}
 }
 
-// Stats aggregates the stores' counters across servers.
+// Stats aggregates the acting primaries' counters across slots.
 func (cl *Cluster) Stats() kvserver.StatsSnapshot {
 	var out kvserver.StatsSnapshot
 	for _, s := range cl.Servers {

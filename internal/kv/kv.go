@@ -173,6 +173,11 @@ var (
 	ErrNotFound = errors.New("kv: object not found")
 	// ErrBadRequest reports a malformed request.
 	ErrBadRequest = errors.New("kv: bad request")
+	// ErrUncertain reports that a commit was sent but its acknowledgment
+	// was lost (the connection died mid-call). The transaction may or
+	// may not have committed; callers must reconcile by reading before
+	// retrying non-idempotent work.
+	ErrUncertain = errors.New("kv: commit outcome uncertain")
 )
 
 // OpKind enumerates write operations staged by a transaction.

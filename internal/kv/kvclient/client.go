@@ -14,7 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"yesquel/internal/clock"
 	"yesquel/internal/kv"
@@ -26,21 +28,99 @@ import (
 // belongs to one goroutine, as in the paper's per-client query
 // processor).
 type Client struct {
-	addrs []string
-	conns []*rpc.Client
-	hlc   *clock.HLC
+	groups []*replicaGroup
+	hlc    *clock.HLC
 
 	nextTx  atomic.Uint64
 	nextOID atomic.Uint64
 }
 
+// replicaGroup is one server slot's replica set: the addresses of the
+// primary and its backups, plus the connection currently in use. On a
+// transport failure the group rotates to the next replica.
+type replicaGroup struct {
+	addrs []string
+
+	mu   sync.Mutex
+	cur  int // index into addrs the connection (or next dial) uses
+	conn *rpc.Client
+}
+
+// dialTimeout bounds each replica dial during failover: a blackholed
+// primary must cost seconds, not the kernel connect timeout, before
+// the group rotates to a reachable backup.
+const dialTimeout = 3 * time.Second
+
+// get returns the group's live connection, dialing replicas starting
+// at the preferred one until one answers.
+func (g *replicaGroup) get() (*rpc.Client, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.conn != nil {
+		return g.conn, nil
+	}
+	var lastErr error
+	for i := 0; i < len(g.addrs); i++ {
+		idx := (g.cur + i) % len(g.addrs)
+		conn, err := rpc.DialTimeout(g.addrs[idx], dialTimeout)
+		if err == nil {
+			g.cur, g.conn = idx, conn
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("kvclient: no reachable replica in %v: %w", g.addrs, lastErr)
+}
+
+// invalidate drops a failed connection and points the group at the
+// next replica. The identity check keeps concurrent callers that hit
+// the same dead connection from rotating past a healthy replica.
+func (g *replicaGroup) invalidate(bad *rpc.Client) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.conn == bad {
+		bad.Close()
+		g.conn = nil
+		g.cur = (g.cur + 1) % len(g.addrs)
+	}
+}
+
+func (g *replicaGroup) close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.conn != nil {
+		g.conn.Close()
+		g.conn = nil
+	}
+}
+
 // Open dials every storage server. The order of addrs defines server
-// slots: an OID with slot s lives on addrs[s % len(addrs)].
+// slots: an OID with slot s lives on addrs[s % len(addrs)]. Each slot
+// has a single replica; use OpenReplicated for failover.
 func Open(addrs []string) (*Client, error) {
-	if len(addrs) == 0 {
+	groups := make([][]string, len(addrs))
+	for i, a := range addrs {
+		groups[i] = []string{a}
+	}
+	return OpenReplicated(groups)
+}
+
+// OpenReplicated dials a cluster of replicated server slots: groups[s]
+// lists the replica addresses for slot s, preferred (primary) first.
+// Reads and other idempotent operations transparently fail over to a
+// backup when the current replica dies; commits whose acknowledgment
+// is lost surface kv.ErrUncertain instead of retrying.
+//
+// Open also merges every server's clock into the client's before the
+// first transaction: a fresh client's wall clock may trail the
+// servers' hybrid logical clocks (their logical component runs ahead
+// under load), and a snapshot taken below already-committed timestamps
+// would silently miss that data.
+func OpenReplicated(groups [][]string) (*Client, error) {
+	if len(groups) == 0 {
 		return nil, errors.New("kvclient: no servers")
 	}
-	c := &Client{addrs: addrs, hlc: clock.New()}
+	c := &Client{hlc: clock.New()}
 	// Random bases make transaction ids and OIDs unique across client
 	// processes without coordination.
 	var seed [16]byte
@@ -49,36 +129,43 @@ func Open(addrs []string) (*Client, error) {
 	}
 	c.nextTx.Store(binary.LittleEndian.Uint64(seed[0:8]))
 	c.nextOID.Store(binary.LittleEndian.Uint64(seed[8:16]) & ((1 << 40) - 1))
-	for _, a := range addrs {
-		conn, err := rpc.Dial(a)
-		if err != nil {
-			for _, prev := range c.conns {
-				prev.Close()
-			}
-			return nil, fmt.Errorf("kvclient: dial %s: %w", a, err)
+	for s, addrs := range groups {
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("kvclient: server slot %d has no replicas", s)
 		}
-		c.conns = append(c.conns, conn)
+		c.groups = append(c.groups, &replicaGroup{addrs: addrs})
+	}
+	ctx := context.Background()
+	for s := range c.groups {
+		if _, err := c.groups[s].get(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := c.Ping(ctx, s); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("kvclient: merging clock of server %d: %w", s, err)
+		}
 	}
 	return c, nil
 }
 
 // Close tears down all server connections.
 func (c *Client) Close() error {
-	for _, conn := range c.conns {
-		conn.Close()
+	for _, g := range c.groups {
+		g.close()
 	}
 	return nil
 }
 
-// NumServers returns the number of storage servers.
-func (c *Client) NumServers() int { return len(c.addrs) }
+// NumServers returns the number of storage server slots.
+func (c *Client) NumServers() int { return len(c.groups) }
 
 // Clock exposes the client's hybrid logical clock.
 func (c *Client) Clock() *clock.HLC { return c.hlc }
 
-// ServerFor maps an OID to the index of its storage server.
+// ServerFor maps an OID to the index of its storage server slot.
 func (c *Client) ServerFor(oid kv.OID) int {
-	return int(oid.Slot()) % len(c.conns)
+	return int(oid.Slot()) % len(c.groups)
 }
 
 // NewOID mints a fresh OID on server slot. Local ids combine a random
@@ -87,11 +174,69 @@ func (c *Client) NewOID(slot uint16) kv.OID {
 	return kv.MakeOID(slot, c.nextOID.Add(1))
 }
 
-func (c *Client) conn(server int) *rpc.Client { return c.conns[server] }
+// callPolicy says how call handles a transport failure after the
+// request may have reached the server.
+type callPolicy int
 
-// Ping round-trips to server i, merging clocks.
+const (
+	// retryAlways: the operation is idempotent; retry on the next
+	// replica regardless of whether the first attempt was delivered.
+	// (Caveat: a read retried on the backup while the primary is still
+	// alive skips the primary's prepare locks and the Clock-SI wait
+	// they enforce; the window only exists for a connection failure
+	// without a primary crash — see ROADMAP "quorum reads".)
+	retryAlways callPolicy = iota
+	// retryUnsent: retry only when the request provably never left this
+	// process (rpc.ErrNotSent); a sent-but-unacknowledged attempt fails
+	// with the transport error. Used for Prepare: re-preparing on a
+	// backup while the primary may still hold the first vote would
+	// stage the transaction on two replicas at once.
+	retryUnsent
+	// retryUnsentUncertain: like retryUnsent, but a sent-but-
+	// unacknowledged attempt surfaces kv.ErrUncertain. Used for
+	// commits, which may have been applied and replicated before the
+	// acknowledgment was lost.
+	retryUnsentUncertain
+)
+
+// call issues method(req) against server slot's current replica.
+// Transport failures rotate the group to the next replica and retry
+// according to policy. Application errors and context cancellation
+// never fail over.
+func (c *Client) call(ctx context.Context, server int, method string, req []byte, policy callPolicy) ([]byte, error) {
+	g := c.groups[server]
+	var lastErr error
+	for attempt := 0; attempt <= len(g.addrs); attempt++ {
+		conn, err := g.get()
+		if err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		resp, err := conn.Call(ctx, method, req)
+		if err == nil {
+			return resp, nil
+		}
+		var app *rpc.AppError
+		if errors.As(err, &app) || ctx.Err() != nil {
+			return nil, err
+		}
+		g.invalidate(conn)
+		lastErr = err
+		if policy != retryAlways && !errors.Is(err, rpc.ErrNotSent) {
+			if policy == retryUnsentUncertain {
+				return nil, fmt.Errorf("%w: %v", kv.ErrUncertain, err)
+			}
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// Ping round-trips to server slot i, merging clocks.
 func (c *Client) Ping(ctx context.Context, server int) error {
-	resp, err := c.conns[server].Call(ctx, kv.MethodPing, nil)
+	resp, err := c.call(ctx, server, kv.MethodPing, nil, retryAlways)
 	if err != nil {
 		return err
 	}
@@ -106,7 +251,7 @@ func (c *Client) Ping(ctx context.Context, server int) error {
 // readAt fetches the newest version of oid visible at snap.
 func (c *Client) readAt(ctx context.Context, oid kv.OID, snap clock.Timestamp) (*kv.Value, error) {
 	req := kv.ReadReq{OID: oid, Snap: snap}
-	respB, err := c.conn(c.ServerFor(oid)).Call(ctx, kv.MethodRead, req.Encode())
+	respB, err := c.call(ctx, c.ServerFor(oid), kv.MethodRead, req.Encode(), retryAlways)
 	if err != nil {
 		return nil, translateRPCErr(err)
 	}

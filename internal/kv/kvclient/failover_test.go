@@ -1,0 +1,259 @@
+package kvclient_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"yesquel/internal/clock"
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvclient"
+	"yesquel/internal/kv/kvserver"
+	"yesquel/internal/wire"
+)
+
+// startPair launches a mirrored primary+backup pair and a client whose
+// server slot 0 knows both replicas.
+func startPair(t *testing.T) (*kvserver.Server, *kvserver.Server, *kvclient.Client) {
+	t.Helper()
+	newSrv := func() *kvserver.Server {
+		srv := kvserver.NewServer(kvserver.NewStore(nil, kvserver.Config{}))
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve()
+		t.Cleanup(func() { srv.Close() })
+		return srv
+	}
+	primary, backup := newSrv(), newSrv()
+	if err := primary.SetMirror(backup.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := kvclient.OpenReplicated([][]string{{primary.Addr(), backup.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return primary, backup, c
+}
+
+// TestFailoverToBackup drives each idempotent operation through a
+// primary crash: the same client must transparently retry on the
+// backup and see every acknowledged write.
+func TestFailoverToBackup(t *testing.T) {
+	primary, _, c := startPair(t)
+	ctx := context.Background()
+
+	plain := c.NewOID(0)
+	super := c.NewOID(0)
+	tx := c.Begin()
+	tx.Put(plain, kv.NewPlain([]byte("mirrored")))
+	tx.ListAdd(super, []byte("k1"), []byte("v1"))
+	tx.AttrSet(super, 2, 77)
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	primary.Close()
+
+	cases := []struct {
+		name string
+		op   func(tx *kvclient.Tx) error
+	}{
+		{"read plain", func(tx *kvclient.Tx) error {
+			v, err := tx.Read(ctx, plain)
+			if err != nil {
+				return err
+			}
+			if string(v.Data) != "mirrored" {
+				t.Fatalf("read plain after failover: %q", v.Data)
+			}
+			return nil
+		}},
+		{"read supervalue", func(tx *kvclient.Tx) error {
+			v, err := tx.Read(ctx, super)
+			if err != nil {
+				return err
+			}
+			if v.NumCells() != 1 || v.Attrs[2] != 77 {
+				t.Fatalf("read super after failover: %+v", v)
+			}
+			return nil
+		}},
+		{"readpart window", func(tx *kvclient.Tx) error {
+			v, total, err := tx.ReadPart(ctx, super, []byte("k1"), nil, 10)
+			if err != nil {
+				return err
+			}
+			if total != 1 || v.NumCells() != 1 {
+				t.Fatalf("readpart after failover: total=%d %+v", total, v)
+			}
+			return nil
+		}},
+	}
+	for _, tc := range cases {
+		tx := c.Begin()
+		if err := tc.op(tx); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		tx.Abort()
+	}
+
+	// A commit attempted after the crash finds the connection already
+	// dead (provably unsent), retries on the backup, and succeeds.
+	oid2 := c.NewOID(0)
+	tx2 := c.Begin()
+	tx2.Put(oid2, kv.NewPlain([]byte("post-failover")))
+	if err := tx2.Commit(ctx); err != nil {
+		t.Fatalf("commit after failover: %v", err)
+	}
+	check := c.Begin()
+	defer check.Abort()
+	if v, err := check.Read(ctx, oid2); err != nil || string(v.Data) != "post-failover" {
+		t.Fatalf("read own post-failover write: %v %v", v, err)
+	}
+}
+
+// stubServer speaks just enough of the rpc frame protocol to answer
+// pings, then kills the connection upon the first request of the named
+// method — after reading it, so the client's request was definitely
+// sent and the outcome is genuinely unknown.
+func stubServer(t *testing.T, dieOn string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	hlc := clock.New()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					p, err := wire.ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					r := wire.NewReader(p)
+					r.Byte() // frame kind (request)
+					id, _ := r.Uvarint()
+					method, err := r.String()
+					if err != nil || method == dieOn {
+						return // hang up without responding
+					}
+					// Minimal response frame: kind=response(1), id,
+					// status=ok(0), body = Ack{Clock}.
+					b := wire.NewBuffer(32)
+					b.PutByte(1)
+					b.PutUvarint(id)
+					b.PutByte(0)
+					b.PutBytes((&kv.Ack{Clock: hlc.Now()}).Encode())
+					if err := wire.WriteFrame(conn, b.Bytes()); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestCommitUncertainOnLostAck pins the commit-ack contract: when the
+// connection dies after the commit request was sent but before the
+// acknowledgment arrives, the commit may have been applied and
+// replicated, so the client must report kv.ErrUncertain — not retry it
+// blindly, and not claim failure.
+func TestCommitUncertainOnLostAck(t *testing.T) {
+	addr := stubServer(t, kv.MethodFastCommit)
+	c, err := kvclient.Open([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tx := c.Begin()
+	tx.Put(c.NewOID(0), kv.NewPlain([]byte("limbo")))
+	err = tx.Commit(context.Background())
+	if !errors.Is(err, kv.ErrUncertain) {
+		t.Fatalf("commit with lost ack: got %v, want kv.ErrUncertain", err)
+	}
+}
+
+// TestReadRetriesThroughLostConnection: the same lost-connection
+// scenario on a read is idempotent, so it must NOT surface
+// ErrUncertain; with no backup to fail over to it errors, with a
+// healthy backup it succeeds (covered by TestFailoverToBackup).
+func TestReadRetriesThroughLostConnection(t *testing.T) {
+	addr := stubServer(t, kv.MethodRead)
+	c, err := kvclient.Open([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tx := c.Begin()
+	defer tx.Abort()
+	_, err = tx.Read(context.Background(), c.NewOID(0))
+	if err == nil {
+		t.Fatal("read against dying stub succeeded")
+	}
+	if errors.Is(err, kv.ErrUncertain) {
+		t.Fatalf("idempotent read reported ErrUncertain: %v", err)
+	}
+}
+
+// TestOpenMergesServerClocks is the root-cause regression test for the
+// seed's failing mirror tests: a server whose hybrid logical clock
+// runs ahead of real time (here: 60s of skew, standing in for the
+// logical component racing ahead under load) has committed data at
+// "future" timestamps. A fresh client's first snapshot must not
+// predate those commits, so Open pings every server and merges the
+// returned clocks before the first Begin.
+func TestOpenMergesServerClocks(t *testing.T) {
+	store := kvserver.NewStore(nil, kvserver.Config{})
+	store.Clock().SetPhysical(func() uint64 {
+		return uint64(time.Now().UnixMilli()) + 60_000
+	})
+	srv := kvserver.NewServer(store)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	ctx := context.Background()
+
+	c1, err := kvclient.Open([]string{srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	oid := c1.NewOID(0)
+	tx := c1.Begin()
+	tx.Put(oid, kv.NewPlain([]byte("from-the-future")))
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fresh client's wall clock trails the commit timestamp by a
+	// minute; only the Open-time clock merge makes the write visible.
+	c2, err := kvclient.Open([]string{srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Clock().Last() < store.Clock().Last()-clock.Make(1000, 0) {
+		t.Fatalf("client clock %v did not converge toward server clock %v",
+			c2.Clock().Last(), store.Clock().Last())
+	}
+	check := c2.Begin()
+	defer check.Abort()
+	v, err := check.Read(ctx, oid)
+	if err != nil || string(v.Data) != "from-the-future" {
+		t.Fatalf("fresh client missed committed data: %v %v", v, err)
+	}
+}

@@ -159,7 +159,7 @@ func (t *Tx) ReadPart(ctx context.Context, oid kv.OID, from, to []byte, max uint
 	}
 
 	req := kv.ReadPartReq{OID: oid, Snap: t.start, From: from, To: to, Max: max}
-	respB, err := t.c.conn(t.c.ServerFor(oid)).Call(ctx, kv.MethodReadPart, req.Encode())
+	respB, err := t.c.call(ctx, t.c.ServerFor(oid), kv.MethodReadPart, req.Encode(), retryAlways)
 	if err != nil {
 		return nil, 0, translateRPCErr(err)
 	}
@@ -229,9 +229,14 @@ func (t *Tx) Commit(ctx context.Context) error {
 	return t.twoPhaseCommit(ctx, servers, byServer)
 }
 
+// fastCommit is not idempotent: if the request was sent and the
+// connection died before the acknowledgment, the commit may have been
+// applied (and replicated), so call surfaces kv.ErrUncertain. When the
+// request provably never left (the primary died earlier), call retries
+// on the backup, which re-executes the whole one-shot transaction.
 func (t *Tx) fastCommit(ctx context.Context, server int, ops []*kv.Op) error {
 	req := kv.FastCommitReq{TxID: t.txid, Start: t.start, Ops: ops}
-	respB, err := t.c.conn(server).Call(ctx, kv.MethodFastCommit, req.Encode())
+	respB, err := t.c.call(ctx, server, kv.MethodFastCommit, req.Encode(), retryUnsentUncertain)
 	if err != nil {
 		return translateRPCErr(err)
 	}
@@ -257,8 +262,13 @@ func (t *Tx) twoPhaseCommit(ctx context.Context, servers []int, byServer map[int
 	votes := make(chan voteResult, len(servers))
 	for _, s := range servers {
 		go func(s int) {
+			// Prepare retries on a backup only when the request provably
+			// never reached the primary (it was already dead). If the
+			// ack was merely lost, the primary may hold the vote, and
+			// re-preparing elsewhere would stage the transaction twice;
+			// the transaction aborts instead.
 			req := kv.PrepareReq{TxID: t.txid, Start: t.start, Ops: byServer[s]}
-			respB, err := t.c.conn(s).Call(ctx, kv.MethodPrepare, req.Encode())
+			respB, err := t.c.call(ctx, s, kv.MethodPrepare, req.Encode(), retryUnsent)
 			if err != nil {
 				votes <- voteResult{server: s, err: translateRPCErr(err)}
 				return
@@ -308,8 +318,11 @@ func (t *Tx) twoPhaseCommit(ctx context.Context, servers []int, byServer map[int
 	errs := make(chan error, len(servers))
 	for _, s := range servers {
 		go func(s int) {
+			// Phase two is bound to the replica that holds the prepared
+			// transaction; a lost acknowledgment is uncertain, never
+			// blindly retried elsewhere.
 			req := kv.CommitReq{TxID: t.txid, CommitTS: commitTS}
-			respB, err := t.c.conn(s).Call(ctx, kv.MethodCommit, req.Encode())
+			respB, err := t.c.call(ctx, s, kv.MethodCommit, req.Encode(), retryUnsentUncertain)
 			if err != nil {
 				errs <- fmt.Errorf("commit on server %d: %w", s, err)
 				return
@@ -343,7 +356,7 @@ func (t *Tx) abortAll(ctx context.Context, servers []int) {
 	for _, s := range servers {
 		go func(s int) {
 			defer func() { done <- struct{}{} }()
-			respB, err := t.c.conn(s).Call(ctx, kv.MethodAbort, req.Encode())
+			respB, err := t.c.call(ctx, s, kv.MethodAbort, req.Encode(), retryAlways)
 			if err == nil {
 				if ack, err := kv.DecodeAck(respB); err == nil {
 					t.c.hlc.Observe(ack.Clock)

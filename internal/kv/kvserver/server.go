@@ -47,35 +47,68 @@ func NewServer(store *Store) *Server {
 	s.rpc.Register(kv.MethodFastCommit, s.handleFastCommit)
 	s.rpc.Register(kv.MethodPing, s.handlePing)
 	s.rpc.Register(kv.MethodMirror, s.handleMirror)
+	s.rpc.Register(kv.MethodSync, s.handleSync)
 	return s
 }
 
-// SetMirror makes this server a primary that synchronously replicates
-// every commit to the backup at addr before acknowledging it. The
-// backup is a plain kvserver that applies mirrored commits; on primary
-// failure, clients reconnect to the backup and see every acknowledged
-// write (in-flight prepares are lost, so open transactions abort).
-// Pass "" to detach.
+// AttachBackup makes this server a primary that synchronously
+// replicates every commit to the backup at addr before acknowledging
+// it; on primary failure, clients fail over to the backup and see
+// every acknowledged write. In-flight prepares are not replicated, so
+// single-server transactions caught mid-commit simply abort; a
+// cross-server transaction whose coordinator already committed other
+// participants can be left partially applied (the client gets an
+// error, never a false acknowledgment — see ROADMAP "2PC outcome
+// recovery"). It returns the replication-stream watermark:
+// the backup holds every acknowledged commit once it has synced up to
+// that sequence number (a fresh pair starts at 0 and needs no sync; a
+// backup attached mid-life calls SyncFrom with it).
+func (s *Server) AttachBackup(addr string) (uint64, error) {
+	conn, err := rpc.Dial(addr)
+	if err != nil {
+		return 0, fmt.Errorf("kvserver: dialing backup: %w", err)
+	}
+	if s.mirrorConn != nil {
+		s.mirrorConn.Close()
+	}
+	s.mirrorConn = conn
+	watermark := s.store.AttachMirror(func(seq uint64, commitTS kv.Timestamp, ops []*kv.Op) error {
+		// The mirror call runs while the commit holds the replication
+		// stream; a frozen backup (hung process, partition without a
+		// reset) must fail the commit after a bounded wait, not wedge
+		// the primary's whole write path forever.
+		ctx, cancel := context.WithTimeout(context.Background(), mirrorTimeout)
+		defer cancel()
+		req := kv.MirrorReq{Seq: seq, CommitTS: commitTS, Ops: ops}
+		respB, err := conn.Call(ctx, kv.MethodMirror, req.Encode())
+		if err != nil {
+			return err
+		}
+		if ack, err := kv.DecodeAck(respB); err == nil {
+			s.store.Clock().Observe(ack.Clock)
+		}
+		return nil
+	})
+	return watermark, nil
+}
+
+// mirrorTimeout bounds one synchronous mirror round trip.
+const mirrorTimeout = 5 * time.Second
+
+// SetMirror attaches (or, with "", detaches) a backup. It is the
+// flag-friendly wrapper around AttachBackup for pairs formed before
+// any writes, where the watermark is necessarily zero.
 func (s *Server) SetMirror(addr string) error {
 	if addr == "" {
-		s.store.SetMirror(nil)
+		s.store.AttachMirror(nil)
 		if s.mirrorConn != nil {
 			s.mirrorConn.Close()
 			s.mirrorConn = nil
 		}
 		return nil
 	}
-	conn, err := rpc.Dial(addr)
-	if err != nil {
-		return fmt.Errorf("kvserver: dialing backup: %w", err)
-	}
-	s.mirrorConn = conn
-	s.store.SetMirror(func(commitTS kv.Timestamp, ops []*kv.Op) error {
-		req := kv.MirrorReq{CommitTS: commitTS, Ops: ops}
-		_, err := conn.Call(context.Background(), kv.MethodMirror, req.Encode())
-		return err
-	})
-	return nil
+	_, err := s.AttachBackup(addr)
+	return err
 }
 
 func (s *Server) handleMirror(_ context.Context, p []byte) ([]byte, error) {
@@ -83,8 +116,69 @@ func (s *Server) handleMirror(_ context.Context, p []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.store.ApplyReplicated(req.CommitTS, req.Ops)
+	if err := s.store.ApplyMirrored(req.Seq, req.CommitTS, req.Ops); err != nil {
+		return nil, err
+	}
 	return (&kv.Ack{Clock: s.store.Clock().Now()}).Encode(), nil
+}
+
+func (s *Server) handleSync(_ context.Context, p []byte) ([]byte, error) {
+	req, err := kv.DecodeSyncReq(p)
+	if err != nil {
+		return nil, err
+	}
+	recs, head, err := s.store.SyncRecords(req.From, int(req.Max))
+	if err != nil {
+		return nil, err
+	}
+	resp := &kv.SyncResp{Records: recs, Head: head, Clock: s.store.Clock().Now()}
+	return resp.Encode(), nil
+}
+
+// SyncFrom streams missed commits from the primary at addr into this
+// server's store until the local stream head reaches the given
+// watermark (0 = the primary's head at call time), then leaves resync
+// mode. Call StartResync on the store *before* the primary attaches
+// this server as its mirror, so live mirrored commits arriving during
+// the catch-up are buffered and applied in sequence once the history
+// below them lands.
+func (s *Server) SyncFrom(addr string, until uint64) error {
+	conn, err := rpc.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("kvserver: dialing sync source: %w", err)
+	}
+	defer conn.Close()
+	ctx := context.Background()
+	for {
+		from := s.store.ReplSeq()
+		req := kv.SyncReq{From: from, Max: 512}
+		respB, err := conn.Call(ctx, kv.MethodSync, req.Encode())
+		if err != nil {
+			return fmt.Errorf("kvserver: sync from %s: %w", addr, err)
+		}
+		resp, err := kv.DecodeSyncResp(respB)
+		if err != nil {
+			return err
+		}
+		s.store.Clock().Observe(resp.Clock)
+		for i := range resp.Records {
+			rec := &resp.Records[i]
+			if err := s.store.ApplyReplicatedSeq(rec.Seq, rec.CommitTS, rec.Ops); err != nil {
+				return err
+			}
+		}
+		if until == 0 {
+			until = resp.Head
+		}
+		now := s.store.ReplSeq()
+		if now >= until {
+			break
+		}
+		if len(resp.Records) == 0 {
+			return fmt.Errorf("kvserver: sync stalled at seq %d (source head %d, want %d)", now, resp.Head, until)
+		}
+	}
+	return s.store.FinishResync()
 }
 
 // Store returns the underlying storage engine.
@@ -130,6 +224,10 @@ func (s *Server) Close() error {
 	default:
 		close(s.stopCh)
 		s.sweeper.Stop()
+	}
+	if s.mirrorConn != nil {
+		s.mirrorConn.Close()
+		s.mirrorConn = nil
 	}
 	return s.rpc.Close()
 }

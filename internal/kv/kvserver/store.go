@@ -9,10 +9,31 @@
 // writers; a reader blocks only in the narrow window where a prepared
 // transaction could commit below the reader's snapshot (the Clock-SI
 // read rule), which lasts one commit round trip.
+//
+// # Replication
+//
+// Fault tolerance lives in this layer, as the paper prescribes: the
+// SQL layer above is stateless and the client library fails over, so
+// only the storage server needs to replicate. A server can run as the
+// primary of a primary-backup pair (Server.AttachBackup): every commit
+// is assigned a sequence number in the primary's replication stream
+// and synchronously mirrored — the backup must acknowledge before the
+// commit becomes visible or is acknowledged to the client, so a
+// failover to the backup never loses an acknowledged write. Backups
+// apply the stream in strict sequence order; a gap (the backup missed
+// commits, e.g. it restarted) makes mirroring fail loudly instead of
+// silently diverging, and the backup re-joins by streaming the missed
+// records from the primary's replication log (Server.SyncFrom /
+// MethodSync, the same records the write-ahead log holds). Commits of
+// a replicated store are serialized through the stream, trading
+// throughput for a total order that makes resync exact; E9 in
+// internal/bench measures the cost.
 package kvserver
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -20,6 +41,7 @@ import (
 
 	"yesquel/internal/clock"
 	"yesquel/internal/kv"
+	"yesquel/internal/wire"
 )
 
 const numShards = 64
@@ -41,6 +63,11 @@ type Config struct {
 	// LogSync fsyncs the log on every commit. Off, the log is still
 	// written in commit order but a host crash can lose the tail.
 	LogSync bool
+	// ReplicationLog keeps every committed transaction in memory so the
+	// store can serve MethodSync resyncs to a fresh or restarted backup.
+	// Enable it on every member of a replication group. (The log is
+	// unbounded; see ROADMAP for snapshot-based truncation.)
+	ReplicationLog bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -124,6 +151,13 @@ type txRecord struct {
 	oids []kv.OID
 }
 
+// repRecord is one committed transaction in the replication stream.
+// Its sequence number is implicit: commitLog[i] carries seq i.
+type repRecord struct {
+	commitTS clock.Timestamp
+	ops      []*kv.Op
+}
+
 // Store is the storage engine of one server. It is safe for concurrent
 // use and may also be embedded in-process (the centralized-SQL baseline
 // does this).
@@ -136,26 +170,119 @@ type Store struct {
 	txs  map[uint64]*txRecord
 
 	wal *wal
+
+	// repMu orders the replication stream: sequence assignment, the
+	// synchronous mirror call, the replication log, and the write-ahead
+	// log all happen under it, so stream order, log order, and
+	// per-object version order agree on every replica. Lock order is
+	// repMu before shard mutexes.
+	repMu sync.Mutex
+	// repSeq is the next sequence number: the number of commits this
+	// store has applied, natively or replicated.
+	repSeq uint64
+	// commitLog holds the stream when cfg.ReplicationLog is set.
+	commitLog []repRecord
+	// pending buffers replicated records that arrived ahead of repSeq
+	// while a resync is filling in the history below them.
+	pending   map[uint64]repRecord
+	resyncing bool
 	// mirror, when set, replicates every committed transaction to a
-	// backup before it becomes visible (see Server.SetMirror).
-	mirror func(commitTS clock.Timestamp, ops []*kv.Op) error
+	// backup before it becomes visible (see Server.AttachBackup).
+	mirror func(seq uint64, commitTS clock.Timestamp, ops []*kv.Op) error
 
 	stats Stats
 }
 
-// SetMirror installs fn as the replication hook. Pass nil to detach the
-// backup (e.g. when it fails and the operator removes it from the
-// replication group).
-func (s *Store) SetMirror(fn func(commitTS clock.Timestamp, ops []*kv.Op) error) {
-	s.txMu.Lock()
+// AttachMirror installs fn as the replication hook and returns the
+// sequence number the next commit will carry — the watermark a backup
+// attached mid-life must sync up to. Pass nil to detach the backup
+// (e.g. when it fails and the operator removes it from the group).
+func (s *Store) AttachMirror(fn func(seq uint64, commitTS clock.Timestamp, ops []*kv.Op) error) uint64 {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
 	s.mirror = fn
-	s.txMu.Unlock()
+	return s.repSeq
 }
 
-func (s *Store) mirrorFn() func(clock.Timestamp, []*kv.Op) error {
-	s.txMu.Lock()
-	defer s.txMu.Unlock()
-	return s.mirror
+// ReplSeq returns the next sequence number in the replication stream
+// (equivalently: how many commits this store has applied).
+func (s *Store) ReplSeq() uint64 {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	return s.repSeq
+}
+
+// StartResync puts the store in resync mode: replicated records that
+// arrive ahead of the contiguous stream are buffered instead of
+// rejected. Call before the primary attaches this store as its mirror,
+// so live commits and the history stream can interleave safely.
+func (s *Store) StartResync() {
+	s.repMu.Lock()
+	s.resyncing = true
+	s.repMu.Unlock()
+}
+
+// FinishResync leaves resync mode. It fails if buffered records remain
+// unapplied — that means the history stream stopped short of them.
+func (s *Store) FinishResync() error {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	s.resyncing = false
+	if len(s.pending) > 0 {
+		return fmt.Errorf("kvserver: resync incomplete: %d records still pending above seq %d", len(s.pending), s.repSeq)
+	}
+	return nil
+}
+
+// syncBatchBytes caps the estimated payload of one sync response,
+// comfortably below the wire frame limit regardless of record count.
+const syncBatchBytes = 4 << 20
+
+// SyncRecords returns up to max replication-log records starting at
+// sequence number from — fewer when the batch would grow past
+// syncBatchBytes — plus the current head of the stream. At least one
+// record is always returned when any exists at from, so a single large
+// commit (necessarily under the frame limit, it crossed the wire once
+// already) cannot stall a resync.
+func (s *Store) SyncRecords(from uint64, max int) ([]kv.SyncRec, uint64, error) {
+	if max <= 0 {
+		max = 512
+	}
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	if !s.cfg.ReplicationLog {
+		return nil, s.repSeq, fmt.Errorf("%w: server keeps no replication log", kv.ErrBadRequest)
+	}
+	if from >= uint64(len(s.commitLog)) {
+		return nil, s.repSeq, nil
+	}
+	end := from + uint64(max)
+	if end > uint64(len(s.commitLog)) {
+		end = uint64(len(s.commitLog))
+	}
+	recs := make([]kv.SyncRec, 0, end-from)
+	bytes := 0
+	for seq := from; seq < end; seq++ {
+		rec := s.commitLog[seq]
+		sz := recordSize(rec.ops)
+		if len(recs) > 0 && bytes+sz > syncBatchBytes {
+			break
+		}
+		bytes += sz
+		recs = append(recs, kv.SyncRec{Seq: seq, CommitTS: rec.commitTS, Ops: rec.ops})
+	}
+	return recs, s.repSeq, nil
+}
+
+// recordSize estimates the wire size of one replication record.
+func recordSize(ops []*kv.Op) int {
+	n := 24
+	for _, op := range ops {
+		n += 16 + op.Value.EncodedSize() +
+			len(op.Cell.Key) + len(op.Cell.Value) +
+			len(op.From) + len(op.To) + len(op.Low) + len(op.High)
+	}
+	return n
 }
 
 // NewStore returns an empty store using hlc for timestamps. A nil hlc
@@ -416,12 +543,11 @@ func (s *Store) Commit(txid uint64, commitTS clock.Timestamp) error {
 	s.clock.Observe(commitTS)
 	// Write-ahead and replication: the commit must be durable (log) and
 	// replicated (mirror) before any of its effects become visible. The
-	// per-object locks are still held here, so a successor writer to
-	// the same objects cannot commit — and hence cannot mirror — until
-	// this transaction's mirror call has been acknowledged, which keeps
-	// per-object version order identical on the backup.
-	mirror := s.mirrorFn()
-	if s.wal != nil || mirror != nil {
+	// per-object locks are still held here, and the whole section runs
+	// under repMu, so the replication stream order, the log order, and
+	// per-object version order all agree — on this store and, because
+	// mirror calls are acknowledged in sequence, on the backup.
+	if s.wal != nil || s.cfg.ReplicationLog || s.hasMirror() {
 		var all []*kv.Op
 		for _, oid := range rec.oids {
 			sh := s.shardFor(oid)
@@ -438,20 +564,42 @@ func (s *Store) Commit(txid uint64, commitTS clock.Timestamp) error {
 			s.Abort(txid)
 			return fmt.Errorf("kv: %s commit: %w", reason, err)
 		}
+		s.repMu.Lock()
 		// Mirror before logging: a mirror failure aborts cleanly (nothing
-		// durable yet); a log failure after a successful mirror is a
-		// double fault that leaves the backup one commit ahead, which an
-		// operator resolves by resyncing the backup from the log.
-		if mirror != nil {
-			if err := mirror(commitTS, all); err != nil {
+		// durable yet, the sequence number is not consumed). A log
+		// failure after a successful mirror is a double fault: the
+		// stream state is rolled back so this store's replication log
+		// never serves the aborted commit, leaving the backup one commit
+		// ahead — the next mirror reuses the sequence number, the backup
+		// rejects it as divergence, and the operator re-forms the pair.
+		seq := s.repSeq
+		if s.mirror != nil {
+			if err := s.mirror(seq, commitTS, all); err != nil {
+				s.repMu.Unlock()
 				return undo("replicating", err)
 			}
 		}
+		s.repSeq++
+		if s.cfg.ReplicationLog {
+			s.commitLog = append(s.commitLog, repRecord{commitTS: commitTS, ops: all})
+		}
 		if s.wal != nil {
 			if err := s.wal.append(commitTS, all); err != nil {
+				s.repSeq = seq
+				if s.cfg.ReplicationLog {
+					s.commitLog = s.commitLog[:len(s.commitLog)-1]
+				}
+				s.repMu.Unlock()
 				return undo("logging", err)
 			}
 		}
+		s.repMu.Unlock()
+	} else {
+		// Even without a log or mirror, count the commit in the stream so
+		// a later AttachMirror reports an honest watermark.
+		s.repMu.Lock()
+		s.repSeq++
+		s.repMu.Unlock()
 	}
 	for _, oid := range rec.oids {
 		sh := s.shardFor(oid)
@@ -617,6 +765,41 @@ func (s *Store) VersionCount(oid kv.OID) int {
 		return 0
 	}
 	return len(obj.versions)
+}
+
+func (s *Store) hasMirror() bool {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	return s.mirror != nil
+}
+
+// StateDigest returns a deterministic digest of the store's full
+// multi-version state: every object's version history with commit
+// timestamps and encoded values. Two replicas that applied the same
+// replication stream have equal digests (per-object hashes are XORed,
+// so shard iteration order does not matter).
+func (s *Store) StateDigest() uint64 {
+	var total uint64
+	var tsb [8]byte
+	for i := range s.shard {
+		sh := &s.shard[i]
+		sh.mu.Lock()
+		for oid, obj := range sh.objs {
+			h := fnv.New64a()
+			binary.BigEndian.PutUint64(tsb[:], uint64(oid))
+			h.Write(tsb[:])
+			for _, v := range obj.versions {
+				binary.BigEndian.PutUint64(tsb[:], uint64(v.ts))
+				h.Write(tsb[:])
+				b := wire.NewBuffer(v.val.EncodedSize())
+				kv.EncodeValue(b, v.val)
+				h.Write(b.Bytes())
+			}
+			total ^= h.Sum64()
+		}
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // IsLocked reports whether oid currently carries a prepare lock (tests).

@@ -1,0 +1,223 @@
+package kvserver_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvclient"
+	"yesquel/internal/kv/kvserver"
+)
+
+// startReplServer launches a kvserver that keeps the replication log.
+func startReplServer(t *testing.T) *kvserver.Server {
+	t.Helper()
+	srv := kvserver.NewServer(kvserver.NewStore(nil, kvserver.Config{ReplicationLog: true}))
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// writeBatch commits n transactions with a mix of op shapes through c.
+func writeBatch(t *testing.T, c *kvclient.Client, tag string, n int) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		tx := c.Begin()
+		switch i % 4 {
+		case 0:
+			tx.Put(c.NewOID(0), kv.NewPlain([]byte(fmt.Sprintf("%s-%d", tag, i))))
+		case 1:
+			oid := c.NewOID(0)
+			tx.ListAdd(oid, []byte("cell"), []byte(tag))
+			tx.AttrSet(oid, 1, uint64(i))
+		case 2:
+			oid := c.NewOID(0)
+			tx.Put(oid, kv.NewPlain([]byte("doomed")))
+			if err := tx.Commit(ctx); err != nil {
+				t.Fatal(err)
+			}
+			tx = c.Begin()
+			tx.Delete(oid)
+		case 3:
+			tx.SetBounds(c.NewOID(0), []byte("lo"), []byte("hi"))
+		}
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSyncRebuildsBackupByteForByte covers the resync path: a backup
+// dies, the primary keeps committing alone, and a fresh backup catches
+// up via MethodSync until its multi-version state digests equal the
+// primary's — then live mirroring keeps them equal.
+func TestSyncRebuildsBackupByteForByte(t *testing.T) {
+	primary := startReplServer(t)
+	backup1 := startReplServer(t)
+	if err := primary.SetMirror(backup1.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := kvclient.Open([]string{primary.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	writeBatch(t, c, "before", 20)
+
+	// Backup dies; the operator detaches it and the primary serves alone.
+	backup1.Close()
+	if err := primary.SetMirror(""); err != nil {
+		t.Fatal(err)
+	}
+	writeBatch(t, c, "alone", 20)
+
+	// A fresh backup re-forms the pair: resync mode first, then attach
+	// (so live commits buffer), then stream the missed history.
+	backup2 := startReplServer(t)
+	backup2.Store().StartResync()
+	watermark, err := primary.AttachBackup(backup2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if watermark == 0 {
+		t.Fatal("watermark = 0 after 50 commits")
+	}
+	if err := backup2.SyncFrom(primary.Addr(), watermark); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := backup2.Store().StateDigest(), primary.Store().StateDigest(); got != want {
+		t.Fatalf("after sync: backup digest %x != primary digest %x", got, want)
+	}
+	if got, want := backup2.Store().ReplSeq(), primary.Store().ReplSeq(); got != want {
+		t.Fatalf("after sync: backup seq %d != primary seq %d", got, want)
+	}
+
+	// The re-formed pair mirrors live commits again.
+	writeBatch(t, c, "after", 20)
+	if got, want := backup2.Store().StateDigest(), primary.Store().StateDigest(); got != want {
+		t.Fatalf("after live mirroring: backup digest %x != primary digest %x", got, want)
+	}
+
+	// And the rebuilt backup serves the data to a failover client.
+	oid := c.NewOID(0)
+	tx := c.Begin()
+	tx.Put(oid, kv.NewPlain([]byte("visible")))
+	if err := tx.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	primary.Close()
+	c2, err := kvclient.Open([]string{backup2.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	check := c2.Begin()
+	defer check.Abort()
+	if v, err := check.Read(context.Background(), oid); err != nil || string(v.Data) != "visible" {
+		t.Fatalf("read on rebuilt backup: %v %v", v, err)
+	}
+}
+
+// TestMirrorGapFailsLoudly pins the divergence guard: attaching a
+// stale, empty backup to a primary with history (without a resync)
+// must fail the primary's next commit instead of silently mirroring a
+// stream with a gap.
+func TestMirrorGapFailsLoudly(t *testing.T) {
+	primary := startReplServer(t)
+	c, err := kvclient.Open([]string{primary.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	writeBatch(t, c, "history", 8)
+
+	stale := startReplServer(t)
+	if _, err := primary.AttachBackup(stale.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	tx := c.Begin()
+	tx.Put(c.NewOID(0), kv.NewPlain([]byte("x")))
+	err = tx.Commit(context.Background())
+	if err == nil {
+		t.Fatal("commit mirrored into a gapped backup succeeded")
+	}
+	if !strings.Contains(err.Error(), "resync") {
+		t.Fatalf("gap error should demand a resync, got: %v", err)
+	}
+	// The stale backup stayed empty rather than diverging.
+	if stale.Store().ReplSeq() != 0 {
+		t.Fatalf("stale backup applied %d records", stale.Store().ReplSeq())
+	}
+}
+
+// TestMirrorDetectsDivergedBackup pins the split-brain guard on the
+// other side: a backup that served native client writes of its own
+// (e.g. a client failed over while the primary was still alive) is
+// ahead of the primary's stream. The next mirrored commit must fail
+// loudly instead of being acknowledged and silently dropped.
+func TestMirrorDetectsDivergedBackup(t *testing.T) {
+	primary := startReplServer(t)
+	backup := startReplServer(t)
+	if err := primary.SetMirror(backup.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	c, err := kvclient.Open([]string{primary.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tx := c.Begin()
+	tx.Put(c.NewOID(0), kv.NewPlain([]byte("replicated")))
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stray client writes directly to the backup: its stream head
+	// advances past the primary's.
+	stray, err := kvclient.Open([]string{backup.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stray.Close()
+	stx := stray.Begin()
+	stx.Put(stray.NewOID(0), kv.NewPlain([]byte("split-brain")))
+	if err := stx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The primary's next commit mirrors a sequence number the backup
+	// already consumed — it must be rejected, failing the commit.
+	tx = c.Begin()
+	tx.Put(c.NewOID(0), kv.NewPlain([]byte("rejected")))
+	err = tx.Commit(ctx)
+	if err == nil {
+		t.Fatal("commit mirrored into a diverged backup succeeded")
+	}
+	if !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("divergence should be named, got: %v", err)
+	}
+}
+
+// TestSyncFromRequiresReplicationLog verifies the sync source refuses
+// when it has no log to serve from.
+func TestSyncFromRequiresReplicationLog(t *testing.T) {
+	plain := startServer(t) // no ReplicationLog
+	backup := startReplServer(t)
+	backup.Store().StartResync()
+	err := backup.SyncFrom(plain.Addr(), 1)
+	if err == nil {
+		t.Fatal("sync from a server without a replication log succeeded")
+	}
+	if !errors.Is(err, kv.ErrBadRequest) && !strings.Contains(err.Error(), "replication log") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

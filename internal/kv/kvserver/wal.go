@@ -171,11 +171,75 @@ func OpenStore(hlc *clock.HLC, cfg Config) (*Store, error) {
 	return s, nil
 }
 
-// ApplyReplicated installs an externally committed transaction: a
-// write-ahead-log record during recovery, or a commit mirrored from a
-// primary replica. The caller guarantees per-object ordering (replay is
-// sequential; a primary mirrors while still holding the commit locks).
+// ApplyReplicated installs an externally committed transaction at the
+// next position in the replication stream: a write-ahead-log record
+// during recovery, where sequence order is the file order. Commits
+// mirrored over the network carry explicit sequence numbers; use
+// ApplyReplicatedSeq for those.
 func (s *Store) ApplyReplicated(commitTS clock.Timestamp, ops []*kv.Op) {
+	s.repMu.Lock()
+	s.applyRecordLocked(commitTS, ops)
+	s.repMu.Unlock()
+}
+
+// ApplyReplicatedSeq installs a replicated commit carrying its position
+// in the primary's stream, from a sync catch-up. Records below the
+// local stream head are duplicates and ignored (sync batches re-deliver
+// records that a concurrent mirror already buffered); records above it
+// are buffered while a resync is filling in the gap, and rejected
+// otherwise — a silent gap would diverge the replica forever, so the
+// primary's mirror call must fail loudly instead.
+func (s *Store) ApplyReplicatedSeq(seq uint64, commitTS clock.Timestamp, ops []*kv.Op) error {
+	return s.applyReplicated(seq, commitTS, ops, false)
+}
+
+// ApplyMirrored is the live-mirror variant of ApplyReplicatedSeq. The
+// primary sends each sequence number exactly once and in order, so a
+// mirror record below the local stream head means this replica applied
+// commits the primary never streamed — it served writes of its own
+// while the primary was alive (split brain). Acknowledging would make
+// the primary believe a commit is replicated when this replica dropped
+// it, so the duplicate fails loudly and the primary's commit aborts.
+func (s *Store) ApplyMirrored(seq uint64, commitTS clock.Timestamp, ops []*kv.Op) error {
+	return s.applyReplicated(seq, commitTS, ops, true)
+}
+
+func (s *Store) applyReplicated(seq uint64, commitTS clock.Timestamp, ops []*kv.Op, strict bool) error {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	for {
+		switch {
+		case seq < s.repSeq:
+			if strict {
+				return fmt.Errorf("%w: replica is ahead of the primary's stream (got seq %d, local head %d): replicas diverged, re-form the pair", kv.ErrBadRequest, seq, s.repSeq)
+			}
+			return nil // duplicate delivery
+		case seq > s.repSeq:
+			if !s.resyncing {
+				return fmt.Errorf("%w: replication gap: got seq %d, want %d; backup needs resync", kv.ErrBadRequest, seq, s.repSeq)
+			}
+			if s.pending == nil {
+				s.pending = make(map[uint64]repRecord)
+			}
+			s.pending[seq] = repRecord{commitTS: commitTS, ops: ops}
+			return nil
+		}
+		s.applyRecordLocked(commitTS, ops)
+		rec, ok := s.pending[s.repSeq]
+		if !ok {
+			return nil
+		}
+		delete(s.pending, s.repSeq)
+		seq, commitTS, ops = s.repSeq, rec.commitTS, rec.ops
+	}
+}
+
+// applyRecordLocked applies one replicated commit and advances the
+// stream head. Caller holds repMu; per-object version order follows
+// from stream order. The record is appended to the replication log and
+// this replica's own write-ahead log, so a backup is durable and can
+// itself serve resyncs after a failover promotes it.
+func (s *Store) applyRecordLocked(commitTS clock.Timestamp, ops []*kv.Op) {
 	s.clock.Observe(commitTS)
 	oids, byOID := groupOps(ops)
 	for _, oid := range oids {
@@ -199,6 +263,15 @@ func (s *Store) ApplyReplicated(commitTS clock.Timestamp, ops []*kv.Op) {
 		obj.versions = append(obj.versions, version{ts: commitTS, val: val, structural: structural, touched: touched})
 		s.trimLocked(obj)
 		sh.mu.Unlock()
+	}
+	s.repSeq++
+	if s.cfg.ReplicationLog {
+		s.commitLog = append(s.commitLog, repRecord{commitTS: commitTS, ops: ops})
+	}
+	if s.wal != nil {
+		// Best-effort: replicated state is already acknowledged upstream;
+		// a write error here only costs durability of this replica.
+		s.wal.append(commitTS, ops)
 	}
 }
 

@@ -14,18 +14,26 @@ const (
 	MethodFastCommit = "kv.fastcommit"
 	MethodPing       = "kv.ping"
 	// MethodMirror carries a committed transaction from a primary to
-	// its backup replica (see kvserver.Server.SetMirror).
+	// its backup replica (see kvserver.Server.AttachBackup).
 	MethodMirror = "kv.mirror"
+	// MethodSync streams missed commits from a primary's replication
+	// log to a restarted or fresh backup (see kvserver.Server.SyncFrom).
+	MethodSync = "kv.sync"
 )
 
-// MirrorReq replicates one committed transaction to a backup.
+// MirrorReq replicates one committed transaction to a backup. Seq is
+// the transaction's position in the primary's replication stream;
+// backups apply records in strict sequence order, so a gap means the
+// backup missed commits and must resync before mirroring can resume.
 type MirrorReq struct {
+	Seq      uint64
 	CommitTS Timestamp
 	Ops      []*Op
 }
 
 func (m *MirrorReq) Encode() []byte {
 	b := wire.NewBuffer(64)
+	b.PutUvarint(m.Seq)
 	b.PutUint64(uint64(m.CommitTS))
 	encodeOps(b, m.Ops)
 	return b.Bytes()
@@ -33,6 +41,10 @@ func (m *MirrorReq) Encode() []byte {
 
 func DecodeMirrorReq(p []byte) (*MirrorReq, error) {
 	r := wire.NewReader(p)
+	seq, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
 	ts, err := r.Uint64()
 	if err != nil {
 		return nil, err
@@ -41,7 +53,100 @@ func DecodeMirrorReq(p []byte) (*MirrorReq, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MirrorReq{CommitTS: Timestamp(ts), Ops: ops}, nil
+	return &MirrorReq{Seq: seq, CommitTS: Timestamp(ts), Ops: ops}, nil
+}
+
+// SyncReq asks a primary for its replication log starting at sequence
+// number From, at most Max records per response (0 = server default).
+type SyncReq struct {
+	From uint64
+	Max  uint32
+}
+
+func (m *SyncReq) Encode() []byte {
+	b := wire.NewBuffer(16)
+	b.PutUvarint(m.From)
+	b.PutUint32(m.Max)
+	return b.Bytes()
+}
+
+func DecodeSyncReq(p []byte) (*SyncReq, error) {
+	r := wire.NewReader(p)
+	m := &SyncReq{}
+	var err error
+	if m.From, err = r.Uvarint(); err != nil {
+		return nil, err
+	}
+	if m.Max, err = r.Uint32(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SyncRec is one replicated commit in a sync response.
+type SyncRec struct {
+	Seq      uint64
+	CommitTS Timestamp
+	Ops      []*Op
+}
+
+// SyncResp carries a slice of the primary's replication log. Head is
+// the primary's next sequence number at response time, so the caller
+// knows how far behind it still is.
+type SyncResp struct {
+	Records []SyncRec
+	Head    uint64
+	Clock   Timestamp
+}
+
+func (m *SyncResp) Encode() []byte {
+	b := wire.NewBuffer(64)
+	b.PutUvarint(uint64(len(m.Records)))
+	for i := range m.Records {
+		rec := &m.Records[i]
+		b.PutUvarint(rec.Seq)
+		b.PutUint64(uint64(rec.CommitTS))
+		encodeOps(b, rec.Ops)
+	}
+	b.PutUvarint(m.Head)
+	b.PutUint64(uint64(m.Clock))
+	return b.Bytes()
+}
+
+func DecodeSyncResp(p []byte) (*SyncResp, error) {
+	r := wire.NewReader(p)
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(wire.MaxFrameSize) {
+		return nil, ErrBadRequest
+	}
+	m := &SyncResp{Records: make([]SyncRec, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var rec SyncRec
+		if rec.Seq, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		ts, err := r.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		rec.CommitTS = Timestamp(ts)
+		if rec.Ops, err = decodeOps(r); err != nil {
+			return nil, err
+		}
+		m.Records = append(m.Records, rec)
+	}
+	if m.Head, err = r.Uvarint(); err != nil {
+		return nil, err
+	}
+	ck, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	m.Clock = Timestamp(ck)
+	return m, nil
 }
 
 // ReadReq asks for the newest version of OID visible at Snap.

@@ -1,0 +1,133 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sampleOps covers every op kind, including nil/empty byte-slice edge
+// cases the wire format distinguishes.
+func sampleOps() []*Op {
+	return []*Op{
+		{Kind: OpPut, OID: MakeOID(1, 7), Value: NewPlain([]byte("payload"))},
+		{Kind: OpPut, OID: MakeOID(1, 8), Value: nil}, // tombstone-valued put
+		{Kind: OpDelete, OID: MakeOID(2, 9)},
+		{Kind: OpListAdd, OID: MakeOID(0, 1), Cell: Cell{Key: []byte("k"), Value: []byte("v")}},
+		{Kind: OpListAdd, OID: MakeOID(0, 2), Cell: Cell{Key: []byte{}, Value: nil}},
+		{Kind: OpListDelRange, OID: MakeOID(3, 3), From: []byte("a"), To: []byte("z")},
+		{Kind: OpListDelRange, OID: MakeOID(3, 4), From: nil, To: nil},
+		{Kind: OpAttrSet, OID: MakeOID(4, 5), Attr: 7, Num: 1<<63 - 1},
+		{Kind: OpSetBounds, OID: MakeOID(5, 6), Low: []byte("lo"), High: nil},
+	}
+}
+
+func opsEqual(t *testing.T, got, want []*Op) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("op count: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Kind != w.Kind || g.OID != w.OID || g.Attr != w.Attr || g.Num != w.Num {
+			t.Fatalf("op %d scalar fields: got %+v, want %+v", i, g, w)
+		}
+		if (g.Value == nil) != (w.Value == nil) || (g.Value != nil && !g.Value.Equal(w.Value)) {
+			t.Fatalf("op %d value: got %+v, want %+v", i, g.Value, w.Value)
+		}
+		// Cell contents are plain length-prefixed (nil and empty encode
+		// identically); the range/bounds fields carry has-flags, so
+		// nil-ness must survive the round trip exactly.
+		if !bytes.Equal(g.Cell.Key, w.Cell.Key) || !bytes.Equal(g.Cell.Value, w.Cell.Value) {
+			t.Fatalf("op %d cell: got %+v, want %+v", i, g.Cell, w.Cell)
+		}
+		for _, pair := range [][2][]byte{
+			{g.From, w.From}, {g.To, w.To}, {g.Low, w.Low}, {g.High, w.High},
+		} {
+			if (pair[0] == nil) != (pair[1] == nil) || !bytes.Equal(pair[0], pair[1]) {
+				t.Fatalf("op %d byte field: got %v, want %v", i, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+func TestMirrorReqRoundTrip(t *testing.T) {
+	cases := []MirrorReq{
+		{Seq: 0, CommitTS: 1, Ops: nil},
+		{Seq: 1, CommitTS: 123456789, Ops: sampleOps()[:1]},
+		{Seq: 1 << 40, CommitTS: Timestamp(1) << 60, Ops: sampleOps()},
+	}
+	for i, in := range cases {
+		out, err := DecodeMirrorReq(in.Encode())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if out.Seq != in.Seq || out.CommitTS != in.CommitTS {
+			t.Fatalf("case %d: got seq=%d ts=%d, want seq=%d ts=%d", i, out.Seq, out.CommitTS, in.Seq, in.CommitTS)
+		}
+		opsEqual(t, out.Ops, in.Ops)
+	}
+}
+
+func TestMirrorReqDecodeErrors(t *testing.T) {
+	for _, p := range [][]byte{nil, {0x01}, {0x01, 0xff, 0xff}} {
+		if _, err := DecodeMirrorReq(p); err == nil {
+			t.Fatalf("decode of truncated payload %v succeeded", p)
+		}
+	}
+}
+
+func TestSyncReqRoundTrip(t *testing.T) {
+	cases := []SyncReq{
+		{From: 0, Max: 0},
+		{From: 42, Max: 512},
+		{From: 1<<64 - 1, Max: 1<<32 - 1},
+	}
+	for i, in := range cases {
+		out, err := DecodeSyncReq(in.Encode())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if *out != in {
+			t.Fatalf("case %d: got %+v, want %+v", i, *out, in)
+		}
+	}
+}
+
+func TestSyncRespRoundTrip(t *testing.T) {
+	cases := []SyncResp{
+		{Records: nil, Head: 0, Clock: 5},
+		{
+			Records: []SyncRec{
+				{Seq: 0, CommitTS: 10, Ops: sampleOps()[:3]},
+				{Seq: 1, CommitTS: 20, Ops: nil},
+				{Seq: 2, CommitTS: 30, Ops: sampleOps()},
+			},
+			Head:  3,
+			Clock: 99,
+		},
+	}
+	for i, in := range cases {
+		out, err := DecodeSyncResp(in.Encode())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if out.Head != in.Head || out.Clock != in.Clock || len(out.Records) != len(in.Records) {
+			t.Fatalf("case %d: got head=%d clock=%d n=%d, want head=%d clock=%d n=%d",
+				i, out.Head, out.Clock, len(out.Records), in.Head, in.Clock, len(in.Records))
+		}
+		for j := range in.Records {
+			if out.Records[j].Seq != in.Records[j].Seq || out.Records[j].CommitTS != in.Records[j].CommitTS {
+				t.Fatalf("case %d record %d: got %+v, want %+v", i, j, out.Records[j], in.Records[j])
+			}
+			opsEqual(t, out.Records[j].Ops, in.Records[j].Ops)
+		}
+	}
+}
+
+func TestSyncRespDecodeErrors(t *testing.T) {
+	for _, p := range [][]byte{nil, {0x05}, {0x01, 0x00}} {
+		if _, err := DecodeSyncResp(p); err == nil {
+			t.Fatalf("decode of truncated payload %v succeeded", p)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"yesquel/internal/wire"
 )
@@ -34,6 +35,11 @@ type Handler func(ctx context.Context, req []byte) ([]byte, error)
 var (
 	ErrClosed        = errors.New("rpc: connection closed")
 	ErrUnknownMethod = errors.New("rpc: unknown method")
+	// ErrNotSent marks a call that failed before the request reached the
+	// wire: the remote side cannot have executed it, so even
+	// non-idempotent operations are safe to retry elsewhere. Transport
+	// failures after the send do not carry it — the outcome is unknown.
+	ErrNotSent = errors.New("rpc: request not sent")
 )
 
 // AppError is an error returned by the remote handler (as opposed to a
@@ -242,9 +248,23 @@ type callResult struct {
 	err  error
 }
 
-// Dial connects to a server at addr.
+// defaultDialTimeout bounds connection establishment: a blackholed
+// host (power loss, partition without RST) must not stall the caller
+// for the kernel's multi-minute connect timeout.
+const defaultDialTimeout = 10 * time.Second
+
+// Dial connects to a server at addr with the default connect timeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, defaultDialTimeout)
+}
+
+// DialTimeout connects to a server at addr, failing after the given
+// connect timeout (0 = the package default).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = defaultDialTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +366,7 @@ func (c *Client) Call(ctx context.Context, method string, req []byte) ([]byte, e
 		if err == nil {
 			err = ErrClosed
 		}
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrNotSent, err)
 	}
 	c.pending[id] = ch
 	c.mu.Unlock()
@@ -355,7 +375,9 @@ func (c *Client) Call(ctx context.Context, method string, req []byte) ([]byte, e
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, err
+		// A write error means the frame did not go out whole; the server
+		// drops torn frames without executing them.
+		return nil, fmt.Errorf("%w: %w", ErrNotSent, err)
 	}
 
 	select {
