@@ -10,6 +10,7 @@ import (
 	"yesquel/internal/cluster"
 	"yesquel/internal/kv"
 	"yesquel/internal/kv/kvserver"
+	"yesquel/internal/rpc"
 )
 
 // ackedWrite is one write whose Commit returned nil: the system
@@ -211,5 +212,260 @@ func TestRestartWhileWritesContinue(t *testing.T) {
 	}
 	if got, want := g.Backup.Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
 		t.Fatalf("backup digest %x != primary digest %x", got, want)
+	}
+}
+
+// TestKillPrimaryBetweenVoteAndPhaseTwo is the 2PC outcome-recovery
+// headline through the real client path: a cross-slot transaction's
+// participant primary dies after voting yes but before phase two. The
+// prepare was replicated with the vote, so the promoted backup holds
+// the staged transaction, the coordinator drives the commit decision
+// onto it, and the transaction lands atomically on every slot.
+func TestKillPrimaryBetweenVoteAndPhaseTwo(t *testing.T) {
+	cl, err := cluster.StartReplicated(2, 2, kvserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	oidA, oidB := c.NewOID(0), c.NewOID(1)
+	tx := c.Begin()
+	tx.Put(oidA, kv.NewPlain([]byte("atomic-a")))
+	tx.Put(oidB, kv.NewPlain([]byte("atomic-b")))
+	tx.TestHookAfterVote = func() {
+		// Both participants voted yes (slot 0's prepare is already on
+		// its backup); now slot 0's primary dies before any phase-two
+		// request is sent.
+		if err := cl.KillPrimary(0); err != nil {
+			t.Errorf("kill primary: %v", err)
+		}
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatalf("commit across the failover: %v", err)
+	}
+
+	// Atomically applied: both halves visible through a fresh client
+	// that only knows the surviving replicas.
+	verify, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer verify.Close()
+	check := verify.Begin()
+	defer check.Abort()
+	if v, err := check.Read(ctx, oidA); err != nil || string(v.Data) != "atomic-a" {
+		t.Fatalf("slot-0 half after failover: %v %v", v, err)
+	}
+	if v, err := check.Read(ctx, oidB); err != nil || string(v.Data) != "atomic-b" {
+		t.Fatalf("slot-1 half after failover: %v %v", v, err)
+	}
+
+	// The re-formed pair streams the prepare and decision records and
+	// converges byte for byte.
+	if err := cl.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	g := cl.Groups[0]
+	if got, want := g.Backup.Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
+		t.Fatalf("re-formed backup digest %x != primary digest %x", got, want)
+	}
+}
+
+// raw2PC drives two-phase commit by hand over raw RPC connections, so
+// the test controls exactly when each phase-two request is sent
+// relative to a primary kill. It returns the chosen commit timestamp.
+func raw2PC(t *testing.T, cl *cluster.Cluster, txid uint64, start kv.Timestamp, ops map[int][]*kv.Op) kv.Timestamp {
+	t.Helper()
+	ctx := context.Background()
+	var commitTS kv.Timestamp
+	for slot, slotOps := range ops {
+		conn, err := rpc.Dial(cl.Addrs[slot])
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := kv.PrepareReq{TxID: txid, Start: start, Ops: slotOps}
+		respB, err := conn.Call(ctx, kv.MethodPrepare, req.Encode())
+		conn.Close()
+		if err != nil {
+			t.Fatalf("prepare on slot %d: %v", slot, err)
+		}
+		resp, err := kv.DecodePrepareResp(respB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK {
+			t.Fatalf("prepare on slot %d voted no", slot)
+		}
+		if resp.Proposed > commitTS {
+			commitTS = resp.Proposed
+		}
+	}
+	return commitTS
+}
+
+// sendCommit delivers one phase-two CommitReq to addr and returns the
+// RPC error (nil = acknowledged).
+func sendCommit(t *testing.T, addr string, txid uint64, commitTS kv.Timestamp) error {
+	t.Helper()
+	conn, err := rpc.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = conn.Call(context.Background(), kv.MethodCommit, (&kv.CommitReq{TxID: txid, CommitTS: commitTS}).Encode())
+	return err
+}
+
+// TestRaw2PCKillBeforeDecision is scenario (a) at the protocol level:
+// the participant primary dies after its vote, the coordinator drives
+// the decision to the promoted backup (which staged the prepare from
+// the mirror stream), and a duplicate decision is acknowledged from
+// the decided-transaction table. A second transaction is aborted after
+// the failover and must be fully invisible.
+func TestRaw2PCKillBeforeDecision(t *testing.T) {
+	cl, err := cluster.StartReplicated(2, 2, kvserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	oidA, oidB := kv.MakeOID(0, 1001), kv.MakeOID(1, 1002)
+	start := cl.Servers[0].Store().Clock().Now()
+	const txid = uint64(7_000_001)
+	commitTS := raw2PC(t, cl, txid, start, map[int][]*kv.Op{
+		0: {{Kind: kv.OpPut, OID: oidA, Value: kv.NewPlain([]byte("ra"))}},
+		1: {{Kind: kv.OpPut, OID: oidB, Value: kv.NewPlain([]byte("rb"))}},
+	})
+
+	// The vote is in; slot 0's primary dies before the decision.
+	if err := cl.KillPrimary(0); err != nil {
+		t.Fatal(err)
+	}
+	promoted := cl.Groups[0].Primary.Store()
+	if !promoted.IsLocked(oidA) {
+		t.Fatal("promoted backup does not hold the replicated prepare")
+	}
+
+	// Drive the decision to every participant — slot 0's is now the
+	// promoted backup.
+	if err := sendCommit(t, cl.Addrs[0], txid, commitTS); err != nil {
+		t.Fatalf("decision on promoted backup: %v", err)
+	}
+	if err := sendCommit(t, cl.Addrs[1], txid, commitTS); err != nil {
+		t.Fatalf("decision on slot 1: %v", err)
+	}
+	// The acceptance check: a retried decision for a decided txid is an
+	// acknowledgment, not an error.
+	for slot := 0; slot < 2; slot++ {
+		if err := sendCommit(t, cl.Addrs[slot], txid, commitTS); err != nil {
+			t.Fatalf("replayed decision on slot %d: %v", slot, err)
+		}
+	}
+
+	verify, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer verify.Close()
+	check := verify.Begin()
+	if v, err := check.Read(ctx, oidA); err != nil || string(v.Data) != "ra" {
+		t.Fatalf("slot-0 half: %v %v", v, err)
+	}
+	if v, err := check.Read(ctx, oidB); err != nil || string(v.Data) != "rb" {
+		t.Fatalf("slot-1 half: %v %v", v, err)
+	}
+	check.Abort()
+
+	// An in-flight transaction aborted after the failover is fully
+	// invisible and leaves no locks.
+	oidC, oidD := kv.MakeOID(0, 2001), kv.MakeOID(1, 2002)
+	const txid2 = uint64(7_000_002)
+	raw2PC(t, cl, txid2, verify.Clock().Now(), map[int][]*kv.Op{
+		0: {{Kind: kv.OpPut, OID: oidC, Value: kv.NewPlain([]byte("never"))}},
+		1: {{Kind: kv.OpPut, OID: oidD, Value: kv.NewPlain([]byte("never"))}},
+	})
+	for slot := 0; slot < 2; slot++ {
+		conn, err := rpc.Dial(cl.Addrs[slot])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Call(ctx, kv.MethodAbort, (&kv.AbortReq{TxID: txid2}).Encode()); err != nil {
+			t.Fatalf("abort on slot %d: %v", slot, err)
+		}
+		conn.Close()
+	}
+	check2 := verify.Begin()
+	defer check2.Abort()
+	if _, err := check2.Read(ctx, oidC); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("aborted half visible on slot 0: %v", err)
+	}
+	if _, err := check2.Read(ctx, oidD); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatalf("aborted half visible on slot 1: %v", err)
+	}
+	if promoted.IsLocked(oidC) || cl.Servers[1].Store().IsLocked(oidD) {
+		t.Fatal("aborted transaction stranded locks")
+	}
+}
+
+// TestRaw2PCKillDuringPhaseTwo is scenario (b): the participant
+// primary applies the commit decision (mirroring it to the backup) and
+// dies before the coordinator's acknowledgment arrives. The retried
+// decision onto the promoted backup is answered from the mirrored
+// decided-transaction state — acknowledged, applied exactly once.
+func TestRaw2PCKillDuringPhaseTwo(t *testing.T) {
+	cl, err := cluster.StartReplicated(2, 2, kvserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	oidA, oidB := kv.MakeOID(0, 3001), kv.MakeOID(1, 3002)
+	start := cl.Servers[0].Store().Clock().Now()
+	const txid = uint64(7_000_003)
+	commitTS := raw2PC(t, cl, txid, start, map[int][]*kv.Op{
+		0: {{Kind: kv.OpPut, OID: oidA, Value: kv.NewPlain([]byte("pa"))}},
+		1: {{Kind: kv.OpPut, OID: oidB, Value: kv.NewPlain([]byte("pb"))}},
+	})
+
+	// Phase two reaches slot 0's primary (the decision is mirrored to
+	// the backup), then the primary dies — from the coordinator's view
+	// the acknowledgment may have been lost, so it retries.
+	if err := sendCommit(t, cl.Addrs[0], txid, commitTS); err != nil {
+		t.Fatalf("first decision on slot 0: %v", err)
+	}
+	if err := cl.KillPrimary(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sendCommit(t, cl.Addrs[0], txid, commitTS); err != nil {
+		t.Fatalf("retried decision on promoted backup: %v", err)
+	}
+	if err := sendCommit(t, cl.Addrs[1], txid, commitTS); err != nil {
+		t.Fatalf("decision on slot 1: %v", err)
+	}
+
+	promoted := cl.Groups[0].Primary.Store()
+	if n := promoted.VersionCount(oidA); n != 1 {
+		t.Fatalf("retried decision applied %d times", n)
+	}
+	verify, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer verify.Close()
+	check := verify.Begin()
+	defer check.Abort()
+	if v, err := check.Read(ctx, oidA); err != nil || string(v.Data) != "pa" {
+		t.Fatalf("slot-0 half: %v %v", v, err)
+	}
+	if v, err := check.Read(ctx, oidB); err != nil || string(v.Data) != "pb" {
+		t.Fatalf("slot-1 half: %v %v", v, err)
 	}
 }

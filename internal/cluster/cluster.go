@@ -203,6 +203,7 @@ func (cl *Cluster) Stats() kvserver.StatsSnapshot {
 		out.Commits += st.Commits
 		out.FastCommits += st.FastCommits
 		out.Aborts += st.Aborts
+		out.OrphanAborts += st.OrphanAborts
 		out.Conflicts += st.Conflicts
 		out.GCVersions += st.GCVersions
 	}

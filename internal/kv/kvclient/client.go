@@ -193,9 +193,13 @@ const (
 	// stage the transaction on two replicas at once.
 	retryUnsent
 	// retryUnsentUncertain: like retryUnsent, but a sent-but-
-	// unacknowledged attempt surfaces kv.ErrUncertain. Used for
+	// unacknowledged attempt surfaces kv.ErrUncertain. Used for fast
 	// commits, which may have been applied and replicated before the
-	// acknowledgment was lost.
+	// acknowledgment was lost and are not idempotent (a one-shot
+	// transaction leaves no prepared state to retry against). Phase-two
+	// decisions of two-phase commit, by contrast, retry with
+	// retryAlways: prepares and decisions are replicated and
+	// remembered, so a duplicate is acknowledged server-side.
 	retryUnsentUncertain
 )
 

@@ -207,6 +207,55 @@ func TestReadRetriesThroughLostConnection(t *testing.T) {
 	}
 }
 
+// TestAbortFanOutSurvivesCancelledContext: when a prepare round fails
+// and the commit's context is already cancelled (often the very reason
+// the round failed), the abort fan-out must still reach the
+// participants that did vote yes — otherwise their prepare locks
+// strand until the orphan sweep. The abort runs on a detached,
+// timeout-bounded context.
+func TestAbortFanOutSurvivesCancelledContext(t *testing.T) {
+	newSrv := func() *kvserver.Server {
+		srv := kvserver.NewServer(kvserver.NewStore(nil, kvserver.Config{}))
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve()
+		t.Cleanup(func() { srv.Close() })
+		return srv
+	}
+	srvA, srvB := newSrv(), newSrv()
+	c, err := kvclient.Open([]string{srvA.Addr(), srvB.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	oidA, oidB := c.NewOID(0), c.NewOID(1)
+	// A foreign prepare holds oidB's lock, so the transaction's prepare
+	// on server B votes no while server A votes yes.
+	if _, err := srvB.Store().Prepare(424242, srvB.Store().Clock().Now(), []*kv.Op{
+		{Kind: kv.OpPut, OID: oidB, Value: kv.NewPlain([]byte("blocker"))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	tx := c.Begin()
+	tx.Put(oidA, kv.NewPlain([]byte("a")))
+	tx.Put(oidB, kv.NewPlain([]byte("b")))
+	// Cancel the caller's context at the instant the abort fan-out
+	// starts: the prepares already ran, server A holds the lock.
+	tx.TestHookBeforeAbort = cancel
+	if err := tx.Commit(ctx); !errors.Is(err, kv.ErrConflict) {
+		t.Fatalf("commit with locked participant: %v, want ErrConflict", err)
+	}
+	// Commit returns only after the fan-out completes, so the yes
+	// voter's lock must already be free.
+	if srvA.Store().IsLocked(oidA) {
+		t.Fatal("abort fan-out died with the cancelled context; server A lock stranded")
+	}
+}
+
 // TestOpenMergesServerClocks is the root-cause regression test for the
 // seed's failing mirror tests: a server whose hybrid logical clock
 // runs ahead of real time (here: 60s of skew, standing in for the

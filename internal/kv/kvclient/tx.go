@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"yesquel/internal/clock"
 	"yesquel/internal/kv"
@@ -23,6 +24,16 @@ type Tx struct {
 	// read-your-own-writes.
 	ops   []*kv.Op
 	byOID map[kv.OID][]*kv.Op
+
+	// TestHookAfterVote, when non-nil, runs once after every
+	// participant voted yes and before any phase-two request is sent.
+	// Chaos tests use it to crash servers at the 2PC decision point;
+	// production code leaves it nil.
+	TestHookAfterVote func()
+	// TestHookBeforeAbort, when non-nil, runs before the abort fan-out
+	// that follows a failed prepare round. Tests use it to cancel the
+	// commit's context at the moment abortAll starts.
+	TestHookBeforeAbort func()
 }
 
 // Begin starts a transaction at a fresh snapshot. The snapshot reflects
@@ -314,15 +325,31 @@ func (t *Tx) twoPhaseCommit(ctx context.Context, servers []int, byServer map[int
 		return firstErr
 	}
 
-	// Decision point: all participants voted yes. Phase two.
+	// Decision point: all participants voted yes. The transaction is
+	// now decided-committed, and the coordinator's job is to drive that
+	// decision to every participant's replica group — on a detached,
+	// timeout-bounded context: the caller's context expiring mid-drive
+	// must not stop the fan-out halfway, or a decided-commit ends up
+	// applied on some participants and orphan-aborted on the rest.
+	if t.TestHookAfterVote != nil {
+		t.TestHookAfterVote()
+	}
+	ctx, cancelDecide := context.WithTimeout(context.WithoutCancel(ctx), decideTimeout)
+	defer cancelDecide()
 	errs := make(chan error, len(servers))
 	for _, s := range servers {
 		go func(s int) {
-			// Phase two is bound to the replica that holds the prepared
-			// transaction; a lost acknowledgment is uncertain, never
-			// blindly retried elsewhere.
+			// The decision may be retried on any replica: prepares are
+			// replicated before the yes vote, so a promoted backup holds
+			// the prepared transaction, and decided outcomes are
+			// remembered server-side, so a duplicate CommitReq (lost
+			// acknowledgment, then retry) is acknowledged rather than
+			// rejected. (A retry reaching the backup while the primary
+			// is alive but unreachable is split brain; the mirror
+			// stream's sequence guard detects it loudly — see ROADMAP
+			// "leases/epochs".)
 			req := kv.CommitReq{TxID: t.txid, CommitTS: commitTS}
-			respB, err := t.c.call(ctx, s, kv.MethodCommit, req.Encode(), retryUnsentUncertain)
+			respB, err := t.c.call(ctx, s, kv.MethodCommit, req.Encode(), retryAlways)
 			if err != nil {
 				errs <- fmt.Errorf("commit on server %d: %w", s, err)
 				return
@@ -341,16 +368,36 @@ func (t *Tx) twoPhaseCommit(ctx context.Context, servers []int, byServer map[int
 	}
 	t.c.hlc.Observe(commitTS)
 	if commitErr != nil {
-		// The transaction is decided-committed; a failed phase-two RPC
-		// means a server is unreachable and its locks will resolve when
-		// it recovers. Surface the error: callers must not assume the
-		// write is readable everywhere.
+		// The transaction is decided-committed but a participant's
+		// whole replica group was unreachable for the full drive
+		// window. Surface the error: callers must not assume the write
+		// is readable everywhere — and if the group stays dark past
+		// PrepareTTL, the orphan sweep there aborts against the
+		// decision (the documented gap until leases/epochs).
 		return fmt.Errorf("kv: commit incomplete: %w", commitErr)
 	}
 	return nil
 }
 
+// abortTimeout bounds the abort fan-out after a failed prepare round.
+const abortTimeout = 5 * time.Second
+
+// decideTimeout bounds the phase-two decision drive: long enough to
+// ride out a failover to the backup, bounded so a caller is not
+// wedged on a fully dark replica group.
+const decideTimeout = 10 * time.Second
+
 func (t *Tx) abortAll(ctx context.Context, servers []int) {
+	if t.TestHookBeforeAbort != nil {
+		t.TestHookBeforeAbort()
+	}
+	// Run the abort RPCs on a detached, timeout-bounded context: the
+	// caller's context is often already cancelled or past its deadline
+	// when prepares fail (that may be *why* they failed), and dying
+	// with it would leave reachable participants holding their prepare
+	// locks until the orphan sweep.
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), abortTimeout)
+	defer cancel()
 	req := kv.AbortReq{TxID: t.txid}
 	done := make(chan struct{}, len(servers))
 	for _, s := range servers {

@@ -27,7 +27,9 @@ type Server struct {
 func NewServer(store *Store) *Server {
 	s := &Server{store: store, rpc: rpc.NewServer(), stopCh: make(chan struct{})}
 	// Background hygiene: tombstone sweeping at half the retention
-	// period.
+	// period, plus orphaned-prepare and decided-table eviction (their
+	// TTLs are far coarser than the tick, so sharing the ticker only
+	// costs a cheap scan).
 	s.sweeper = time.NewTicker(time.Duration(store.cfg.RetentionMillis/2+1) * time.Millisecond)
 	go func() {
 		for {
@@ -36,6 +38,8 @@ func NewServer(store *Store) *Server {
 				return
 			case <-s.sweeper.C:
 				s.store.SweepTombstones()
+				s.store.SweepOrphans()
+				s.store.SweepDecided()
 			}
 		}
 	}()
@@ -52,16 +56,15 @@ func NewServer(store *Store) *Server {
 }
 
 // AttachBackup makes this server a primary that synchronously
-// replicates every commit to the backup at addr before acknowledging
-// it; on primary failure, clients fail over to the backup and see
-// every acknowledged write. In-flight prepares are not replicated, so
-// single-server transactions caught mid-commit simply abort; a
-// cross-server transaction whose coordinator already committed other
-// participants can be left partially applied (the client gets an
-// error, never a false acknowledgment — see ROADMAP "2PC outcome
-// recovery"). It returns the replication-stream watermark:
-// the backup holds every acknowledged commit once it has synced up to
-// that sequence number (a fresh pair starts at 0 and needs no sync; a
+// replicates every stream record — commits, two-phase prepares, and
+// phase-two decisions — to the backup at addr before acknowledging it;
+// on primary failure, clients fail over to the backup and see every
+// acknowledged write, and the backup holds every prepared in-flight
+// transaction, so a coordinator can still drive (or the orphan sweep
+// eventually aborts) cross-server transactions caught between the vote
+// and phase two. It returns the replication-stream watermark: the
+// backup holds every acknowledged record once it has synced up to that
+// sequence number (a fresh pair starts at 0 and needs no sync; a
 // backup attached mid-life calls SyncFrom with it).
 func (s *Server) AttachBackup(addr string) (uint64, error) {
 	conn, err := rpc.Dial(addr)
@@ -72,14 +75,14 @@ func (s *Server) AttachBackup(addr string) (uint64, error) {
 		s.mirrorConn.Close()
 	}
 	s.mirrorConn = conn
-	watermark := s.store.AttachMirror(func(seq uint64, commitTS kv.Timestamp, ops []*kv.Op) error {
-		// The mirror call runs while the commit holds the replication
+	watermark := s.store.AttachMirror(func(seq uint64, rec kv.ReplRecord) error {
+		// The mirror call runs while the record holds the replication
 		// stream; a frozen backup (hung process, partition without a
-		// reset) must fail the commit after a bounded wait, not wedge
-		// the primary's whole write path forever.
+		// reset) must fail the operation after a bounded wait, not
+		// wedge the primary's whole write path forever.
 		ctx, cancel := context.WithTimeout(context.Background(), mirrorTimeout)
 		defer cancel()
-		req := kv.MirrorReq{Seq: seq, CommitTS: commitTS, Ops: ops}
+		req := kv.MirrorReq{Seq: seq, Rec: rec}
 		respB, err := conn.Call(ctx, kv.MethodMirror, req.Encode())
 		if err != nil {
 			return err
@@ -116,7 +119,7 @@ func (s *Server) handleMirror(_ context.Context, p []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.store.ApplyMirrored(req.Seq, req.CommitTS, req.Ops); err != nil {
+	if err := s.store.ApplyMirrored(req.Seq, req.Rec); err != nil {
 		return nil, err
 	}
 	return (&kv.Ack{Clock: s.store.Clock().Now()}).Encode(), nil
@@ -163,7 +166,7 @@ func (s *Server) SyncFrom(addr string, until uint64) error {
 		s.store.Clock().Observe(resp.Clock)
 		for i := range resp.Records {
 			rec := &resp.Records[i]
-			if err := s.store.ApplyReplicatedSeq(rec.Seq, rec.CommitTS, rec.Ops); err != nil {
+			if err := s.store.ApplyReplicatedSeq(rec.Seq, rec.Rec); err != nil {
 				return err
 			}
 		}

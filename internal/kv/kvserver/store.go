@@ -15,19 +15,47 @@
 // Fault tolerance lives in this layer, as the paper prescribes: the
 // SQL layer above is stateless and the client library fails over, so
 // only the storage server needs to replicate. A server can run as the
-// primary of a primary-backup pair (Server.AttachBackup): every commit
-// is assigned a sequence number in the primary's replication stream
-// and synchronously mirrored — the backup must acknowledge before the
-// commit becomes visible or is acknowledged to the client, so a
-// failover to the backup never loses an acknowledged write. Backups
-// apply the stream in strict sequence order; a gap (the backup missed
-// commits, e.g. it restarted) makes mirroring fail loudly instead of
-// silently diverging, and the backup re-joins by streaming the missed
-// records from the primary's replication log (Server.SyncFrom /
-// MethodSync, the same records the write-ahead log holds). Commits of
-// a replicated store are serialized through the stream, trading
-// throughput for a total order that makes resync exact; E9 in
-// internal/bench measures the cost.
+// primary of a primary-backup pair (Server.AttachBackup): every stream
+// record is assigned a sequence number in the primary's replication
+// stream and synchronously mirrored — the backup must acknowledge
+// before the record's effects become visible or are acknowledged to
+// the client, so a failover to the backup never loses an acknowledged
+// write. Backups apply the stream in strict sequence order; a gap (the
+// backup missed records, e.g. it restarted) makes mirroring fail
+// loudly instead of silently diverging, and the backup re-joins by
+// streaming the missed records from the primary's replication log
+// (Server.SyncFrom / MethodSync, the same records the write-ahead log
+// holds). Writes of a replicated store are serialized through the
+// stream, trading throughput for a total order that makes resync
+// exact; E9 in internal/bench measures the cost.
+//
+// # Two-phase commit outcome recovery
+//
+// The replication stream carries three record kinds (kv.ReplRecord),
+// not just whole commits, so in-flight two-phase transactions survive
+// a primary failure:
+//
+//   - RecCommit: a whole committed transaction (one-shot fast commits,
+//     and commits whose prepare predates replication).
+//   - RecPrepare: a participant's phase-one vote — the staged ops and
+//     write locks, replicated before the yes vote is returned. A
+//     promoted backup therefore reconstructs the prepared-transaction
+//     table instead of starting empty, and a MethodSync resync carries
+//     prepared state to a re-formed backup.
+//   - RecDecide: the phase-two outcome (commit at a timestamp, or
+//     abort) for a previously replicated prepare.
+//
+// Decisions are remembered in a bounded, time-evicted decided-
+// transaction table, making Commit/Abort idempotent: a coordinator
+// whose phase-two acknowledgment was lost re-sends the decision — to
+// the same server or to a promoted backup — and gets the recorded
+// outcome instead of "unknown transaction". Prepares whose decision
+// never arrives (the coordinator died) are unilaterally aborted after
+// a conservative TTL (SweepOrphans, Stats.OrphanAborts); a decided
+// transaction is never swept. The TTL trades 2PC's blocking safety
+// for availability: until leases/epochs land (see ROADMAP), a
+// partitioned participant could time out after the coordinator
+// decided commit.
 package kvserver
 
 import (
@@ -56,6 +84,21 @@ type Config struct {
 	// LockWaitTimeout bounds how long a read waits for a prepared
 	// transaction to resolve (default 2s).
 	LockWaitTimeout time.Duration
+	// PrepareTTL bounds how long an undecided prepare may hold its
+	// write locks (default 60s). A coordinator that dies between phase
+	// one and phase two strands its participants' locks forever;
+	// SweepOrphans unilaterally aborts local prepares older than the
+	// TTL (and replicates the abort decision), never one that already
+	// received a decision. The TTL must comfortably exceed a
+	// coordinator's worst-case phase-two drive time: a participant that
+	// times out and aborts after the coordinator decided commit breaks
+	// atomicity — the blocking weakness 2PC has without leases/epochs.
+	PrepareTTL time.Duration
+	// DecidedTTL is how long phase-two outcomes stay in the decided-
+	// transaction table (default 60s), which makes Commit/Abort
+	// idempotent: a retried decision for an already-decided transaction
+	// is acknowledged with the recorded outcome instead of rejected.
+	DecidedTTL time.Duration
 	// LogPath enables the write-ahead log: committed operations are
 	// appended there and replayed by OpenStore after a restart. Empty
 	// disables durability (pure in-memory server).
@@ -81,24 +124,34 @@ func (c *Config) withDefaults() Config {
 	if out.LockWaitTimeout == 0 {
 		out.LockWaitTimeout = 2 * time.Second
 	}
+	if out.PrepareTTL == 0 {
+		out.PrepareTTL = 60 * time.Second
+	}
+	if out.DecidedTTL == 0 {
+		out.DecidedTTL = 60 * time.Second
+	}
 	return out
 }
 
-// Stats counts store activity; read with Snapshot.
+// Stats counts store activity; read with Snapshot. Commits counts
+// two-phase (prepare/commit) transactions and FastCommits one-shot
+// transactions; the two are disjoint, so Commits+FastCommits is the
+// total number of logical commits.
 type Stats struct {
-	Reads       atomic.Uint64
-	ReadWaits   atomic.Uint64
-	Prepares    atomic.Uint64
-	Commits     atomic.Uint64
-	FastCommits atomic.Uint64
-	Aborts      atomic.Uint64
-	Conflicts   atomic.Uint64
-	GCVersions  atomic.Uint64
+	Reads        atomic.Uint64
+	ReadWaits    atomic.Uint64
+	Prepares     atomic.Uint64
+	Commits      atomic.Uint64
+	FastCommits  atomic.Uint64
+	Aborts       atomic.Uint64
+	OrphanAborts atomic.Uint64
+	Conflicts    atomic.Uint64
+	GCVersions   atomic.Uint64
 }
 
 // StatsSnapshot is a plain copy of the counters.
 type StatsSnapshot struct {
-	Reads, ReadWaits, Prepares, Commits, FastCommits, Aborts, Conflicts, GCVersions uint64
+	Reads, ReadWaits, Prepares, Commits, FastCommits, Aborts, OrphanAborts, Conflicts, GCVersions uint64
 }
 
 type version struct {
@@ -149,14 +202,35 @@ type shard struct {
 
 type txRecord struct {
 	oids []kv.OID
+	// replicated: a RecPrepare record for this transaction is in the
+	// replication stream, so the decision (commit or abort) must be
+	// replicated too.
+	replicated bool
+	// viaStream: the prepare was staged by a replicated record rather
+	// than a native Prepare call. SweepOrphans gives such prepares a
+	// longer leash — the primary normally delivers the decision; only a
+	// promoted backup should clean them up itself.
+	viaStream bool
+	// preparedAt drives the orphan-prepare TTL.
+	preparedAt time.Time
 }
 
-// repRecord is one committed transaction in the replication stream.
-// Its sequence number is implicit: commitLog[i] carries seq i.
-type repRecord struct {
+// decision is a resolved transaction outcome, kept in the decided-
+// transaction table for DecidedTTL so retried phase-two requests are
+// answered with the recorded outcome instead of "unknown tx".
+type decision struct {
+	commit   bool
 	commitTS clock.Timestamp
-	ops      []*kv.Op
 }
+
+// decidedMax bounds the decided-transaction table; beyond it the
+// oldest entries are evicted early (before their TTL).
+const decidedMax = 1 << 16
+
+// streamOrphanGrace multiplies PrepareTTL for stream-staged prepares:
+// while the pair is healthy the primary's own TTL abort arrives over
+// the stream well before the backup's local timer fires.
+const streamOrphanGrace = 4
 
 // Store is the storage engine of one server. It is safe for concurrent
 // use and may also be embedded in-process (the centralized-SQL baseline
@@ -166,8 +240,12 @@ type Store struct {
 	clock *clock.HLC
 	shard [numShards]shard
 
-	txMu sync.Mutex
-	txs  map[uint64]*txRecord
+	// txMu guards the prepared-transaction table and the decided-
+	// transaction table (with its FIFO eviction queue).
+	txMu     sync.Mutex
+	txs      map[uint64]*txRecord
+	decided  map[uint64]decision
+	decidedQ []decidedEntry
 
 	wal *wal
 
@@ -177,27 +255,35 @@ type Store struct {
 	// per-object version order agree on every replica. Lock order is
 	// repMu before shard mutexes.
 	repMu sync.Mutex
-	// repSeq is the next sequence number: the number of commits this
-	// store has applied, natively or replicated.
+	// repSeq is the next sequence number: the number of stream records
+	// (commits, prepares, decisions) this store has applied, natively
+	// or replicated.
 	repSeq uint64
 	// commitLog holds the stream when cfg.ReplicationLog is set.
-	commitLog []repRecord
+	commitLog []kv.ReplRecord
 	// pending buffers replicated records that arrived ahead of repSeq
 	// while a resync is filling in the history below them.
-	pending   map[uint64]repRecord
+	pending   map[uint64]kv.ReplRecord
 	resyncing bool
-	// mirror, when set, replicates every committed transaction to a
-	// backup before it becomes visible (see Server.AttachBackup).
-	mirror func(seq uint64, commitTS clock.Timestamp, ops []*kv.Op) error
+	// mirror, when set, replicates every stream record to a backup
+	// before its effects become visible (see Server.AttachBackup).
+	mirror func(seq uint64, rec kv.ReplRecord) error
 
 	stats Stats
 }
 
+// decidedEntry is one slot of the decided table's FIFO eviction queue.
+type decidedEntry struct {
+	txid uint64
+	at   time.Time
+}
+
 // AttachMirror installs fn as the replication hook and returns the
-// sequence number the next commit will carry — the watermark a backup
-// attached mid-life must sync up to. Pass nil to detach the backup
-// (e.g. when it fails and the operator removes it from the group).
-func (s *Store) AttachMirror(fn func(seq uint64, commitTS clock.Timestamp, ops []*kv.Op) error) uint64 {
+// sequence number the next stream record will carry — the watermark a
+// backup attached mid-life must sync up to. Pass nil to detach the
+// backup (e.g. when it fails and the operator removes it from the
+// group).
+func (s *Store) AttachMirror(fn func(seq uint64, rec kv.ReplRecord) error) uint64 {
 	s.repMu.Lock()
 	defer s.repMu.Unlock()
 	s.mirror = fn
@@ -264,12 +350,12 @@ func (s *Store) SyncRecords(from uint64, max int) ([]kv.SyncRec, uint64, error) 
 	bytes := 0
 	for seq := from; seq < end; seq++ {
 		rec := s.commitLog[seq]
-		sz := recordSize(rec.ops)
+		sz := recordSize(rec.Ops)
 		if len(recs) > 0 && bytes+sz > syncBatchBytes {
 			break
 		}
 		bytes += sz
-		recs = append(recs, kv.SyncRec{Seq: seq, CommitTS: rec.commitTS, Ops: rec.ops})
+		recs = append(recs, kv.SyncRec{Seq: seq, Rec: rec})
 	}
 	return recs, s.repSeq, nil
 }
@@ -291,7 +377,12 @@ func NewStore(hlc *clock.HLC, cfg Config) *Store {
 	if hlc == nil {
 		hlc = clock.New()
 	}
-	s := &Store{cfg: cfg.withDefaults(), clock: hlc, txs: make(map[uint64]*txRecord)}
+	s := &Store{
+		cfg:     cfg.withDefaults(),
+		clock:   hlc,
+		txs:     make(map[uint64]*txRecord),
+		decided: make(map[uint64]decision),
+	}
 	for i := range s.shard {
 		s.shard[i].objs = make(map[kv.OID]*object)
 	}
@@ -304,14 +395,15 @@ func (s *Store) Clock() *clock.HLC { return s.clock }
 // Stats returns a snapshot of activity counters.
 func (s *Store) Stats() StatsSnapshot {
 	return StatsSnapshot{
-		Reads:       s.stats.Reads.Load(),
-		ReadWaits:   s.stats.ReadWaits.Load(),
-		Prepares:    s.stats.Prepares.Load(),
-		Commits:     s.stats.Commits.Load(),
-		FastCommits: s.stats.FastCommits.Load(),
-		Aborts:      s.stats.Aborts.Load(),
-		Conflicts:   s.stats.Conflicts.Load(),
-		GCVersions:  s.stats.GCVersions.Load(),
+		Reads:        s.stats.Reads.Load(),
+		ReadWaits:    s.stats.ReadWaits.Load(),
+		Prepares:     s.stats.Prepares.Load(),
+		Commits:      s.stats.Commits.Load(),
+		FastCommits:  s.stats.FastCommits.Load(),
+		Aborts:       s.stats.Aborts.Load(),
+		OrphanAborts: s.stats.OrphanAborts.Load(),
+		Conflicts:    s.stats.Conflicts.Load(),
+		GCVersions:   s.stats.GCVersions.Load(),
 	}
 }
 
@@ -414,11 +506,22 @@ func groupOps(ops []*kv.Op) ([]kv.OID, map[kv.OID][]*kv.Op) {
 	return oids, byOID
 }
 
-// Prepare validates and locks the transaction's writes. On success it
-// returns the proposed commit timestamp (a lower bound chosen by this
-// participant). On conflict it returns kv.ErrConflict and leaves no
-// state behind.
+// Prepare validates and locks the transaction's writes (phase one of
+// two-phase commit). On success it returns the proposed commit
+// timestamp (a lower bound chosen by this participant) — and, on a
+// replicated store, the staged ops and locks have been replicated as a
+// RecPrepare record, so a promoted backup holds the prepared
+// transaction and can still apply the coordinator's decision. On
+// conflict it returns kv.ErrConflict and leaves no state behind.
 func (s *Store) Prepare(txid uint64, start clock.Timestamp, ops []*kv.Op) (clock.Timestamp, error) {
+	return s.prepare(txid, start, ops, true)
+}
+
+// prepare implements Prepare. replicate=false is the one-shot fast-
+// commit path: its commit immediately follows, and the single
+// RecCommit record carries the ops, so a separate prepare record would
+// only double the stream traffic.
+func (s *Store) prepare(txid uint64, start clock.Timestamp, ops []*kv.Op, replicate bool) (clock.Timestamp, error) {
 	s.stats.Prepares.Add(1)
 	oids, byOID := groupOps(ops)
 
@@ -427,7 +530,8 @@ func (s *Store) Prepare(txid uint64, start clock.Timestamp, ops []*kv.Op) (clock
 		s.txMu.Unlock()
 		return 0, fmt.Errorf("%w: duplicate prepare for tx %d", kv.ErrBadRequest, txid)
 	}
-	s.txs[txid] = &txRecord{oids: oids}
+	rec := &txRecord{oids: oids, preparedAt: time.Now()}
+	s.txs[txid] = rec
 	s.txMu.Unlock()
 
 	locked := make([]kv.OID, 0, len(oids))
@@ -498,7 +602,86 @@ func (s *Store) Prepare(txid uint64, start clock.Timestamp, ops []*kv.Op) (clock
 		}
 		sh.mu.Unlock()
 	}
+
+	// Replicate the prepared state before voting yes: the vote promises
+	// the coordinator this participant can commit, so the promise must
+	// survive a primary failure. A replication failure fails the
+	// prepare (the vote is no, the coordinator aborts) — nothing
+	// entered the stream, so no decision record is owed.
+	if replicate && s.replicating() {
+		if err := s.emitRecord(kv.ReplRecord{Kind: kv.RecPrepare, TxID: txid, TS: proposed, Ops: ops}, true); err != nil {
+			s.releaseLocks(txid, locked)
+			s.txMu.Lock()
+			delete(s.txs, txid)
+			s.txMu.Unlock()
+			return 0, fmt.Errorf("kv: replicating prepare: %w", err)
+		}
+		s.txMu.Lock()
+		if s.txs[txid] != rec {
+			// The orphan sweep (or an early coordinator abort) resolved
+			// the transaction while its prepare record was entering the
+			// stream — and, having seen an unreplicated prepare, emitted
+			// no decision. The stream is owed the abort; the vote is no.
+			s.txMu.Unlock()
+			s.emitRecord(kv.ReplRecord{Kind: kv.RecDecide, TxID: txid, Commit: false}, false)
+			return 0, fmt.Errorf("%w: tx %d aborted during prepare", kv.ErrConflict, txid)
+		}
+		rec.replicated = true
+		s.txMu.Unlock()
+	}
 	return proposed, nil
+}
+
+// replicating reports whether stream records have anywhere to go: a
+// write-ahead log, an in-memory replication log, or a live mirror.
+func (s *Store) replicating() bool {
+	if s.wal != nil || s.cfg.ReplicationLog {
+		return true
+	}
+	return s.hasMirror()
+}
+
+// emitRecord appends one record to the replication stream: it assigns
+// the next sequence number, synchronously mirrors the record to the
+// backup (if attached), and appends it to the replication log and the
+// write-ahead log, all under repMu so every replica agrees on the
+// order.
+//
+// With strictMirror, a mirror failure consumes nothing — the caller's
+// operation fails cleanly and the sequence number is reused, which the
+// backup detects as divergence if it did apply the record. Without it
+// (abort decisions, which must release locks no matter what), the
+// record is still committed to the local stream; the backup misses it
+// and the next mirror call fails loudly with a sequence gap, flagging
+// the pair for re-forming.
+//
+// A write-ahead-log failure after a successful mirror is a double
+// fault: the stream state is rolled back so this store's replication
+// log never serves the failed record, leaving the backup one record
+// ahead — the seq-mismatch guard turns that into a loud error too.
+func (s *Store) emitRecord(rec kv.ReplRecord, strictMirror bool) error {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	seq := s.repSeq
+	if s.mirror != nil {
+		if err := s.mirror(seq, rec); err != nil && strictMirror {
+			return err
+		}
+	}
+	s.repSeq++
+	if s.cfg.ReplicationLog {
+		s.commitLog = append(s.commitLog, rec)
+	}
+	if s.wal != nil {
+		if err := s.wal.append(rec); err != nil {
+			s.repSeq = seq
+			if s.cfg.ReplicationLog {
+				s.commitLog = s.commitLog[:len(s.commitLog)-1]
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 // conflictLocked applies the first-committer-wins rule for a
@@ -530,78 +713,86 @@ func conflictLocked(obj *object, start clock.Timestamp, ops []*kv.Op) error {
 }
 
 // Commit applies a prepared transaction's staged operations at commitTS
-// and releases its locks. Committing an unknown transaction is an
-// error (the client must have prepared first).
+// and releases its locks (phase two of two-phase commit). Commit is
+// idempotent: a retried decision for a transaction already in the
+// decided table is acknowledged with the recorded outcome — nil for a
+// commit, kv.ErrConflict for an abort — so a coordinator whose first
+// acknowledgment was lost can safely re-send the decision, including
+// to a promoted backup. Committing a transaction this store has never
+// heard of is an error.
 func (s *Store) Commit(txid uint64, commitTS clock.Timestamp) error {
+	applied, err := s.commit(txid, commitTS)
+	if applied {
+		s.stats.Commits.Add(1)
+	}
+	return err
+}
+
+func (s *Store) commit(txid uint64, commitTS clock.Timestamp) (applied bool, err error) {
 	s.txMu.Lock()
 	rec := s.txs[txid]
+	if rec == nil {
+		d, decided := s.decided[txid]
+		s.txMu.Unlock()
+		switch {
+		case decided && d.commit:
+			return false, nil // duplicate decision: already committed
+		case decided:
+			return false, fmt.Errorf("%w: tx %d already aborted", kv.ErrConflict, txid)
+		}
+		return false, fmt.Errorf("%w: commit of unknown tx %d", kv.ErrBadRequest, txid)
+	}
 	delete(s.txs, txid)
 	s.txMu.Unlock()
-	if rec == nil {
-		return fmt.Errorf("%w: commit of unknown tx %d", kv.ErrBadRequest, txid)
-	}
 	s.clock.Observe(commitTS)
-	// Write-ahead and replication: the commit must be durable (log) and
-	// replicated (mirror) before any of its effects become visible. The
-	// per-object locks are still held here, and the whole section runs
-	// under repMu, so the replication stream order, the log order, and
-	// per-object version order all agree — on this store and, because
-	// mirror calls are acknowledged in sequence, on the backup.
-	if s.wal != nil || s.cfg.ReplicationLog || s.hasMirror() {
-		var all []*kv.Op
-		for _, oid := range rec.oids {
-			sh := s.shardFor(oid)
-			sh.mu.Lock()
-			if obj := sh.objs[oid]; obj != nil && obj.lock != nil && obj.lock.txid == txid {
-				all = append(all, obj.lock.ops...)
+	// Write-ahead and replication: the decision must be durable (log)
+	// and replicated (mirror) before any of its effects become visible.
+	// The per-object locks are still held here, and the stream append
+	// runs under repMu, so the replication stream order, the log order,
+	// and per-object version order all agree — on this store and,
+	// because mirror calls are acknowledged in sequence, on the backup.
+	// A replicated prepare only needs the decision on the wire
+	// (RecDecide); otherwise the whole transaction rides in one
+	// RecCommit record.
+	if s.replicating() {
+		out := kv.ReplRecord{Kind: kv.RecDecide, TxID: txid, TS: commitTS, Commit: true}
+		if !rec.replicated {
+			out = kv.ReplRecord{Kind: kv.RecCommit, TxID: txid, TS: commitTS}
+			for _, oid := range rec.oids {
+				sh := s.shardFor(oid)
+				sh.mu.Lock()
+				if obj := sh.objs[oid]; obj != nil && obj.lock != nil && obj.lock.txid == txid {
+					out.Ops = append(out.Ops, obj.lock.ops...)
+				}
+				sh.mu.Unlock()
 			}
-			sh.mu.Unlock()
 		}
-		undo := func(reason string, err error) error {
+		if err := s.emitRecord(out, true); err != nil {
+			// Failed to replicate the commit decision: nothing became
+			// visible, so abort rather than ack. The abort's own decide
+			// record is best-effort — the pair needs re-forming anyway.
 			s.txMu.Lock()
 			s.txs[txid] = rec
 			s.txMu.Unlock()
 			s.Abort(txid)
-			return fmt.Errorf("kv: %s commit: %w", reason, err)
+			return false, fmt.Errorf("kv: replicating commit: %w", err)
 		}
-		s.repMu.Lock()
-		// Mirror before logging: a mirror failure aborts cleanly (nothing
-		// durable yet, the sequence number is not consumed). A log
-		// failure after a successful mirror is a double fault: the
-		// stream state is rolled back so this store's replication log
-		// never serves the aborted commit, leaving the backup one commit
-		// ahead — the next mirror reuses the sequence number, the backup
-		// rejects it as divergence, and the operator re-forms the pair.
-		seq := s.repSeq
-		if s.mirror != nil {
-			if err := s.mirror(seq, commitTS, all); err != nil {
-				s.repMu.Unlock()
-				return undo("replicating", err)
-			}
-		}
-		s.repSeq++
-		if s.cfg.ReplicationLog {
-			s.commitLog = append(s.commitLog, repRecord{commitTS: commitTS, ops: all})
-		}
-		if s.wal != nil {
-			if err := s.wal.append(commitTS, all); err != nil {
-				s.repSeq = seq
-				if s.cfg.ReplicationLog {
-					s.commitLog = s.commitLog[:len(s.commitLog)-1]
-				}
-				s.repMu.Unlock()
-				return undo("logging", err)
-			}
-		}
-		s.repMu.Unlock()
 	} else {
-		// Even without a log or mirror, count the commit in the stream so
-		// a later AttachMirror reports an honest watermark.
+		// Even without a log or mirror, count the record in the stream
+		// so a later AttachMirror reports an honest watermark.
 		s.repMu.Lock()
 		s.repSeq++
 		s.repMu.Unlock()
 	}
-	for _, oid := range rec.oids {
+	s.applyStaged(txid, rec.oids, commitTS)
+	s.recordDecision(txid, decision{commit: true, commitTS: commitTS})
+	return true, nil
+}
+
+// applyStaged turns a prepared transaction's staged ops into visible
+// versions at commitTS and releases its locks.
+func (s *Store) applyStaged(txid uint64, oids []kv.OID, commitTS clock.Timestamp) {
+	for _, oid := range oids {
 		sh := s.shardFor(oid)
 		sh.mu.Lock()
 		obj := sh.objs[oid]
@@ -631,14 +822,60 @@ func (s *Store) Commit(txid uint64, commitTS clock.Timestamp) error {
 		// older snapshot still needs.
 		sh.mu.Unlock()
 	}
-	s.stats.Commits.Add(1)
-	return nil
 }
 
-// Abort releases a prepared transaction's locks without applying.
-// Aborting an unknown transaction is a no-op (idempotent, so the
-// coordinator can abort blindly after a partial prepare).
+// recordDecision remembers a transaction's outcome for DecidedTTL (and
+// at most decidedMax entries), so retried phase-two requests are
+// answered instead of rejected.
+func (s *Store) recordDecision(txid uint64, d decision) {
+	now := time.Now()
+	s.txMu.Lock()
+	s.decided[txid] = d
+	s.decidedQ = append(s.decidedQ, decidedEntry{txid: txid, at: now})
+	s.evictDecidedLocked(now)
+	s.txMu.Unlock()
+}
+
+// evictDecidedLocked drops decided entries past their TTL, and the
+// oldest entries beyond the size cap. Caller holds txMu.
+func (s *Store) evictDecidedLocked(now time.Time) {
+	ttl := s.cfg.DecidedTTL
+	for len(s.decidedQ) > 0 {
+		head := s.decidedQ[0]
+		if now.Sub(head.at) < ttl && len(s.decided) <= decidedMax {
+			break
+		}
+		delete(s.decided, head.txid)
+		s.decidedQ = s.decidedQ[1:]
+	}
+}
+
+// SweepDecided evicts expired decided-transaction entries; the server
+// runs it periodically, tests call it directly.
+func (s *Store) SweepDecided() {
+	s.txMu.Lock()
+	s.evictDecidedLocked(time.Now())
+	s.txMu.Unlock()
+}
+
+// Decided reports whether txid's outcome is in the decided table, and
+// whether it committed (tests and diagnostics).
+func (s *Store) Decided(txid uint64) (known, committed bool) {
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
+	d, ok := s.decided[txid]
+	return ok, d.commit
+}
+
+// Abort releases a prepared transaction's locks without applying, and
+// records the abort decision. Aborting an unknown transaction is a
+// no-op (idempotent, so the coordinator can abort blindly after a
+// partial prepare).
 func (s *Store) Abort(txid uint64) {
+	s.abort(txid, false)
+}
+
+func (s *Store) abort(txid uint64, orphan bool) {
 	s.txMu.Lock()
 	rec := s.txs[txid]
 	delete(s.txs, txid)
@@ -646,8 +883,50 @@ func (s *Store) Abort(txid uint64) {
 	if rec == nil {
 		return
 	}
+	// A replicated prepare owes the stream its decision: the backup
+	// (and the write-ahead log) must release the staged locks too. The
+	// mirror leg is best-effort — locks must come free even when the
+	// backup is unreachable; a missed record surfaces as a loud
+	// sequence gap on the next mirror call.
+	if rec.replicated && s.replicating() {
+		s.emitRecord(kv.ReplRecord{Kind: kv.RecDecide, TxID: txid, Commit: false}, false)
+	}
 	s.releaseLocks(txid, rec.oids)
+	s.recordDecision(txid, decision{commit: false})
 	s.stats.Aborts.Add(1)
+	if orphan {
+		s.stats.OrphanAborts.Add(1)
+	}
+}
+
+// SweepOrphans unilaterally aborts prepares whose decision never
+// arrived within the TTL: a coordinator that died between phase one
+// and phase two must not strand write locks forever. Prepares staged
+// over the replication stream get streamOrphanGrace times the TTL —
+// while the primary is alive its own TTL abort arrives over the
+// stream first; only a promoted backup should reap them locally. A
+// transaction with a recorded decision is never swept (it left the
+// prepared table when the decision was applied). The server runs this
+// periodically; tests call it directly. It returns how many prepares
+// were aborted.
+func (s *Store) SweepOrphans() int {
+	now := time.Now()
+	var victims []uint64
+	s.txMu.Lock()
+	for txid, rec := range s.txs {
+		ttl := s.cfg.PrepareTTL
+		if rec.viaStream {
+			ttl *= streamOrphanGrace
+		}
+		if now.Sub(rec.preparedAt) >= ttl {
+			victims = append(victims, txid)
+		}
+	}
+	s.txMu.Unlock()
+	for _, txid := range victims {
+		s.abort(txid, true)
+	}
+	return len(victims)
 }
 
 func (s *Store) releaseLocks(txid uint64, oids []kv.OID) {
@@ -668,13 +947,15 @@ func (s *Store) releaseLocks(txid uint64, oids []kv.OID) {
 
 // FastCommit executes a single-participant transaction in one step:
 // prepare and commit without a second round trip. It returns the commit
-// timestamp.
+// timestamp. The prepare is not replicated separately — the whole
+// transaction rides in one RecCommit stream record — and the commit
+// counts toward FastCommits, not Commits (the counters are disjoint).
 func (s *Store) FastCommit(txid uint64, start clock.Timestamp, ops []*kv.Op) (clock.Timestamp, error) {
-	proposed, err := s.Prepare(txid, start, ops)
+	proposed, err := s.prepare(txid, start, ops, false)
 	if err != nil {
 		return 0, err
 	}
-	if err := s.Commit(txid, proposed); err != nil {
+	if _, err := s.commit(txid, proposed); err != nil {
 		return 0, err
 	}
 	s.stats.FastCommits.Add(1)

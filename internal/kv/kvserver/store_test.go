@@ -439,3 +439,192 @@ func TestStatsCounters(t *testing.T) {
 		t.Fatalf("stats: %+v", st)
 	}
 }
+
+// TestCommitFastCommitCountersDisjoint pins the counter fix: one
+// logical commit increments exactly one of Commits / FastCommits, so
+// their sum is the total number of committed transactions.
+func TestCommitFastCommitCountersDisjoint(t *testing.T) {
+	s := NewStore(nil, Config{})
+	if _, err := s.FastCommit(newTxID(), s.Clock().Now(), []*kv.Op{
+		{Kind: kv.OpPut, OID: kv.MakeOID(0, 1), Value: kv.NewPlain([]byte("fast"))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.FastCommits != 1 || st.Commits != 0 {
+		t.Fatalf("after fast commit: Commits=%d FastCommits=%d, want 0/1", st.Commits, st.FastCommits)
+	}
+	commitPut(t, s, kv.MakeOID(0, 2), "two-phase")
+	st = s.Stats()
+	if st.FastCommits != 1 || st.Commits != 1 {
+		t.Fatalf("after both paths: Commits=%d FastCommits=%d, want 1/1", st.Commits, st.FastCommits)
+	}
+}
+
+// TestCommitIdempotentReplay is the targeted regression for the
+// phase-two retry: commit a transaction, replay the same commit
+// request, and expect an acknowledgment (nil) instead of
+// "commit of unknown tx".
+func TestCommitIdempotentReplay(t *testing.T) {
+	s := NewStore(nil, Config{ReplicationLog: true})
+	oid := kv.MakeOID(0, 1)
+	txid := newTxID()
+	proposed, err := s.Prepare(txid, s.Clock().Now(), []*kv.Op{
+		{Kind: kv.OpPut, OID: oid, Value: kv.NewPlain([]byte("once"))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(txid, proposed); err != nil {
+		t.Fatal(err)
+	}
+	// The retried decision acks with the recorded outcome.
+	if err := s.Commit(txid, proposed); err != nil {
+		t.Fatalf("replayed commit: %v, want ack", err)
+	}
+	// The replay neither double-applies nor double-counts.
+	if n := s.VersionCount(oid); n != 1 {
+		t.Fatalf("replay created %d versions, want 1", n)
+	}
+	if st := s.Stats(); st.Commits != 1 {
+		t.Fatalf("replay double-counted: Commits=%d", st.Commits)
+	}
+	// A decision for a transaction this store never prepared is still
+	// an error.
+	if err := s.Commit(txid+999, proposed); !errors.Is(err, kv.ErrBadRequest) {
+		t.Fatalf("commit of truly unknown tx: %v, want ErrBadRequest", err)
+	}
+	// The other outcome is reported too: a commit retried after an
+	// abort decision must not silently ack.
+	txid2 := newTxID()
+	if _, err := s.Prepare(txid2, s.Clock().Now(), []*kv.Op{
+		{Kind: kv.OpPut, OID: kv.MakeOID(0, 2), Value: kv.NewPlain([]byte("doomed"))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Abort(txid2)
+	if err := s.Commit(txid2, s.Clock().Now()); !errors.Is(err, kv.ErrConflict) {
+		t.Fatalf("commit after abort decision: %v, want ErrConflict", err)
+	}
+}
+
+// TestOrphanPrepareTTL covers the stranded-lock cleanup: a prepare
+// whose coordinator never sends phase two is unilaterally aborted
+// after the TTL, its locks come free, and the abort is a recorded
+// decision — while a decided transaction is never swept.
+func TestOrphanPrepareTTL(t *testing.T) {
+	s := NewStore(nil, Config{PrepareTTL: 10 * time.Millisecond})
+	oid := kv.MakeOID(0, 1)
+	txid := newTxID()
+	if _, err := s.Prepare(txid, s.Clock().Now(), []*kv.Op{
+		{Kind: kv.OpPut, OID: oid, Value: kv.NewPlain([]byte("orphan"))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.SweepOrphans(); n != 0 {
+		t.Fatalf("fresh prepare swept: %d", n)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := s.SweepOrphans(); n != 1 {
+		t.Fatalf("expired prepare not swept: %d", n)
+	}
+	if s.IsLocked(oid) {
+		t.Fatal("orphan abort did not release the lock")
+	}
+	if st := s.Stats(); st.OrphanAborts != 1 || st.Aborts != 1 {
+		t.Fatalf("orphan counters: %+v", st)
+	}
+	// The late coordinator's commit is answered with the abort outcome.
+	if err := s.Commit(txid, s.Clock().Now()); !errors.Is(err, kv.ErrConflict) {
+		t.Fatalf("late commit after orphan abort: %v, want ErrConflict", err)
+	}
+	// A decided transaction never gets orphan-swept, even long past the
+	// TTL: it left the prepared table with its decision.
+	commitPut(t, s, kv.MakeOID(0, 2), "decided")
+	time.Sleep(20 * time.Millisecond)
+	if n := s.SweepOrphans(); n != 0 {
+		t.Fatalf("decided tx swept as orphan: %d", n)
+	}
+}
+
+// TestWALRecoversPreparedState: a participant that crashes between
+// its yes vote and phase two restarts with the prepared transaction
+// intact (staged ops and locks reconstructed from the RecPrepare log
+// record), so the coordinator's decision still lands; a decision in
+// the log is replayed to completion.
+func TestWALRecoversPreparedState(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{LogPath: dir + "/wal.log"}
+	s, err := OpenStore(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	undecided, decided := newTxID(), newTxID()
+	oidU, oidD := kv.MakeOID(0, 1), kv.MakeOID(0, 2)
+	if _, err := s.Prepare(undecided, s.Clock().Now(), []*kv.Op{
+		{Kind: kv.OpPut, OID: oidU, Value: kv.NewPlain([]byte("in-flight"))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	proposed, err := s.Prepare(decided, s.Clock().Now(), []*kv.Op{
+		{Kind: kv.OpPut, OID: oidD, Value: kv.NewPlain([]byte("committed"))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(decided, proposed); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseLog(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": replay the log into a fresh store.
+	s2, err := OpenStore(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.CloseLog()
+	if v, _, err := s2.Read(oidD, s2.Clock().Now()); err != nil || string(v.Data) != "committed" {
+		t.Fatalf("decided tx after replay: %v %v", v, err)
+	}
+	if !s2.IsLocked(oidU) {
+		t.Fatal("undecided prepare lost in replay")
+	}
+	// The coordinator's late decision still applies after the restart.
+	if err := s2.Commit(undecided, s2.Clock().Now()); err != nil {
+		t.Fatalf("commit of recovered prepare: %v", err)
+	}
+	if v, _, err := s2.Read(oidU, s2.Clock().Now()); err != nil || string(v.Data) != "in-flight" {
+		t.Fatalf("recovered tx not applied: %v %v", v, err)
+	}
+}
+
+// TestDecidedTableEviction: outcomes age out of the decided table
+// after DecidedTTL, and a decision retried after that is back to
+// "unknown tx" (the table is a bounded cache, not a permanent log).
+func TestDecidedTableEviction(t *testing.T) {
+	s := NewStore(nil, Config{DecidedTTL: 10 * time.Millisecond})
+	oid := kv.MakeOID(0, 1)
+	txid := newTxID()
+	proposed, err := s.Prepare(txid, s.Clock().Now(), []*kv.Op{
+		{Kind: kv.OpPut, OID: oid, Value: kv.NewPlain([]byte("v"))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(txid, proposed); err != nil {
+		t.Fatal(err)
+	}
+	if known, committed := s.Decided(txid); !known || !committed {
+		t.Fatalf("decision not recorded: known=%v committed=%v", known, committed)
+	}
+	time.Sleep(20 * time.Millisecond)
+	s.SweepDecided()
+	if known, _ := s.Decided(txid); known {
+		t.Fatal("decision survived its TTL")
+	}
+	if err := s.Commit(txid, proposed); !errors.Is(err, kv.ErrBadRequest) {
+		t.Fatalf("commit after eviction: %v, want ErrBadRequest", err)
+	}
+}

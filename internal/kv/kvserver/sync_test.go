@@ -126,6 +126,59 @@ func TestSyncRebuildsBackupByteForByte(t *testing.T) {
 	}
 }
 
+// TestSyncCarriesPreparedState: a backup re-formed mid-2PC receives
+// the in-flight prepared transaction through the resync stream — not
+// just committed history — so a subsequent failover can still apply
+// the coordinator's decision.
+func TestSyncCarriesPreparedState(t *testing.T) {
+	primary := startReplServer(t)
+	c, err := kvclient.Open([]string{primary.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	writeBatch(t, c, "history", 8)
+
+	// An in-flight two-phase transaction: prepared, not yet decided.
+	store := primary.Store()
+	oid := kv.MakeOID(0, 999)
+	txid := uint64(1 << 40)
+	proposed, err := store.Prepare(txid, store.Clock().Now(), []*kv.Op{
+		{Kind: kv.OpPut, OID: oid, Value: kv.NewPlain([]byte("mid-2pc"))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh backup re-forms the pair while the prepare is pending.
+	backup := startReplServer(t)
+	backup.Store().StartResync()
+	watermark, err := primary.AttachBackup(backup.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := backup.SyncFrom(primary.Addr(), watermark); err != nil {
+		t.Fatal(err)
+	}
+	if !backup.Store().IsLocked(oid) {
+		t.Fatal("resync did not carry the prepared transaction's lock")
+	}
+
+	// The decision mirrors to the re-formed backup like any record.
+	if err := store.Commit(txid, proposed); err != nil {
+		t.Fatal(err)
+	}
+	if backup.Store().IsLocked(oid) {
+		t.Fatal("mirrored decision did not release the backup's lock")
+	}
+	if got, want := backup.Store().StateDigest(), primary.Store().StateDigest(); got != want {
+		t.Fatalf("after mid-2PC resync: backup digest %x != primary digest %x", got, want)
+	}
+	if known, committed := backup.Store().Decided(txid); !known || !committed {
+		t.Fatalf("backup decision table: known=%v committed=%v", known, committed)
+	}
+}
+
 // TestMirrorGapFailsLoudly pins the divergence guard: attaching a
 // stale, empty backup to a primary with history (without a resync)
 // must fail the primary's next commit instead of silently mirroring a

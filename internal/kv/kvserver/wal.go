@@ -8,27 +8,30 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"yesquel/internal/clock"
 	"yesquel/internal/kv"
 	"yesquel/internal/wire"
 )
 
-// Write-ahead log. When Config.LogPath is set, every committed
-// transaction's operations are appended (and optionally fsynced) to an
-// append-only file *before* the commit becomes visible, and OpenStore
-// replays the log on startup. The format is length- and checksum-
-// framed, so a torn final record (crash mid-append) is detected and
-// dropped rather than corrupting recovery.
+// Write-ahead log. When Config.LogPath is set, every replication
+// stream record (committed transaction, two-phase prepare, phase-two
+// decision) is appended (and optionally fsynced) to an append-only
+// file *before* its effects become visible, and OpenStore replays the
+// log on startup — including reconstructing the prepared-transaction
+// table from prepares whose decision had not arrived yet, so a
+// restarted participant can still apply the coordinator's outcome. The
+// format is length- and checksum-framed, so a torn final record (crash
+// mid-append) is detected and dropped rather than corrupting recovery.
 //
 // Record layout:
 //
 //	uint32  payload length
 //	uint32  CRC-32C of payload
-//	payload:
-//	    uint64  commit timestamp
-//	    uvarint op count
-//	    ops     (kv.EncodeOp)
+//	payload: kv.EncodeReplRecord — the same serialization mirror RPCs
+//	         and sync batches use, so the log, the wire, and the
+//	         replication log stay byte-for-byte interchangeable
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -47,13 +50,9 @@ func openWAL(path string, syncEach bool) (*wal, error) {
 	return &wal{f: f, sync: syncEach}, nil
 }
 
-func (w *wal) append(commitTS clock.Timestamp, ops []*kv.Op) error {
+func (w *wal) append(rec kv.ReplRecord) error {
 	b := wire.NewBuffer(64)
-	b.PutUint64(uint64(commitTS))
-	b.PutUvarint(uint64(len(ops)))
-	for _, op := range ops {
-		kv.EncodeOp(b, op)
-	}
+	kv.EncodeReplRecord(b, &rec)
 	payload := b.Bytes()
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -87,15 +86,9 @@ func (w *wal) close() error {
 	return err
 }
 
-// walRecord is one replayed commit.
-type walRecord struct {
-	commitTS clock.Timestamp
-	ops      []*kv.Op
-}
-
 // replayWAL reads records until EOF or the first damaged record (a
 // torn tail is normal after a crash; anything after it is ignored).
-func replayWAL(path string) ([]walRecord, error) {
+func replayWAL(path string) ([]kv.ReplRecord, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
@@ -105,7 +98,7 @@ func replayWAL(path string) ([]walRecord, error) {
 	}
 	defer f.Close()
 
-	var out []walRecord
+	var out []kv.ReplRecord
 	for {
 		var hdr [8]byte
 		if _, err := io.ReadFull(f, hdr[:]); err != nil {
@@ -123,26 +116,8 @@ func replayWAL(path string) ([]walRecord, error) {
 		if crc32.Checksum(payload, crcTable) != want {
 			return out, nil // corrupt record: stop replay here
 		}
-		r := wire.NewReader(payload)
-		ts, err := r.Uint64()
+		rec, err := kv.DecodeReplRecord(wire.NewReader(payload))
 		if err != nil {
-			return out, nil
-		}
-		cnt, err := r.Uvarint()
-		if err != nil {
-			return out, nil
-		}
-		rec := walRecord{commitTS: clock.Timestamp(ts)}
-		ok := true
-		for i := uint64(0); i < cnt; i++ {
-			op, err := kv.DecodeOp(r)
-			if err != nil {
-				ok = false
-				break
-			}
-			rec.ops = append(rec.ops, op)
-		}
-		if !ok {
 			return out, nil
 		}
 		out = append(out, rec)
@@ -150,7 +125,10 @@ func replayWAL(path string) ([]walRecord, error) {
 }
 
 // OpenStore builds a store from cfg, replaying the write-ahead log when
-// cfg.LogPath is set. Subsequent commits append to the same log.
+// cfg.LogPath is set. Subsequent stream records append to the same
+// log. Prepares in the log whose decision never made it are left
+// staged in the prepared-transaction table — a retried coordinator
+// decision still lands, and SweepOrphans reaps them if none comes.
 func OpenStore(hlc *clock.HLC, cfg Config) (*Store, error) {
 	s := NewStore(hlc, cfg)
 	if cfg.LogPath == "" {
@@ -161,7 +139,13 @@ func OpenStore(hlc *clock.HLC, cfg Config) (*Store, error) {
 		return nil, err
 	}
 	for _, rec := range recs {
-		s.ApplyReplicated(rec.commitTS, rec.ops)
+		if err := s.ApplyReplicated(rec); err != nil {
+			// A semantically inconsistent record (e.g. a decision whose
+			// prepare was lost to a failed best-effort append on a
+			// backup) ends the usable log, like a torn tail: recover
+			// the prefix rather than refusing to start.
+			break
+		}
 	}
 	w, err := openWAL(cfg.LogPath, cfg.LogSync)
 	if err != nil {
@@ -171,40 +155,42 @@ func OpenStore(hlc *clock.HLC, cfg Config) (*Store, error) {
 	return s, nil
 }
 
-// ApplyReplicated installs an externally committed transaction at the
+// ApplyReplicated installs an externally produced stream record at the
 // next position in the replication stream: a write-ahead-log record
-// during recovery, where sequence order is the file order. Commits
+// during recovery, where sequence order is the file order. Records
 // mirrored over the network carry explicit sequence numbers; use
-// ApplyReplicatedSeq for those.
-func (s *Store) ApplyReplicated(commitTS clock.Timestamp, ops []*kv.Op) {
+// ApplyReplicatedSeq for those. Prepares replayed here are this
+// node's own (its WAL holds what it emitted or acknowledged), so they
+// get the normal orphan TTL, not the stream-staged grace.
+func (s *Store) ApplyReplicated(rec kv.ReplRecord) error {
 	s.repMu.Lock()
-	s.applyRecordLocked(commitTS, ops)
-	s.repMu.Unlock()
+	defer s.repMu.Unlock()
+	return s.applyRecordLocked(rec, false)
 }
 
-// ApplyReplicatedSeq installs a replicated commit carrying its position
+// ApplyReplicatedSeq installs a replicated record carrying its position
 // in the primary's stream, from a sync catch-up. Records below the
 // local stream head are duplicates and ignored (sync batches re-deliver
 // records that a concurrent mirror already buffered); records above it
 // are buffered while a resync is filling in the gap, and rejected
 // otherwise — a silent gap would diverge the replica forever, so the
 // primary's mirror call must fail loudly instead.
-func (s *Store) ApplyReplicatedSeq(seq uint64, commitTS clock.Timestamp, ops []*kv.Op) error {
-	return s.applyReplicated(seq, commitTS, ops, false)
+func (s *Store) ApplyReplicatedSeq(seq uint64, rec kv.ReplRecord) error {
+	return s.applyReplicated(seq, rec, false)
 }
 
 // ApplyMirrored is the live-mirror variant of ApplyReplicatedSeq. The
 // primary sends each sequence number exactly once and in order, so a
 // mirror record below the local stream head means this replica applied
-// commits the primary never streamed — it served writes of its own
+// records the primary never streamed — it served writes of its own
 // while the primary was alive (split brain). Acknowledging would make
-// the primary believe a commit is replicated when this replica dropped
-// it, so the duplicate fails loudly and the primary's commit aborts.
-func (s *Store) ApplyMirrored(seq uint64, commitTS clock.Timestamp, ops []*kv.Op) error {
-	return s.applyReplicated(seq, commitTS, ops, true)
+// the primary believe a record is replicated when this replica dropped
+// it, so the duplicate fails loudly and the primary's operation aborts.
+func (s *Store) ApplyMirrored(seq uint64, rec kv.ReplRecord) error {
+	return s.applyReplicated(seq, rec, true)
 }
 
-func (s *Store) applyReplicated(seq uint64, commitTS clock.Timestamp, ops []*kv.Op, strict bool) error {
+func (s *Store) applyReplicated(seq uint64, rec kv.ReplRecord, strict bool) error {
 	s.repMu.Lock()
 	defer s.repMu.Unlock()
 	for {
@@ -219,28 +205,75 @@ func (s *Store) applyReplicated(seq uint64, commitTS clock.Timestamp, ops []*kv.
 				return fmt.Errorf("%w: replication gap: got seq %d, want %d; backup needs resync", kv.ErrBadRequest, seq, s.repSeq)
 			}
 			if s.pending == nil {
-				s.pending = make(map[uint64]repRecord)
+				s.pending = make(map[uint64]kv.ReplRecord)
 			}
-			s.pending[seq] = repRecord{commitTS: commitTS, ops: ops}
+			s.pending[seq] = rec
 			return nil
 		}
-		s.applyRecordLocked(commitTS, ops)
-		rec, ok := s.pending[s.repSeq]
+		if err := s.applyRecordLocked(rec, true); err != nil {
+			return err
+		}
+		next, ok := s.pending[s.repSeq]
 		if !ok {
 			return nil
 		}
 		delete(s.pending, s.repSeq)
-		seq, commitTS, ops = s.repSeq, rec.commitTS, rec.ops
+		seq, rec = s.repSeq, next
 	}
 }
 
-// applyRecordLocked applies one replicated commit and advances the
-// stream head. Caller holds repMu; per-object version order follows
-// from stream order. The record is appended to the replication log and
-// this replica's own write-ahead log, so a backup is durable and can
-// itself serve resyncs after a failover promotes it.
-func (s *Store) applyRecordLocked(commitTS clock.Timestamp, ops []*kv.Op) {
-	s.clock.Observe(commitTS)
+// applyRecordLocked applies one replicated stream record and advances
+// the stream head. Caller holds repMu; per-object version order
+// follows from stream order. The record is appended to the replication
+// log and this replica's own write-ahead log, so a backup is durable
+// and can itself serve resyncs after a failover promotes it.
+// viaStream marks prepares staged from another replica's live stream
+// (mirror or sync) rather than this node's own log replay; it only
+// affects the orphan sweep's grace period.
+func (s *Store) applyRecordLocked(rec kv.ReplRecord, viaStream bool) error {
+	s.clock.Observe(rec.TS)
+	switch rec.Kind {
+	case kv.RecCommit:
+		s.applyCommittedOpsLocked(rec.TS, rec.Ops)
+		if rec.TxID != 0 {
+			s.recordDecision(rec.TxID, decision{commit: true, commitTS: rec.TS})
+		}
+	case kv.RecPrepare:
+		if err := s.stageReplicatedPrepare(rec, viaStream); err != nil {
+			return err
+		}
+	case kv.RecDecide:
+		s.txMu.Lock()
+		txRec := s.txs[rec.TxID]
+		delete(s.txs, rec.TxID)
+		s.txMu.Unlock()
+		if txRec == nil {
+			return fmt.Errorf("%w: decision for unknown tx %d: replicas diverged, re-form the pair", kv.ErrBadRequest, rec.TxID)
+		}
+		if rec.Commit {
+			s.applyStaged(rec.TxID, txRec.oids, rec.TS)
+		} else {
+			s.releaseLocks(rec.TxID, txRec.oids)
+		}
+		s.recordDecision(rec.TxID, decision{commit: rec.Commit, commitTS: rec.TS})
+	default:
+		return fmt.Errorf("%w: replication record kind %d", kv.ErrBadRequest, rec.Kind)
+	}
+	s.repSeq++
+	if s.cfg.ReplicationLog {
+		s.commitLog = append(s.commitLog, rec)
+	}
+	if s.wal != nil {
+		// Best-effort: replicated state is already acknowledged upstream;
+		// a write error here only costs durability of this replica.
+		s.wal.append(rec)
+	}
+	return nil
+}
+
+// applyCommittedOpsLocked installs one committed transaction's ops as
+// new versions at commitTS. Caller holds repMu.
+func (s *Store) applyCommittedOpsLocked(commitTS clock.Timestamp, ops []*kv.Op) {
 	oids, byOID := groupOps(ops)
 	for _, oid := range oids {
 		sh := s.shardFor(oid)
@@ -264,15 +297,45 @@ func (s *Store) applyRecordLocked(commitTS clock.Timestamp, ops []*kv.Op) {
 		s.trimLocked(obj)
 		sh.mu.Unlock()
 	}
-	s.repSeq++
-	if s.cfg.ReplicationLog {
-		s.commitLog = append(s.commitLog, repRecord{commitTS: commitTS, ops: ops})
+}
+
+// stageReplicatedPrepare reconstructs a primary's prepare from a
+// stream record: the transaction enters the prepared table and its
+// write locks are taken, with the replicated proposed timestamp, so a
+// later promotion finds the in-flight transaction intact. The primary
+// validated conflicts before emitting the record and the stream is
+// applied in order, so the locks must be free here; a holder means the
+// replicas diverged.
+func (s *Store) stageReplicatedPrepare(rec kv.ReplRecord, viaStream bool) error {
+	oids, byOID := groupOps(rec.Ops)
+	s.txMu.Lock()
+	if _, dup := s.txs[rec.TxID]; dup {
+		s.txMu.Unlock()
+		return fmt.Errorf("%w: replicated duplicate prepare for tx %d", kv.ErrBadRequest, rec.TxID)
 	}
-	if s.wal != nil {
-		// Best-effort: replicated state is already acknowledged upstream;
-		// a write error here only costs durability of this replica.
-		s.wal.append(commitTS, ops)
+	s.txs[rec.TxID] = &txRecord{oids: oids, replicated: true, viaStream: viaStream, preparedAt: time.Now()}
+	s.txMu.Unlock()
+	for _, oid := range oids {
+		sh := s.shardFor(oid)
+		sh.mu.Lock()
+		obj := sh.objs[oid]
+		if obj == nil {
+			obj = &object{}
+			sh.objs[oid] = obj
+		}
+		if obj.lock != nil {
+			holder := obj.lock.txid
+			sh.mu.Unlock()
+			s.releaseLocks(rec.TxID, oids)
+			s.txMu.Lock()
+			delete(s.txs, rec.TxID)
+			s.txMu.Unlock()
+			return fmt.Errorf("%w: replicated prepare for tx %d found %v locked by tx %d: replicas diverged, re-form the pair", kv.ErrBadRequest, rec.TxID, oid, holder)
+		}
+		obj.lock = &lockState{txid: rec.TxID, proposed: rec.TS, ops: byOID[oid], done: make(chan struct{})}
+		sh.mu.Unlock()
 	}
+	return nil
 }
 
 // CloseLog flushes and closes the write-ahead log (if any).

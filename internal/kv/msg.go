@@ -1,6 +1,8 @@
 package kv
 
 import (
+	"fmt"
+
 	"yesquel/internal/wire"
 )
 
@@ -21,21 +23,85 @@ const (
 	MethodSync = "kv.sync"
 )
 
-// MirrorReq replicates one committed transaction to a backup. Seq is
-// the transaction's position in the primary's replication stream;
-// backups apply records in strict sequence order, so a gap means the
-// backup missed commits and must resync before mirroring can resume.
+// Replication record kinds. The replication stream (mirror RPCs, the
+// replication log served by MethodSync, and the write-ahead log) is a
+// totally ordered sequence of these records; replicas that apply the
+// same prefix hold the same multi-version state *and* the same
+// prepared-transaction table, so a promoted backup can finish or roll
+// back in-flight two-phase transactions instead of stranding them.
+const (
+	// RecCommit is a whole committed transaction: ops applied at TS.
+	// Single-participant fast commits and commits whose prepare predates
+	// replication use it.
+	RecCommit uint8 = 0
+	// RecPrepare stages a two-phase transaction's ops and write locks
+	// (phase one). TS is the participant's proposed commit timestamp.
+	RecPrepare uint8 = 1
+	// RecDecide resolves a previously replicated prepare (phase two):
+	// Commit says whether to apply (at TS) or discard the staged ops.
+	RecDecide uint8 = 2
+)
+
+// ReplRecord is one record in a primary's replication stream.
+type ReplRecord struct {
+	Kind   uint8
+	TxID   uint64
+	TS     Timestamp // commit timestamp; for RecPrepare, the proposed timestamp
+	Commit bool      // RecDecide only: commit (true) or abort (false)
+	Ops    []*Op     // RecCommit / RecPrepare payload; nil for RecDecide
+}
+
+// EncodeReplRecord appends rec's canonical serialization — shared by
+// mirror RPCs, sync batches, and the write-ahead log, so the three
+// stay byte-for-byte interchangeable.
+func EncodeReplRecord(b *wire.Buffer, rec *ReplRecord) {
+	b.PutByte(rec.Kind)
+	b.PutUint64(rec.TxID)
+	b.PutUint64(uint64(rec.TS))
+	b.PutBool(rec.Commit)
+	encodeOps(b, rec.Ops)
+}
+
+// DecodeReplRecord is the inverse of EncodeReplRecord.
+func DecodeReplRecord(r *wire.Reader) (ReplRecord, error) {
+	var rec ReplRecord
+	var err error
+	if rec.Kind, err = r.Byte(); err != nil {
+		return rec, err
+	}
+	if rec.Kind > RecDecide {
+		return rec, fmt.Errorf("%w: replication record kind %d", ErrBadRequest, rec.Kind)
+	}
+	if rec.TxID, err = r.Uint64(); err != nil {
+		return rec, err
+	}
+	ts, err := r.Uint64()
+	if err != nil {
+		return rec, err
+	}
+	rec.TS = Timestamp(ts)
+	if rec.Commit, err = r.Bool(); err != nil {
+		return rec, err
+	}
+	if rec.Ops, err = decodeOps(r); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// MirrorReq replicates one stream record to a backup. Seq is the
+// record's position in the primary's replication stream; backups apply
+// records in strict sequence order, so a gap means the backup missed
+// records and must resync before mirroring can resume.
 type MirrorReq struct {
-	Seq      uint64
-	CommitTS Timestamp
-	Ops      []*Op
+	Seq uint64
+	Rec ReplRecord
 }
 
 func (m *MirrorReq) Encode() []byte {
 	b := wire.NewBuffer(64)
 	b.PutUvarint(m.Seq)
-	b.PutUint64(uint64(m.CommitTS))
-	encodeOps(b, m.Ops)
+	EncodeReplRecord(b, &m.Rec)
 	return b.Bytes()
 }
 
@@ -45,15 +111,11 @@ func DecodeMirrorReq(p []byte) (*MirrorReq, error) {
 	if err != nil {
 		return nil, err
 	}
-	ts, err := r.Uint64()
+	rec, err := DecodeReplRecord(r)
 	if err != nil {
 		return nil, err
 	}
-	ops, err := decodeOps(r)
-	if err != nil {
-		return nil, err
-	}
-	return &MirrorReq{Seq: seq, CommitTS: Timestamp(ts), Ops: ops}, nil
+	return &MirrorReq{Seq: seq, Rec: rec}, nil
 }
 
 // SyncReq asks a primary for its replication log starting at sequence
@@ -83,11 +145,10 @@ func DecodeSyncReq(p []byte) (*SyncReq, error) {
 	return m, nil
 }
 
-// SyncRec is one replicated commit in a sync response.
+// SyncRec is one replicated stream record in a sync response.
 type SyncRec struct {
-	Seq      uint64
-	CommitTS Timestamp
-	Ops      []*Op
+	Seq uint64
+	Rec ReplRecord
 }
 
 // SyncResp carries a slice of the primary's replication log. Head is
@@ -105,8 +166,7 @@ func (m *SyncResp) Encode() []byte {
 	for i := range m.Records {
 		rec := &m.Records[i]
 		b.PutUvarint(rec.Seq)
-		b.PutUint64(uint64(rec.CommitTS))
-		encodeOps(b, rec.Ops)
+		EncodeReplRecord(b, &rec.Rec)
 	}
 	b.PutUvarint(m.Head)
 	b.PutUint64(uint64(m.Clock))
@@ -128,12 +188,7 @@ func DecodeSyncResp(p []byte) (*SyncResp, error) {
 		if rec.Seq, err = r.Uvarint(); err != nil {
 			return nil, err
 		}
-		ts, err := r.Uint64()
-		if err != nil {
-			return nil, err
-		}
-		rec.CommitTS = Timestamp(ts)
-		if rec.Ops, err = decodeOps(r); err != nil {
+		if rec.Rec, err = DecodeReplRecord(r); err != nil {
 			return nil, err
 		}
 		m.Records = append(m.Records, rec)

@@ -50,21 +50,32 @@ func opsEqual(t *testing.T, got, want []*Op) {
 	}
 }
 
+// recEqual compares two replication records field by field.
+func recEqual(t *testing.T, got, want ReplRecord) {
+	t.Helper()
+	if got.Kind != want.Kind || got.TxID != want.TxID || got.TS != want.TS || got.Commit != want.Commit {
+		t.Fatalf("record scalar fields: got %+v, want %+v", got, want)
+	}
+	opsEqual(t, got.Ops, want.Ops)
+}
+
 func TestMirrorReqRoundTrip(t *testing.T) {
 	cases := []MirrorReq{
-		{Seq: 0, CommitTS: 1, Ops: nil},
-		{Seq: 1, CommitTS: 123456789, Ops: sampleOps()[:1]},
-		{Seq: 1 << 40, CommitTS: Timestamp(1) << 60, Ops: sampleOps()},
+		{Seq: 0, Rec: ReplRecord{Kind: RecCommit, TxID: 7, TS: 1}},
+		{Seq: 1, Rec: ReplRecord{Kind: RecPrepare, TxID: 1 << 63, TS: 123456789, Ops: sampleOps()[:1]}},
+		{Seq: 2, Rec: ReplRecord{Kind: RecDecide, TxID: 42, TS: 99, Commit: true}},
+		{Seq: 3, Rec: ReplRecord{Kind: RecDecide, TxID: 42, TS: 0, Commit: false}},
+		{Seq: 1 << 40, Rec: ReplRecord{Kind: RecCommit, TS: Timestamp(1) << 60, Ops: sampleOps()}},
 	}
 	for i, in := range cases {
 		out, err := DecodeMirrorReq(in.Encode())
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
-		if out.Seq != in.Seq || out.CommitTS != in.CommitTS {
-			t.Fatalf("case %d: got seq=%d ts=%d, want seq=%d ts=%d", i, out.Seq, out.CommitTS, in.Seq, in.CommitTS)
+		if out.Seq != in.Seq {
+			t.Fatalf("case %d: got seq=%d, want seq=%d", i, out.Seq, in.Seq)
 		}
-		opsEqual(t, out.Ops, in.Ops)
+		recEqual(t, out.Rec, in.Rec)
 	}
 }
 
@@ -73,6 +84,12 @@ func TestMirrorReqDecodeErrors(t *testing.T) {
 		if _, err := DecodeMirrorReq(p); err == nil {
 			t.Fatalf("decode of truncated payload %v succeeded", p)
 		}
+	}
+	// An unknown record kind must be rejected, not decoded as garbage.
+	bad := (&MirrorReq{Seq: 1, Rec: ReplRecord{Kind: RecCommit, TxID: 1, TS: 1}}).Encode()
+	bad[1] = 0xee // the kind byte follows the one-byte seq uvarint
+	if _, err := DecodeMirrorReq(bad); err == nil {
+		t.Fatal("decode of unknown record kind succeeded")
 	}
 }
 
@@ -98,11 +115,12 @@ func TestSyncRespRoundTrip(t *testing.T) {
 		{Records: nil, Head: 0, Clock: 5},
 		{
 			Records: []SyncRec{
-				{Seq: 0, CommitTS: 10, Ops: sampleOps()[:3]},
-				{Seq: 1, CommitTS: 20, Ops: nil},
-				{Seq: 2, CommitTS: 30, Ops: sampleOps()},
+				{Seq: 0, Rec: ReplRecord{Kind: RecCommit, TxID: 1, TS: 10, Ops: sampleOps()[:3]}},
+				{Seq: 1, Rec: ReplRecord{Kind: RecPrepare, TxID: 2, TS: 20, Ops: sampleOps()[3:5]}},
+				{Seq: 2, Rec: ReplRecord{Kind: RecDecide, TxID: 2, TS: 30, Commit: true}},
+				{Seq: 3, Rec: ReplRecord{Kind: RecCommit, TS: 40, Ops: sampleOps()}},
 			},
-			Head:  3,
+			Head:  4,
 			Clock: 99,
 		},
 	}
@@ -116,10 +134,10 @@ func TestSyncRespRoundTrip(t *testing.T) {
 				i, out.Head, out.Clock, len(out.Records), in.Head, in.Clock, len(in.Records))
 		}
 		for j := range in.Records {
-			if out.Records[j].Seq != in.Records[j].Seq || out.Records[j].CommitTS != in.Records[j].CommitTS {
+			if out.Records[j].Seq != in.Records[j].Seq {
 				t.Fatalf("case %d record %d: got %+v, want %+v", i, j, out.Records[j], in.Records[j])
 			}
-			opsEqual(t, out.Records[j].Ops, in.Records[j].Ops)
+			recEqual(t, out.Records[j].Rec, in.Records[j].Rec)
 		}
 	}
 }
