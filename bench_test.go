@@ -8,11 +8,15 @@ package yesquel_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
 
 	"yesquel/internal/bench"
+	"yesquel/internal/cluster"
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvserver"
 )
 
 // benchParams keeps -bench wall time reasonable while preserving each
@@ -81,3 +85,70 @@ func BenchmarkE8_SQLMicro(b *testing.B) { runExperiment(b, "e8") }
 
 // BenchmarkE9_Replication regenerates E9 (replicated vs plain writes).
 func BenchmarkE9_Replication(b *testing.B) { runExperiment(b, "e9") }
+
+// BenchmarkFailover measures availability through a failover: the wall
+// time from killing a replicated slot's primary until the first write
+// acknowledged under the new epoch (kill → forced promotion → client
+// redirect → acked commit). Reported as ms/failover; this is the first
+// trajectory point for the availability metric. Each iteration
+// re-forms the pair (Restart) outside the timed section.
+func BenchmarkFailover(b *testing.B) {
+	cl, err := cluster.StartReplicated(1, 2, kvserver.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	c, err := cl.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	// Seed one write so the pair has history.
+	tx := c.Begin()
+	tx.Put(c.NewOID(0), kv.NewPlain([]byte("seed")))
+	if err := tx.Commit(ctx); err != nil {
+		b.Fatal(err)
+	}
+
+	var total time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if err := cl.KillPrimary(0); err != nil {
+			b.Fatal(err)
+		}
+		// First acked write on the new epoch: retry until the redirect
+		// lands it (uncertain one-shots are abandoned, as an application
+		// would).
+		for {
+			tx := c.Begin()
+			tx.Put(c.NewOID(0), kv.NewPlain([]byte(fmt.Sprintf("fo-%d", i))))
+			err := tx.Commit(ctx)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, kv.ErrUncertain) {
+				b.Fatalf("write after failover: %v", err)
+			}
+		}
+		total += time.Since(start)
+		b.StopTimer()
+		if err := cl.Restart(0); err != nil {
+			b.Fatal(err)
+		}
+		// Heartbeat ping outside the timed section: an idle client
+		// learns the re-formed membership from the ack piggyback (an
+		// active client would learn it from its next redirect), so the
+		// next iteration's kill finds the client knowing both members.
+		if err := c.Ping(ctx, 0); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "ms/failover")
+	}
+}

@@ -27,6 +27,8 @@ func main() {
 	mirror := flag.String("mirror", "", "backup server address to replicate commits to")
 	replLog := flag.String("replication-log", "auto", "keep the in-memory replication log so backups can resync from this server (auto/on/off; auto = on when replication flags are set)")
 	syncFrom := flag.String("sync-from", "", "primary address to stream missed commits from before serving (join or rejoin a replication group as its backup)")
+	lease := flag.Duration("lease", 2*time.Second, "primary lease duration (epoch-bearing groups: how long the primary may serve after its last backup ack, and how long a promotion must wait)")
+	statsEvery := flag.Duration("stats", 0, "periodically log epoch, role, lease state, and activity counters (0 = off)")
 	flag.Parse()
 
 	if *replLog != "auto" && *replLog != "on" && *replLog != "off" {
@@ -39,6 +41,7 @@ func main() {
 		LogPath:         *logPath,
 		LogSync:         *logSync,
 		ReplicationLog:  keepRepLog,
+		LeaseDuration:   *lease,
 	})
 	if err != nil {
 		log.Fatalf("yesqueld: %v", err)
@@ -65,15 +68,28 @@ func main() {
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatalf("yesqueld: %v", err)
 	}
-	log.Printf("yesqueld: serving on %s (retention %v, max versions %d)", srv.Addr(), *retention, *maxVersions)
+	log.Printf("yesqueld: serving on %s (retention %v, max versions %d, lease %v)", srv.Addr(), *retention, *maxVersions, *lease)
+
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for range t.C {
+				st := srv.Stats()
+				log.Printf("yesqueld: epoch=%d role=%s members=%v lease_valid=%v bumps=%d wrong_epoch_rejects=%d reads=%d commits=%d fastcommits=%d conflicts=%d orphan_aborts=%d",
+					st.Epoch, st.Role, st.Members, st.LeaseValid, st.EpochBumps, st.WrongEpochRejects,
+					st.Reads, st.Commits, st.FastCommits, st.Conflicts, st.OrphanAborts)
+			}
+		}()
+	}
 
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		<-sig
-		st := store.Stats()
-		fmt.Fprintf(os.Stderr, "yesqueld: shutting down; reads=%d commits=%d fastcommits=%d conflicts=%d gc=%d\n",
-			st.Reads, st.Commits, st.FastCommits, st.Conflicts, st.GCVersions)
+		st := srv.Stats()
+		fmt.Fprintf(os.Stderr, "yesqueld: shutting down; epoch=%d role=%s reads=%d commits=%d fastcommits=%d conflicts=%d gc=%d wrong_epoch_rejects=%d\n",
+			st.Epoch, st.Role, st.Reads, st.Commits, st.FastCommits, st.Conflicts, st.GCVersions, st.WrongEpochRejects)
 		srv.Close()
 		store.CloseLog()
 	}()

@@ -27,6 +27,9 @@ type ackedWrite struct {
 // readable afterwards. Commits whose acknowledgment was lost in the
 // crash surface kv.ErrUncertain and are allowed to have gone either way.
 func TestKillPrimaryUnderLoadLosesNoAckedWrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos drill (-short)")
+	}
 	cl, err := cluster.StartReplicated(2, 2, kvserver.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -147,6 +150,9 @@ func TestKillPrimaryUnderLoadLosesNoAckedWrite(t *testing.T) {
 // live mirror interleave, and sequence-order buffering must keep the
 // replicas identical.
 func TestRestartWhileWritesContinue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos drill (-short)")
+	}
 	cl, err := cluster.StartReplicated(1, 2, kvserver.Config{})
 	if err != nil {
 		t.Fatal(err)

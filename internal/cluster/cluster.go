@@ -14,6 +14,11 @@ import (
 
 // Group is one server slot's replication group: an acting primary and,
 // when the replication factor is 2, a synchronously mirrored backup.
+// Replicated groups carry an epoch: every membership change
+// (promotion after a failure, re-formation with a fresh backup) is an
+// explicit epoch bump recorded in the replication stream, and the
+// epoch's primary only serves while it holds the lease its backup
+// grants. Unreplicated slots stay at epoch 0 (no epoch discipline).
 type Group struct {
 	Primary *kvserver.Server
 	Backup  *kvserver.Server // nil when unreplicated or after a failover
@@ -21,6 +26,10 @@ type Group struct {
 
 	gen int // restart generation, for unique log file names
 }
+
+// Epoch returns the group's current configuration epoch (as believed
+// by the acting primary).
+func (g *Group) Epoch() uint64 { return g.Primary.Store().Epoch() }
 
 // Cluster is a set of running storage server slots.
 type Cluster struct {
@@ -69,6 +78,13 @@ func StartReplicated(n, rf int, cfg kvserver.Config) (*Cluster, error) {
 			if err := cl.attachBackup(i); err != nil {
 				cl.Close()
 				return nil, fmt.Errorf("cluster: server %d backup: %w", i, err)
+			}
+			// Install epoch 1 with the fresh pair as members. The
+			// RecEpoch record mirrors to the backup like any stream
+			// record, and its ack doubles as the primary's first lease.
+			if _, err := g.Primary.BumpEpoch(append([]string(nil), g.Addrs...)); err != nil {
+				cl.Close()
+				return nil, fmt.Errorf("cluster: server %d epoch: %w", i, err)
 			}
 		}
 	}
@@ -137,10 +153,14 @@ func (cl *Cluster) attachBackup(i int) error {
 }
 
 // KillPrimary fails slot's primary: the server is shut down hard and
-// the backup is promoted to acting primary. Connected clients fail
-// over transparently; every write acknowledged before the kill is
-// readable on the promoted backup (commits were mirrored before the
-// acknowledgment).
+// the backup is explicitly promoted — an epoch bump whose sole member
+// is the promoted backup, recorded in its replication stream.
+// Connected clients learn the new configuration from the promoted
+// member's ErrWrongEpoch redirects (or ack piggybacks) and fail over;
+// every write acknowledged before the kill is readable on the promoted
+// backup (commits were mirrored before the acknowledgment). The
+// promotion is forced: the orchestrator killed the primary itself, so
+// fencing by lease expiry is unnecessary — certainty beats clocks.
 func (cl *Cluster) KillPrimary(slot int) error {
 	g := cl.Groups[slot]
 	if g.Backup == nil {
@@ -148,6 +168,37 @@ func (cl *Cluster) KillPrimary(slot int) error {
 	}
 	g.Primary.Close()
 	g.Primary.Store().CloseLog()
+	return cl.promote(slot, true)
+}
+
+// IsolatePrimary simulates a network partition around slot's primary:
+// its outbound replication (mirror records and lease renewals) is
+// suppressed, but the process stays up and keeps answering clients on
+// its side of the "partition". The backup is then promoted WITHOUT
+// force — the promotion waits out the lease the backup granted, so by
+// the time the new epoch acknowledges its first write the stale
+// primary's lease has provably expired and it can no longer
+// acknowledge anything. It returns the isolated old primary so chaos
+// tests can keep poking it.
+func (cl *Cluster) IsolatePrimary(slot int) (*kvserver.Server, error) {
+	g := cl.Groups[slot]
+	if g.Backup == nil {
+		return nil, fmt.Errorf("cluster: slot %d has no backup to fail over to", slot)
+	}
+	old := g.Primary
+	old.Isolate()
+	if err := cl.promote(slot, false); err != nil {
+		return nil, err
+	}
+	return old, nil
+}
+
+// promote makes slot's backup the acting primary of a new epoch.
+func (cl *Cluster) promote(slot int, force bool) error {
+	g := cl.Groups[slot]
+	if _, err := g.Backup.Promote(force); err != nil {
+		return fmt.Errorf("cluster: promoting slot %d backup: %w", slot, err)
+	}
 	g.Primary = g.Backup
 	g.Backup = nil
 	g.Addrs = []string{g.Primary.Addr()}
@@ -161,13 +212,25 @@ func (cl *Cluster) KillPrimary(slot int) error {
 // missed history via MethodSync, and resumes synchronous mirroring —
 // instead of the pre-replication dead end where a broken pair diverged
 // forever. (The restarted member starts from an empty store; its
-// catch-up is a full replay of the primary's replication log.)
+// catch-up is a full replay of the primary's replication log,
+// including every past epoch change in stream order.) Re-forming is
+// itself a configuration change: the primary bumps the epoch with the
+// two-member membership, and the mirrored RecEpoch record both informs
+// the new backup and seeds the primary's lease.
 func (cl *Cluster) Restart(slot int) error {
 	g := cl.Groups[slot]
 	if g.Backup != nil {
 		return fmt.Errorf("cluster: slot %d already has a backup", slot)
 	}
-	return cl.attachBackup(slot)
+	if err := cl.attachBackup(slot); err != nil {
+		return err
+	}
+	if g.Epoch() > 0 || cl.rf > 1 {
+		if _, err := g.Primary.BumpEpoch(append([]string(nil), g.Addrs...)); err != nil {
+			return fmt.Errorf("cluster: slot %d epoch bump: %w", slot, err)
+		}
+	}
+	return nil
 }
 
 // NewClient opens a kv client connected to every server slot, with
@@ -206,6 +269,18 @@ func (cl *Cluster) Stats() kvserver.StatsSnapshot {
 		out.OrphanAborts += st.OrphanAborts
 		out.Conflicts += st.Conflicts
 		out.GCVersions += st.GCVersions
+		out.EpochBumps += st.EpochBumps
+		out.WrongEpochRejects += st.WrongEpochRejects
+	}
+	return out
+}
+
+// GroupStats reports each slot's acting primary view: epoch, role,
+// membership, lease validity, and counters (operator inspection).
+func (cl *Cluster) GroupStats() []kvserver.ServerStats {
+	out := make([]kvserver.ServerStats, len(cl.Servers))
+	for i, s := range cl.Servers {
+		out[i] = s.Stats()
 	}
 	return out
 }

@@ -24,6 +24,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"yesquel/internal/clock"
 	"yesquel/internal/wire"
@@ -178,7 +180,56 @@ var (
 	// may not have committed; callers must reconcile by reading before
 	// retrying non-idempotent work.
 	ErrUncertain = errors.New("kv: commit outcome uncertain")
+	// ErrWrongEpoch reports that a request carried a stale (or unknown)
+	// replication-group epoch, or reached a member that may not serve it
+	// (a backup, or a primary whose lease expired). The rejection is a
+	// guarantee: the operation was NOT executed, so retrying it — after
+	// updating the group view from the carried epoch and membership — is
+	// always safe, for idempotent and non-idempotent requests alike.
+	ErrWrongEpoch = errors.New("kv: wrong epoch")
 )
+
+// WrongEpochError is the typed form of ErrWrongEpoch: the rejecting
+// member's current epoch and membership (primary first), so a stale
+// client can adopt the new configuration and redirect, and a deposed
+// primary can learn it was superseded. It crosses the RPC boundary as
+// an application-error string in the canonical format produced by
+// Error; ParseWrongEpoch recovers it on the other side.
+type WrongEpochError struct {
+	Epoch   uint64
+	Members []string // replica addresses, acting primary first
+}
+
+func (e *WrongEpochError) Error() string {
+	return fmt.Sprintf("%s: epoch=%d members=%s", ErrWrongEpoch.Error(), e.Epoch, strings.Join(e.Members, ","))
+}
+
+func (e *WrongEpochError) Unwrap() error { return ErrWrongEpoch }
+
+// ParseWrongEpoch recovers a WrongEpochError from an error string that
+// crossed the RPC boundary (rpc.AppError flattens handler errors to
+// text). It tolerates wrapping prefixes; the epoch=/members= pair must
+// be the message tail, which the canonical Error format guarantees.
+func ParseWrongEpoch(msg string) (*WrongEpochError, bool) {
+	i := strings.Index(msg, ErrWrongEpoch.Error()+": epoch=")
+	if i < 0 {
+		return nil, false
+	}
+	rest := msg[i+len(ErrWrongEpoch.Error())+len(": epoch="):]
+	j := strings.Index(rest, " members=")
+	if j < 0 {
+		return nil, false
+	}
+	epoch, err := strconv.ParseUint(rest[:j], 10, 64)
+	if err != nil {
+		return nil, false
+	}
+	we := &WrongEpochError{Epoch: epoch}
+	if list := rest[j+len(" members="):]; list != "" {
+		we.Members = strings.Split(list, ",")
+	}
+	return we, true
+}
 
 // OpKind enumerates write operations staged by a transaction.
 type OpKind uint8

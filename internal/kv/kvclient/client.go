@@ -35,15 +35,20 @@ type Client struct {
 	nextOID atomic.Uint64
 }
 
-// replicaGroup is one server slot's replica set: the addresses of the
-// primary and its backups, plus the connection currently in use. On a
-// transport failure the group rotates to the next replica.
+// replicaGroup is one server slot's replica set: the membership the
+// client currently believes (acting primary first), the group's epoch,
+// and the connection in use. On a transport failure the group rotates
+// to the next replica; on an ErrWrongEpoch redirect it adopts the
+// carried epoch and membership, so a client opened before a failover
+// or re-formation follows the group to addresses it was never
+// configured with.
 type replicaGroup struct {
-	addrs []string
-
-	mu   sync.Mutex
-	cur  int // index into addrs the connection (or next dial) uses
-	conn *rpc.Client
+	mu       sync.Mutex
+	addrs    []string
+	epoch    uint64 // group epoch last learned (0 = unaware / legacy)
+	cur      int    // index into addrs the connection (or next dial) uses
+	conn     *rpc.Client
+	connAddr string // address conn was dialed to
 }
 
 // dialTimeout bounds each replica dial during failover: a blackholed
@@ -64,12 +69,49 @@ func (g *replicaGroup) get() (*rpc.Client, error) {
 		idx := (g.cur + i) % len(g.addrs)
 		conn, err := rpc.DialTimeout(g.addrs[idx], dialTimeout)
 		if err == nil {
-			g.cur, g.conn = idx, conn
+			g.cur, g.conn, g.connAddr = idx, conn, g.addrs[idx]
 			return conn, nil
 		}
 		lastErr = err
 	}
 	return nil, fmt.Errorf("kvclient: no reachable replica in %v: %w", g.addrs, lastErr)
+}
+
+// size returns the current number of known replicas.
+func (g *replicaGroup) size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.addrs)
+}
+
+// epochNow returns the epoch requests should be stamped with.
+func (g *replicaGroup) epochNow() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
+}
+
+// noteEpoch adopts a newer configuration learned from an ack piggyback
+// or a wrong-epoch redirect. It reports whether anything changed. The
+// current connection is kept only if it points at the new primary;
+// otherwise the group redials preferring the new members[0].
+func (g *replicaGroup) noteEpoch(epoch uint64, members []string) bool {
+	if len(members) == 0 {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if epoch <= g.epoch {
+		return false
+	}
+	g.epoch = epoch
+	g.addrs = append([]string(nil), members...)
+	g.cur = 0
+	if g.conn != nil && g.connAddr != members[0] {
+		g.conn.Close()
+		g.conn = nil
+	}
+	return true
 }
 
 // invalidate drops a failed connection and points the group at the
@@ -137,10 +179,12 @@ func OpenReplicated(groups [][]string) (*Client, error) {
 	}
 	ctx := context.Background()
 	for s := range c.groups {
-		if _, err := c.groups[s].get(); err != nil {
-			c.Close()
-			return nil, err
-		}
+		// One ping per slot merges the slot's clock and learns its
+		// current epoch and membership from the ack piggyback. The ping
+		// rotates across the slot's replicas, so a down replica is
+		// tolerated as long as ANY member of the group answers — a
+		// backup is enough (it carries the group's clock and knows the
+		// configuration), even though it would reject data operations.
 		if err := c.Ping(ctx, s); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("kvclient: merging clock of server %d: %w", s, err)
@@ -203,14 +247,24 @@ const (
 	retryUnsentUncertain
 )
 
-// call issues method(req) against server slot's current replica.
-// Transport failures rotate the group to the next replica and retry
-// according to policy. Application errors and context cancellation
-// never fail over.
-func (c *Client) call(ctx context.Context, server int, method string, req []byte, policy callPolicy) ([]byte, error) {
+// maxEpochHops bounds how many ErrWrongEpoch redirects one call will
+// follow. Each productive hop strictly increases the group's known
+// epoch; the bound only guards against a pathological ping-pong.
+const maxEpochHops = 4
+
+// call issues method(enc(epoch)) against server slot's current
+// replica; enc re-encodes the request on every attempt so retries
+// always carry the freshest known group epoch. Transport failures
+// rotate the group to the next replica and retry according to policy.
+// An ErrWrongEpoch rejection guarantees the operation was not
+// executed, so — for every policy — the client adopts the carried
+// configuration (or rotates, if it learned nothing new) and retries.
+// Other application errors and context cancellation never fail over.
+func (c *Client) call(ctx context.Context, server int, method string, enc func(epoch uint64) []byte, policy callPolicy) ([]byte, error) {
 	g := c.groups[server]
 	var lastErr error
-	for attempt := 0; attempt <= len(g.addrs); attempt++ {
+	epochHops := 0
+	for attempt := 0; attempt <= g.size(); attempt++ {
 		conn, err := g.get()
 		if err != nil {
 			if lastErr != nil {
@@ -218,12 +272,30 @@ func (c *Client) call(ctx context.Context, server int, method string, req []byte
 			}
 			return nil, err
 		}
-		resp, err := conn.Call(ctx, method, req)
+		resp, err := conn.Call(ctx, method, enc(g.epochNow()))
 		if err == nil {
 			return resp, nil
 		}
 		var app *rpc.AppError
-		if errors.As(err, &app) || ctx.Err() != nil {
+		if errors.As(err, &app) {
+			we, ok := kv.ParseWrongEpoch(app.Msg)
+			if !ok || epochHops >= maxEpochHops {
+				return nil, err
+			}
+			epochHops++
+			lastErr = err
+			if g.noteEpoch(we.Epoch, we.Members) {
+				// New configuration adopted: start the replica walk over
+				// (the preferred member changed under us).
+				attempt = -1
+				continue
+			}
+			// Nothing new learned (a backup bounced us, or a primary
+			// without a lease): try the next replica.
+			g.invalidate(conn)
+			continue
+		}
+		if ctx.Err() != nil {
 			return nil, err
 		}
 		g.invalidate(conn)
@@ -238,9 +310,16 @@ func (c *Client) call(ctx context.Context, server int, method string, req []byte
 	return nil, lastErr
 }
 
-// Ping round-trips to server slot i, merging clocks.
+// observeAck merges an ack's clock and configuration piggyback.
+func (c *Client) observeAck(server int, ack *kv.Ack) {
+	c.hlc.Observe(ack.Clock)
+	c.groups[server].noteEpoch(ack.Epoch, ack.Members)
+}
+
+// Ping round-trips to server slot i, merging clocks and learning the
+// slot's current epoch and membership from the ack piggyback.
 func (c *Client) Ping(ctx context.Context, server int) error {
-	resp, err := c.call(ctx, server, kv.MethodPing, nil, retryAlways)
+	resp, err := c.call(ctx, server, kv.MethodPing, func(uint64) []byte { return nil }, retryAlways)
 	if err != nil {
 		return err
 	}
@@ -248,14 +327,16 @@ func (c *Client) Ping(ctx context.Context, server int) error {
 	if err != nil {
 		return err
 	}
-	c.hlc.Observe(ack.Clock)
+	c.observeAck(server, ack)
 	return nil
 }
 
 // readAt fetches the newest version of oid visible at snap.
 func (c *Client) readAt(ctx context.Context, oid kv.OID, snap clock.Timestamp) (*kv.Value, error) {
-	req := kv.ReadReq{OID: oid, Snap: snap}
-	respB, err := c.call(ctx, c.ServerFor(oid), kv.MethodRead, req.Encode(), retryAlways)
+	server := c.ServerFor(oid)
+	respB, err := c.call(ctx, server, kv.MethodRead, func(epoch uint64) []byte {
+		return (&kv.ReadReq{OID: oid, Snap: snap, Epoch: epoch}).Encode()
+	}, retryAlways)
 	if err != nil {
 		return nil, translateRPCErr(err)
 	}
@@ -278,6 +359,8 @@ func translateRPCErr(err error) error {
 		switch {
 		case strings.Contains(app.Msg, kv.ErrConflict.Error()):
 			return fmt.Errorf("%w: %s", kv.ErrConflict, app.Msg)
+		case strings.Contains(app.Msg, kv.ErrWrongEpoch.Error()):
+			return fmt.Errorf("%w: %s", kv.ErrWrongEpoch, app.Msg)
 		case strings.Contains(app.Msg, kv.ErrBadRequest.Error()):
 			return fmt.Errorf("%w: %s", kv.ErrBadRequest, app.Msg)
 		}

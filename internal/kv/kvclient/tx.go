@@ -169,8 +169,10 @@ func (t *Tx) ReadPart(ctx context.Context, oid kv.OID, from, to []byte, max uint
 		}
 	}
 
-	req := kv.ReadPartReq{OID: oid, Snap: t.start, From: from, To: to, Max: max}
-	respB, err := t.c.call(ctx, t.c.ServerFor(oid), kv.MethodReadPart, req.Encode(), retryAlways)
+	server := t.c.ServerFor(oid)
+	respB, err := t.c.call(ctx, server, kv.MethodReadPart, func(epoch uint64) []byte {
+		return (&kv.ReadPartReq{OID: oid, Snap: t.start, From: from, To: to, Max: max, Epoch: epoch}).Encode()
+	}, retryAlways)
 	if err != nil {
 		return nil, 0, translateRPCErr(err)
 	}
@@ -246,8 +248,9 @@ func (t *Tx) Commit(ctx context.Context) error {
 // request provably never left (the primary died earlier), call retries
 // on the backup, which re-executes the whole one-shot transaction.
 func (t *Tx) fastCommit(ctx context.Context, server int, ops []*kv.Op) error {
-	req := kv.FastCommitReq{TxID: t.txid, Start: t.start, Ops: ops}
-	respB, err := t.c.call(ctx, server, kv.MethodFastCommit, req.Encode(), retryUnsentUncertain)
+	respB, err := t.c.call(ctx, server, kv.MethodFastCommit, func(epoch uint64) []byte {
+		return (&kv.FastCommitReq{TxID: t.txid, Start: t.start, Ops: ops, Epoch: epoch}).Encode()
+	}, retryUnsentUncertain)
 	if err != nil {
 		return translateRPCErr(err)
 	}
@@ -274,12 +277,15 @@ func (t *Tx) twoPhaseCommit(ctx context.Context, servers []int, byServer map[int
 	for _, s := range servers {
 		go func(s int) {
 			// Prepare retries on a backup only when the request provably
-			// never reached the primary (it was already dead). If the
-			// ack was merely lost, the primary may hold the vote, and
-			// re-preparing elsewhere would stage the transaction twice;
-			// the transaction aborts instead.
-			req := kv.PrepareReq{TxID: t.txid, Start: t.start, Ops: byServer[s]}
-			respB, err := t.c.call(ctx, s, kv.MethodPrepare, req.Encode(), retryUnsent)
+			// never reached the primary (it was already dead) — or when
+			// it was rejected with ErrWrongEpoch, which guarantees
+			// nothing was staged. If the ack was merely lost, the
+			// primary may hold the vote, and re-preparing elsewhere
+			// would stage the transaction twice; the transaction aborts
+			// instead.
+			respB, err := t.c.call(ctx, s, kv.MethodPrepare, func(epoch uint64) []byte {
+				return (&kv.PrepareReq{TxID: t.txid, Start: t.start, Ops: byServer[s], Epoch: epoch}).Encode()
+			}, retryUnsent)
 			if err != nil {
 				votes <- voteResult{server: s, err: translateRPCErr(err)}
 				return
@@ -344,18 +350,19 @@ func (t *Tx) twoPhaseCommit(ctx context.Context, servers []int, byServer map[int
 			// the prepared transaction, and decided outcomes are
 			// remembered server-side, so a duplicate CommitReq (lost
 			// acknowledgment, then retry) is acknowledged rather than
-			// rejected. (A retry reaching the backup while the primary
-			// is alive but unreachable is split brain; the mirror
-			// stream's sequence guard detects it loudly — see ROADMAP
-			// "leases/epochs".)
-			req := kv.CommitReq{TxID: t.txid, CommitTS: commitTS}
-			respB, err := t.c.call(ctx, s, kv.MethodCommit, req.Encode(), retryAlways)
+			// rejected. (A retry reaching an unpromoted backup while the
+			// primary is alive but unreachable is answered with
+			// ErrWrongEpoch, so split brain is prevented, not merely
+			// detected: the decision lands only on the epoch's primary.)
+			respB, err := t.c.call(ctx, s, kv.MethodCommit, func(epoch uint64) []byte {
+				return (&kv.CommitReq{TxID: t.txid, CommitTS: commitTS, Epoch: epoch}).Encode()
+			}, retryAlways)
 			if err != nil {
 				errs <- fmt.Errorf("commit on server %d: %w", s, err)
 				return
 			}
 			if ack, err := kv.DecodeAck(respB); err == nil {
-				t.c.hlc.Observe(ack.Clock)
+				t.c.observeAck(s, ack)
 			}
 			errs <- nil
 		}(s)
@@ -398,15 +405,16 @@ func (t *Tx) abortAll(ctx context.Context, servers []int) {
 	// locks until the orphan sweep.
 	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), abortTimeout)
 	defer cancel()
-	req := kv.AbortReq{TxID: t.txid}
 	done := make(chan struct{}, len(servers))
 	for _, s := range servers {
 		go func(s int) {
 			defer func() { done <- struct{}{} }()
-			respB, err := t.c.call(ctx, s, kv.MethodAbort, req.Encode(), retryAlways)
+			respB, err := t.c.call(ctx, s, kv.MethodAbort, func(epoch uint64) []byte {
+				return (&kv.AbortReq{TxID: t.txid, Epoch: epoch}).Encode()
+			}, retryAlways)
 			if err == nil {
 				if ack, err := kv.DecodeAck(respB); err == nil {
-					t.c.hlc.Observe(ack.Clock)
+					t.c.observeAck(s, ack)
 				}
 			}
 		}(s)

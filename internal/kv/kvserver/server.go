@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"yesquel/internal/kv"
@@ -20,6 +21,15 @@ type Server struct {
 	sweeper    *time.Ticker
 	stopCh     chan struct{}
 	mirrorConn *rpc.Client
+	// leaseStop terminates the lease-renewal loop of the current
+	// mirror attachment (nil when no loop is running).
+	leaseStop chan struct{}
+	// isolated simulates an outbound network partition: while set, the
+	// mirror hook and lease renewals fail without sending, so the
+	// server's lease expires and its strict-mirror writes fail exactly
+	// as they would behind a real partition. Chaos tests use it; see
+	// Isolate.
+	isolated atomic.Bool
 }
 
 // NewServer wraps store in an RPC service. Call Serve (or ListenAndServe)
@@ -52,7 +62,19 @@ func NewServer(store *Store) *Server {
 	s.rpc.Register(kv.MethodPing, s.handlePing)
 	s.rpc.Register(kv.MethodMirror, s.handleMirror)
 	s.rpc.Register(kv.MethodSync, s.handleSync)
+	s.rpc.Register(kv.MethodLease, s.handleLease)
 	return s
+}
+
+// ack builds the generic acknowledgment, piggybacking the current
+// epoch and membership so clients keep their group view fresh from
+// ordinary traffic.
+func (s *Server) ack() []byte {
+	return (&kv.Ack{
+		Clock:   s.store.Clock().Now(),
+		Epoch:   s.store.Epoch(),
+		Members: s.store.Members(),
+	}).Encode()
 }
 
 // AttachBackup makes this server a primary that synchronously
@@ -76,23 +98,170 @@ func (s *Server) AttachBackup(addr string) (uint64, error) {
 	}
 	s.mirrorConn = conn
 	watermark := s.store.AttachMirror(func(seq uint64, rec kv.ReplRecord) error {
-		// The mirror call runs while the record holds the replication
-		// stream; a frozen backup (hung process, partition without a
-		// reset) must fail the operation after a bounded wait, not
-		// wedge the primary's whole write path forever.
-		ctx, cancel := context.WithTimeout(context.Background(), mirrorTimeout)
-		defer cancel()
 		req := kv.MirrorReq{Seq: seq, Rec: rec}
-		respB, err := conn.Call(ctx, kv.MethodMirror, req.Encode())
-		if err != nil {
-			return err
-		}
-		if ack, err := kv.DecodeAck(respB); err == nil {
-			s.store.Clock().Observe(ack.Clock)
-		}
-		return nil
+		return s.callExtendingLease(conn, kv.MethodMirror, req.Encode())
 	})
+	s.startLeaseLoop(conn)
 	return watermark, nil
+}
+
+// callExtendingLease performs one RPC to the backup whose
+// acknowledgment doubles as a lease renewal (mirror records and
+// MethodLease renewals alike): the call is timeout-bounded — it runs
+// while the caller may hold the replication stream, and a frozen
+// backup must fail the operation after a bounded wait, not wedge the
+// primary's write path — the lease is extended from before the
+// request was sent (the backup's grant, measured from receipt,
+// necessarily outlasts it), and the ack's clock is merged. While
+// Isolate is in effect, the call fails without sending.
+func (s *Server) callExtendingLease(conn *rpc.Client, method string, payload []byte) error {
+	if s.isolated.Load() {
+		return errIsolated
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), mirrorTimeout)
+	defer cancel()
+	t0 := time.Now()
+	respB, err := conn.Call(ctx, method, payload)
+	if err != nil {
+		return err
+	}
+	s.store.ExtendLease(t0.Add(s.store.cfg.LeaseDuration))
+	if ack, err := kv.DecodeAck(respB); err == nil {
+		s.store.Clock().Observe(ack.Clock)
+	}
+	return nil
+}
+
+// errIsolated marks replication traffic suppressed by Isolate.
+var errIsolated = errors.New("kvserver: outbound replication isolated (simulated partition)")
+
+// Isolate simulates an outbound network partition for chaos tests:
+// mirror records and lease renewals fail without being sent, so this
+// server's lease expires and, once the group establishes a new epoch,
+// it can never acknowledge another write. Inbound RPCs still work —
+// clients on the "wrong side" of the partition can still reach the
+// server and must be turned away by the lease/epoch checks, which is
+// precisely what the tests assert.
+func (s *Server) Isolate() { s.isolated.Store(true) }
+
+// startLeaseLoop begins periodic lease renewals to the attached backup
+// over conn, replacing any previous loop. Renewals keep the lease
+// fresh through write-idle periods (mirror acks cover the busy ones).
+func (s *Server) startLeaseLoop(conn *rpc.Client) {
+	s.stopLeaseLoop()
+	stop := make(chan struct{})
+	s.leaseStop = stop
+	go func() {
+		interval := s.store.cfg.LeaseDuration / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-s.stopCh:
+				return
+			case <-t.C:
+				if !s.renewLease(conn) {
+					return
+				}
+			}
+		}
+	}()
+}
+
+func (s *Server) stopLeaseLoop() {
+	if s.leaseStop != nil {
+		close(s.leaseStop)
+		s.leaseStop = nil
+	}
+}
+
+// renewLease sends one lease renewal to the backup and reports whether
+// the renewal loop should keep running. A wrong-epoch rejection means
+// the backup was promoted while we were away: adopt the new
+// configuration (dropping to RoleRemoved) so clients are redirected
+// instead of served stale data — and stop renewing; a deposed member
+// hammering the new primary with doomed renewals forever would only
+// pollute its WrongEpochRejects signal. Any other failure simply
+// leaves the lease to expire on its own.
+func (s *Server) renewLease(conn *rpc.Client) bool {
+	epoch := s.store.Epoch()
+	if epoch == 0 {
+		return true // legacy pair: no lease discipline (yet)
+	}
+	if s.store.Role() != RolePrimary {
+		return false // deposed or reconfigured away: nothing to renew
+	}
+	err := s.callExtendingLease(conn, kv.MethodLease, (&kv.LeaseReq{Epoch: epoch}).Encode())
+	var app *rpc.AppError
+	if errors.As(err, &app) {
+		if we, ok := kv.ParseWrongEpoch(app.Msg); ok {
+			s.store.AdoptEpoch(we.Epoch, we.Members)
+			return s.store.Role() == RolePrimary
+		}
+	}
+	return true
+}
+
+// handleLease grants (or refuses) a primary's lease renewal. Only a
+// member that still believes in the renewal's epoch — and is not
+// mid-promotion — grants; otherwise it answers with the current
+// configuration, deposing the caller.
+func (s *Server) handleLease(_ context.Context, p []byte) ([]byte, error) {
+	req, err := kv.DecodeLeaseReq(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.store.RenewLeaseGrant(req.Epoch); err != nil {
+		return nil, err
+	}
+	return s.ack(), nil
+}
+
+// Promote makes this member the primary of a new epoch whose sole
+// member is itself: the epoch bump that completes a failover. Unless
+// force is set, it first freezes its grant clock (BeginPromotion — so
+// no in-flight mirror ack or renewal can re-arm the lease mid-wait)
+// and waits out any lease it granted, so a live-but-partitioned old
+// primary has provably stopped serving before the new epoch
+// acknowledges its first write. force is for orchestrators that know
+// the old primary is dead (they killed it) — fencing by certainty
+// instead of by clock. It returns the new epoch.
+func (s *Server) Promote(force bool) (uint64, error) {
+	st := s.store
+	st.BeginPromotion()
+	if !force {
+		for {
+			wait := time.Until(st.GrantExpiry())
+			if wait <= 0 {
+				break
+			}
+			time.Sleep(wait)
+		}
+	}
+	newEpoch := st.Epoch() + 1
+	if err := st.InstallEpoch(newEpoch, []string{s.Addr()}); err != nil {
+		st.AbandonPromotion()
+		return 0, err
+	}
+	return newEpoch, nil
+}
+
+// BumpEpoch moves this primary's group to a fresh configuration with
+// the given membership (this server first). cluster.Restart uses it
+// after re-attaching a backup: the RecEpoch record flows through the
+// mirror like any other, so the new member installs the configuration
+// at the right point in its stream.
+func (s *Server) BumpEpoch(members []string) (uint64, error) {
+	newEpoch := s.store.Epoch() + 1
+	if err := s.store.InstallEpoch(newEpoch, members); err != nil {
+		return 0, err
+	}
+	return newEpoch, nil
 }
 
 // mirrorTimeout bounds one synchronous mirror round trip.
@@ -103,6 +272,7 @@ const mirrorTimeout = 5 * time.Second
 // any writes, where the watermark is necessarily zero.
 func (s *Server) SetMirror(addr string) error {
 	if addr == "" {
+		s.stopLeaseLoop()
 		s.store.AttachMirror(nil)
 		if s.mirrorConn != nil {
 			s.mirrorConn.Close()
@@ -122,7 +292,7 @@ func (s *Server) handleMirror(_ context.Context, p []byte) ([]byte, error) {
 	if err := s.store.ApplyMirrored(req.Seq, req.Rec); err != nil {
 		return nil, err
 	}
-	return (&kv.Ack{Clock: s.store.Clock().Now()}).Encode(), nil
+	return s.ack(), nil
 }
 
 func (s *Server) handleSync(_ context.Context, p []byte) ([]byte, error) {
@@ -187,6 +357,29 @@ func (s *Server) SyncFrom(addr string, until uint64) error {
 // Store returns the underlying storage engine.
 func (s *Server) Store() *Store { return s.store }
 
+// ServerStats combines the store's activity counters with the
+// replication-group state an operator needs during a failover drill:
+// which epoch this member is in, its role, the membership it believes,
+// and whether it currently holds serving authority.
+type ServerStats struct {
+	StatsSnapshot
+	Epoch      uint64
+	Role       string
+	Members    []string
+	LeaseValid bool
+}
+
+// Stats reports counters plus epoch/lease state (see ServerStats).
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		StatsSnapshot: s.store.Stats(),
+		Epoch:         s.store.Epoch(),
+		Role:          s.store.Role(),
+		Members:       s.store.Members(),
+		LeaseValid:    s.store.LeaseValid(),
+	}
+}
+
 // ListenAndServe binds addr and serves until Close. It returns the
 // bound address on a channel-free API: call Addr after it returns nil
 // from Listen. For tests, use Listen + Serve.
@@ -196,16 +389,19 @@ func (s *Server) ListenAndServe(addr string) error {
 		return err
 	}
 	s.ln = ln
+	s.store.SetSelf(ln.Addr().String())
 	return s.rpc.Serve(ln)
 }
 
-// Listen binds addr without serving. Serve must be called next.
+// Listen binds addr without serving. Serve must be called next. The
+// bound address becomes the store's member identity for epoch roles.
 func (s *Server) Listen(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	s.ln = ln
+	s.store.SetSelf(ln.Addr().String())
 	return nil
 }
 
@@ -228,6 +424,7 @@ func (s *Server) Close() error {
 		close(s.stopCh)
 		s.sweeper.Stop()
 	}
+	s.stopLeaseLoop()
 	if s.mirrorConn != nil {
 		s.mirrorConn.Close()
 		s.mirrorConn = nil
@@ -238,6 +435,9 @@ func (s *Server) Close() error {
 func (s *Server) handleRead(_ context.Context, p []byte) ([]byte, error) {
 	req, err := kv.DecodeReadReq(p)
 	if err != nil {
+		return nil, err
+	}
+	if err := s.store.CheckClientOp(req.Epoch); err != nil {
 		return nil, err
 	}
 	resp := &kv.ReadResp{}
@@ -262,6 +462,9 @@ func (s *Server) handleReadPart(_ context.Context, p []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.store.CheckClientOp(req.Epoch); err != nil {
+		return nil, err
+	}
 	resp := &kv.ReadPartResp{}
 	val, total, ver, err := s.store.ReadPart(req.OID, req.Snap, req.From, req.To, req.Max)
 	switch {
@@ -283,6 +486,9 @@ func (s *Server) handlePrepare(_ context.Context, p []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.store.CheckClientOp(req.Epoch); err != nil {
+		return nil, err
+	}
 	resp := &kv.PrepareResp{}
 	proposed, err := s.store.Prepare(req.TxID, req.Start, req.Ops)
 	if err == nil {
@@ -300,10 +506,13 @@ func (s *Server) handleCommit(_ context.Context, p []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.store.CheckClientOp(req.Epoch); err != nil {
+		return nil, err
+	}
 	if err := s.store.Commit(req.TxID, req.CommitTS); err != nil {
 		return nil, err
 	}
-	return (&kv.Ack{Clock: s.store.Clock().Now()}).Encode(), nil
+	return s.ack(), nil
 }
 
 func (s *Server) handleAbort(_ context.Context, p []byte) ([]byte, error) {
@@ -311,13 +520,19 @@ func (s *Server) handleAbort(_ context.Context, p []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.store.CheckClientOp(req.Epoch); err != nil {
+		return nil, err
+	}
 	s.store.Abort(req.TxID)
-	return (&kv.Ack{Clock: s.store.Clock().Now()}).Encode(), nil
+	return s.ack(), nil
 }
 
 func (s *Server) handleFastCommit(_ context.Context, p []byte) ([]byte, error) {
 	req, err := kv.DecodeFastCommitReq(p)
 	if err != nil {
+		return nil, err
+	}
+	if err := s.store.CheckClientOp(req.Epoch); err != nil {
 		return nil, err
 	}
 	resp := &kv.FastCommitResp{}
@@ -332,6 +547,10 @@ func (s *Server) handleFastCommit(_ context.Context, p []byte) ([]byte, error) {
 	return resp.Encode(), nil
 }
 
+// handlePing answers from any member regardless of role: pings merge
+// clocks and report the current configuration (via the ack piggyback),
+// both of which a client must be able to get from whichever replica
+// still answers.
 func (s *Server) handlePing(_ context.Context, _ []byte) ([]byte, error) {
-	return (&kv.Ack{Clock: s.store.Clock().Now()}).Encode(), nil
+	return s.ack(), nil
 }

@@ -50,12 +50,61 @@
 // whose phase-two acknowledgment was lost re-sends the decision — to
 // the same server or to a promoted backup — and gets the recorded
 // outcome instead of "unknown transaction". Prepares whose decision
-// never arrives (the coordinator died) are unilaterally aborted after
-// a conservative TTL (SweepOrphans, Stats.OrphanAborts); a decided
-// transaction is never swept. The TTL trades 2PC's blocking safety
-// for availability: until leases/epochs land (see ROADMAP), a
-// partitioned participant could time out after the coordinator
-// decided commit.
+// never arrives are handled by SweepOrphans under the epoch rules
+// below; a decided transaction is never swept.
+//
+// # Epochs and leases
+//
+// A replication group carries a monotonically increasing configuration
+// **epoch** with a membership list (acting primary first). Every
+// membership change — promoting the backup after a failure, re-forming
+// the pair with a fresh member — is an explicit epoch bump, recorded
+// as a RecEpoch record in the same totally ordered replication stream
+// as data (so it is mirrored, resynced, and WAL-persisted like any
+// commit, and a replayed or resynced member finishes at the epoch the
+// stream left it at). Every other stream record is stamped with the
+// epoch in effect when it was emitted, and every client request is
+// stamped with the epoch the client believes current.
+//
+// The serving rules (Store.CheckClientOp, enforced at the RPC
+// boundary):
+//
+//   - Only the current epoch's primary serves client operations; a
+//     backup answers every data request with a typed kv.ErrWrongEpoch
+//     redirect naming the current epoch and membership. The PR 1
+//     failure mode — a client blip sending retries to the backup while
+//     the primary lives — is therefore prevented, not detected: the
+//     stray write never lands.
+//   - A multi-member primary serves only while it holds a **lease**:
+//     every mirror ack and MethodLease renewal from the backup extends
+//     its authority to send-time + Config.LeaseDuration, and the
+//     backup symmetrically promises (its grant, recorded atomically
+//     with accepting the record or renewal and measured from receipt,
+//     so the grant always outlasts the authority) not to accept a
+//     promotion before the grant expires. A promotion therefore waits
+//     out the grant (Server.Promote without force), which guarantees a
+//     partitioned stale primary stopped acknowledging reads AND writes
+//     before the new epoch acknowledges its first one. Orchestrators
+//     that killed the primary themselves may force-promote — fencing
+//     by certainty instead of clocks. A sole-member primary needs no
+//     lease (no one else could be promoted).
+//   - A live mirror record stamped with an older epoch than the
+//     replica's is rejected (the sender is a deposed primary); the
+//     rejection carries the new configuration, deposing it gracefully.
+//   - An ErrWrongEpoch rejection guarantees the request was NOT
+//     executed, so clients retry it safely after adopting the carried
+//     membership — including non-idempotent prepares and commits.
+//
+// Epochs close the PR 2 orphan-abort gap: in an epoch-bearing group,
+// SweepOrphans may TTL-abort a prepare only when the epoch under which
+// it was accepted is provably superseded (and the TTL, restarted at
+// the bump, has given the coordinator a redirect window). A prepare
+// whose epoch is still current is never unilaterally aborted — the
+// abort-after-decided-commit window is gone; within a stable epoch 2PC
+// blocks, safely, and an operator can bump the epoch to reap a
+// provably dead coordinator's locks. Legacy (epoch-0) stores — an
+// unreplicated server, or a hand-wired SetMirror pair — keep all
+// pre-epoch behavior, including the availability-first TTL abort.
 package kvserver
 
 import (
@@ -111,6 +160,14 @@ type Config struct {
 	// Enable it on every member of a replication group. (The log is
 	// unbounded; see ROADMAP for snapshot-based truncation.)
 	ReplicationLog bool
+	// LeaseDuration is how long a primary's authority to serve lasts
+	// after its last acknowledgment from the backup (default 2s). Every
+	// mirror ack and lease-renewal ack extends the primary's lease; the
+	// backup symmetrically promises not to accept a promotion until the
+	// grant expires. Shorter leases mean faster failover but less
+	// tolerance for mirror-path hiccups. Only meaningful once the group
+	// carries an epoch (InstallEpoch) with more than one member.
+	LeaseDuration time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -130,6 +187,9 @@ func (c *Config) withDefaults() Config {
 	if out.DecidedTTL == 0 {
 		out.DecidedTTL = 60 * time.Second
 	}
+	if out.LeaseDuration == 0 {
+		out.LeaseDuration = 2 * time.Second
+	}
 	return out
 }
 
@@ -147,11 +207,20 @@ type Stats struct {
 	OrphanAborts atomic.Uint64
 	Conflicts    atomic.Uint64
 	GCVersions   atomic.Uint64
+	// EpochBumps counts configuration changes installed on this member
+	// (promotions, group re-formations); WrongEpochRejects counts
+	// requests and stream records turned away by the epoch/lease
+	// discipline — a nonzero value after a failover is the split-brain
+	// prevention working, a steadily climbing one means a stale client
+	// or deposed primary keeps knocking.
+	EpochBumps        atomic.Uint64
+	WrongEpochRejects atomic.Uint64
 }
 
 // StatsSnapshot is a plain copy of the counters.
 type StatsSnapshot struct {
 	Reads, ReadWaits, Prepares, Commits, FastCommits, Aborts, OrphanAborts, Conflicts, GCVersions uint64
+	EpochBumps, WrongEpochRejects                                                                 uint64
 }
 
 type version struct {
@@ -207,11 +276,18 @@ type txRecord struct {
 	// replicated too.
 	replicated bool
 	// viaStream: the prepare was staged by a replicated record rather
-	// than a native Prepare call. SweepOrphans gives such prepares a
-	// longer leash — the primary normally delivers the decision; only a
-	// promoted backup should clean them up itself.
+	// than a native Prepare call. In legacy (epoch-0) groups SweepOrphans
+	// gives such prepares a longer leash — the primary normally delivers
+	// the decision; only a promoted backup should clean them up itself.
 	viaStream bool
-	// preparedAt drives the orphan-prepare TTL.
+	// epoch is the group epoch under which the prepare was accepted. In
+	// an epoch-bearing group, SweepOrphans may only TTL-abort a prepare
+	// whose epoch has been superseded; while it is current the
+	// coordinator may still legitimately drive a decided commit.
+	epoch uint64
+	// preparedAt drives the orphan-prepare TTL. An epoch bump resets it
+	// for prepares of older epochs, so a coordinator gets a full TTL
+	// after a failover to redirect its decision.
 	preparedAt time.Time
 }
 
@@ -269,6 +345,33 @@ type Store struct {
 	// before its effects become visible (see Server.AttachBackup).
 	mirror func(seq uint64, rec kv.ReplRecord) error
 
+	// epochMu guards the replication-group configuration and lease
+	// clocks. Lock order: repMu (and txMu) before epochMu; epochMu
+	// holders never take another store mutex.
+	epochMu sync.Mutex
+	// epoch is the group's configuration number; 0 means the store
+	// predates epoch discipline (legacy mode: no role or lease checks).
+	epoch uint64
+	// epochMembers is the current membership, acting primary first.
+	epochMembers []string
+	// self is this member's advertised address (Server.Listen sets it);
+	// the role follows from its position in epochMembers.
+	self string
+	// leaseUntil is, on a primary, the end of its authority to serve:
+	// each mirror or lease-renewal ack extends it to send-time +
+	// LeaseDuration. grantUntil is, on a backup, the matching promise:
+	// no promotion is accepted before it. leaseUntil is measured from
+	// before the renewal was sent and grantUntil from after it was
+	// received, so grantUntil >= leaseUntil always — the primary stops
+	// serving before the backup may take over.
+	leaseUntil time.Time
+	grantUntil time.Time
+	// promoting freezes the grant clock: once a promotion has begun,
+	// no mirror record or lease renewal is accepted (and therefore no
+	// ack can extend the old primary's authority), so the grant-expiry
+	// wait cannot be re-armed between the wait and the epoch install.
+	promoting bool
+
 	stats Stats
 }
 
@@ -296,6 +399,242 @@ func (s *Store) ReplSeq() uint64 {
 	s.repMu.Lock()
 	defer s.repMu.Unlock()
 	return s.repSeq
+}
+
+// Member roles derived from the current epoch's membership.
+const (
+	// RoleLegacy: the store carries no epoch (epoch 0); pre-epoch
+	// behavior applies — any member serves, no leases, TTL orphan sweep.
+	RoleLegacy = "legacy"
+	// RolePrimary: first member of the current epoch; serves client
+	// operations while its lease is valid.
+	RolePrimary = "primary"
+	// RoleBackup: a non-primary member; applies the replication stream
+	// and grants the primary's lease, but rejects client operations.
+	RoleBackup = "backup"
+	// RoleRemoved: not in the current membership (a deposed primary that
+	// learned of its successor, or a member whose address changed);
+	// rejects everything with a redirect.
+	RoleRemoved = "removed"
+)
+
+// SetSelf records this member's advertised address; the epoch role
+// (primary / backup / removed) follows from its position in the
+// current membership. Server.Listen calls it with the bound address.
+func (s *Store) SetSelf(addr string) {
+	s.epochMu.Lock()
+	s.self = addr
+	s.epochMu.Unlock()
+}
+
+// Epoch returns the store's current replication-group epoch (0 =
+// legacy, no epoch discipline).
+func (s *Store) Epoch() uint64 {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	return s.epoch
+}
+
+// Members returns a copy of the current membership, primary first.
+func (s *Store) Members() []string {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	return append([]string(nil), s.epochMembers...)
+}
+
+// Role reports this member's role under the current epoch.
+func (s *Store) Role() string {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	return s.roleLocked()
+}
+
+func (s *Store) roleLocked() string {
+	if s.epoch == 0 {
+		return RoleLegacy
+	}
+	if len(s.epochMembers) > 0 && s.epochMembers[0] == s.self {
+		return RolePrimary
+	}
+	for _, m := range s.epochMembers {
+		if m == s.self {
+			return RoleBackup
+		}
+	}
+	return RoleRemoved
+}
+
+// LeaseValid reports whether this member currently holds the authority
+// a lease confers: true for legacy stores, sole members, and backups
+// (their authority questions are answered by role, not lease), and for
+// a multi-member primary only until leaseUntil.
+func (s *Store) LeaseValid() bool {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	if s.epoch == 0 || len(s.epochMembers) <= 1 || s.roleLocked() != RolePrimary {
+		return true
+	}
+	return time.Now().Before(s.leaseUntil)
+}
+
+// ExtendLease advances the primary's serving authority to until (never
+// backwards). The caller measures until from *before* the renewal
+// request was sent, so the backup's matching grant always outlasts it.
+func (s *Store) ExtendLease(until time.Time) {
+	s.epochMu.Lock()
+	if until.After(s.leaseUntil) {
+		s.leaseUntil = until
+	}
+	s.epochMu.Unlock()
+}
+
+// GrantExpiry returns when the lease this member last granted runs
+// out; a non-forced promotion must wait until then, which is what
+// guarantees the deposed primary stopped serving first.
+func (s *Store) GrantExpiry() time.Time {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	return s.grantUntil
+}
+
+// BeginPromotion freezes this member's grant clock: from here until
+// the next epoch installs (or AbandonPromotion), every mirror record
+// and lease renewal is refused, so no in-flight ack can extend the old
+// primary's authority past the grant expiry the promotion waits out.
+func (s *Store) BeginPromotion() {
+	s.epochMu.Lock()
+	s.promoting = true
+	s.epochMu.Unlock()
+}
+
+// AbandonPromotion lifts the BeginPromotion freeze without an epoch
+// change (the promotion failed); the pair resumes as before.
+func (s *Store) AbandonPromotion() {
+	s.epochMu.Lock()
+	s.promoting = false
+	s.epochMu.Unlock()
+}
+
+// RenewLeaseGrant is the backup half of MethodLease: it extends the
+// grant for a renewal carrying the current epoch, and refuses — with
+// the typed redirect — a renewal from another epoch or one arriving
+// after a promotion began (granting then would re-arm the lease the
+// promotion is waiting out).
+func (s *Store) RenewLeaseGrant(reqEpoch uint64) error {
+	until := time.Now().Add(s.cfg.LeaseDuration)
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	if s.promoting || (s.epoch != 0 && reqEpoch != s.epoch) {
+		return s.wrongEpochLocked()
+	}
+	if until.After(s.grantUntil) {
+		s.grantUntil = until
+	}
+	return nil
+}
+
+// wrongEpochLocked builds the typed rejection carrying the current
+// configuration. Caller holds epochMu.
+func (s *Store) wrongEpochLocked() *kv.WrongEpochError {
+	s.stats.WrongEpochRejects.Add(1)
+	return &kv.WrongEpochError{Epoch: s.epoch, Members: append([]string(nil), s.epochMembers...)}
+}
+
+// CheckClientOp gates a client operation (read or write) behind the
+// epoch discipline: only the current epoch's primary serves, only
+// while its lease is valid, and only for requests stamped with the
+// current epoch (or 0, an epoch-unaware client that will learn the
+// configuration from the response's piggyback). Every rejection is a
+// *WrongEpochError carrying the current epoch and membership, and
+// guarantees the operation was not executed. Legacy (epoch-0) stores
+// accept everything, preserving pre-epoch behavior for unreplicated
+// servers and hand-wired mirror pairs.
+func (s *Store) CheckClientOp(reqEpoch uint64) error {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	if s.epoch == 0 {
+		return nil
+	}
+	if s.roleLocked() != RolePrimary {
+		return s.wrongEpochLocked()
+	}
+	if reqEpoch != 0 && reqEpoch != s.epoch {
+		return s.wrongEpochLocked()
+	}
+	if len(s.epochMembers) > 1 && !time.Now().Before(s.leaseUntil) {
+		// Lease expired: the backup may already have been promoted and
+		// be acknowledging writes under a new epoch. Serving anything —
+		// even a read — could contradict the new primary.
+		return s.wrongEpochLocked()
+	}
+	return nil
+}
+
+// InstallEpoch moves the group to a new configuration: the epoch must
+// exceed the current one, and the change is a RecEpoch record in the
+// replication stream — synchronously mirrored to the backup (if
+// attached), appended to the replication and write-ahead logs — so the
+// whole group agrees on the configuration history in stream order. The
+// emission and installation happen under the stream lock, so no record
+// is ever stamped with a configuration that was already superseded
+// when it entered the stream.
+func (s *Store) InstallEpoch(newEpoch uint64, members []string) error {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	s.epochMu.Lock()
+	cur := s.epoch
+	s.epochMu.Unlock()
+	if newEpoch <= cur {
+		return fmt.Errorf("kvserver: epoch %d does not supersede current epoch %d", newEpoch, cur)
+	}
+	rec := kv.ReplRecord{Kind: kv.RecEpoch, Epoch: newEpoch, Members: append([]string(nil), members...)}
+	if err := s.emitLocked(rec, true); err != nil {
+		return fmt.Errorf("kvserver: replicating epoch %d: %w", newEpoch, err)
+	}
+	s.installEpochState(newEpoch, rec.Members)
+	return nil
+}
+
+// AdoptEpoch installs a configuration this member learned out-of-band
+// (a deposed primary told of its successor via an ErrWrongEpoch
+// rejection). Unlike InstallEpoch it emits no stream record: this
+// member is not authoritative for the new epoch, it only needs to stop
+// serving the old one and redirect clients. No-op unless newEpoch is
+// newer.
+func (s *Store) AdoptEpoch(newEpoch uint64, members []string) {
+	s.installEpochState(newEpoch, append([]string(nil), members...))
+}
+
+// installEpochState applies a configuration change to the in-memory
+// epoch state and restarts the orphan TTL for prepares of superseded
+// epochs (the coordinator gets a full TTL after a failover to redirect
+// its decision before the sweep may reap them). The TTL reset runs
+// BEFORE the new epoch is published: a concurrent SweepOrphans that
+// already read the new epoch could otherwise win the race for txMu and
+// reap a just-superseded prepare with zero post-bump grace. The
+// install itself re-checks monotonicity under epochMu — callers'
+// own checks run under different locks (or none: AdoptEpoch races the
+// stream), and the epoch must never move backwards.
+func (s *Store) installEpochState(newEpoch uint64, members []string) bool {
+	now := time.Now()
+	s.txMu.Lock()
+	for _, rec := range s.txs {
+		if rec.epoch < newEpoch && rec.preparedAt.Before(now) {
+			rec.preparedAt = now
+		}
+	}
+	s.txMu.Unlock()
+	s.epochMu.Lock()
+	if newEpoch <= s.epoch {
+		s.epochMu.Unlock()
+		return false
+	}
+	s.epoch = newEpoch
+	s.epochMembers = members
+	s.promoting = false
+	s.epochMu.Unlock()
+	s.stats.EpochBumps.Add(1)
+	return true
 }
 
 // StartResync puts the store in resync mode: replicated records that
@@ -404,6 +743,9 @@ func (s *Store) Stats() StatsSnapshot {
 		OrphanAborts: s.stats.OrphanAborts.Load(),
 		Conflicts:    s.stats.Conflicts.Load(),
 		GCVersions:   s.stats.GCVersions.Load(),
+
+		EpochBumps:        s.stats.EpochBumps.Load(),
+		WrongEpochRejects: s.stats.WrongEpochRejects.Load(),
 	}
 }
 
@@ -530,7 +872,7 @@ func (s *Store) prepare(txid uint64, start clock.Timestamp, ops []*kv.Op, replic
 		s.txMu.Unlock()
 		return 0, fmt.Errorf("%w: duplicate prepare for tx %d", kv.ErrBadRequest, txid)
 	}
-	rec := &txRecord{oids: oids, preparedAt: time.Now()}
+	rec := &txRecord{oids: oids, epoch: s.Epoch(), preparedAt: time.Now()}
 	s.txs[txid] = rec
 	s.txMu.Unlock()
 
@@ -662,6 +1004,20 @@ func (s *Store) replicating() bool {
 func (s *Store) emitRecord(rec kv.ReplRecord, strictMirror bool) error {
 	s.repMu.Lock()
 	defer s.repMu.Unlock()
+	return s.emitLocked(rec, strictMirror)
+}
+
+// emitLocked is emitRecord with repMu already held (InstallEpoch needs
+// the configuration change and its stream record to be one critical
+// section). Every record is stamped with the epoch in effect when it
+// enters the stream — except RecEpoch, whose Epoch field carries the
+// new epoch it installs.
+func (s *Store) emitLocked(rec kv.ReplRecord, strictMirror bool) error {
+	if rec.Kind != kv.RecEpoch {
+		s.epochMu.Lock()
+		rec.Epoch = s.epoch
+		s.epochMu.Unlock()
+	}
 	seq := s.repSeq
 	if s.mirror != nil {
 		if err := s.mirror(seq, rec); err != nil && strictMirror {
@@ -899,21 +1255,47 @@ func (s *Store) abort(txid uint64, orphan bool) {
 	}
 }
 
-// SweepOrphans unilaterally aborts prepares whose decision never
-// arrived within the TTL: a coordinator that died between phase one
-// and phase two must not strand write locks forever. Prepares staged
-// over the replication stream get streamOrphanGrace times the TTL —
-// while the primary is alive its own TTL abort arrives over the
-// stream first; only a promoted backup should reap them locally. A
-// transaction with a recorded decision is never swept (it left the
+// SweepOrphans aborts prepares whose decision never arrived, subject
+// to the epoch discipline:
+//
+// In an epoch-bearing group, a prepare may be TTL-aborted only when
+// the epoch under which it was accepted is provably superseded (the
+// group moved on — a failover or re-formation happened, and the TTL,
+// restarted at the bump, has since given the coordinator a full window
+// to redirect its decision to this member). A prepare whose epoch is
+// still current is NEVER unilaterally aborted: its coordinator may be
+// slow, partitioned, or mid-drive on a decided commit, and aborting
+// against a decided commit breaks atomicity — the exact window the
+// PR 2 TTL left open. Within a stable epoch, 2PC blocks, safely; an
+// operator can force an epoch bump to reap a provably dead
+// coordinator's locks.
+//
+// Legacy (epoch-0) stores keep the old availability-first TTL abort:
+// there is no configuration history to consult, and an unreplicated
+// server's stranded locks have no safe owner to wait for. Prepares
+// staged over the replication stream get streamOrphanGrace times the
+// TTL there — while the primary is alive its own TTL abort arrives
+// over the stream first.
+//
+// A transaction with a recorded decision is never swept (it left the
 // prepared table when the decision was applied). The server runs this
 // periodically; tests call it directly. It returns how many prepares
 // were aborted.
 func (s *Store) SweepOrphans() int {
 	now := time.Now()
+	curEpoch := s.Epoch()
 	var victims []uint64
 	s.txMu.Lock()
 	for txid, rec := range s.txs {
+		if curEpoch > 0 {
+			if rec.epoch >= curEpoch {
+				continue // coordinator's epoch still current: block, never abort
+			}
+			if now.Sub(rec.preparedAt) >= s.cfg.PrepareTTL {
+				victims = append(victims, txid)
+			}
+			continue
+		}
 		ttl := s.cfg.PrepareTTL
 		if rec.viaStream {
 			ttl *= streamOrphanGrace

@@ -508,10 +508,12 @@ func TestCommitIdempotentReplay(t *testing.T) {
 	}
 }
 
-// TestOrphanPrepareTTL covers the stranded-lock cleanup: a prepare
-// whose coordinator never sends phase two is unilaterally aborted
-// after the TTL, its locks come free, and the abort is a recorded
-// decision — while a decided transaction is never swept.
+// TestOrphanPrepareTTL covers the stranded-lock cleanup on a LEGACY
+// (epoch-0) store: a prepare whose coordinator never sends phase two
+// is unilaterally aborted after the TTL, its locks come free, and the
+// abort is a recorded decision — while a decided transaction is never
+// swept. Epoch-bearing groups replace the unconditional TTL with the
+// superseded-epoch rule (TestSweepOrphansEpochGuard).
 func TestOrphanPrepareTTL(t *testing.T) {
 	s := NewStore(nil, Config{PrepareTTL: 10 * time.Millisecond})
 	oid := kv.MakeOID(0, 1)

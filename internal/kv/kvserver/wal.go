@@ -25,13 +25,25 @@ import (
 // format is length- and checksum-framed, so a torn final record (crash
 // mid-append) is detected and dropped rather than corrupting recovery.
 //
-// Record layout:
+// File layout:
 //
+//	8 bytes walMagic — names the record format version. The record
+//	        encoding has no self-description, so a log written by a
+//	        binary with a different kv.ReplRecord layout would replay
+//	        as garbage that the checksums cannot catch (the payloads
+//	        are intact, the FIELDS moved); the magic turns that into a
+//	        loud refusal to start instead of a silent empty store.
+//	then, repeated:
 //	uint32  payload length
 //	uint32  CRC-32C of payload
 //	payload: kv.EncodeReplRecord — the same serialization mirror RPCs
 //	         and sync batches use, so the log, the wire, and the
 //	         replication log stay byte-for-byte interchangeable
+
+// walMagic identifies the record format; bump the trailing version
+// digits whenever kv.EncodeReplRecord's layout changes (v2: epoch-
+// stamped records with RecEpoch membership).
+const walMagic = "YSQWAL02"
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -46,6 +58,18 @@ func openWAL(path string, syncEach bool) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("kvserver: opening log: %w", err)
+	}
+	if st, err := f.Stat(); err == nil && st.Size() < int64(len(walMagic)) {
+		// Empty log, or a header torn by a crash mid-create (no record
+		// can exist before the fully written header): start it fresh.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("kvserver: resetting torn log header: %w", err)
+		}
+		if _, err := f.WriteString(walMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("kvserver: writing log header: %w", err)
+		}
 	}
 	return &wal{f: f, sync: syncEach}, nil
 }
@@ -97,6 +121,22 @@ func replayWAL(path string) ([]kv.ReplRecord, error) {
 		return nil, fmt.Errorf("kvserver: opening log for replay: %w", err)
 	}
 	defer f.Close()
+
+	var magic [len(walMagic)]byte
+	switch _, err := io.ReadFull(f, magic[:]); {
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		// Empty or torn header: the magic is written before any record,
+		// so no durable record can exist yet.
+		return nil, nil
+	case err != nil:
+		return nil, fmt.Errorf("kvserver: reading log header: %w", err)
+	case string(magic[:]) != walMagic:
+		// A log from a binary with a different record layout must fail
+		// loudly: the per-record checksums cannot detect a field-layout
+		// change, so "recover what parses" would silently lose durable
+		// commits.
+		return nil, fmt.Errorf("kvserver: log %s has unrecognized format %q (want %q): written by an incompatible version; migrate or remove it", path, magic[:], walMagic)
+	}
 
 	var out []kv.ReplRecord
 	for {
@@ -190,9 +230,53 @@ func (s *Store) ApplyMirrored(seq uint64, rec kv.ReplRecord) error {
 	return s.applyReplicated(seq, rec, true)
 }
 
+// acceptStreamRecordLocked is the split-brain guard on the live
+// mirror stream, plus the grant bookkeeping that makes acks safe. A
+// record stamped with an epoch older than this replica's is from a
+// deposed primary (the group moved on while it was partitioned);
+// acknowledging it would let the stale primary keep serving. RecEpoch
+// records must strictly advance the epoch. Nothing is accepted while a
+// promotion is waiting out the grant (the ack would re-arm the lease
+// mid-wait). Sync catch-ups are exempt from the epoch comparisons —
+// they replay history in sequence order, transitioning epochs as the
+// RecEpoch records at the right positions are applied — but resync
+// buffering still grants: a buffered record is acknowledged too.
+//
+// Accepting a record extends the grant HERE, atomically with the
+// decision to accept (under repMu+epochMu, before any ack can go
+// out): the primary counts the ack as a lease renewal measured from
+// before it sent, so the grant must always cover at least what the
+// ack confers — even if the apply later fails, an over-extended grant
+// only delays a promotion, never endangers it. Caller holds repMu.
+func (s *Store) acceptStreamRecordLocked(rec *kv.ReplRecord) error {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	if s.promoting {
+		return fmt.Errorf("promotion in progress: %w", s.wrongEpochLocked())
+	}
+	if !s.resyncing && s.epoch != 0 {
+		if rec.Kind == kv.RecEpoch {
+			if rec.Epoch <= s.epoch {
+				return fmt.Errorf("stale configuration change: %w", s.wrongEpochLocked())
+			}
+		} else if rec.Epoch < s.epoch {
+			return fmt.Errorf("record from deposed primary: %w", s.wrongEpochLocked())
+		}
+	}
+	if until := time.Now().Add(s.cfg.LeaseDuration); until.After(s.grantUntil) {
+		s.grantUntil = until
+	}
+	return nil
+}
+
 func (s *Store) applyReplicated(seq uint64, rec kv.ReplRecord, strict bool) error {
 	s.repMu.Lock()
 	defer s.repMu.Unlock()
+	if strict {
+		if err := s.acceptStreamRecordLocked(&rec); err != nil {
+			return err
+		}
+	}
 	for {
 		switch {
 		case seq < s.repSeq:
@@ -256,6 +340,12 @@ func (s *Store) applyRecordLocked(rec kv.ReplRecord, viaStream bool) error {
 			s.releaseLocks(rec.TxID, txRec.oids)
 		}
 		s.recordDecision(rec.TxID, decision{commit: rec.Commit, commitTS: rec.TS})
+	case kv.RecEpoch:
+		// A configuration change flowing through the stream (or replayed
+		// from the log): adopt the new epoch and membership. Roles and
+		// lease requirements follow from the membership; no object state
+		// changes.
+		s.installEpochState(rec.Epoch, append([]string(nil), rec.Members...))
 	default:
 		return fmt.Errorf("%w: replication record kind %d", kv.ErrBadRequest, rec.Kind)
 	}
@@ -313,7 +403,7 @@ func (s *Store) stageReplicatedPrepare(rec kv.ReplRecord, viaStream bool) error 
 		s.txMu.Unlock()
 		return fmt.Errorf("%w: replicated duplicate prepare for tx %d", kv.ErrBadRequest, rec.TxID)
 	}
-	s.txs[rec.TxID] = &txRecord{oids: oids, replicated: true, viaStream: viaStream, preparedAt: time.Now()}
+	s.txs[rec.TxID] = &txRecord{oids: oids, replicated: true, viaStream: viaStream, epoch: rec.Epoch, preparedAt: time.Now()}
 	s.txMu.Unlock()
 	for _, oid := range oids {
 		sh := s.shardFor(oid)

@@ -21,6 +21,11 @@ const (
 	// MethodSync streams missed commits from a primary's replication
 	// log to a restarted or fresh backup (see kvserver.Server.SyncFrom).
 	MethodSync = "kv.sync"
+	// MethodLease renews the primary's lease on its backup: the backup
+	// promises not to accept a promotion (epoch bump) until the granted
+	// lease expires, so a partitioned stale primary provably stops
+	// serving before a new epoch starts acknowledging writes.
+	MethodLease = "kv.lease"
 )
 
 // Replication record kinds. The replication stream (mirror RPCs, the
@@ -40,15 +45,27 @@ const (
 	// RecDecide resolves a previously replicated prepare (phase two):
 	// Commit says whether to apply (at TS) or discard the staged ops.
 	RecDecide uint8 = 2
+	// RecEpoch installs a new configuration epoch and membership. The
+	// record's Epoch field carries the NEW epoch (all other record kinds
+	// are stamped with the epoch in effect when they were emitted), and
+	// Members lists the replica addresses of the new configuration,
+	// acting primary first. Promotion and group re-formation are epoch
+	// bumps flowing through the same totally ordered stream as data.
+	RecEpoch uint8 = 3
 )
+
+// maxMembers bounds a decoded membership list (sanity, not policy).
+const maxMembers = 64
 
 // ReplRecord is one record in a primary's replication stream.
 type ReplRecord struct {
-	Kind   uint8
-	TxID   uint64
-	TS     Timestamp // commit timestamp; for RecPrepare, the proposed timestamp
-	Commit bool      // RecDecide only: commit (true) or abort (false)
-	Ops    []*Op     // RecCommit / RecPrepare payload; nil for RecDecide
+	Kind    uint8
+	Epoch   uint64    // group epoch when emitted; for RecEpoch, the new epoch
+	TxID    uint64
+	TS      Timestamp // commit timestamp; for RecPrepare, the proposed timestamp
+	Commit  bool      // RecDecide only: commit (true) or abort (false)
+	Ops     []*Op     // RecCommit / RecPrepare payload; nil for RecDecide
+	Members []string  // RecEpoch only: new membership, acting primary first
 }
 
 // EncodeReplRecord appends rec's canonical serialization — shared by
@@ -56,10 +73,12 @@ type ReplRecord struct {
 // stay byte-for-byte interchangeable.
 func EncodeReplRecord(b *wire.Buffer, rec *ReplRecord) {
 	b.PutByte(rec.Kind)
+	b.PutUvarint(rec.Epoch)
 	b.PutUint64(rec.TxID)
 	b.PutUint64(uint64(rec.TS))
 	b.PutBool(rec.Commit)
 	encodeOps(b, rec.Ops)
+	encodeMembers(b, rec.Members)
 }
 
 // DecodeReplRecord is the inverse of EncodeReplRecord.
@@ -69,8 +88,11 @@ func DecodeReplRecord(r *wire.Reader) (ReplRecord, error) {
 	if rec.Kind, err = r.Byte(); err != nil {
 		return rec, err
 	}
-	if rec.Kind > RecDecide {
+	if rec.Kind > RecEpoch {
 		return rec, fmt.Errorf("%w: replication record kind %d", ErrBadRequest, rec.Kind)
+	}
+	if rec.Epoch, err = r.Uvarint(); err != nil {
+		return rec, err
 	}
 	if rec.TxID, err = r.Uint64(); err != nil {
 		return rec, err
@@ -86,7 +108,62 @@ func DecodeReplRecord(r *wire.Reader) (ReplRecord, error) {
 	if rec.Ops, err = decodeOps(r); err != nil {
 		return rec, err
 	}
+	if rec.Members, err = decodeMembers(r); err != nil {
+		return rec, err
+	}
 	return rec, nil
+}
+
+func encodeMembers(b *wire.Buffer, members []string) {
+	b.PutUvarint(uint64(len(members)))
+	for _, m := range members {
+		b.PutString(m)
+	}
+}
+
+func decodeMembers(r *wire.Reader) ([]string, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxMembers {
+		return nil, fmt.Errorf("%w: membership of %d replicas", ErrBadRequest, n)
+	}
+	members := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, m)
+	}
+	return members, nil
+}
+
+// LeaseReq renews the primary's lease on its backup. Epoch is the
+// primary's current group epoch; a backup that has moved to a later
+// epoch rejects the renewal with ErrWrongEpoch, which is how a deposed
+// primary learns it was superseded.
+type LeaseReq struct {
+	Epoch uint64
+}
+
+func (m *LeaseReq) Encode() []byte {
+	b := wire.NewBuffer(12)
+	b.PutUvarint(m.Epoch)
+	return b.Bytes()
+}
+
+func DecodeLeaseReq(p []byte) (*LeaseReq, error) {
+	r := wire.NewReader(p)
+	epoch, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return &LeaseReq{Epoch: epoch}, nil
 }
 
 // MirrorReq replicates one stream record to a backup. Seq is the
@@ -204,10 +281,14 @@ func DecodeSyncResp(p []byte) (*SyncResp, error) {
 	return m, nil
 }
 
-// ReadReq asks for the newest version of OID visible at Snap.
+// ReadReq asks for the newest version of OID visible at Snap. Epoch is
+// the replication-group epoch the client believes current (0 = epoch-
+// unaware); the server rejects a stale epoch with ErrWrongEpoch so the
+// client adopts the new membership before retrying.
 type ReadReq struct {
-	OID  OID
-	Snap Timestamp
+	OID   OID
+	Snap  Timestamp
+	Epoch uint64
 }
 
 // ReadResp carries the result of a read. Clock is the server's HLC
@@ -228,11 +309,12 @@ type ReadResp struct {
 // A bounds/attrs-only header always comes back, plus the node's total
 // cell count, so fence checks and split heuristics work on the window.
 type ReadPartReq struct {
-	OID  OID
-	Snap Timestamp
-	From []byte
-	To   []byte // nil = unbounded
-	Max  uint32 // 0 = unlimited
+	OID   OID
+	Snap  Timestamp
+	From  []byte
+	To    []byte // nil = unbounded
+	Max   uint32 // 0 = unlimited
+	Epoch uint64 // group epoch the client believes current (0 = unaware)
 }
 
 // ReadPartResp carries the windowed value and the total cell count of
@@ -253,6 +335,7 @@ func (m *ReadPartReq) Encode() []byte {
 	b.PutBytes(m.To)
 	b.PutBool(m.To != nil)
 	b.PutUint32(m.Max)
+	b.PutUvarint(m.Epoch)
 	return b.Bytes()
 }
 
@@ -283,6 +366,9 @@ func DecodeReadPartReq(p []byte) (*ReadPartReq, error) {
 		m.To = to
 	}
 	if m.Max, err = r.Uint32(); err != nil {
+		return nil, err
+	}
+	if m.Epoch, err = r.Uvarint(); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -360,6 +446,7 @@ type PrepareReq struct {
 	TxID  uint64
 	Start Timestamp
 	Ops   []*Op
+	Epoch uint64 // group epoch the client believes current (0 = unaware)
 }
 
 // PrepareResp reports the vote. When OK, Proposed is this participant's
@@ -375,11 +462,13 @@ type PrepareResp struct {
 type CommitReq struct {
 	TxID     uint64
 	CommitTS Timestamp
+	Epoch    uint64 // group epoch the client believes current (0 = unaware)
 }
 
 // AbortReq discards the transaction's locks and staged writes.
 type AbortReq struct {
-	TxID uint64
+	TxID  uint64
+	Epoch uint64 // group epoch the client believes current (0 = unaware)
 }
 
 // FastCommitReq commits a single-participant transaction in one round
@@ -388,6 +477,7 @@ type FastCommitReq struct {
 	TxID  uint64
 	Start Timestamp
 	Ops   []*Op
+	Epoch uint64 // group epoch the client believes current (0 = unaware)
 }
 
 // FastCommitResp reports the outcome of a fast commit.
@@ -397,15 +487,22 @@ type FastCommitResp struct {
 	Clock    Timestamp
 }
 
-// Ack is the generic response for commit/abort/ping.
+// Ack is the generic response for commit/abort/ping/mirror/lease. It
+// piggybacks the responding member's replication-group epoch and
+// membership (acting primary first; empty on epoch-unaware servers), so
+// a fresh client learns the live configuration from its opening pings
+// and every later ack keeps it current without extra round trips.
 type Ack struct {
-	Clock Timestamp
+	Clock   Timestamp
+	Epoch   uint64
+	Members []string
 }
 
 func (m *ReadReq) Encode() []byte {
-	b := wire.NewBuffer(24)
+	b := wire.NewBuffer(32)
 	b.PutUint64(uint64(m.OID))
 	b.PutUint64(uint64(m.Snap))
+	b.PutUvarint(m.Epoch)
 	return b.Bytes()
 }
 
@@ -419,7 +516,11 @@ func DecodeReadReq(p []byte) (*ReadReq, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ReadReq{OID: OID(oid), Snap: Timestamp(snap)}, nil
+	epoch, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return &ReadReq{OID: OID(oid), Snap: Timestamp(snap), Epoch: epoch}, nil
 }
 
 func (m *ReadResp) Encode() []byte {
@@ -485,6 +586,7 @@ func (m *PrepareReq) Encode() []byte {
 	b.PutUint64(m.TxID)
 	b.PutUint64(uint64(m.Start))
 	encodeOps(b, m.Ops)
+	b.PutUvarint(m.Epoch)
 	return b.Bytes()
 }
 
@@ -501,6 +603,9 @@ func DecodePrepareReq(p []byte) (*PrepareReq, error) {
 	}
 	m.Start = Timestamp(v)
 	if m.Ops, err = decodeOps(r); err != nil {
+		return nil, err
+	}
+	if m.Epoch, err = r.Uvarint(); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -534,9 +639,10 @@ func DecodePrepareResp(p []byte) (*PrepareResp, error) {
 }
 
 func (m *CommitReq) Encode() []byte {
-	b := wire.NewBuffer(20)
+	b := wire.NewBuffer(28)
 	b.PutUint64(m.TxID)
 	b.PutUint64(uint64(m.CommitTS))
+	b.PutUvarint(m.Epoch)
 	return b.Bytes()
 }
 
@@ -550,12 +656,17 @@ func DecodeCommitReq(p []byte) (*CommitReq, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CommitReq{TxID: tx, CommitTS: Timestamp(ts)}, nil
+	epoch, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return &CommitReq{TxID: tx, CommitTS: Timestamp(ts), Epoch: epoch}, nil
 }
 
 func (m *AbortReq) Encode() []byte {
-	b := wire.NewBuffer(12)
+	b := wire.NewBuffer(20)
 	b.PutUint64(m.TxID)
+	b.PutUvarint(m.Epoch)
 	return b.Bytes()
 }
 
@@ -565,7 +676,11 @@ func DecodeAbortReq(p []byte) (*AbortReq, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &AbortReq{TxID: tx}, nil
+	epoch, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return &AbortReq{TxID: tx, Epoch: epoch}, nil
 }
 
 func (m *FastCommitReq) Encode() []byte {
@@ -573,6 +688,7 @@ func (m *FastCommitReq) Encode() []byte {
 	b.PutUint64(m.TxID)
 	b.PutUint64(uint64(m.Start))
 	encodeOps(b, m.Ops)
+	b.PutUvarint(m.Epoch)
 	return b.Bytes()
 }
 
@@ -589,6 +705,9 @@ func DecodeFastCommitReq(p []byte) (*FastCommitReq, error) {
 	}
 	m.Start = Timestamp(v)
 	if m.Ops, err = decodeOps(r); err != nil {
+		return nil, err
+	}
+	if m.Epoch, err = r.Uvarint(); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -622,8 +741,10 @@ func DecodeFastCommitResp(p []byte) (*FastCommitResp, error) {
 }
 
 func (m *Ack) Encode() []byte {
-	b := wire.NewBuffer(12)
+	b := wire.NewBuffer(32)
 	b.PutUint64(uint64(m.Clock))
+	b.PutUvarint(m.Epoch)
+	encodeMembers(b, m.Members)
 	return b.Bytes()
 }
 
@@ -633,5 +754,13 @@ func DecodeAck(p []byte) (*Ack, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Ack{Clock: Timestamp(v)}, nil
+	epoch, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	members, err := decodeMembers(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Ack{Clock: Timestamp(v), Epoch: epoch, Members: members}, nil
 }

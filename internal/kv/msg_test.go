@@ -56,16 +56,29 @@ func recEqual(t *testing.T, got, want ReplRecord) {
 	if got.Kind != want.Kind || got.TxID != want.TxID || got.TS != want.TS || got.Commit != want.Commit {
 		t.Fatalf("record scalar fields: got %+v, want %+v", got, want)
 	}
+	if got.Epoch != want.Epoch {
+		t.Fatalf("record epoch: got %d, want %d", got.Epoch, want.Epoch)
+	}
+	if len(got.Members) != len(want.Members) {
+		t.Fatalf("record members: got %v, want %v", got.Members, want.Members)
+	}
+	for i := range want.Members {
+		if got.Members[i] != want.Members[i] {
+			t.Fatalf("record members: got %v, want %v", got.Members, want.Members)
+		}
+	}
 	opsEqual(t, got.Ops, want.Ops)
 }
 
 func TestMirrorReqRoundTrip(t *testing.T) {
 	cases := []MirrorReq{
 		{Seq: 0, Rec: ReplRecord{Kind: RecCommit, TxID: 7, TS: 1}},
-		{Seq: 1, Rec: ReplRecord{Kind: RecPrepare, TxID: 1 << 63, TS: 123456789, Ops: sampleOps()[:1]}},
-		{Seq: 2, Rec: ReplRecord{Kind: RecDecide, TxID: 42, TS: 99, Commit: true}},
+		{Seq: 1, Rec: ReplRecord{Kind: RecPrepare, TxID: 1 << 63, TS: 123456789, Ops: sampleOps()[:1], Epoch: 3}},
+		{Seq: 2, Rec: ReplRecord{Kind: RecDecide, TxID: 42, TS: 99, Commit: true, Epoch: 1 << 32}},
 		{Seq: 3, Rec: ReplRecord{Kind: RecDecide, TxID: 42, TS: 0, Commit: false}},
 		{Seq: 1 << 40, Rec: ReplRecord{Kind: RecCommit, TS: Timestamp(1) << 60, Ops: sampleOps()}},
+		{Seq: 9, Rec: ReplRecord{Kind: RecEpoch, Epoch: 5, Members: []string{"127.0.0.1:7000", "127.0.0.1:7001"}}},
+		{Seq: 10, Rec: ReplRecord{Kind: RecEpoch, Epoch: 6, Members: []string{"127.0.0.1:7001"}}},
 	}
 	for i, in := range cases {
 		out, err := DecodeMirrorReq(in.Encode())
