@@ -16,6 +16,7 @@ import (
 	"yesquel/internal/bench"
 	"yesquel/internal/cluster"
 	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvclient"
 	"yesquel/internal/kv/kvserver"
 )
 
@@ -151,4 +152,73 @@ func BenchmarkFailover(b *testing.B) {
 	if b.N > 0 {
 		b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "ms/failover")
 	}
+}
+
+// BenchmarkResync measures backup catch-up: the wall time from
+// attaching a fresh, empty backup until it holds the primary's full
+// state, under two log policies. "full-replay" keeps the unbounded
+// replication log, so the backup replays every record since the
+// beginning of time; "snapshot" truncates the log at checkpoints, so
+// the backup installs a state-transfer snapshot plus the retained
+// tail. With MVCC history (most records superseding earlier versions)
+// the snapshot path ships the current state, not the write history —
+// the gap widens with the primary's age.
+func BenchmarkResync(b *testing.B) {
+	const history = 2000
+	run := func(b *testing.B, cfg kvserver.Config) {
+		cfg.ReplicationLog = true
+		primary := kvserver.NewServer(kvserver.NewStore(nil, cfg))
+		if err := primary.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		go primary.Serve()
+		defer primary.Close()
+		c, err := kvclient.Open([]string{primary.Addr()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		ctx := context.Background()
+		// A hot-key history: most records are superseded versions, the
+		// shape that separates state size from history length.
+		oids := make([]kv.OID, 64)
+		for i := range oids {
+			oids[i] = c.NewOID(0)
+		}
+		for i := 0; i < history; i++ {
+			tx := c.Begin()
+			tx.Put(oids[i%len(oids)], kv.NewPlain([]byte(fmt.Sprintf("v%d", i))))
+			if err := tx.Commit(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		want := primary.Store().StateDigest()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			backup := kvserver.NewServer(kvserver.NewStore(nil, kvserver.Config{ReplicationLog: true}))
+			if err := backup.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			go backup.Serve()
+			backup.Store().StartResync()
+			watermark, err := primary.AttachBackup(backup.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := backup.SyncFrom(primary.Addr(), watermark); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if got := backup.Store().StateDigest(); got != want {
+				b.Fatalf("resynced digest %x != primary %x", got, want)
+			}
+			primary.SetMirror("")
+			backup.Close()
+			b.StartTimer()
+		}
+	}
+	b.Run("full-replay", func(b *testing.B) { run(b, kvserver.Config{}) })
+	b.Run("snapshot", func(b *testing.B) {
+		run(b, kvserver.Config{ReplicationLogMaxRecords: 128})
+	})
 }

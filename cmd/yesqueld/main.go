@@ -26,6 +26,7 @@ func main() {
 	logSync := flag.Bool("log-sync", false, "fsync the log on every commit")
 	mirror := flag.String("mirror", "", "backup server address to replicate commits to")
 	replLog := flag.String("replication-log", "auto", "keep the in-memory replication log so backups can resync from this server (auto/on/off; auto = on when replication flags are set)")
+	replLogMax := flag.Int("replication-log-max", 0, "bound the in-memory replication log to this many records: beyond it the server checkpoints (state snapshot + WAL rotation) and truncates, and backups too far behind catch up by snapshot transfer (0 = unbounded)")
 	syncFrom := flag.String("sync-from", "", "primary address to stream missed commits from before serving (join or rejoin a replication group as its backup)")
 	lease := flag.Duration("lease", 2*time.Second, "primary lease duration (epoch-bearing groups: how long the primary may serve after its last backup ack, and how long a promotion must wait)")
 	statsEvery := flag.Duration("stats", 0, "periodically log epoch, role, lease state, and activity counters (0 = off)")
@@ -34,14 +35,15 @@ func main() {
 	if *replLog != "auto" && *replLog != "on" && *replLog != "off" {
 		log.Fatalf("yesqueld: -replication-log must be auto, on, or off (got %q)", *replLog)
 	}
-	keepRepLog := *replLog == "on" || (*replLog == "auto" && (*mirror != "" || *syncFrom != ""))
+	keepRepLog := *replLog == "on" || (*replLog == "auto" && (*mirror != "" || *syncFrom != "" || *replLogMax > 0))
 	store, err := kvserver.OpenStore(nil, kvserver.Config{
-		RetentionMillis: uint64(retention.Milliseconds()),
-		MaxVersions:     *maxVersions,
-		LogPath:         *logPath,
-		LogSync:         *logSync,
-		ReplicationLog:  keepRepLog,
-		LeaseDuration:   *lease,
+		RetentionMillis:          uint64(retention.Milliseconds()),
+		MaxVersions:              *maxVersions,
+		LogPath:                  *logPath,
+		LogSync:                  *logSync,
+		ReplicationLog:           keepRepLog,
+		ReplicationLogMaxRecords: *replLogMax,
+		LeaseDuration:            *lease,
 	})
 	if err != nil {
 		log.Fatalf("yesqueld: %v", err)
@@ -76,9 +78,10 @@ func main() {
 			defer t.Stop()
 			for range t.C {
 				st := srv.Stats()
-				log.Printf("yesqueld: epoch=%d role=%s members=%v lease_valid=%v bumps=%d wrong_epoch_rejects=%d reads=%d commits=%d fastcommits=%d conflicts=%d orphan_aborts=%d",
+				log.Printf("yesqueld: epoch=%d role=%s members=%v lease_valid=%v bumps=%d wrong_epoch_rejects=%d reads=%d commits=%d fastcommits=%d conflicts=%d orphan_aborts=%d checkpoints=%d ckpt_failures=%d log_truncated=%d snaps_served=%d snaps_installed=%d",
 					st.Epoch, st.Role, st.Members, st.LeaseValid, st.EpochBumps, st.WrongEpochRejects,
-					st.Reads, st.Commits, st.FastCommits, st.Conflicts, st.OrphanAborts)
+					st.Reads, st.Commits, st.FastCommits, st.Conflicts, st.OrphanAborts,
+					st.Checkpoints, st.CheckpointFailures, st.LogRecordsTruncated, st.SnapshotsServed, st.SnapshotsInstalled)
 			}
 		}()
 	}

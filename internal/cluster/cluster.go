@@ -271,6 +271,11 @@ func (cl *Cluster) Stats() kvserver.StatsSnapshot {
 		out.GCVersions += st.GCVersions
 		out.EpochBumps += st.EpochBumps
 		out.WrongEpochRejects += st.WrongEpochRejects
+		out.Checkpoints += st.Checkpoints
+		out.CheckpointFailures += st.CheckpointFailures
+		out.LogRecordsTruncated += st.LogRecordsTruncated
+		out.SnapshotsServed += st.SnapshotsServed
+		out.SnapshotsInstalled += st.SnapshotsInstalled
 	}
 	return out
 }

@@ -1,0 +1,83 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"yesquel/internal/cluster"
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvserver"
+)
+
+// TestIdleClientHeartbeatFollowsTwoFailovers pins the PR 3 gap: a
+// client that is idle across an entire epoch's lifetime used to strand
+// — after [A,B] fails over to [B], re-forms as [B,C], and fails over
+// again to [C], an idle client still believes [A,B] and both are dead.
+// The background heartbeat ping (kv.MethodPing answers from any
+// member and piggybacks epoch+membership) keeps the idle client's
+// view current, so its first operation after the second failover
+// lands on an address it was never configured with.
+func TestIdleClientHeartbeatFollowsTwoFailovers(t *testing.T) {
+	cl, err := cluster.StartReplicated(1, 2, kvserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Compress the failover timeline: the default 1s interval is for
+	// production idling, the discipline under test is the same.
+	c.StartHeartbeat(20 * time.Millisecond)
+	settle := func() { time.Sleep(200 * time.Millisecond) }
+
+	// Failover 1: [A,B] -> promote B -> re-form as [B,C]. The client
+	// stays completely idle; only the heartbeat may talk.
+	if err := cl.KillPrimary(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+	// Failover 2: kill B; the group is now [C] alone — an address the
+	// client was never configured with.
+	if err := cl.KillPrimary(0); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+
+	// First client operation since startup: without the heartbeat the
+	// client would dial only dead addresses and could never recover
+	// (retrying would not help — its view contains no live member).
+	ctx := context.Background()
+	deadline := time.Now().Add(5 * time.Second)
+	oid := c.NewOID(0)
+	for {
+		tx := c.Begin()
+		tx.Put(oid, kv.NewPlain([]byte("woke-up")))
+		err = tx.Commit(ctx)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle client stranded after two failovers: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The write landed on the second failover's sole member.
+	g := cl.Groups[0]
+	if got := fmt.Sprint(g.Addrs); len(g.Addrs) != 1 {
+		t.Fatalf("unexpected final membership: %v", got)
+	}
+	tx := c.Begin()
+	defer tx.Abort()
+	if v, err := tx.Read(ctx, oid); err != nil || string(v.Data) != "woke-up" {
+		t.Fatalf("read-back on final primary: %v %v", v, err)
+	}
+}

@@ -180,6 +180,13 @@ var (
 	// may not have committed; callers must reconcile by reading before
 	// retrying non-idempotent work.
 	ErrUncertain = errors.New("kv: commit outcome uncertain")
+	// ErrDiverged reports that two replicas of one group hold
+	// irreconcilable streams — a resync requester ahead of its source's
+	// head, a mirror record below the replica's (the replica applied
+	// records the primary never streamed), a decision for a prepare the
+	// replica never staged. Resync cannot repair divergence — the group
+	// must be re-formed from the authoritative member.
+	ErrDiverged = errors.New("kv: replicas diverged")
 	// ErrWrongEpoch reports that a request carried a stale (or unknown)
 	// replication-group epoch, or reached a member that may not serve it
 	// (a backup, or a primary whose lease expired). The rejection is a

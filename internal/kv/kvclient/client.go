@@ -33,6 +33,11 @@ type Client struct {
 
 	nextTx  atomic.Uint64
 	nextOID atomic.Uint64
+
+	// hbStop terminates the membership heartbeat goroutine (see
+	// StartHeartbeat); hbMu guards restarts.
+	hbMu   sync.Mutex
+	hbStop chan struct{}
 }
 
 // replicaGroup is one server slot's replica set: the membership the
@@ -49,6 +54,10 @@ type replicaGroup struct {
 	cur      int    // index into addrs the connection (or next dial) uses
 	conn     *rpc.Client
 	connAddr string // address conn was dialed to
+	// closed marks the client torn down: no further dials. Without it,
+	// a heartbeat ping racing Close could re-dial after the teardown
+	// and leak the fresh connection.
+	closed bool
 }
 
 // dialTimeout bounds each replica dial during failover: a blackholed
@@ -61,6 +70,9 @@ const dialTimeout = 3 * time.Second
 func (g *replicaGroup) get() (*rpc.Client, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.closed {
+		return nil, errors.New("kvclient: client closed")
+	}
 	if g.conn != nil {
 		return g.conn, nil
 	}
@@ -130,6 +142,7 @@ func (g *replicaGroup) invalidate(bad *rpc.Client) {
 func (g *replicaGroup) close() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.closed = true
 	if g.conn != nil {
 		g.conn.Close()
 		g.conn = nil
@@ -190,11 +203,97 @@ func OpenReplicated(groups [][]string) (*Client, error) {
 			return nil, fmt.Errorf("kvclient: merging clock of server %d: %w", s, err)
 		}
 	}
+	// A client that stays idle across an entire epoch's lifetime would
+	// otherwise strand on dead addresses: ack piggybacks and redirects
+	// only reach a client that is talking. The heartbeat keeps an idle
+	// client's group view fresh from the same ping that seeded it —
+	// but only where there is a membership to follow: single-replica
+	// slots have no failover, and taxing every unreplicated client
+	// with a ping-per-second-per-slot would buy nothing. (Replicas
+	// learned later via piggybacks don't retrigger this; call
+	// StartHeartbeat manually for that unusual topology.)
+	for _, g := range c.groups {
+		if g.size() > 1 {
+			c.StartHeartbeat(DefaultHeartbeatInterval)
+			break
+		}
+	}
 	return c, nil
 }
 
+// DefaultHeartbeatInterval is how often an otherwise idle client pings
+// each server slot to refresh its epoch and membership view (see
+// StartHeartbeat).
+const DefaultHeartbeatInterval = time.Second
+
+// heartbeatTimeout bounds one heartbeat ping's RPC time. Dialing a
+// blackholed replica is bounded separately by dialTimeout per replica
+// (get ignores the context), so a fully dead slot's ping can take a
+// few seconds — which is why the sweep pings slots concurrently: one
+// dead slot must not starve the others' refresh cadence.
+const heartbeatTimeout = 2 * time.Second
+
+// StartHeartbeat (re)starts the background membership heartbeat: every
+// interval, the client pings each server slot (kv.MethodPing answers
+// from any replica, regardless of role), merging clocks and adopting
+// the epoch and membership the ack piggybacks. An ACTIVE client learns
+// configuration changes from its ordinary traffic; the heartbeat is
+// for the idle one — without it, a client that sleeps through a
+// failover AND the re-formation that retires the addresses it knows
+// wakes up stranded, with every replica it ever heard of dead.
+// OpenReplicated starts it at DefaultHeartbeatInterval; tests shorten
+// it to compress failover timelines. An interval <= 0 stops the
+// heartbeat without starting a new one.
+func (c *Client) StartHeartbeat(interval time.Duration) {
+	c.hbMu.Lock()
+	defer c.hbMu.Unlock()
+	if c.hbStop != nil {
+		close(c.hbStop)
+		c.hbStop = nil
+	}
+	if interval <= 0 {
+		return
+	}
+	stop := make(chan struct{})
+	c.hbStop = stop
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			// One concurrent ping per multi-replica slot (single-replica
+			// slots have no membership to follow): a slot whose replicas
+			// are all unreachable costs its own dial timeouts, not the
+			// others' freshness. The wait between ticks keeps at most
+			// one sweep in flight.
+			var wg sync.WaitGroup
+			for s := range c.groups {
+				if c.groups[s].size() <= 1 {
+					continue
+				}
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					ctx, cancel := context.WithTimeout(context.Background(), heartbeatTimeout)
+					c.Ping(ctx, s) // best-effort: a dead slot stays dead until it answers
+					cancel()
+				}(s)
+			}
+			wg.Wait()
+		}
+	}()
+}
+
+// StopHeartbeat stops the background membership heartbeat.
+func (c *Client) StopHeartbeat() { c.StartHeartbeat(0) }
+
 // Close tears down all server connections.
 func (c *Client) Close() error {
+	c.StopHeartbeat()
 	for _, g := range c.groups {
 		g.close()
 	}

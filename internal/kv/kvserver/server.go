@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -19,6 +20,7 @@ type Server struct {
 	rpc        *rpc.Server
 	ln         net.Listener
 	sweeper    *time.Ticker
+	ckpt       *time.Ticker
 	stopCh     chan struct{}
 	mirrorConn *rpc.Client
 	// leaseStop terminates the lease-renewal loop of the current
@@ -30,6 +32,11 @@ type Server struct {
 	// as they would behind a real partition. Chaos tests use it; see
 	// Isolate.
 	isolated atomic.Bool
+	// TestHookSnapChunk, when non-nil, runs after each snapshot chunk
+	// fetched during a state-transfer resync (SyncFrom's install path).
+	// Chaos tests kill the snapshot source mid-install with it. Set
+	// before starting the sync; never in production.
+	TestHookSnapChunk func(chunk uint32)
 }
 
 // NewServer wraps store in an RPC service. Call Serve (or ListenAndServe)
@@ -41,6 +48,13 @@ func NewServer(store *Store) *Server {
 	// TTLs are far coarser than the tick, so sharing the ticker only
 	// costs a cheap scan).
 	s.sweeper = time.NewTicker(time.Duration(store.cfg.RetentionMillis/2+1) * time.Millisecond)
+	// The replication-log bound gets its own short ticker, independent
+	// of the retention-sized sweep: a primary enforces it inline in the
+	// emit paths, but a live-mirror backup defers routine truncation
+	// off the ack path (see applyReplicated), so this ticker is what
+	// keeps a backup's overshoot to about one second of writes rather
+	// than half a retention period.
+	s.ckpt = time.NewTicker(time.Second)
 	go func() {
 		for {
 			select {
@@ -50,6 +64,9 @@ func NewServer(store *Store) *Server {
 				s.store.SweepTombstones()
 				s.store.SweepOrphans()
 				s.store.SweepDecided()
+			case <-s.ckpt.C:
+				s.store.MaybeCheckpoint()
+				s.store.SweepSnapshotSessions()
 			}
 		}
 	}()
@@ -62,6 +79,7 @@ func NewServer(store *Store) *Server {
 	s.rpc.Register(kv.MethodPing, s.handlePing)
 	s.rpc.Register(kv.MethodMirror, s.handleMirror)
 	s.rpc.Register(kv.MethodSync, s.handleSync)
+	s.rpc.Register(kv.MethodSnap, s.handleSnap)
 	s.rpc.Register(kv.MethodLease, s.handleLease)
 	return s
 }
@@ -300,11 +318,40 @@ func (s *Server) handleSync(_ context.Context, p []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs, head, err := s.store.SyncRecords(req.From, int(req.Max))
+	recs, head, base, err := s.store.SyncRecords(req.From, int(req.Max))
 	if err != nil {
 		return nil, err
 	}
-	resp := &kv.SyncResp{Records: recs, Head: head, Clock: s.store.Clock().Now()}
+	resp := &kv.SyncResp{
+		Records: recs,
+		Head:    head,
+		Clock:   s.store.Clock().Now(),
+		TooOld:  req.From < base,
+		LogBase: base,
+	}
+	return resp.Encode(), nil
+}
+
+// handleSnap serves one chunk of a state snapshot to a peer whose sync
+// position predates the truncated replication log (see SyncResp.TooOld
+// and Store.ServeSnapshotChunk).
+func (s *Server) handleSnap(_ context.Context, p []byte) ([]byte, error) {
+	req, err := kv.DecodeSnapReq(p)
+	if err != nil {
+		return nil, err
+	}
+	id, seq, chunks, data, err := s.store.ServeSnapshotChunk(req.ID, req.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	resp := &kv.SnapResp{
+		ID:     id,
+		Seq:    seq,
+		Chunk:  req.Chunk,
+		Chunks: chunks,
+		Data:   data,
+		Clock:  s.store.Clock().Now(),
+	}
 	return resp.Encode(), nil
 }
 
@@ -315,6 +362,17 @@ func (s *Server) handleSync(_ context.Context, p []byte) ([]byte, error) {
 // this server as its mirror, so live mirrored commits arriving during
 // the catch-up are buffered and applied in sequence once the history
 // below them lands.
+//
+// When the requested position predates the source's replication log
+// (truncated at a snapshot checkpoint), SyncFrom falls back to state
+// transfer: it installs a chunked snapshot of the source's full state
+// (MethodSnap) and resumes the log-tail sync from the sequence number
+// the snapshot covers — a late-joining or long-dead replica costs the
+// current state's size, not the stream's full history.
+//
+// A source that reports this replica AHEAD of its own stream
+// (kv.ErrDiverged) fails the sync loudly: the histories are
+// irreconcilable and the group must be re-formed, never papered over.
 func (s *Server) SyncFrom(addr string, until uint64) error {
 	conn, err := rpc.Dial(addr)
 	if err != nil {
@@ -322,11 +380,16 @@ func (s *Server) SyncFrom(addr string, until uint64) error {
 	}
 	defer conn.Close()
 	ctx := context.Background()
+	installs := 0
 	for {
 		from := s.store.ReplSeq()
 		req := kv.SyncReq{From: from, Max: 512}
 		respB, err := conn.Call(ctx, kv.MethodSync, req.Encode())
 		if err != nil {
+			var app *rpc.AppError
+			if errors.As(err, &app) && strings.Contains(app.Msg, kv.ErrDiverged.Error()) {
+				return fmt.Errorf("%w: sync source %s rejected seq %d: %s", kv.ErrDiverged, addr, from, app.Msg)
+			}
 			return fmt.Errorf("kvserver: sync from %s: %w", addr, err)
 		}
 		resp, err := kv.DecodeSyncResp(respB)
@@ -334,6 +397,20 @@ func (s *Server) SyncFrom(addr string, until uint64) error {
 			return err
 		}
 		s.store.Clock().Observe(resp.Clock)
+		if resp.TooOld {
+			// Each install strictly advances the local head (a snapshot
+			// covers the source's head at capture time), but a source
+			// that truncates faster than one transfer completes could
+			// demand a fresh full-state transfer every iteration. Bound
+			// the spiral loudly instead of re-shipping state forever.
+			if installs++; installs > maxSnapshotInstalls {
+				return fmt.Errorf("kvserver: sync from %s installed %d snapshots without catching up: the source truncates faster than state transfers complete (raise its replication-log bound or quiesce writes)", addr, maxSnapshotInstalls)
+			}
+			if err := s.installSnapshotFrom(ctx, conn, addr); err != nil {
+				return err
+			}
+			continue
+		}
 		for i := range resp.Records {
 			rec := &resp.Records[i]
 			if err := s.store.ApplyReplicatedSeq(rec.Seq, rec.Rec); err != nil {
@@ -352,6 +429,67 @@ func (s *Server) SyncFrom(addr string, until uint64) error {
 		}
 	}
 	return s.store.FinishResync()
+}
+
+// snapTransferAttempts bounds how many times one install restarts a
+// transfer whose server-side session expired or was evicted (a slow
+// link, or concurrent transfers past the session cap). Each restart
+// begins a fresh consistent snapshot, so partial progress is discarded
+// but never spliced. maxSnapshotInstalls bounds how many SUCCESSFUL
+// installs one SyncFrom performs before concluding the source
+// truncates faster than transfers complete.
+const (
+	snapTransferAttempts = 3
+	maxSnapshotInstalls  = 5
+)
+
+// installSnapshotFrom transfers a complete state snapshot over conn,
+// chunk by chunk, and installs it: this store's state is replaced and
+// its stream position jumps to the snapshot's coverage. The caller
+// (SyncFrom) then continues the log-tail sync from there. An expired
+// or evicted server-side session restarts the transfer from scratch
+// (bounded by snapTransferAttempts) rather than failing the resync.
+func (s *Server) installSnapshotFrom(ctx context.Context, conn *rpc.Client, addr string) error {
+	var lastErr error
+	for attempt := 0; attempt < snapTransferAttempts; attempt++ {
+		var data []byte
+		var id uint64
+		expired := false
+		for chunk := uint32(0); ; chunk++ {
+			req := kv.SnapReq{ID: id, Chunk: chunk}
+			respB, err := conn.Call(ctx, kv.MethodSnap, req.Encode())
+			if err != nil {
+				var app *rpc.AppError
+				if errors.As(err, &app) && strings.Contains(app.Msg, ErrSnapshotSessionExpired.Error()) {
+					lastErr = err
+					expired = true
+					break
+				}
+				return fmt.Errorf("kvserver: snapshot chunk %d from %s: %w", chunk, addr, err)
+			}
+			resp, err := kv.DecodeSnapResp(respB)
+			if err != nil {
+				return err
+			}
+			s.store.Clock().Observe(resp.Clock)
+			id = resp.ID
+			data = append(data, resp.Data...)
+			if s.TestHookSnapChunk != nil {
+				s.TestHookSnapChunk(chunk)
+			}
+			if chunk+1 >= resp.Chunks {
+				break
+			}
+		}
+		if expired {
+			continue
+		}
+		if err := s.store.InstallSnapshot(data); err != nil {
+			return fmt.Errorf("kvserver: installing snapshot from %s: %w", addr, err)
+		}
+		return nil
+	}
+	return fmt.Errorf("kvserver: snapshot transfer from %s restarted %d times without completing: %w", addr, snapTransferAttempts, lastErr)
 }
 
 // Store returns the underlying storage engine.
@@ -423,6 +561,7 @@ func (s *Server) Close() error {
 	default:
 		close(s.stopCh)
 		s.sweeper.Stop()
+		s.ckpt.Stop()
 	}
 	s.stopLeaseLoop()
 	if s.mirrorConn != nil {

@@ -1,0 +1,682 @@
+package kvserver
+
+// State snapshots: the state-transfer half of the bounded replication
+// log. A snapshot is a consistent copy of everything a replica needs to
+// continue the stream from a given sequence number without the records
+// below it: every object's version history (with conflict metadata and
+// GC floor), the prepared-transaction table (staged ops and locks of
+// replicated prepares), the decided-transaction table, and the
+// replication-group epoch and membership — tagged with the stream
+// sequence number it covers.
+//
+// Snapshots are captured under repMu. The native write paths hold repMu
+// across a record's emission AND the application of its effects, so a
+// capture always observes a state that equals "every record below
+// repSeq applied, none above" — the exact contract a resyncing replica
+// needs to install the snapshot and then replay the log tail from
+// snapshot.Seq. Prepares whose RecPrepare has not entered the stream
+// yet (rec.replicated false) are deliberately skipped: their records
+// land at sequence numbers >= snapshot.Seq and reach the installer
+// through the tail.
+//
+// Two consumers share the format: MethodSnap chunked state transfer to
+// a too-far-behind backup (ServeSnapshotChunk / InstallSnapshot), and
+// the write-ahead log's checkpoint rotation (a restart replays the
+// snapshot frame plus the tail instead of the full history).
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"yesquel/internal/clock"
+	"yesquel/internal/kv"
+	"yesquel/internal/wire"
+)
+
+// snapFormat versions the snapshot encoding. Decoders refuse other
+// formats loudly — a snapshot is all-or-nothing, there is no "recover
+// what parses" for state transfer.
+const snapFormat byte = 1
+
+// stateSnapshot is the decoded form of a state snapshot.
+type stateSnapshot struct {
+	Seq      uint64 // stream position covered: records < Seq are reflected
+	Epoch    uint64
+	Members  []string
+	Clock    clock.Timestamp
+	Objects  []snapObject
+	Prepared []snapPrepare
+	Decided  []snapDecision
+}
+
+type snapObject struct {
+	OID      kv.OID
+	GCFloor  clock.Timestamp
+	Versions []snapVersion
+}
+
+type snapVersion struct {
+	TS         clock.Timestamp
+	Val        *kv.Value // nil = tombstone
+	Structural bool
+	Touched    [][]byte
+}
+
+type snapPrepare struct {
+	TxID  uint64
+	Epoch uint64
+	TS    clock.Timestamp
+	Ops   []*kv.Op
+}
+
+type snapDecision struct {
+	TxID   uint64
+	Commit bool
+	TS     clock.Timestamp
+}
+
+// captureSnapshotLocked copies the store's full state. Caller holds
+// repMu at a point where visible state is consistent with repSeq (the
+// end of any emit-and-apply critical section). Values and op slices
+// are aliased, not copied — both are immutable once stored.
+func (s *Store) captureSnapshotLocked() *stateSnapshot {
+	sn := &stateSnapshot{Seq: s.repSeq, Clock: s.clock.Now()}
+	s.epochMu.Lock()
+	sn.Epoch = s.epoch
+	sn.Members = append([]string(nil), s.epochMembers...)
+	s.epochMu.Unlock()
+
+	type carriedTx struct {
+		txid uint64
+		rec  *txRecord
+	}
+	var carried []carriedTx
+	s.txMu.Lock()
+	for txid, rec := range s.txs {
+		if rec.replicated {
+			carried = append(carried, carriedTx{txid, rec})
+		}
+	}
+	for txid, d := range s.decided {
+		sn.Decided = append(sn.Decided, snapDecision{TxID: txid, Commit: d.commit, TS: d.commitTS})
+	}
+	s.txMu.Unlock()
+	sort.Slice(carried, func(i, j int) bool { return carried[i].txid < carried[j].txid })
+	sort.Slice(sn.Decided, func(i, j int) bool { return sn.Decided[i].TxID < sn.Decided[j].TxID })
+
+	// The staged ops and proposed timestamp live on the objects' locks;
+	// they are stable here because resolving a prepare (commit, abort,
+	// replicated decide) requires repMu, which we hold.
+	for _, c := range carried {
+		p := snapPrepare{TxID: c.txid, Epoch: c.rec.epoch}
+		for _, oid := range c.rec.oids {
+			sh := s.shardFor(oid)
+			sh.mu.Lock()
+			if obj := sh.objs[oid]; obj != nil && obj.lock != nil && obj.lock.txid == c.txid {
+				p.TS = obj.lock.proposed
+				p.Ops = append(p.Ops, obj.lock.ops...)
+			}
+			sh.mu.Unlock()
+		}
+		sn.Prepared = append(sn.Prepared, p)
+	}
+
+	for i := range s.shard {
+		sh := &s.shard[i]
+		sh.mu.Lock()
+		for oid, obj := range sh.objs {
+			if len(obj.versions) == 0 {
+				// A version-less object exists only as a lock carrier for
+				// an in-flight prepare. Carried (replicated) prepares
+				// re-create it on install via stageReplicatedPrepare; an
+				// uncarried one (its record not yet in the stream, e.g.
+				// mid-FastCommit) must NOT be materialized — if that
+				// transaction aborts without a stream decision, nothing
+				// would ever delete the installer's copy, and the phantom
+				// would diverge StateDigest forever.
+				continue
+			}
+			o := snapObject{OID: oid, GCFloor: obj.gcFloor, Versions: make([]snapVersion, 0, len(obj.versions))}
+			for _, v := range obj.versions {
+				sv := snapVersion{TS: v.ts, Val: v.val, Structural: v.structural}
+				if len(v.touched) > 0 {
+					sv.Touched = make([][]byte, 0, len(v.touched))
+					for k := range v.touched {
+						sv.Touched = append(sv.Touched, []byte(k))
+					}
+					sort.Slice(sv.Touched, func(a, b int) bool { return string(sv.Touched[a]) < string(sv.Touched[b]) })
+				}
+				o.Versions = append(o.Versions, sv)
+			}
+			sn.Objects = append(sn.Objects, o)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(sn.Objects, func(i, j int) bool { return sn.Objects[i].OID < sn.Objects[j].OID })
+	return sn
+}
+
+// encodeSnapshot serializes sn in the canonical snapshot format shared
+// by MethodSnap transfers and write-ahead-log checkpoint frames.
+func encodeSnapshot(sn *stateSnapshot) []byte {
+	b := wire.NewBuffer(1 << 12)
+	b.PutByte(snapFormat)
+	b.PutUvarint(sn.Seq)
+	b.PutUvarint(sn.Epoch)
+	b.PutUvarint(uint64(len(sn.Members)))
+	for _, m := range sn.Members {
+		b.PutString(m)
+	}
+	b.PutUint64(uint64(sn.Clock))
+	b.PutUvarint(uint64(len(sn.Objects)))
+	for i := range sn.Objects {
+		o := &sn.Objects[i]
+		b.PutUint64(uint64(o.OID))
+		b.PutUint64(uint64(o.GCFloor))
+		b.PutUvarint(uint64(len(o.Versions)))
+		for j := range o.Versions {
+			v := &o.Versions[j]
+			b.PutUint64(uint64(v.TS))
+			kv.EncodeValue(b, v.Val)
+			b.PutBool(v.Structural)
+			b.PutUvarint(uint64(len(v.Touched)))
+			for _, k := range v.Touched {
+				b.PutBytes(k)
+			}
+		}
+	}
+	b.PutUvarint(uint64(len(sn.Prepared)))
+	for i := range sn.Prepared {
+		p := &sn.Prepared[i]
+		b.PutUint64(p.TxID)
+		b.PutUvarint(p.Epoch)
+		b.PutUint64(uint64(p.TS))
+		b.PutUvarint(uint64(len(p.Ops)))
+		for _, op := range p.Ops {
+			kv.EncodeOp(b, op)
+		}
+	}
+	b.PutUvarint(uint64(len(sn.Decided)))
+	for i := range sn.Decided {
+		d := &sn.Decided[i]
+		b.PutUint64(d.TxID)
+		b.PutBool(d.Commit)
+		b.PutUint64(uint64(d.TS))
+	}
+	return b.Bytes()
+}
+
+// snapMaxCount sanity-bounds decoded element counts (like the wire
+// decoders, this guards against garbage, not policy).
+const snapMaxCount = uint64(wire.MaxFrameSize)
+
+// decodeSnapshot is the inverse of encodeSnapshot.
+func decodeSnapshot(p []byte) (*stateSnapshot, error) {
+	r := wire.NewReader(p)
+	format, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if format != snapFormat {
+		return nil, fmt.Errorf("%w: snapshot format %d (want %d): written by an incompatible version", kv.ErrBadRequest, format, snapFormat)
+	}
+	sn := &stateSnapshot{}
+	if sn.Seq, err = r.Uvarint(); err != nil {
+		return nil, err
+	}
+	if sn.Epoch, err = r.Uvarint(); err != nil {
+		return nil, err
+	}
+	nm, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nm > snapMaxCount {
+		return nil, kv.ErrBadRequest
+	}
+	for i := uint64(0); i < nm; i++ {
+		m, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		sn.Members = append(sn.Members, m)
+	}
+	ck, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	sn.Clock = clock.Timestamp(ck)
+
+	nobj, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nobj > snapMaxCount {
+		return nil, kv.ErrBadRequest
+	}
+	sn.Objects = make([]snapObject, 0, nobj)
+	for i := uint64(0); i < nobj; i++ {
+		var o snapObject
+		oid, err := r.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		o.OID = kv.OID(oid)
+		floor, err := r.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		o.GCFloor = clock.Timestamp(floor)
+		nv, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nv > snapMaxCount {
+			return nil, kv.ErrBadRequest
+		}
+		o.Versions = make([]snapVersion, 0, nv)
+		for j := uint64(0); j < nv; j++ {
+			var v snapVersion
+			ts, err := r.Uint64()
+			if err != nil {
+				return nil, err
+			}
+			v.TS = clock.Timestamp(ts)
+			if v.Val, err = kv.DecodeValue(r); err != nil {
+				return nil, err
+			}
+			if v.Structural, err = r.Bool(); err != nil {
+				return nil, err
+			}
+			nt, err := r.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if nt > snapMaxCount {
+				return nil, kv.ErrBadRequest
+			}
+			for k := uint64(0); k < nt; k++ {
+				key, err := r.BytesCopy()
+				if err != nil {
+					return nil, err
+				}
+				v.Touched = append(v.Touched, key)
+			}
+			o.Versions = append(o.Versions, v)
+		}
+		sn.Objects = append(sn.Objects, o)
+	}
+
+	np, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if np > snapMaxCount {
+		return nil, kv.ErrBadRequest
+	}
+	sn.Prepared = make([]snapPrepare, 0, np)
+	for i := uint64(0); i < np; i++ {
+		var pr snapPrepare
+		if pr.TxID, err = r.Uint64(); err != nil {
+			return nil, err
+		}
+		if pr.Epoch, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		ts, err := r.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		pr.TS = clock.Timestamp(ts)
+		nops, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nops > snapMaxCount {
+			return nil, kv.ErrBadRequest
+		}
+		for j := uint64(0); j < nops; j++ {
+			op, err := kv.DecodeOp(r)
+			if err != nil {
+				return nil, err
+			}
+			pr.Ops = append(pr.Ops, op)
+		}
+		sn.Prepared = append(sn.Prepared, pr)
+	}
+
+	nd, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nd > snapMaxCount {
+		return nil, kv.ErrBadRequest
+	}
+	sn.Decided = make([]snapDecision, 0, nd)
+	for i := uint64(0); i < nd; i++ {
+		var d snapDecision
+		if d.TxID, err = r.Uint64(); err != nil {
+			return nil, err
+		}
+		if d.Commit, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		ts, err := r.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		d.TS = clock.Timestamp(ts)
+		sn.Decided = append(sn.Decided, d)
+	}
+	return sn, nil
+}
+
+// InstallSnapshot replaces this store's entire state with the encoded
+// snapshot: objects and version histories, the prepared- and decided-
+// transaction tables, the epoch and membership, and the stream position
+// (repSeq becomes the sequence the snapshot covers). Existing state is
+// discarded — the caller is a replica whose history is a stale prefix
+// of the snapshot source's stream — and any blocked readers are woken.
+// The write-ahead log, if any, is rotated onto the snapshot so a later
+// restart replays snapshot + tail. Buffered resync records below the
+// snapshot's coverage are dropped; those continuing the stream are
+// applied.
+func (s *Store) InstallSnapshot(enc []byte) error {
+	sn, err := decodeSnapshot(enc)
+	if err != nil {
+		return err
+	}
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	return s.installSnapshotLocked(sn, enc, true)
+}
+
+// installSnapshotLocked implements InstallSnapshot; OpenStore also uses
+// it to replay a write-ahead log's checkpoint frame into a fresh store.
+// Caller holds repMu. enc is the snapshot's canonical encoding for the
+// WAL rotation (re-encoded if nil). viaStream marks prepares staged
+// from another replica's snapshot (the transfer path) rather than this
+// node's own checkpoint replay — like the live stream, it only affects
+// the orphan sweep's grace period (own prepares get the normal TTL).
+func (s *Store) installSnapshotLocked(sn *stateSnapshot, enc []byte, viaStream bool) error {
+	if sn.Seq < s.repSeq {
+		return fmt.Errorf("%w: snapshot covers seq %d but this replica is already at %d: refusing to move the stream backwards", kv.ErrBadRequest, sn.Seq, s.repSeq)
+	}
+	// Wipe: release every lock (waking blocked readers into a retry
+	// against the installed state) and drop all object and transaction
+	// state. The snapshot is the new truth.
+	for i := range s.shard {
+		sh := &s.shard[i]
+		sh.mu.Lock()
+		for _, obj := range sh.objs {
+			if obj.lock != nil {
+				close(obj.lock.done)
+				obj.lock = nil
+			}
+		}
+		sh.objs = make(map[kv.OID]*object)
+		sh.mu.Unlock()
+	}
+	now := time.Now()
+	s.txMu.Lock()
+	s.txs = make(map[uint64]*txRecord)
+	s.decided = make(map[uint64]decision)
+	s.decidedQ = nil
+	for _, d := range sn.Decided {
+		s.decided[d.TxID] = decision{commit: d.Commit, commitTS: d.TS}
+		s.decidedQ = append(s.decidedQ, decidedEntry{txid: d.TxID, at: now})
+	}
+	s.txMu.Unlock()
+
+	for i := range sn.Objects {
+		o := &sn.Objects[i]
+		sh := s.shardFor(o.OID)
+		sh.mu.Lock()
+		obj := &object{gcFloor: o.GCFloor, versions: make([]version, 0, len(o.Versions))}
+		for j := range o.Versions {
+			v := &o.Versions[j]
+			var touched map[string]struct{}
+			if len(v.Touched) > 0 {
+				touched = make(map[string]struct{}, len(v.Touched))
+				for _, k := range v.Touched {
+					touched[string(k)] = struct{}{}
+				}
+			}
+			obj.versions = append(obj.versions, version{ts: v.TS, val: v.Val, structural: v.Structural, touched: touched})
+		}
+		sh.objs[o.OID] = obj
+		sh.mu.Unlock()
+	}
+	for i := range sn.Prepared {
+		p := &sn.Prepared[i]
+		rec := kv.ReplRecord{Kind: kv.RecPrepare, Epoch: p.Epoch, TxID: p.TxID, TS: p.TS, Ops: p.Ops}
+		if err := s.stageReplicatedPrepare(rec, viaStream); err != nil {
+			return fmt.Errorf("kvserver: installing snapshot prepare for tx %d: %w", p.TxID, err)
+		}
+	}
+
+	s.clock.Observe(sn.Clock)
+	s.repSeq = sn.Seq
+	if s.cfg.ReplicationLog {
+		s.commitLog = nil
+		s.commitLogBytes = 0
+		s.logBase = sn.Seq
+	}
+	if sn.Epoch > 0 {
+		s.installEpochState(sn.Epoch, append([]string(nil), sn.Members...))
+	}
+	// Rotate the WAL onto the snapshot before draining buffered records,
+	// so their (best-effort) appends land in the new file's tail. A
+	// rotation that never swapped files fails the install AND disables
+	// the log: the old file holds this replica's pre-install history,
+	// and if the orchestrator left this store attached as a mirror
+	// despite the error, best-effort appends of post-install records
+	// after that stale prefix would replay as a silent semantic splice
+	// on restart — no log at all (the old file replays as a plain stale
+	// prefix, which a later resync repairs) is strictly safer. A swap
+	// whose only failure was the directory fsync proceeds — the WAL at
+	// the path IS the snapshot file, and the in-memory install is
+	// already complete; the durability doubt is counted, not fatal.
+	if s.wal != nil {
+		if enc == nil {
+			enc = encodeSnapshot(sn)
+		}
+		if swapped, err := s.wal.rotate(enc); err != nil {
+			s.stats.CheckpointFailures.Add(1)
+			if !swapped {
+				s.wal.close()
+				s.wal = nil
+				return fmt.Errorf("kvserver: rotating log onto installed snapshot (write-ahead logging disabled on this replica): %w", err)
+			}
+		}
+	}
+	for seq := range s.pending {
+		if seq < s.repSeq {
+			delete(s.pending, seq)
+		}
+	}
+	for {
+		rec, ok := s.pending[s.repSeq]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.repSeq)
+		if err := s.applyRecordLocked(rec, true); err != nil {
+			return err
+		}
+	}
+	s.stats.SnapshotsInstalled.Add(1)
+	return nil
+}
+
+// snapSession is one in-progress state transfer: a consistent encoded
+// snapshot being served chunk-by-chunk. lastUsed advances on every
+// served chunk, so the idle TTL never expires a transfer that is
+// actively (if slowly) making progress.
+type snapSession struct {
+	seq      uint64
+	data     []byte
+	lastUsed time.Time
+}
+
+const (
+	// snapSessionTTL bounds how long an IDLE transfer may hold its
+	// snapshot copy in memory (measured since the last served chunk, so
+	// a slow but progressing transfer is never cut off mid-install);
+	// snapSessionMax caps concurrent transfers (the least recently
+	// active is evicted beyond it — its installer gets a loud "expired
+	// session" and restarts).
+	snapSessionTTL = 2 * time.Minute
+	snapSessionMax = 4
+)
+
+// ErrSnapshotSessionExpired rejects a chunk request whose session is
+// unknown, expired, or was evicted; the transfer must restart from
+// scratch (Server.installSnapshotFrom does, bounded). It crosses the
+// RPC boundary as an application-error string, so peers match on its
+// message text (the same contract kv.ErrDiverged uses).
+var ErrSnapshotSessionExpired = errors.New("kvserver: unknown or expired snapshot session")
+
+// SweepSnapshotSessions drops expired state-transfer sessions — an
+// abandoned transfer (its installer crashed) must not pin an O(state)
+// snapshot copy until the next transfer begins. The server's
+// checkpoint ticker runs it.
+func (s *Store) SweepSnapshotSessions() {
+	s.snapMu.Lock()
+	s.expireSnapSessionsLocked(time.Now())
+	s.snapMu.Unlock()
+}
+
+// expireSnapSessionsLocked is the single TTL-eviction policy, shared
+// by the sweeper, the serving path, and session creation. Caller holds
+// snapMu.
+func (s *Store) expireSnapSessionsLocked(now time.Time) {
+	for id, sess := range s.snapSessions {
+		if now.Sub(sess.lastUsed) > snapSessionTTL {
+			delete(s.snapSessions, id)
+		}
+	}
+}
+
+// ServeSnapshotChunk serves one chunk of a state snapshot to a
+// resyncing peer. id 0 begins a transfer: a fresh snapshot is captured
+// at the current stream head and cached under a new session id; the
+// caller fetches the remaining chunks with that id. Chunks of one
+// session slice a single consistent snapshot; an unknown or expired
+// session is a loud error (the caller restarts the transfer) rather
+// than a risk of splicing two states.
+func (s *Store) ServeSnapshotChunk(id uint64, chunk uint32) (outID, seq uint64, chunks uint32, data []byte, err error) {
+	if id == 0 {
+		// Without the replication log there is no consistent capture
+		// (plain and WAL-only commits apply outside the stream lock,
+		// see commitDetached) — and SyncRecords could not serve the log
+		// tail above a snapshot anyway, so a transfer from such a store
+		// could never complete a resync. cfg is immutable, no lock.
+		if !s.cfg.ReplicationLog {
+			return 0, 0, 0, nil, fmt.Errorf("%w: server keeps no replication log to snapshot from", kv.ErrBadRequest)
+		}
+		// Share a session already covering the current head: concurrent
+		// cold-joiners (an idle source, or several peers starting at
+		// once) then read one immutable encoded snapshot instead of
+		// capturing per peer and evicting each other past the session
+		// cap. Sessions are immutable, so sharing is read-only safe.
+		// Captures are single-flighted per head — simultaneous first
+		// requests wait for one capture instead of each paying the
+		// O(state) pass and thrashing the session table.
+		for id == 0 {
+			// Re-read the window each iteration: under ongoing writes a
+			// capture lands above the head its waiters recorded, and a
+			// stale comparison would send every waiter into its own
+			// capture. Any session at or above logBase is shareable —
+			// the log tail continues from its seq — so concurrent
+			// joiners converge on the newest one.
+			base, head := s.LogBounds()
+			now := time.Now()
+			s.snapMu.Lock()
+			s.expireSnapSessionsLocked(now)
+			for sid, sess := range s.snapSessions {
+				if sess.seq >= base && (id == 0 || sess.seq > s.snapSessions[id].seq) {
+					id = sid
+				}
+			}
+			if id != 0 {
+				s.snapSessions[id].lastUsed = now
+				s.snapMu.Unlock()
+				break
+			}
+			if ch, busy := s.snapCapturing[head]; busy {
+				// Another request is capturing this head: wait for its
+				// session, then re-check.
+				s.snapMu.Unlock()
+				<-ch
+				continue
+			}
+			if s.snapCapturing == nil {
+				s.snapCapturing = make(map[uint64]chan struct{})
+			}
+			done := make(chan struct{})
+			s.snapCapturing[head] = done
+			s.snapMu.Unlock()
+
+			s.repMu.Lock()
+			sn := s.captureSnapshotLocked()
+			s.repMu.Unlock()
+			// Serialize outside the stream lock: the capture is a
+			// private copy (values aliased but immutable), and encoding
+			// is a second O(state) pass the write paths need not wait
+			// for.
+			enc := encodeSnapshot(sn)
+			now = time.Now()
+			s.snapMu.Lock()
+			delete(s.snapCapturing, head)
+			close(done)
+			if s.snapSessions == nil {
+				s.snapSessions = make(map[uint64]*snapSession)
+			}
+			s.expireSnapSessionsLocked(now)
+			for len(s.snapSessions) >= snapSessionMax {
+				oldest, oldestAt := uint64(0), now
+				for sid, sess := range s.snapSessions {
+					if oldest == 0 || sess.lastUsed.Before(oldestAt) {
+						oldest, oldestAt = sid, sess.lastUsed
+					}
+				}
+				delete(s.snapSessions, oldest)
+			}
+			s.snapLastID++
+			id = s.snapLastID
+			s.snapSessions[id] = &snapSession{seq: sn.Seq, data: enc, lastUsed: now}
+			s.snapMu.Unlock()
+			s.stats.SnapshotsServed.Add(1)
+		}
+	}
+	s.snapMu.Lock()
+	// Enforce the TTL on the serving path too, not only when a new
+	// transfer's eviction sweep happens to run — and mark this session
+	// live, so an active transfer never expires mid-install.
+	s.expireSnapSessionsLocked(time.Now())
+	sess := s.snapSessions[id]
+	if sess != nil {
+		sess.lastUsed = time.Now()
+	}
+	s.snapMu.Unlock()
+	if sess == nil {
+		return 0, 0, 0, nil, fmt.Errorf("%w %d: restart the transfer", ErrSnapshotSessionExpired, id)
+	}
+	cs := s.cfg.SnapshotChunkBytes
+	total := uint32((len(sess.data) + cs - 1) / cs)
+	if total == 0 {
+		total = 1
+	}
+	if chunk >= total {
+		return 0, 0, 0, nil, fmt.Errorf("%w: snapshot chunk %d of %d", kv.ErrBadRequest, chunk, total)
+	}
+	start := int(chunk) * cs
+	end := start + cs
+	if end > len(sess.data) {
+		end = len(sess.data)
+	}
+	return id, sess.seq, total, sess.data[start:end], nil
+}

@@ -1,0 +1,52 @@
+package kvserver
+
+import (
+	"testing"
+
+	"yesquel/internal/kv"
+)
+
+// TestSnapshotSkipsUnreplicatedLockOnlyObjects: an in-flight
+// unreplicated prepare (mid-FastCommit, or a 2PC prepare whose record
+// has not entered the stream yet) stages its lock on a bare
+// zero-version object. A state snapshot captured in that window must
+// not materialize the object on the installer: if the transaction
+// later aborts without a stream decision, nothing would ever delete
+// the installer's copy, and the phantom would diverge StateDigest
+// forever.
+func TestSnapshotSkipsUnreplicatedLockOnlyObjects(t *testing.T) {
+	s := NewStore(nil, Config{ReplicationLog: true})
+	commitPut(t, s, kv.MakeOID(0, 1), "real")
+
+	// Reproduce the mid-FastCommit state deterministically: lock staged
+	// with replicate=false, commit not yet run.
+	txid := newTxID()
+	inflight := kv.MakeOID(0, 2)
+	if _, err := s.prepare(txid, s.Clock().Now(), []*kv.Op{
+		{Kind: kv.OpPut, OID: inflight, Value: kv.NewPlain([]byte("inflight"))},
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, chunks, data, err := s.ServeSnapshotChunk(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks != 1 {
+		t.Fatalf("test snapshot unexpectedly split into %d chunks", chunks)
+	}
+	r := NewStore(nil, Config{ReplicationLog: true})
+	if err := r.InstallSnapshot(data); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumObjects() != 1 {
+		t.Fatalf("installer holds %d objects, want 1 (the phantom lock-only object leaked)", r.NumObjects())
+	}
+
+	// The in-flight transaction aborts with no stream decision (its
+	// record never entered the stream); both replicas must agree.
+	s.Abort(txid)
+	if got, want := r.StateDigest(), s.StateDigest(); got != want {
+		t.Fatalf("installer digest %x != source digest %x after no-decision abort", got, want)
+	}
+}

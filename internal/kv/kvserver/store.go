@@ -105,6 +105,45 @@
 // provably dead coordinator's locks. Legacy (epoch-0) stores — an
 // unreplicated server, or a hand-wired SetMirror pair — keep all
 // pre-epoch behavior, including the availability-first TTL abort.
+//
+// # Log truncation and snapshots
+//
+// The replication log that serves MethodSync resyncs is bounded. When
+// it exceeds Config.ReplicationLogMaxRecords (or MaxBytes) the store
+// CHECKPOINTS: it captures a consistent snapshot of its full state —
+// every object's version history with conflict metadata, the prepared-
+// and decided-transaction tables, the epoch and membership — tagged
+// with the stream sequence number it covers, rotates the write-ahead
+// log onto that snapshot (a restart replays snapshot + tail instead of
+// the full history, and the file stays bounded by the checkpoint
+// cadence), and truncates the in-memory log, advancing its base to the
+// stream head. A primary enforces the bound inline in its emit-and-
+// apply paths, so its log never exceeds the cap. A live-mirror backup
+// defers routine truncation off the ack path (an O(state) checkpoint
+// while the primary synchronously awaits the mirror ack could outlast
+// the mirror timeout): a one-second server ticker bounds its overshoot
+// to about a second of writes, with a hard inline ceiling at four
+// times the cap so memory never rests on the ticker alone.
+//
+// Consistency of the capture comes from the stream lock: the native
+// write paths hold repMu across a record's emission AND the
+// application of its effects, so a snapshot taken under repMu always
+// equals "every record below repSeq applied, none above" — the
+// contract a resyncing replica needs. Prepares whose record has not
+// entered the stream yet are skipped (their records arrive in the
+// tail).
+//
+// A backup that asks to sync from a position below the truncated log's
+// base gets SyncResp.TooOld and falls back to STATE TRANSFER
+// (Server.SyncFrom does this automatically): it streams a chunked
+// snapshot (MethodSnap), installs it — replacing its own stale state,
+// which is a prefix of the source's — and resumes the normal log-tail
+// sync from the snapshot's sequence number. This is what makes a
+// late-joining or long-dead replica cost the current state's size
+// rather than the primary's full write history, and it removes blocker
+// (c) for replication factors above 2 (see ROADMAP). A backup that is
+// AHEAD of its sync source is rejected with kv.ErrDiverged — an
+// irreconcilable history must be re-formed, never papered over.
 package kvserver
 
 import (
@@ -155,11 +194,25 @@ type Config struct {
 	// LogSync fsyncs the log on every commit. Off, the log is still
 	// written in commit order but a host crash can lose the tail.
 	LogSync bool
-	// ReplicationLog keeps every committed transaction in memory so the
-	// store can serve MethodSync resyncs to a fresh or restarted backup.
-	// Enable it on every member of a replication group. (The log is
-	// unbounded; see ROADMAP for snapshot-based truncation.)
+	// ReplicationLog keeps the stream's records in memory so the store
+	// can serve MethodSync resyncs to a fresh or restarted backup.
+	// Enable it on every member of a replication group. Without a
+	// truncation policy (below) the log grows without bound.
 	ReplicationLog bool
+	// ReplicationLogMaxRecords bounds the in-memory replication log: when
+	// it exceeds this many records the store checkpoints — captures a
+	// state snapshot at the stream head, rotates the write-ahead log onto
+	// it, and truncates the log — so a backup that falls behind the
+	// retained tail catches up by snapshot install (MethodSnap) + tail
+	// instead of a full-history replay. 0 = unbounded (legacy behavior).
+	ReplicationLogMaxRecords int
+	// ReplicationLogMaxBytes is the same policy measured in estimated
+	// record bytes. Either limit triggers a checkpoint. 0 = unbounded.
+	ReplicationLogMaxBytes int
+	// SnapshotChunkBytes sizes MethodSnap transfer chunks (default 1 MiB,
+	// comfortably under the wire frame limit). Tests shrink it to force
+	// multi-chunk transfers.
+	SnapshotChunkBytes int
 	// LeaseDuration is how long a primary's authority to serve lasts
 	// after its last acknowledgment from the backup (default 2s). Every
 	// mirror ack and lease-renewal ack extends the primary's lease; the
@@ -190,6 +243,9 @@ func (c *Config) withDefaults() Config {
 	if out.LeaseDuration == 0 {
 		out.LeaseDuration = 2 * time.Second
 	}
+	if out.SnapshotChunkBytes == 0 {
+		out.SnapshotChunkBytes = 1 << 20
+	}
 	return out
 }
 
@@ -215,12 +271,27 @@ type Stats struct {
 	// or deposed primary keeps knocking.
 	EpochBumps        atomic.Uint64
 	WrongEpochRejects atomic.Uint64
+	// Checkpoints counts snapshot checkpoints (log truncations + WAL
+	// rotations); LogRecordsTruncated the replication-log records they
+	// dropped. CheckpointFailures counts WAL rotations that failed —
+	// the in-memory log bound still holds (truncation proceeds
+	// regardless), but restart-replay cost is no longer bounded and
+	// the disk needs attention. SnapshotsServed counts state-transfer
+	// snapshots captured for a resyncing peer, SnapshotsInstalled
+	// snapshots this member installed in place of a full-history
+	// replay.
+	Checkpoints         atomic.Uint64
+	CheckpointFailures  atomic.Uint64
+	LogRecordsTruncated atomic.Uint64
+	SnapshotsServed     atomic.Uint64
+	SnapshotsInstalled  atomic.Uint64
 }
 
 // StatsSnapshot is a plain copy of the counters.
 type StatsSnapshot struct {
 	Reads, ReadWaits, Prepares, Commits, FastCommits, Aborts, OrphanAborts, Conflicts, GCVersions uint64
 	EpochBumps, WrongEpochRejects                                                                 uint64
+	Checkpoints, CheckpointFailures, LogRecordsTruncated, SnapshotsServed, SnapshotsInstalled     uint64
 }
 
 type version struct {
@@ -335,8 +406,18 @@ type Store struct {
 	// (commits, prepares, decisions) this store has applied, natively
 	// or replicated.
 	repSeq uint64
-	// commitLog holds the stream when cfg.ReplicationLog is set.
+	// commitLog holds the stream's retained tail when cfg.ReplicationLog
+	// is set: commitLog[i] is the record at sequence logBase+i. A
+	// snapshot checkpoint truncates the log and advances logBase to the
+	// stream head; resyncs below logBase are served by state transfer
+	// (snapshot + tail) instead of record replay.
 	commitLog []kv.ReplRecord
+	// logBase is the sequence number of commitLog[0] (records below it
+	// were truncated at the last checkpoint).
+	logBase uint64
+	// commitLogBytes is the estimated wire size of the retained log,
+	// maintained incrementally for the ReplicationLogMaxBytes policy.
+	commitLogBytes int
 	// pending buffers replicated records that arrived ahead of repSeq
 	// while a resync is filling in the history below them.
 	pending   map[uint64]kv.ReplRecord
@@ -371,6 +452,17 @@ type Store struct {
 	// ack can extend the old primary's authority), so the grant-expiry
 	// wait cannot be re-armed between the wait and the epoch install.
 	promoting bool
+
+	// snapMu guards the state-transfer sessions: encoded snapshots being
+	// served chunk-by-chunk to resyncing peers (see ServeSnapshotChunk),
+	// plus the single-flight registry of captures in progress (keyed by
+	// stream head; the channel closes when that capture's session is
+	// registered). It nests inside nothing — holders take no other
+	// store mutex.
+	snapMu        sync.Mutex
+	snapSessions  map[uint64]*snapSession
+	snapLastID    uint64
+	snapCapturing map[uint64]chan struct{}
 
 	stats Stats
 }
@@ -592,6 +684,7 @@ func (s *Store) InstallEpoch(newEpoch uint64, members []string) error {
 		return fmt.Errorf("kvserver: replicating epoch %d: %w", newEpoch, err)
 	}
 	s.installEpochState(newEpoch, rec.Members)
+	s.maybeCheckpointLocked()
 	return nil
 }
 
@@ -665,49 +758,206 @@ const syncBatchBytes = 4 << 20
 
 // SyncRecords returns up to max replication-log records starting at
 // sequence number from — fewer when the batch would grow past
-// syncBatchBytes — plus the current head of the stream. At least one
-// record is always returned when any exists at from, so a single large
-// commit (necessarily under the frame limit, it crossed the wire once
+// syncBatchBytes — plus the current head of the stream and the oldest
+// sequence number still in the log (logBase). At least one record is
+// always returned when any exists at from, so a single large commit
+// (necessarily under the frame limit, it crossed the wire once
 // already) cannot stall a resync.
-func (s *Store) SyncRecords(from uint64, max int) ([]kv.SyncRec, uint64, error) {
+//
+// A from below logBase returns an empty batch with base > from — the
+// history was truncated at a snapshot checkpoint, and the caller must
+// install a snapshot instead (the server surfaces this as
+// SyncResp.TooOld). A from beyond the stream head means the requester
+// applied records this store never emitted: the replicas hold
+// irreconcilable histories, reported loudly as kv.ErrDiverged
+// (mirroring ApplyMirrored's strict check) rather than answered with a
+// silently empty batch the requester would mistake for "caught up".
+func (s *Store) SyncRecords(from uint64, max int) (recs []kv.SyncRec, head, base uint64, err error) {
 	if max <= 0 {
 		max = 512
 	}
 	s.repMu.Lock()
 	defer s.repMu.Unlock()
 	if !s.cfg.ReplicationLog {
-		return nil, s.repSeq, fmt.Errorf("%w: server keeps no replication log", kv.ErrBadRequest)
+		return nil, s.repSeq, s.logBase, fmt.Errorf("%w: server keeps no replication log", kv.ErrBadRequest)
 	}
-	if from >= uint64(len(s.commitLog)) {
-		return nil, s.repSeq, nil
+	if from > s.repSeq {
+		return nil, s.repSeq, s.logBase, fmt.Errorf("%w: requested seq %d is beyond this replica's head %d: the requester applied records never in this stream, re-form the group", kv.ErrDiverged, from, s.repSeq)
+	}
+	if from < s.logBase || from >= s.logBase+uint64(len(s.commitLog)) {
+		return nil, s.repSeq, s.logBase, nil
 	}
 	end := from + uint64(max)
-	if end > uint64(len(s.commitLog)) {
-		end = uint64(len(s.commitLog))
+	if top := s.logBase + uint64(len(s.commitLog)); end > top {
+		end = top
 	}
-	recs := make([]kv.SyncRec, 0, end-from)
+	recs = make([]kv.SyncRec, 0, end-from)
 	bytes := 0
 	for seq := from; seq < end; seq++ {
-		rec := s.commitLog[seq]
-		sz := recordSize(rec.Ops)
+		rec := s.commitLog[seq-s.logBase]
+		sz := recordSize(&rec)
 		if len(recs) > 0 && bytes+sz > syncBatchBytes {
 			break
 		}
 		bytes += sz
 		recs = append(recs, kv.SyncRec{Seq: seq, Rec: rec})
 	}
-	return recs, s.repSeq, nil
+	return recs, s.repSeq, s.logBase, nil
 }
 
-// recordSize estimates the wire size of one replication record.
-func recordSize(ops []*kv.Op) int {
-	n := 24
-	for _, op := range ops {
+// recordSize estimates the wire size of one replication record,
+// including the epoch stamp and — for RecEpoch records — the
+// membership list, so an epoch-heavy log tail cannot overshoot
+// syncBatchBytes.
+func recordSize(rec *kv.ReplRecord) int {
+	n := 32 // kind, epoch, txid, ts, commit flag, op/member counts
+	for _, m := range rec.Members {
+		n += len(m) + 4
+	}
+	for _, op := range rec.Ops {
 		n += 16 + op.Value.EncodedSize() +
 			len(op.Cell.Key) + len(op.Cell.Value) +
 			len(op.From) + len(op.To) + len(op.Low) + len(op.High)
 	}
 	return n
+}
+
+// LogBounds reports the retained replication log's window: base is the
+// oldest sequence number still held, head the next to be assigned, so
+// head-base records are in memory (tests and diagnostics).
+func (s *Store) LogBounds() (logBase, head uint64) {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	return s.logBase, s.repSeq
+}
+
+// Checkpoint captures a snapshot of the store's full state at the
+// current stream head, rotates the write-ahead log onto it (restart
+// replays snapshot + tail instead of the full history), and truncates
+// the ENTIRE in-memory replication log (logBase advances to the head
+// — an explicit checkpoint is an operator's full truncation). A
+// backup that later asks to sync from below the new logBase is served
+// by state transfer. It returns the sequence number the checkpoint
+// covers. The automatic policy path instead retains a half-cap tail
+// (see checkpointLocked), so a replica that is merely a little behind
+// at checkpoint time still catches up by record replay.
+func (s *Store) Checkpoint() (uint64, error) {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	if !s.cfg.ReplicationLog {
+		// Without the replication log there is nothing to truncate, a
+		// mirror-less store applies commits outside the stream lock
+		// (commitDetached) so no consistent capture exists, and
+		// ServeSnapshotChunk refuses such stores anyway.
+		return 0, fmt.Errorf("%w: checkpointing requires the replication log (Config.ReplicationLog)", kv.ErrBadRequest)
+	}
+	return s.checkpointLocked(false)
+}
+
+// checkpointLocked implements Checkpoint. Caller holds repMu, and the
+// visible state must be consistent with repSeq (every emitted record
+// fully applied) — true at the end of any emit-and-apply critical
+// section, never in the middle of one. With retainTail, the newest
+// half-cap of records is kept (the policy path): truncating to empty
+// would force O(state) transfer on any replica even one record behind,
+// while retaining half leaves headroom so the next append does not
+// immediately re-trip the bound.
+func (s *Store) checkpointLocked(retainTail bool) (uint64, error) {
+	var rotateErr error
+	if s.wal != nil {
+		enc := encodeSnapshot(s.captureSnapshotLocked())
+		if _, err := s.wal.rotate(enc); err != nil {
+			// The counter is the operator signal: the inline policy
+			// callers discard this error (a failed bound must not fail
+			// the commit that tripped it), so a climbing value is how a
+			// full disk — or a state too large for one checkpoint frame
+			// — shows up before memory pressure does.
+			s.stats.CheckpointFailures.Add(1)
+			rotateErr = fmt.Errorf("kvserver: rotating log onto checkpoint: %w", err)
+		}
+	}
+	// Truncate the in-memory log regardless of the rotation outcome:
+	// serving a resync below logBase only needs an on-demand snapshot
+	// (ServeSnapshotChunk), not the rotated file, and a restart replays
+	// the old, un-rotated log correctly — longer, but complete. The
+	// memory bound must hold even when the disk does not cooperate.
+	if s.cfg.ReplicationLog && len(s.commitLog) > 0 {
+		keep, keepBytes := 0, 0
+		if retainTail {
+			keep, keepBytes = s.retainableTailLocked()
+		}
+		if drop := len(s.commitLog) - keep; drop > 0 {
+			s.stats.LogRecordsTruncated.Add(uint64(drop))
+			// Copy the tail out so the dropped prefix's backing array is
+			// actually freed.
+			s.commitLog = append([]kv.ReplRecord(nil), s.commitLog[drop:]...)
+			s.commitLogBytes = keepBytes
+			s.logBase += uint64(drop)
+		}
+	}
+	if rotateErr != nil {
+		return 0, rotateErr
+	}
+	s.stats.Checkpoints.Add(1)
+	return s.repSeq, nil
+}
+
+// retainableTailLocked reports how many of the newest log records fit
+// within half of each configured bound, and their estimated byte size
+// (so the caller need not rescan them). Caller holds repMu.
+func (s *Store) retainableTailLocked() (n, bytes int) {
+	if s.cfg.ReplicationLogMaxRecords == 0 && s.cfg.ReplicationLogMaxBytes == 0 {
+		return 0, 0
+	}
+	for i := len(s.commitLog) - 1; i >= 0; i-- {
+		sz := recordSize(&s.commitLog[i])
+		if s.cfg.ReplicationLogMaxRecords > 0 && n+1 > s.cfg.ReplicationLogMaxRecords/2 {
+			break
+		}
+		if s.cfg.ReplicationLogMaxBytes > 0 && bytes+sz > s.cfg.ReplicationLogMaxBytes/2 {
+			break
+		}
+		n++
+		bytes += sz
+	}
+	return n, bytes
+}
+
+// MaybeCheckpoint checkpoints if the retained replication log exceeds
+// the configured bounds, reporting whether it did. The emit paths call
+// the locked variant inline (the bound is strict on a primary, not
+// best-effort); the server runs it on a short ticker too, which is
+// what bounds a live-mirror backup between the hard-ceiling triggers
+// (see mirrorCheckpointSlack).
+func (s *Store) MaybeCheckpoint() (bool, error) {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	return s.maybeCheckpointLocked()
+}
+
+// mirrorCheckpointSlack multiplies the configured bounds on the
+// live-mirror apply path: an inline checkpoint there runs while the
+// primary synchronously waits for the ack, so routine truncation is
+// left to the server's checkpoint ticker — but the memory bound must
+// not depend on a ticker alone, so past slack times the cap the apply
+// path checkpoints anyway, accepting the one delayed ack.
+const mirrorCheckpointSlack = 4
+
+func (s *Store) maybeCheckpointLocked() (bool, error) {
+	return s.maybeCheckpointSlackLocked(1)
+}
+
+func (s *Store) maybeCheckpointSlackLocked(slack int) (bool, error) {
+	if !s.cfg.ReplicationLog {
+		return false, nil
+	}
+	overRecords := s.cfg.ReplicationLogMaxRecords > 0 && len(s.commitLog) > slack*s.cfg.ReplicationLogMaxRecords
+	overBytes := s.cfg.ReplicationLogMaxBytes > 0 && s.commitLogBytes > slack*s.cfg.ReplicationLogMaxBytes
+	if !overRecords && !overBytes {
+		return false, nil
+	}
+	_, err := s.checkpointLocked(true)
+	return err == nil, err
 }
 
 // NewStore returns an empty store using hlc for timestamps. A nil hlc
@@ -746,6 +996,12 @@ func (s *Store) Stats() StatsSnapshot {
 
 		EpochBumps:        s.stats.EpochBumps.Load(),
 		WrongEpochRejects: s.stats.WrongEpochRejects.Load(),
+
+		Checkpoints:         s.stats.Checkpoints.Load(),
+		CheckpointFailures:  s.stats.CheckpointFailures.Load(),
+		LogRecordsTruncated: s.stats.LogRecordsTruncated.Load(),
+		SnapshotsServed:     s.stats.SnapshotsServed.Load(),
+		SnapshotsInstalled:  s.stats.SnapshotsInstalled.Load(),
 	}
 }
 
@@ -949,9 +1205,20 @@ func (s *Store) prepare(txid uint64, start clock.Timestamp, ops []*kv.Op, replic
 	// the coordinator this participant can commit, so the promise must
 	// survive a primary failure. A replication failure fails the
 	// prepare (the vote is no, the coordinator aborts) — nothing
-	// entered the stream, so no decision record is owed.
-	if replicate && s.replicating() {
-		if err := s.emitRecord(kv.ReplRecord{Kind: kv.RecPrepare, TxID: txid, TS: proposed, Ops: ops}, true); err != nil {
+	// entered the stream, so no decision record is owed. The emission
+	// and the replicated-flag publication are one repMu critical
+	// section: a state snapshot (captured under repMu) carries exactly
+	// the prepares whose RecPrepare is below its sequence number —
+	// rec.replicated set — and skips the rest, whose records land in
+	// the tail the snapshot installer replays.
+	if replicate {
+		s.repMu.Lock()
+		if !s.replicatingLocked() {
+			s.repMu.Unlock()
+			return proposed, nil
+		}
+		if err := s.emitLocked(kv.ReplRecord{Kind: kv.RecPrepare, TxID: txid, TS: proposed, Ops: ops}, true); err != nil {
+			s.repMu.Unlock()
 			s.releaseLocks(txid, locked)
 			s.txMu.Lock()
 			delete(s.txs, txid)
@@ -965,29 +1232,34 @@ func (s *Store) prepare(txid uint64, start clock.Timestamp, ops []*kv.Op, replic
 			// stream — and, having seen an unreplicated prepare, emitted
 			// no decision. The stream is owed the abort; the vote is no.
 			s.txMu.Unlock()
-			s.emitRecord(kv.ReplRecord{Kind: kv.RecDecide, TxID: txid, Commit: false}, false)
+			s.emitLocked(kv.ReplRecord{Kind: kv.RecDecide, TxID: txid, Commit: false}, false)
+			s.repMu.Unlock()
 			return 0, fmt.Errorf("%w: tx %d aborted during prepare", kv.ErrConflict, txid)
 		}
 		rec.replicated = true
 		s.txMu.Unlock()
+		s.maybeCheckpointLocked()
+		s.repMu.Unlock()
 	}
 	return proposed, nil
 }
 
-// replicating reports whether stream records have anywhere to go: a
-// write-ahead log, an in-memory replication log, or a live mirror.
-func (s *Store) replicating() bool {
-	if s.wal != nil || s.cfg.ReplicationLog {
-		return true
-	}
-	return s.hasMirror()
+// replicatingLocked reports whether stream records have anywhere to
+// go: a write-ahead log, an in-memory replication log, or a live
+// mirror. Caller holds repMu.
+func (s *Store) replicatingLocked() bool {
+	return s.wal != nil || s.cfg.ReplicationLog || s.mirror != nil
 }
 
-// emitRecord appends one record to the replication stream: it assigns
+// emitLocked appends one record to the replication stream: it assigns
 // the next sequence number, synchronously mirrors the record to the
 // backup (if attached), and appends it to the replication log and the
-// write-ahead log, all under repMu so every replica agrees on the
-// order.
+// write-ahead log. Caller holds repMu — the native write paths hold it
+// across the emission AND the application of the record's effects, so
+// stream order, log order, per-object version order, and any state
+// snapshot captured under repMu all agree. Every record is stamped
+// with the epoch in effect when it enters the stream — except
+// RecEpoch, whose Epoch field carries the new epoch it installs.
 //
 // With strictMirror, a mirror failure consumes nothing — the caller's
 // operation fails cleanly and the sequence number is reused, which the
@@ -1001,17 +1273,6 @@ func (s *Store) replicating() bool {
 // fault: the stream state is rolled back so this store's replication
 // log never serves the failed record, leaving the backup one record
 // ahead — the seq-mismatch guard turns that into a loud error too.
-func (s *Store) emitRecord(rec kv.ReplRecord, strictMirror bool) error {
-	s.repMu.Lock()
-	defer s.repMu.Unlock()
-	return s.emitLocked(rec, strictMirror)
-}
-
-// emitLocked is emitRecord with repMu already held (InstallEpoch needs
-// the configuration change and its stream record to be one critical
-// section). Every record is stamped with the epoch in effect when it
-// enters the stream — except RecEpoch, whose Epoch field carries the
-// new epoch it installs.
 func (s *Store) emitLocked(rec kv.ReplRecord, strictMirror bool) error {
 	if rec.Kind != kv.RecEpoch {
 		s.epochMu.Lock()
@@ -1027,12 +1288,14 @@ func (s *Store) emitLocked(rec kv.ReplRecord, strictMirror bool) error {
 	s.repSeq++
 	if s.cfg.ReplicationLog {
 		s.commitLog = append(s.commitLog, rec)
+		s.commitLogBytes += recordSize(&rec)
 	}
 	if s.wal != nil {
 		if err := s.wal.append(rec); err != nil {
 			s.repSeq = seq
 			if s.cfg.ReplicationLog {
 				s.commitLog = s.commitLog[:len(s.commitLog)-1]
+				s.commitLogBytes -= recordSize(&rec)
 			}
 			return err
 		}
@@ -1085,61 +1348,124 @@ func (s *Store) Commit(txid uint64, commitTS clock.Timestamp) error {
 }
 
 func (s *Store) commit(txid uint64, commitTS clock.Timestamp) (applied bool, err error) {
-	s.txMu.Lock()
-	rec := s.txs[txid]
-	if rec == nil {
-		d, decided := s.decided[txid]
-		s.txMu.Unlock()
-		switch {
-		case decided && d.commit:
-			return false, nil // duplicate decision: already committed
-		case decided:
-			return false, fmt.Errorf("%w: tx %d already aborted", kv.ErrConflict, txid)
-		}
-		return false, fmt.Errorf("%w: commit of unknown tx %d", kv.ErrBadRequest, txid)
+	// On a stream-consistent store the whole transition — emit the
+	// decision, apply the staged ops, record the outcome — is one repMu
+	// critical section: the stream position and the visible state never
+	// disagree, which is what lets a state snapshot captured under
+	// repMu (and tagged with repSeq) claim to cover every record below
+	// it. Other stores never serve snapshots or resyncs, so they keep
+	// the concurrent path (commitDetached): staged ops apply in
+	// parallel across shards, outside the stream lock.
+	s.repMu.Lock()
+	if !s.streamConsistentLocked() {
+		s.repMu.Unlock()
+		return s.commitDetached(txid, commitTS)
 	}
-	delete(s.txs, txid)
-	s.txMu.Unlock()
+	defer s.repMu.Unlock()
+	rec, err := s.takePrepared(txid)
+	if rec == nil {
+		return false, err
+	}
 	s.clock.Observe(commitTS)
 	// Write-ahead and replication: the decision must be durable (log)
 	// and replicated (mirror) before any of its effects become visible.
-	// The per-object locks are still held here, and the stream append
-	// runs under repMu, so the replication stream order, the log order,
-	// and per-object version order all agree — on this store and,
-	// because mirror calls are acknowledged in sequence, on the backup.
-	// A replicated prepare only needs the decision on the wire
-	// (RecDecide); otherwise the whole transaction rides in one
-	// RecCommit record.
-	if s.replicating() {
-		out := kv.ReplRecord{Kind: kv.RecDecide, TxID: txid, TS: commitTS, Commit: true}
-		if !rec.replicated {
-			out = kv.ReplRecord{Kind: kv.RecCommit, TxID: txid, TS: commitTS}
-			for _, oid := range rec.oids {
-				sh := s.shardFor(oid)
-				sh.mu.Lock()
-				if obj := sh.objs[oid]; obj != nil && obj.lock != nil && obj.lock.txid == txid {
-					out.Ops = append(out.Ops, obj.lock.ops...)
-				}
-				sh.mu.Unlock()
-			}
+	// The per-object locks are still held here, so the replication
+	// stream order, the log order, and per-object version order all
+	// agree — on this store and, because mirror calls are acknowledged
+	// in sequence, on the backup. A replicated prepare only needs the
+	// decision on the wire (RecDecide); otherwise the whole transaction
+	// rides in one RecCommit record.
+	if err := s.emitLocked(s.commitRecord(txid, rec, commitTS), true); err != nil {
+		// Failed to replicate the commit decision: nothing became
+		// visible, so abort rather than ack. The abort's own decide
+		// record is best-effort — the pair needs re-forming anyway.
+		s.abortLocked(txid, rec, false)
+		return false, fmt.Errorf("kv: replicating commit: %w", err)
+	}
+	s.applyStaged(txid, rec.oids, commitTS)
+	s.recordDecision(txid, decision{commit: true, commitTS: commitTS})
+	s.maybeCheckpointLocked()
+	return true, nil
+}
+
+// commitRecord builds a committing transaction's stream record: a bare
+// RecDecide when the prepare was already replicated, otherwise a
+// RecCommit carrying the staged ops gathered from the objects' locks
+// (stable — the caller owns the transaction's resolution).
+func (s *Store) commitRecord(txid uint64, rec *txRecord, commitTS clock.Timestamp) kv.ReplRecord {
+	if rec.replicated {
+		return kv.ReplRecord{Kind: kv.RecDecide, TxID: txid, TS: commitTS, Commit: true}
+	}
+	out := kv.ReplRecord{Kind: kv.RecCommit, TxID: txid, TS: commitTS}
+	for _, oid := range rec.oids {
+		sh := s.shardFor(oid)
+		sh.mu.Lock()
+		if obj := sh.objs[oid]; obj != nil && obj.lock != nil && obj.lock.txid == txid {
+			out.Ops = append(out.Ops, obj.lock.ops...)
 		}
-		if err := s.emitRecord(out, true); err != nil {
-			// Failed to replicate the commit decision: nothing became
-			// visible, so abort rather than ack. The abort's own decide
-			// record is best-effort — the pair needs re-forming anyway.
-			s.txMu.Lock()
-			s.txs[txid] = rec
-			s.txMu.Unlock()
-			s.Abort(txid)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// takePrepared removes txid's record from the prepared-transaction
+// table and returns it. A nil record means the transaction cannot be
+// committed, with err saying why: nil for a duplicate decision that
+// already committed (ack it again), ErrConflict for one that already
+// aborted, ErrBadRequest for a transaction this store never heard of.
+func (s *Store) takePrepared(txid uint64) (*txRecord, error) {
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
+	rec := s.txs[txid]
+	if rec == nil {
+		d, decided := s.decided[txid]
+		switch {
+		case decided && d.commit:
+			return nil, nil // duplicate decision: already committed
+		case decided:
+			return nil, fmt.Errorf("%w: tx %d already aborted", kv.ErrConflict, txid)
+		}
+		return nil, fmt.Errorf("%w: commit of unknown tx %d", kv.ErrBadRequest, txid)
+	}
+	delete(s.txs, txid)
+	return rec, nil
+}
+
+// streamConsistentLocked reports whether this store maintains the
+// snapshot-capture invariant — visible state equals the stream
+// position whenever repMu is free. Only stores that can actually serve
+// a resync (replication log) or feed one (live mirror) pay for it;
+// plain and WAL-only stores trade it for concurrent commit
+// application. Caller holds repMu.
+func (s *Store) streamConsistentLocked() bool {
+	return s.cfg.ReplicationLog || s.mirror != nil
+}
+
+// commitDetached is the commit path of stores outside the stream-
+// consistency discipline: unreplicated (nothing to emit — the stream
+// lock is touched only for the sequence count) and WAL-only
+// (durability without resync service — the record is emitted under
+// repMu, but staged ops apply outside it, concurrently across shards,
+// exactly the pre-snapshot behavior).
+func (s *Store) commitDetached(txid uint64, commitTS clock.Timestamp) (applied bool, err error) {
+	rec, err := s.takePrepared(txid)
+	if rec == nil {
+		return false, err
+	}
+	s.clock.Observe(commitTS)
+	s.repMu.Lock()
+	if s.replicatingLocked() {
+		if err := s.emitLocked(s.commitRecord(txid, rec, commitTS), true); err != nil {
+			s.abortLocked(txid, rec, false)
+			s.repMu.Unlock()
 			return false, fmt.Errorf("kv: replicating commit: %w", err)
 		}
 	} else {
-		// Even without a log or mirror, count the record in the stream
+		// Count the record in the stream even without a log or mirror,
 		// so a later AttachMirror reports an honest watermark.
-		s.repMu.Lock()
 		s.repSeq++
-		s.repMu.Unlock()
 	}
+	s.repMu.Unlock()
 	s.applyStaged(txid, rec.oids, commitTS)
 	s.recordDecision(txid, decision{commit: true, commitTS: commitTS})
 	return true, nil
@@ -1232,6 +1558,8 @@ func (s *Store) Abort(txid uint64) {
 }
 
 func (s *Store) abort(txid uint64, orphan bool) {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
 	s.txMu.Lock()
 	rec := s.txs[txid]
 	delete(s.txs, txid)
@@ -1239,13 +1567,24 @@ func (s *Store) abort(txid uint64, orphan bool) {
 	if rec == nil {
 		return
 	}
-	// A replicated prepare owes the stream its decision: the backup
-	// (and the write-ahead log) must release the staged locks too. The
-	// mirror leg is best-effort — locks must come free even when the
-	// backup is unreachable; a missed record surfaces as a loud
-	// sequence gap on the next mirror call.
-	if rec.replicated && s.replicating() {
-		s.emitRecord(kv.ReplRecord{Kind: kv.RecDecide, TxID: txid, Commit: false}, false)
+	s.abortLocked(txid, rec, orphan)
+	s.maybeCheckpointLocked()
+}
+
+// abortLocked resolves a transaction already removed from the prepared
+// table as aborted: decision emitted if owed, locks released, outcome
+// recorded — one repMu critical section with whatever emission preceded
+// it (the commit path's double-fault handling relies on that). Caller
+// holds repMu.
+//
+// A replicated prepare owes the stream its decision: the backup (and
+// the write-ahead log) must release the staged locks too. The mirror
+// leg is best-effort — locks must come free even when the backup is
+// unreachable; a missed record surfaces as a loud sequence gap on the
+// next mirror call.
+func (s *Store) abortLocked(txid uint64, rec *txRecord, orphan bool) {
+	if rec.replicated && s.replicatingLocked() {
+		s.emitLocked(kv.ReplRecord{Kind: kv.RecDecide, TxID: txid, Commit: false}, false)
 	}
 	s.releaseLocks(txid, rec.oids)
 	s.recordDecision(txid, decision{commit: false})
@@ -1428,12 +1767,6 @@ func (s *Store) VersionCount(oid kv.OID) int {
 		return 0
 	}
 	return len(obj.versions)
-}
-
-func (s *Store) hasMirror() bool {
-	s.repMu.Lock()
-	defer s.repMu.Unlock()
-	return s.mirror != nil
 }
 
 // StateDigest returns a deterministic digest of the store's full

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -25,32 +26,57 @@ import (
 // format is length- and checksum-framed, so a torn final record (crash
 // mid-append) is detected and dropped rather than corrupting recovery.
 //
+// A snapshot checkpoint (Store.Checkpoint, or installing a transferred
+// snapshot) ROTATES the log: the file is atomically rewritten to hold a
+// single snapshot frame covering the stream up to the checkpoint, and
+// subsequent records append after it — so a restart replays snapshot +
+// tail instead of the full history, and the file's size is bounded by
+// the checkpoint cadence rather than the store's lifetime.
+//
 // File layout:
 //
-//	8 bytes walMagic — names the record format version. The record
-//	        encoding has no self-description, so a log written by a
-//	        binary with a different kv.ReplRecord layout would replay
-//	        as garbage that the checksums cannot catch (the payloads
-//	        are intact, the FIELDS moved); the magic turns that into a
-//	        loud refusal to start instead of a silent empty store.
-//	then, repeated:
+//	8 bytes walMagic — names the format version. The frame payloads
+//	        have no self-description, so a log written by a binary
+//	        with a different kv.ReplRecord or snapshot layout would
+//	        replay as garbage that the checksums cannot catch (the
+//	        payloads are intact, the FIELDS moved); the magic turns
+//	        that into a loud refusal to start instead of a silent
+//	        empty store.
+//	then, repeated frames:
 //	uint32  payload length
 //	uint32  CRC-32C of payload
-//	payload: kv.EncodeReplRecord — the same serialization mirror RPCs
-//	         and sync batches use, so the log, the wire, and the
-//	         replication log stay byte-for-byte interchangeable
+//	payload: 1 kind byte, then
+//	         walFrameRecord:   kv.EncodeReplRecord — the same
+//	                           serialization mirror RPCs and sync
+//	                           batches use, so the log, the wire, and
+//	                           the replication log stay byte-for-byte
+//	                           interchangeable
+//	         walFrameSnapshot: a piece of the canonical state-snapshot
+//	                           encoding (snapshot.go), split across
+//	                           consecutive frames when larger than
+//	                           walSnapChunkBytes — only ever the
+//	                           leading frames (rotation rewrites the
+//	                           file); replay concatenates them
 
-// walMagic identifies the record format; bump the trailing version
-// digits whenever kv.EncodeReplRecord's layout changes (v2: epoch-
-// stamped records with RecEpoch membership).
-const walMagic = "YSQWAL02"
+// walMagic identifies the format; bump the trailing version digits
+// whenever the frame layout or kv.EncodeReplRecord's layout changes
+// (v2: epoch-stamped records with RecEpoch membership; v3: kind-tagged
+// frames with snapshot checkpoints).
+const walMagic = "YSQWAL03"
+
+// Frame kinds (first payload byte).
+const (
+	walFrameRecord   byte = 1
+	walFrameSnapshot byte = 2
+)
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// wal is an append-only commit log.
+// wal is an append-only commit log with checkpoint rotation.
 type wal struct {
 	mu   sync.Mutex
 	f    *os.File
+	path string
 	sync bool
 }
 
@@ -71,29 +97,122 @@ func openWAL(path string, syncEach bool) (*wal, error) {
 			return nil, fmt.Errorf("kvserver: writing log header: %w", err)
 		}
 	}
-	return &wal{f: f, sync: syncEach}, nil
+	return &wal{f: f, path: path, sync: syncEach}, nil
+}
+
+// writeFrame appends one kind-tagged, checksummed frame to f. The
+// checksum is computed incrementally over kind then data, and the kind
+// byte rides in the header write, so the payload — snapshot chunks run
+// to many MiB — is never copied.
+func writeFrame(f *os.File, kind byte, data []byte) error {
+	var hdr [9]byte
+	hdr[8] = kind
+	crc := crc32.Update(crc32.Checksum(hdr[8:9], crcTable), crcTable, data)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(1+len(data)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc)
+	if _, err := f.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := f.Write(data)
+	return err
 }
 
 func (w *wal) append(rec kv.ReplRecord) error {
 	b := wire.NewBuffer(64)
 	kv.EncodeReplRecord(b, &rec)
-	payload := b.Bytes()
-	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if _, err := w.f.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := w.f.Write(payload); err != nil {
+	if err := writeFrame(w.f, walFrameRecord, b.Bytes()); err != nil {
 		return err
 	}
 	if w.sync {
 		return w.f.Sync()
 	}
 	return nil
+}
+
+// walSnapChunkBytes splits a rotated snapshot across consecutive
+// leading frames: a state larger than one wire frame (64 MiB) must
+// still checkpoint, or its log could never be bounded. A variable so
+// tests can exercise the multi-frame path without gigabytes of state.
+var walSnapChunkBytes = 16 << 20
+
+// rotate atomically replaces the log with one that begins at a
+// snapshot checkpoint: a fresh file holding only the snapshot frames
+// is written beside the log, fsynced, and renamed over it; subsequent
+// appends continue in the new file. swapped reports whether the new
+// file became the log: false on any failure before the rename (the old
+// log and its open handle are kept — a failed rotation costs log-size
+// bounding, never durability), true once the rename lands, even if the
+// follow-up directory fsync fails (the error still reports that the
+// rename's own durability is unestablished).
+func (w *wal) rotate(snapshot []byte) (swapped bool, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return false, fmt.Errorf("kvserver: rotating a closed log")
+	}
+	tmp := w.path + ".ckpt"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return false, fmt.Errorf("kvserver: creating checkpoint log: %w", err)
+	}
+	err = func() error {
+		if _, err := f.WriteString(walMagic); err != nil {
+			return err
+		}
+		for off := 0; ; {
+			end := off + walSnapChunkBytes
+			if end > len(snapshot) {
+				end = len(snapshot)
+			}
+			if err := writeFrame(f, walFrameSnapshot, snapshot[off:end]); err != nil {
+				return err
+			}
+			if off = end; off >= len(snapshot) {
+				break
+			}
+		}
+		return f.Sync()
+	}()
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return false, fmt.Errorf("kvserver: writing checkpoint log: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return false, fmt.Errorf("kvserver: swapping checkpoint log in: %w", err)
+	}
+	// Make the rename itself durable: fsync the parent directory, or a
+	// power loss could resolve the path to the OLD inode — silently
+	// dropping every record fsynced into the new file since the
+	// rotation, the exact guarantee LogSync promises.
+	var dirErr error
+	if dir, err := os.Open(filepath.Dir(w.path)); err != nil {
+		dirErr = err
+	} else {
+		dirErr = dir.Sync()
+		dir.Close()
+	}
+	// The rename made the checkpoint file the log regardless of the
+	// directory fsync's outcome, so the handle swap must happen either
+	// way — appending through the old handle would write to an orphaned
+	// inode. A failed directory fsync is reported (the checkpoint
+	// counts as failed, CheckpointFailures fires): until a later
+	// rotation succeeds, durability rests on which inode the crash
+	// leaves at the path — either replays correctly, but the rotation's
+	// size bound is not established.
+	old := w.f
+	w.f = f
+	old.Sync()
+	old.Close()
+	if dirErr != nil {
+		return true, fmt.Errorf("kvserver: fsyncing log directory after checkpoint swap: %w", dirErr)
+	}
+	return true, nil
 }
 
 func (w *wal) close() error {
@@ -110,15 +229,17 @@ func (w *wal) close() error {
 	return err
 }
 
-// replayWAL reads records until EOF or the first damaged record (a
-// torn tail is normal after a crash; anything after it is ignored).
-func replayWAL(path string) ([]kv.ReplRecord, error) {
+// replayWAL reads the log: optional leading snapshot checkpoint
+// frames (concatenated — rotation splits a large snapshot), then
+// records until EOF or the first damaged frame (a torn tail is normal
+// after a crash; anything after it is ignored).
+func replayWAL(path string) (snapshot []byte, recs []kv.ReplRecord, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("kvserver: opening log for replay: %w", err)
+		return nil, nil, fmt.Errorf("kvserver: opening log for replay: %w", err)
 	}
 	defer f.Close()
 
@@ -127,56 +248,90 @@ func replayWAL(path string) ([]kv.ReplRecord, error) {
 	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
 		// Empty or torn header: the magic is written before any record,
 		// so no durable record can exist yet.
-		return nil, nil
+		return nil, nil, nil
 	case err != nil:
-		return nil, fmt.Errorf("kvserver: reading log header: %w", err)
+		return nil, nil, fmt.Errorf("kvserver: reading log header: %w", err)
 	case string(magic[:]) != walMagic:
-		// A log from a binary with a different record layout must fail
-		// loudly: the per-record checksums cannot detect a field-layout
-		// change, so "recover what parses" would silently lose durable
-		// commits.
-		return nil, fmt.Errorf("kvserver: log %s has unrecognized format %q (want %q): written by an incompatible version; migrate or remove it", path, magic[:], walMagic)
+		// A log from a binary with a different frame or record layout
+		// must fail loudly: the per-frame checksums cannot detect a
+		// layout change, so "recover what parses" would silently lose
+		// durable commits.
+		return nil, nil, fmt.Errorf("kvserver: log %s has unrecognized format %q (want %q): written by an incompatible version; migrate or remove it", path, magic[:], walMagic)
 	}
 
-	var out []kv.ReplRecord
+	inSnapshotPrefix := true
 	for {
 		var hdr [8]byte
 		if _, err := io.ReadFull(f, hdr[:]); err != nil {
-			return out, nil // clean EOF or torn header: stop
+			return snapshot, recs, nil // clean EOF or torn header: stop
 		}
 		n := binary.BigEndian.Uint32(hdr[0:4])
 		want := binary.BigEndian.Uint32(hdr[4:8])
-		if n > uint32(wire.MaxFrameSize) {
-			return out, nil
+		if n == 0 || n > uint32(wire.MaxFrameSize) {
+			return snapshot, recs, nil
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(f, payload); err != nil {
-			return out, nil // torn payload
+			return snapshot, recs, nil // torn payload
 		}
 		if crc32.Checksum(payload, crcTable) != want {
-			return out, nil // corrupt record: stop replay here
+			return snapshot, recs, nil // corrupt frame: stop replay here
 		}
-		rec, err := kv.DecodeReplRecord(wire.NewReader(payload))
-		if err != nil {
-			return out, nil
+		kind, data := payload[0], payload[1:]
+		switch kind {
+		case walFrameSnapshot:
+			if !inSnapshotPrefix {
+				// Rotation rewrites the whole file, so snapshot frames
+				// can only ever lead it; one mid-file is corruption.
+				return snapshot, recs, nil
+			}
+			snapshot = append(snapshot, data...)
+		case walFrameRecord:
+			inSnapshotPrefix = false
+			rec, err := kv.DecodeReplRecord(wire.NewReader(data))
+			if err != nil {
+				return snapshot, recs, nil
+			}
+			recs = append(recs, rec)
+		default:
+			return snapshot, recs, nil
 		}
-		out = append(out, rec)
 	}
 }
 
 // OpenStore builds a store from cfg, replaying the write-ahead log when
-// cfg.LogPath is set. Subsequent stream records append to the same
-// log. Prepares in the log whose decision never made it are left
-// staged in the prepared-transaction table — a retried coordinator
-// decision still lands, and SweepOrphans reaps them if none comes.
+// cfg.LogPath is set: the snapshot checkpoint frame (if the log was
+// ever rotated) is installed first, then the record tail on top of it.
+// Subsequent stream records append to the same log. Prepares in the
+// log whose decision never made it are left staged in the prepared-
+// transaction table — a retried coordinator decision still lands, and
+// SweepOrphans reaps them if none comes.
 func OpenStore(hlc *clock.HLC, cfg Config) (*Store, error) {
 	s := NewStore(hlc, cfg)
 	if cfg.LogPath == "" {
 		return s, nil
 	}
-	recs, err := replayWAL(cfg.LogPath)
+	snapEnc, recs, err := replayWAL(cfg.LogPath)
 	if err != nil {
 		return nil, err
+	}
+	if snapEnc != nil {
+		sn, err := decodeSnapshot(snapEnc)
+		if err != nil {
+			// A checkpoint frame that passed its checksum but does not
+			// decode is a layout incompatibility, not a torn tail: every
+			// record in the file builds on the snapshot, so "recover what
+			// parses" would be an empty store wearing a real log's name.
+			return nil, fmt.Errorf("kvserver: log %s checkpoint snapshot: %w", cfg.LogPath, err)
+		}
+		// The checkpoint is this node's own log, so its prepares get the
+		// normal orphan TTL, not the stream-staged grace.
+		s.repMu.Lock()
+		err = s.installSnapshotLocked(sn, snapEnc, false)
+		s.repMu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("kvserver: log %s checkpoint snapshot: %w", cfg.LogPath, err)
+		}
 	}
 	for _, rec := range recs {
 		if err := s.ApplyReplicated(rec); err != nil {
@@ -205,7 +360,11 @@ func OpenStore(hlc *clock.HLC, cfg Config) (*Store, error) {
 func (s *Store) ApplyReplicated(rec kv.ReplRecord) error {
 	s.repMu.Lock()
 	defer s.repMu.Unlock()
-	return s.applyRecordLocked(rec, false)
+	if err := s.applyRecordLocked(rec, false); err != nil {
+		return err
+	}
+	s.maybeCheckpointLocked()
+	return nil
 }
 
 // ApplyReplicatedSeq installs a replicated record carrying its position
@@ -281,7 +440,7 @@ func (s *Store) applyReplicated(seq uint64, rec kv.ReplRecord, strict bool) erro
 		switch {
 		case seq < s.repSeq:
 			if strict {
-				return fmt.Errorf("%w: replica is ahead of the primary's stream (got seq %d, local head %d): replicas diverged, re-form the pair", kv.ErrBadRequest, seq, s.repSeq)
+				return fmt.Errorf("%w: replica is ahead of the primary's stream (got seq %d, local head %d): re-form the pair", kv.ErrDiverged, seq, s.repSeq)
 			}
 			return nil // duplicate delivery
 		case seq > s.repSeq:
@@ -299,6 +458,22 @@ func (s *Store) applyReplicated(seq uint64, rec kv.ReplRecord, strict bool) erro
 		}
 		next, ok := s.pending[s.repSeq]
 		if !ok {
+			// State is consistent with the stream head here, so this is
+			// a safe point for the log-bound policy (backups append to
+			// their replication log too and must truncate it likewise).
+			// The non-strict path (sync catch-up, WAL replay) enforces
+			// the bound exactly — nobody is blocked on those applies. A
+			// live mirror record has the primary synchronously waiting
+			// for the ack, and an O(state) checkpoint there could
+			// outlast the mirror timeout and fail the primary's commit:
+			// routine truncation is left to the server's checkpoint
+			// ticker, with a hard ceiling at slack times the cap so the
+			// memory bound never rests on a ticker alone.
+			if strict {
+				s.maybeCheckpointSlackLocked(mirrorCheckpointSlack)
+			} else {
+				s.maybeCheckpointLocked()
+			}
 			return nil
 		}
 		delete(s.pending, s.repSeq)
@@ -332,7 +507,7 @@ func (s *Store) applyRecordLocked(rec kv.ReplRecord, viaStream bool) error {
 		delete(s.txs, rec.TxID)
 		s.txMu.Unlock()
 		if txRec == nil {
-			return fmt.Errorf("%w: decision for unknown tx %d: replicas diverged, re-form the pair", kv.ErrBadRequest, rec.TxID)
+			return fmt.Errorf("%w: decision for unknown tx %d: re-form the pair", kv.ErrDiverged, rec.TxID)
 		}
 		if rec.Commit {
 			s.applyStaged(rec.TxID, txRec.oids, rec.TS)
@@ -352,6 +527,7 @@ func (s *Store) applyRecordLocked(rec kv.ReplRecord, viaStream bool) error {
 	s.repSeq++
 	if s.cfg.ReplicationLog {
 		s.commitLog = append(s.commitLog, rec)
+		s.commitLogBytes += recordSize(&rec)
 	}
 	if s.wal != nil {
 		// Best-effort: replicated state is already acknowledged upstream;
@@ -420,7 +596,7 @@ func (s *Store) stageReplicatedPrepare(rec kv.ReplRecord, viaStream bool) error 
 			s.txMu.Lock()
 			delete(s.txs, rec.TxID)
 			s.txMu.Unlock()
-			return fmt.Errorf("%w: replicated prepare for tx %d found %v locked by tx %d: replicas diverged, re-form the pair", kv.ErrBadRequest, rec.TxID, oid, holder)
+			return fmt.Errorf("%w: replicated prepare for tx %d found %v locked by tx %d: re-form the pair", kv.ErrDiverged, rec.TxID, oid, holder)
 		}
 		obj.lock = &lockState{txid: rec.TxID, proposed: rec.TS, ops: byOID[oid], done: make(chan struct{})}
 		sh.mu.Unlock()

@@ -162,6 +162,44 @@ func TestWALAbortedTxNotLogged(t *testing.T) {
 	}
 }
 
+// TestWALCheckpointMultiFrameSnapshot: a rotated snapshot larger than
+// one frame chunk is split across consecutive leading frames and
+// reassembled on replay — the path that keeps stores bigger than the
+// wire frame limit checkpointable.
+func TestWALCheckpointMultiFrameSnapshot(t *testing.T) {
+	old := walSnapChunkBytes
+	walSnapChunkBytes = 128 // force many frames without gigabytes of state
+	defer func() { walSnapChunkBytes = old }()
+
+	path := filepath.Join(t.TempDir(), "store.log")
+	cfg := Config{LogPath: path, ReplicationLog: true}
+	s, err := OpenStore(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		commitPut(t, s, kv.MakeOID(0, uint64(i)), fmt.Sprintf("v%d", i))
+	}
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	commitPut(t, s, kv.MakeOID(0, 99), "tail")
+	digest, seq := s.StateDigest(), s.ReplSeq()
+	s.CloseLog()
+
+	s2, err := OpenStore(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.CloseLog()
+	if got := s2.StateDigest(); got != digest {
+		t.Fatalf("multi-frame restart digest %x != %x", got, digest)
+	}
+	if got := s2.ReplSeq(); got != seq {
+		t.Fatalf("multi-frame restart seq %d != %d", got, seq)
+	}
+}
+
 func TestWALManyCommitsRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "store.log")
 	s, err := OpenStore(nil, Config{LogPath: path}) // no per-commit sync: still ordered

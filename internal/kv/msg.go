@@ -21,6 +21,12 @@ const (
 	// MethodSync streams missed commits from a primary's replication
 	// log to a restarted or fresh backup (see kvserver.Server.SyncFrom).
 	MethodSync = "kv.sync"
+	// MethodSnap transfers a state snapshot, in chunks, to a backup
+	// whose requested sync position predates the server's truncated
+	// replication log (SyncResp.TooOld). The backup installs the
+	// snapshot and resumes a normal log-tail sync from the sequence
+	// number the snapshot covers.
+	MethodSnap = "kv.snap"
 	// MethodLease renews the primary's lease on its backup: the backup
 	// promises not to accept a promotion (epoch bump) until the granted
 	// lease expires, so a partitioned stale primary provably stops
@@ -60,7 +66,7 @@ const maxMembers = 64
 // ReplRecord is one record in a primary's replication stream.
 type ReplRecord struct {
 	Kind    uint8
-	Epoch   uint64    // group epoch when emitted; for RecEpoch, the new epoch
+	Epoch   uint64 // group epoch when emitted; for RecEpoch, the new epoch
 	TxID    uint64
 	TS      Timestamp // commit timestamp; for RecPrepare, the proposed timestamp
 	Commit  bool      // RecDecide only: commit (true) or abort (false)
@@ -230,11 +236,17 @@ type SyncRec struct {
 
 // SyncResp carries a slice of the primary's replication log. Head is
 // the primary's next sequence number at response time, so the caller
-// knows how far behind it still is.
+// knows how far behind it still is. TooOld reports that the requested
+// position predates LogBase — the server truncated its log below it at
+// a snapshot checkpoint — so no records can answer the request: the
+// caller must install a state snapshot (MethodSnap) and resume the
+// log-tail sync from the sequence number the snapshot covers.
 type SyncResp struct {
 	Records []SyncRec
 	Head    uint64
 	Clock   Timestamp
+	TooOld  bool
+	LogBase uint64 // oldest sequence number still in the server's log
 }
 
 func (m *SyncResp) Encode() []byte {
@@ -247,6 +259,8 @@ func (m *SyncResp) Encode() []byte {
 	}
 	b.PutUvarint(m.Head)
 	b.PutUint64(uint64(m.Clock))
+	b.PutBool(m.TooOld)
+	b.PutUvarint(m.LogBase)
 	return b.Bytes()
 }
 
@@ -271,6 +285,96 @@ func DecodeSyncResp(p []byte) (*SyncResp, error) {
 		m.Records = append(m.Records, rec)
 	}
 	if m.Head, err = r.Uvarint(); err != nil {
+		return nil, err
+	}
+	ck, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	m.Clock = Timestamp(ck)
+	if m.TooOld, err = r.Bool(); err != nil {
+		return nil, err
+	}
+	if m.LogBase, err = r.Uvarint(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SnapReq asks for one chunk of a state snapshot. ID 0 begins a new
+// transfer: the server captures a fresh snapshot at its current stream
+// head, assigns a session id, and answers with chunk 0; the caller then
+// requests the remaining chunks carrying the assigned ID. Chunks of one
+// session are slices of a single consistent snapshot — mixing IDs would
+// splice two different states, so the server rejects unknown sessions
+// instead of guessing.
+type SnapReq struct {
+	ID    uint64
+	Chunk uint32
+}
+
+func (m *SnapReq) Encode() []byte {
+	b := wire.NewBuffer(16)
+	b.PutUvarint(m.ID)
+	b.PutUint32(m.Chunk)
+	return b.Bytes()
+}
+
+func DecodeSnapReq(p []byte) (*SnapReq, error) {
+	r := wire.NewReader(p)
+	m := &SnapReq{}
+	var err error
+	if m.ID, err = r.Uvarint(); err != nil {
+		return nil, err
+	}
+	if m.Chunk, err = r.Uint32(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SnapResp carries one chunk of a state snapshot. Seq is the stream
+// sequence number the snapshot covers (the installer's log-tail sync
+// resumes there); Chunks is the total count, so the caller knows when
+// the transfer is complete. Data is an opaque slice of the snapshot's
+// canonical encoding — the storage layer owns the format.
+type SnapResp struct {
+	ID     uint64
+	Seq    uint64
+	Chunk  uint32
+	Chunks uint32
+	Data   []byte
+	Clock  Timestamp
+}
+
+func (m *SnapResp) Encode() []byte {
+	b := wire.NewBuffer(48 + len(m.Data))
+	b.PutUvarint(m.ID)
+	b.PutUvarint(m.Seq)
+	b.PutUint32(m.Chunk)
+	b.PutUint32(m.Chunks)
+	b.PutBytes(m.Data)
+	b.PutUint64(uint64(m.Clock))
+	return b.Bytes()
+}
+
+func DecodeSnapResp(p []byte) (*SnapResp, error) {
+	r := wire.NewReader(p)
+	m := &SnapResp{}
+	var err error
+	if m.ID, err = r.Uvarint(); err != nil {
+		return nil, err
+	}
+	if m.Seq, err = r.Uvarint(); err != nil {
+		return nil, err
+	}
+	if m.Chunk, err = r.Uint32(); err != nil {
+		return nil, err
+	}
+	if m.Chunks, err = r.Uint32(); err != nil {
+		return nil, err
+	}
+	if m.Data, err = r.BytesCopy(); err != nil {
 		return nil, err
 	}
 	ck, err := r.Uint64()

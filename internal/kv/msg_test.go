@@ -5,6 +5,27 @@ import (
 	"testing"
 )
 
+// TestSnapMessagesRoundTrip covers the chunked state-transfer pair.
+func TestSnapMessagesRoundTrip(t *testing.T) {
+	req := &SnapReq{ID: 7, Chunk: 3}
+	gotReq, err := DecodeSnapReq(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *gotReq != *req {
+		t.Fatalf("snap req: %+v != %+v", gotReq, req)
+	}
+	resp := &SnapResp{ID: 7, Seq: 1234, Chunk: 3, Chunks: 9, Data: []byte("opaque snapshot slice"), Clock: 55}
+	gotResp, err := DecodeSnapResp(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotResp.ID != resp.ID || gotResp.Seq != resp.Seq || gotResp.Chunk != resp.Chunk ||
+		gotResp.Chunks != resp.Chunks || gotResp.Clock != resp.Clock || !bytes.Equal(gotResp.Data, resp.Data) {
+		t.Fatalf("snap resp: %+v != %+v", gotResp, resp)
+	}
+}
+
 // sampleOps covers every op kind, including nil/empty byte-slice edge
 // cases the wire format distinguishes.
 func sampleOps() []*Op {
@@ -126,6 +147,9 @@ func TestSyncReqRoundTrip(t *testing.T) {
 func TestSyncRespRoundTrip(t *testing.T) {
 	cases := []SyncResp{
 		{Records: nil, Head: 0, Clock: 5},
+		// The truncation signal a snapshot-era server sends a too-old
+		// backup: no records, install a snapshot and resume at LogBase+.
+		{Records: nil, Head: 70, Clock: 6, TooOld: true, LogBase: 64},
 		{
 			Records: []SyncRec{
 				{Seq: 0, Rec: ReplRecord{Kind: RecCommit, TxID: 1, TS: 10, Ops: sampleOps()[:3]}},
@@ -145,6 +169,10 @@ func TestSyncRespRoundTrip(t *testing.T) {
 		if out.Head != in.Head || out.Clock != in.Clock || len(out.Records) != len(in.Records) {
 			t.Fatalf("case %d: got head=%d clock=%d n=%d, want head=%d clock=%d n=%d",
 				i, out.Head, out.Clock, len(out.Records), in.Head, in.Clock, len(in.Records))
+		}
+		if out.TooOld != in.TooOld || out.LogBase != in.LogBase {
+			t.Fatalf("case %d: got tooOld=%v base=%d, want tooOld=%v base=%d",
+				i, out.TooOld, out.LogBase, in.TooOld, in.LogBase)
 		}
 		for j := range in.Records {
 			if out.Records[j].Seq != in.Records[j].Seq {
