@@ -29,6 +29,8 @@ func main() {
 	replLogMax := flag.Int("replication-log-max", 0, "bound the in-memory replication log to this many records: beyond it the server checkpoints (state snapshot + WAL rotation) and truncates, and backups too far behind catch up by snapshot transfer (0 = unbounded)")
 	syncFrom := flag.String("sync-from", "", "primary address to stream missed commits from before serving (join or rejoin a replication group as its backup)")
 	lease := flag.Duration("lease", 2*time.Second, "primary lease duration (epoch-bearing groups: how long the primary may serve after its last backup ack, and how long a promotion must wait)")
+	mirrorBatch := flag.Int("mirror-batch", 256, "max stream records per group-commit mirror batch RPC (batches are also byte-capped under the frame limit)")
+	groupCommitInterval := flag.Duration("group-commit-interval", 0, "how long the replication pipeline waits after waking before flushing, letting a batch build (0 = flush as soon as free)")
 	statsEvery := flag.Duration("stats", 0, "periodically log epoch, role, lease state, and activity counters (0 = off)")
 	flag.Parse()
 
@@ -44,6 +46,8 @@ func main() {
 		ReplicationLog:           keepRepLog,
 		ReplicationLogMaxRecords: *replLogMax,
 		LeaseDuration:            *lease,
+		MirrorBatchMaxRecords:    *mirrorBatch,
+		GroupCommitInterval:      *groupCommitInterval,
 	})
 	if err != nil {
 		log.Fatalf("yesqueld: %v", err)
@@ -78,10 +82,11 @@ func main() {
 			defer t.Stop()
 			for range t.C {
 				st := srv.Stats()
-				log.Printf("yesqueld: epoch=%d role=%s members=%v lease_valid=%v bumps=%d wrong_epoch_rejects=%d reads=%d commits=%d fastcommits=%d conflicts=%d orphan_aborts=%d checkpoints=%d ckpt_failures=%d log_truncated=%d snaps_served=%d snaps_installed=%d",
+				log.Printf("yesqueld: epoch=%d role=%s members=%v lease_valid=%v bumps=%d wrong_epoch_rejects=%d reads=%d commits=%d fastcommits=%d conflicts=%d orphan_aborts=%d checkpoints=%d ckpt_failures=%d log_truncated=%d snaps_served=%d snaps_installed=%d mirror_batches=%d mirror_batch_records=%d wal_syncs=%d wal_failures=%d",
 					st.Epoch, st.Role, st.Members, st.LeaseValid, st.EpochBumps, st.WrongEpochRejects,
 					st.Reads, st.Commits, st.FastCommits, st.Conflicts, st.OrphanAborts,
-					st.Checkpoints, st.CheckpointFailures, st.LogRecordsTruncated, st.SnapshotsServed, st.SnapshotsInstalled)
+					st.Checkpoints, st.CheckpointFailures, st.LogRecordsTruncated, st.SnapshotsServed, st.SnapshotsInstalled,
+					st.MirrorBatches, st.MirrorBatchRecords, st.WALSyncs, st.WALFailures)
 			}
 		}()
 	}

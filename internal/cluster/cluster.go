@@ -276,6 +276,10 @@ func (cl *Cluster) Stats() kvserver.StatsSnapshot {
 		out.LogRecordsTruncated += st.LogRecordsTruncated
 		out.SnapshotsServed += st.SnapshotsServed
 		out.SnapshotsInstalled += st.SnapshotsInstalled
+		out.MirrorBatches += st.MirrorBatches
+		out.MirrorBatchRecords += st.MirrorBatchRecords
+		out.WALSyncs += st.WALSyncs
+		out.WALFailures += st.WALFailures
 	}
 	return out
 }

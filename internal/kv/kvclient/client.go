@@ -456,6 +456,16 @@ func translateRPCErr(err error) error {
 	var app *rpc.AppError
 	if errors.As(err, &app) {
 		switch {
+		case strings.Contains(app.Msg, kv.ErrUncertain.Error()):
+			// A commit that failed its replication/durability wait: the
+			// record is in the primary's local stream but the backup's
+			// acknowledgment never came, so whether it survives a
+			// failover is unknown — the same contract as a lost ack.
+			// Matched FIRST: the message embeds the underlying batch
+			// error, which may itself name wrong-epoch/conflict/bad-
+			// request — sentinels whose contracts promise the operation
+			// was NOT executed, the opposite of what happened here.
+			return fmt.Errorf("%w: %s", kv.ErrUncertain, app.Msg)
 		case strings.Contains(app.Msg, kv.ErrConflict.Error()):
 			return fmt.Errorf("%w: %s", kv.ErrConflict, app.Msg)
 		case strings.Contains(app.Msg, kv.ErrWrongEpoch.Error()):

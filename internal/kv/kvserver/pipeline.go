@@ -1,0 +1,605 @@
+package kvserver
+
+// Group-commit replication pipeline. Record EMISSION (under repMu:
+// sequence assignment, epoch stamp, replication-log append, applying
+// the record's effects) is decoupled from the DURABILITY WAIT: instead
+// of a synchronous per-record mirror RPC and WAL fsync inside the
+// stream lock, emission enqueues the record here and a per-store
+// flusher goroutine coalesces whatever accumulated into one
+// MirrorBatchReq RPC (one round trip, one lease extension, one
+// backup-side contiguous apply) and one batched WAL append (one
+// buffer, one file write, one fsync). Committers block on the
+// DURABILITY WATERMARK — the highest sequence number both acknowledged
+// by the backup and fsynced — before acknowledging the client, so the
+// guarantee "an acked write survives primary failure" is unchanged
+// while N concurrent writers share each round trip and fsync.
+//
+// Failure semantics are watermark semantics, replacing the strict
+// per-record mirror: a batch that fails (backup dead, gap, divergence,
+// epoch reject) fails every waiter whose record rode in it, with the
+// batch's error; the records stay in the primary's local stream
+// (their effects were applied at emission), so the failed waiters'
+// clients must treat the outcome as uncertain — exactly the guarantee
+// they already get from a lost acknowledgment. Whether the backup
+// applied the batch or not, the next batch is loud: either it
+// continues contiguously (the ack was lost, the stream is intact) or
+// the backup reports the gap/divergence per its existing checks.
+// Waiters never succeed on a record the backup did not apply: the only
+// ack path is a successful batch RPC covering the record's sequence
+// number (or an explicit operator detach, which removes the
+// replication requirement itself and fails — not acks — the waiters
+// already in flight).
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"yesquel/internal/kv"
+)
+
+// mirrorBatchBytes caps one mirror batch's estimated payload,
+// comfortably under the wire frame limit (mirroring syncBatchBytes).
+const mirrorBatchBytes = 4 << 20
+
+// replWaitTimeout bounds a durability wait. The worst legitimate case
+// is a record emitted just after a batch departed toward a slow (but
+// within-timeout) backup: it waits out that in-flight round trip, a
+// coalescing interval, and its own batch's round trip — so the bound
+// must exceed two mirror timeouts plus the maximum interval, or a
+// healthy-but-slow backup would fail every commit spuriously. A
+// waiter whose record is never covered by an ack (e.g. the batch
+// carrying it failed after the waiter registered, or the backup
+// silently swallowed a batch) fails loudly at this bound instead of
+// wedging the client forever.
+const replWaitTimeout = 2*mirrorTimeout + maxGroupCommitInterval + 2*time.Second
+
+// pipeWaiter is one durability wait: ch receives nil once seq is
+// durable, or the error that made it impossible.
+type pipeWaiter struct {
+	seq uint64
+	ch  chan error
+}
+
+// replPipe is the per-store pipeline state. Lock order: repMu before
+// pipe.mu before wal.mu; pipe.mu is never held across network or disk
+// I/O except by the checkpoint drain, which holds repMu anyway.
+type replPipe struct {
+	mu sync.Mutex
+	// walDone signals walFlushing transitions (checkpoint drains wait
+	// for the in-flight WAL write so rotation cannot strand records).
+	walDone *sync.Cond
+
+	// sendQ holds emitted records awaiting a mirror batch (only
+	// populated while a sender is attached); walQ holds records
+	// awaiting the batched write-ahead-log append.
+	sendQ []kv.SyncRec
+	walQ  []kv.ReplRecord
+	// walQEnd is the sequence number after walQ's last record.
+	walQEnd uint64
+
+	// Watermarks: acks cover seq < mirrored, the WAL covers seq <
+	// synced (fsynced when LogSync). durableLocked combines them.
+	mirrored uint64
+	synced   uint64
+
+	// mirrorOn: a sender is attached, waiters require the mirror ack.
+	// needWAL: the store has a write-ahead log, waiters require the
+	// synced watermark — which advances only once a batch is WRITTEN
+	// to the file (and fsynced, when LogSync is set), so an acked
+	// commit is never still sitting in the in-memory queue when the
+	// process dies (the pre-batching write-then-ack contract).
+	mirrorOn bool
+	needWAL  bool
+	sender   func([]kv.SyncRec) error
+
+	waiters []pipeWaiter
+
+	// failRanges records sequence windows whose replication can never
+	// complete — records emitted under a mirror that was detached or
+	// replaced before acknowledging them. A waiter for such a record
+	// must FAIL (uncertain) even if it registers after the detach
+	// already ran: the detach drops the records from the send queue
+	// and clears mirrorOn, so without this record the late waiter
+	// would see "no mirror required" and ack a record no backup ever
+	// applied. Bounded: one entry per detach/replace event, oldest
+	// dropped past failRangesMax (by then every possible waiter has
+	// long timed out).
+	failRanges []failRange
+
+	// wal mirrors s.wal for the flusher: s.wal is written under repMu
+	// (OpenStore, snapshot-install failure), which the flusher never
+	// holds, so it reads this copy under pipe.mu instead.
+	wal *wal
+
+	// walFlushing marks an in-flight batched WAL write (the flusher
+	// holds it across appendBatch only, never across the mirror RPC).
+	walFlushing bool
+
+	// flushMu serializes whole flush passes (batch grab + I/O +
+	// watermark update): a stop/start race (detach then prompt
+	// re-attach) can briefly leave an old flusher goroutine finishing
+	// its drain while the new one starts, and two concurrent passes
+	// could otherwise send mirror batches out of sequence order.
+	flushMu sync.Mutex
+
+	// stopCh is non-nil while the flusher goroutine runs.
+	stopCh chan struct{}
+	wake   chan struct{}
+}
+
+func (s *Store) initPipe() {
+	s.pipe.walDone = sync.NewCond(&s.pipe.mu)
+	s.pipe.wake = make(chan struct{}, 1)
+}
+
+// failRange is one permanently unackable window of the stream (see
+// replPipe.failRanges).
+type failRange struct {
+	from, to uint64
+	err      error
+}
+
+const failRangesMax = 32
+
+// failureFor returns the permanent failure covering seq, if any.
+// Caller holds pipe.mu.
+func (p *replPipe) failureFor(seq uint64) error {
+	for i := range p.failRanges {
+		if seq >= p.failRanges[i].from && seq < p.failRanges[i].to {
+			return p.failRanges[i].err
+		}
+	}
+	return nil
+}
+
+// durableLocked reports whether the record at seq satisfies every
+// durability requirement currently in force. Caller holds pipe.mu.
+func (p *replPipe) durableLocked(seq uint64) bool {
+	if p.mirrorOn && seq >= p.mirrored {
+		return false
+	}
+	if p.needWAL && seq >= p.synced {
+		return false
+	}
+	return true
+}
+
+// enqueueLocked hands one emitted record to the pipeline. Caller holds
+// repMu (emission order is queue order is stream order).
+func (s *Store) enqueueLocked(seq uint64, rec kv.ReplRecord) {
+	p := &s.pipe
+	p.mu.Lock()
+	queued := false
+	if p.sender != nil {
+		p.sendQ = append(p.sendQ, kv.SyncRec{Seq: seq, Rec: rec})
+		queued = true
+	}
+	if s.wal != nil {
+		p.walQ = append(p.walQ, rec)
+		p.walQEnd = seq + 1
+		queued = true
+	}
+	p.mu.Unlock()
+	if queued {
+		s.wakeFlusher()
+	}
+}
+
+func (s *Store) wakeFlusher() {
+	select {
+	case s.pipe.wake <- struct{}{}:
+	default:
+	}
+}
+
+// waitReplicated blocks until the record at seq is durable under the
+// store's configured guarantees — acknowledged by the attached mirror,
+// and fsynced when LogSync — or returns the error that failed it.
+// Callers must NOT hold repMu: the wait happening outside the stream
+// lock is the whole point of group commit.
+func (s *Store) waitReplicated(seq uint64) error {
+	p := &s.pipe
+	p.mu.Lock()
+	if err := p.failureFor(seq); err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	if p.durableLocked(seq) {
+		p.mu.Unlock()
+		return nil
+	}
+	w := pipeWaiter{seq: seq, ch: make(chan error, 1)}
+	p.waiters = append(p.waiters, w)
+	p.mu.Unlock()
+	t := time.NewTimer(replWaitTimeout)
+	defer t.Stop()
+	select {
+	case err := <-w.ch:
+		return err
+	case <-t.C:
+		p.mu.Lock()
+		for i := range p.waiters {
+			if p.waiters[i].ch == w.ch {
+				p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+				break
+			}
+		}
+		p.mu.Unlock()
+		// The waiter may have been completed between the timeout and
+		// the removal; prefer that result.
+		select {
+		case err := <-w.ch:
+			return err
+		default:
+		}
+		return fmt.Errorf("kvserver: timed out awaiting replication of seq %d", seq)
+	}
+}
+
+// completeWaitersLocked answers every waiter that is now durable, and
+// fails those in [failFrom, failTo) with failErr (a failed batch).
+// Caller holds pipe.mu.
+func (p *replPipe) completeWaitersLocked(failErr error, failFrom, failTo uint64) {
+	keep := p.waiters[:0]
+	for _, w := range p.waiters {
+		switch {
+		case failErr != nil && w.seq >= failFrom && w.seq < failTo:
+			w.ch <- failErr
+		case p.durableLocked(w.seq):
+			w.ch <- nil
+		default:
+			keep = append(keep, w)
+		}
+	}
+	// Zero the tail so completed waiters' channels are collectable.
+	for i := len(keep); i < len(p.waiters); i++ {
+		p.waiters[i] = pipeWaiter{}
+	}
+	p.waiters = keep
+}
+
+// AttachMirrorBatch installs send as the replication batch sender and
+// returns the sequence number the next stream record will carry — the
+// watermark a backup attached mid-life must sync up to. The pipeline's
+// mirror watermark restarts at the stream head (nothing below it needs
+// this backup's ack; a resync is responsible for the history). Pass
+// nil to detach: queued-but-unsent records are dropped from the send
+// queue and waiters still awaiting a mirror ack FAIL — detaching must
+// never ack a record the (now removed) backup did not apply; new
+// records emitted after the detach simply no longer require an ack.
+func (s *Store) AttachMirrorBatch(send func([]kv.SyncRec) error) uint64 {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	p := &s.pipe
+	p.mu.Lock()
+	if send != nil {
+		if p.mirrorOn {
+			// Replacing a live mirror: records still awaiting the OLD
+			// backup's ack must fail (uncertain), not be silently
+			// re-homed — the new backup only receives them later, via
+			// the resync the returned watermark demands, and an ack
+			// must never race that.
+			p.failMirrorWindowLocked(s.repSeq, fmt.Errorf("kvserver: mirror replaced while awaiting replication"))
+		}
+		p.sender = send
+		p.mirrorOn = true
+		p.mirrored = s.repSeq
+		p.sendQ = nil
+		p.mu.Unlock()
+		s.hasMirror.Store(true)
+		s.startFlusherLocked()
+		return s.repSeq
+	}
+	p.sender = nil
+	p.sendQ = nil
+	if p.mirrorOn {
+		// Fail — do not ack — records that were still awaiting the old
+		// backup's acknowledgment; records emitted from here on simply
+		// no longer require one.
+		p.failMirrorWindowLocked(s.repSeq, fmt.Errorf("kvserver: mirror detached while awaiting replication"))
+		p.mirrorOn = false
+		// Remaining waiters no longer need a mirror ack; some may be
+		// durable already.
+		p.completeWaitersLocked(nil, 0, 0)
+	}
+	p.mu.Unlock()
+	s.hasMirror.Store(false)
+	if s.wal == nil {
+		s.stopFlusher()
+	}
+	return s.repSeq
+}
+
+// failMirrorWindowLocked permanently fails the unacknowledged window
+// [mirrored, head): registered waiters in it get err now, and the
+// window is recorded so a waiter registering later (its committer had
+// released repMu but not yet called waitReplicated when the mirror
+// went away) fails identically instead of slipping past a cleared
+// mirrorOn. Caller holds pipe.mu.
+func (p *replPipe) failMirrorWindowLocked(head uint64, err error) {
+	if head > p.mirrored {
+		p.failRanges = append(p.failRanges, failRange{from: p.mirrored, to: head, err: err})
+		if len(p.failRanges) > failRangesMax {
+			p.failRanges = append(p.failRanges[:0], p.failRanges[len(p.failRanges)-failRangesMax:]...)
+		}
+	}
+	keep := p.waiters[:0]
+	for _, w := range p.waiters {
+		if w.seq >= p.mirrored {
+			w.ch <- err
+			continue
+		}
+		keep = append(keep, w)
+	}
+	for i := len(keep); i < len(p.waiters); i++ {
+		p.waiters[i] = pipeWaiter{}
+	}
+	p.waiters = keep
+}
+
+// AttachMirror installs fn as a per-record replication hook — the
+// pre-batching interface, kept for tests and hand-wired pairs. It
+// adapts fn into a batch sender that replays the batch record by
+// record; semantics are otherwise identical to AttachMirrorBatch.
+func (s *Store) AttachMirror(fn func(seq uint64, rec kv.ReplRecord) error) uint64 {
+	if fn == nil {
+		return s.AttachMirrorBatch(nil)
+	}
+	return s.AttachMirrorBatch(func(recs []kv.SyncRec) error {
+		for i := range recs {
+			if err := fn(recs[i].Seq, recs[i].Rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// startFlusherLocked starts the flusher goroutine if it is not already
+// running. Caller holds repMu (OpenStore and attach paths).
+func (s *Store) startFlusherLocked() {
+	p := &s.pipe
+	p.mu.Lock()
+	if p.stopCh == nil {
+		p.stopCh = make(chan struct{})
+		go s.flushLoop(p.stopCh)
+	}
+	p.mu.Unlock()
+}
+
+func (s *Store) stopFlusher() {
+	p := &s.pipe
+	p.mu.Lock()
+	stop := p.stopCh
+	p.stopCh = nil
+	p.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+}
+
+// flushLoop is the pipeline's sender: woken by emissions, it drains
+// the queues in batches until empty, then sleeps. With a configured
+// GroupCommitInterval it waits that long after the first wake to let a
+// batch build; at the default (0) it flushes as soon as it is free —
+// a lone writer pays no added latency, while concurrent writers
+// naturally coalesce into whatever accumulated during the previous
+// batch's round trip.
+func (s *Store) flushLoop(stopCh chan struct{}) {
+	for {
+		select {
+		case <-stopCh:
+			return
+		case <-s.pipe.wake:
+		}
+		if d := s.cfg.GroupCommitInterval; d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-stopCh:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		for s.flushOnce() {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// flushOnce sends one mirror batch and performs one batched WAL append
+// (in parallel — their order never mattered: the old path mirrored
+// before logging), then advances the watermarks and completes waiters.
+// It reports whether it did any work.
+func (s *Store) flushOnce() bool {
+	p := &s.pipe
+	p.flushMu.Lock()
+	defer p.flushMu.Unlock()
+	p.mu.Lock()
+	send, sendFrom, sendTo := p.takeSendBatchLocked(s.cfg.MirrorBatchMaxRecords)
+	walRecs := p.walQ
+	walTo := p.walQEnd
+	p.walQ = nil
+	sender := p.sender
+	w := p.wal
+	if len(walRecs) > 0 {
+		p.walFlushing = true
+	}
+	p.mu.Unlock()
+	if len(send) == 0 && len(walRecs) == 0 {
+		return false
+	}
+
+	var mirrorErr, walErr error
+	walSynced := false
+	var wg sync.WaitGroup
+	if len(walRecs) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			walSynced, walErr = walAppendBatch(w, walRecs)
+		}()
+	}
+	if len(send) > 0 && sender != nil {
+		mirrorErr = sender(send)
+	}
+	wg.Wait()
+
+	p.mu.Lock()
+	if len(walRecs) > 0 {
+		p.walFlushing = false
+		p.walDone.Broadcast()
+		if walErr == nil {
+			if walTo > p.synced {
+				p.synced = walTo
+			}
+			if walSynced {
+				s.stats.WALSyncs.Add(1)
+			}
+		} else {
+			// Re-queue the failed batch AT THE FRONT: the records must
+			// reach the file in stream order with no gap (the wal's
+			// torn-tail repair assumes the retry starts exactly where
+			// the clean prefix ends), so they go out again before
+			// anything emitted since. Their waiters keep waiting — the
+			// retry may well succeed (transient disk error) and ack
+			// them; if the disk stays broken they time out as
+			// uncertain. A delayed self-wake drives the retry even if
+			// no new emission comes.
+			s.stats.WALFailures.Add(1)
+			p.walQ = append(walRecs, p.walQ...)
+			time.AfterFunc(walRetryDelay, s.wakeFlusher)
+		}
+	}
+	if len(send) > 0 {
+		if mirrorErr == nil {
+			if sendTo > p.mirrored {
+				p.mirrored = sendTo
+			}
+			s.stats.MirrorBatches.Add(1)
+			s.stats.MirrorBatchRecords.Add(uint64(len(send)))
+		}
+	}
+	// A failed mirror batch fails exactly the waiters whose records
+	// rode in it; later waiters are judged by their own batches (the
+	// backup's contiguity checks make a silent gap impossible).
+	if mirrorErr != nil {
+		p.completeWaitersLocked(mirrorErr, sendFrom, sendTo)
+	} else {
+		p.completeWaitersLocked(nil, 0, 0)
+	}
+	p.mu.Unlock()
+	return true
+}
+
+// walRetryDelay paces retries of a failed batched WAL append, so a
+// persistently broken disk does not spin the flusher.
+const walRetryDelay = 100 * time.Millisecond
+
+// takeSendBatchLocked slices the next mirror batch off sendQ, bounded
+// by maxRecs and mirrorBatchBytes (at least one record always goes —
+// it crossed the wire once already, so it fits a frame). Caller holds
+// pipe.mu.
+func (p *replPipe) takeSendBatchLocked(maxRecs int) (batch []kv.SyncRec, from, to uint64) {
+	if len(p.sendQ) == 0 || p.sender == nil {
+		return nil, 0, 0
+	}
+	if maxRecs <= 0 || maxRecs > len(p.sendQ) {
+		maxRecs = len(p.sendQ)
+	}
+	n, bytes := 0, 0
+	for n < maxRecs {
+		sz := recordSize(&p.sendQ[n].Rec)
+		if n > 0 && bytes+sz > mirrorBatchBytes {
+			break
+		}
+		bytes += sz
+		n++
+	}
+	batch = p.sendQ[:n:n]
+	p.sendQ = p.sendQ[n:]
+	if len(p.sendQ) == 0 {
+		p.sendQ = nil
+	}
+	return batch, batch[0].Seq, batch[n-1].Seq + 1
+}
+
+// walAppendBatch writes recs to the WAL in one batched append and
+// reports whether the append ended in an fsync. The wal pointer is the
+// caller's snapshot (pipe.wal under pipe.mu, or s.wal under repMu) —
+// the flusher must not read s.wal directly, which is written under
+// repMu.
+func walAppendBatch(w *wal, recs []kv.ReplRecord) (synced bool, err error) {
+	if w == nil {
+		return false, nil
+	}
+	return w.appendBatch(recs)
+}
+
+// discardWALLocked waits out any in-flight batched append and drops
+// the queued records without writing them — used when a snapshot
+// install supersedes them (the snapshot covers their effects, and the
+// log file is about to be replaced wholesale). Caller holds repMu.
+func (s *Store) discardWALLocked() {
+	if s.wal == nil {
+		return
+	}
+	p := &s.pipe
+	p.mu.Lock()
+	for p.walFlushing {
+		p.walDone.Wait()
+	}
+	p.walQ = nil
+	p.mu.Unlock()
+}
+
+// drainWALLocked forces every queued WAL record into the file before a
+// checkpoint rotation: a record left in the queue across the rotation
+// would be appended AFTER a snapshot that already covers it and
+// double-apply on replay. It waits out any in-flight batched append
+// (bounded: one file write + fsync, never a network call), then writes
+// the remainder itself. Caller holds repMu, so no new records can be
+// emitted while it runs. It reports whether the file now holds every
+// queued record — false means the records were re-queued for the
+// flusher's retry and the caller MUST NOT rotate (the still-queued
+// records are below the would-be snapshot's coverage; teed into its
+// tail by a later flush they would double-apply on replay).
+func (s *Store) drainWALLocked() bool {
+	if s.wal == nil {
+		return true
+	}
+	p := &s.pipe
+	p.mu.Lock()
+	for p.walFlushing {
+		p.walDone.Wait()
+	}
+	recs := p.walQ
+	to := p.walQEnd
+	p.walQ = nil
+	p.mu.Unlock()
+	if len(recs) == 0 {
+		return true
+	}
+	synced, err := walAppendBatch(s.wal, recs)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		s.stats.WALFailures.Add(1)
+		p.walQ = append(recs, p.walQ...)
+		time.AfterFunc(walRetryDelay, s.wakeFlusher)
+		return false
+	}
+	if to > p.synced {
+		p.synced = to
+	}
+	if synced {
+		s.stats.WALSyncs.Add(1)
+	}
+	p.completeWaitersLocked(nil, 0, 0)
+	return true
+}

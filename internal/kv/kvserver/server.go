@@ -78,6 +78,7 @@ func NewServer(store *Store) *Server {
 	s.rpc.Register(kv.MethodFastCommit, s.handleFastCommit)
 	s.rpc.Register(kv.MethodPing, s.handlePing)
 	s.rpc.Register(kv.MethodMirror, s.handleMirror)
+	s.rpc.Register(kv.MethodMirrorBatch, s.handleMirrorBatch)
 	s.rpc.Register(kv.MethodSync, s.handleSync)
 	s.rpc.Register(kv.MethodSnap, s.handleSnap)
 	s.rpc.Register(kv.MethodLease, s.handleLease)
@@ -95,17 +96,21 @@ func (s *Server) ack() []byte {
 	}).Encode()
 }
 
-// AttachBackup makes this server a primary that synchronously
-// replicates every stream record — commits, two-phase prepares, and
-// phase-two decisions — to the backup at addr before acknowledging it;
-// on primary failure, clients fail over to the backup and see every
-// acknowledged write, and the backup holds every prepared in-flight
-// transaction, so a coordinator can still drive (or the orphan sweep
-// eventually aborts) cross-server transactions caught between the vote
-// and phase two. It returns the replication-stream watermark: the
-// backup holds every acknowledged record once it has synced up to that
-// sequence number (a fresh pair starts at 0 and needs no sync; a
-// backup attached mid-life calls SyncFrom with it).
+// AttachBackup makes this server a primary that replicates every
+// stream record — commits, two-phase prepares, and phase-two decisions
+// — to the backup at addr before acknowledging it; on primary failure,
+// clients fail over to the backup and see every acknowledged write,
+// and the backup holds every prepared in-flight transaction, so a
+// coordinator can still drive (or the orphan sweep eventually aborts)
+// cross-server transactions caught between the vote and phase two.
+// Replication is pipelined group commit: the store's batcher coalesces
+// concurrently emitted records into one MirrorBatchReq round trip
+// whose single acknowledgment covers — and extends the lease for —
+// the whole batch; committers are acknowledged only once their record
+// is covered (see pipeline.go). It returns the replication-stream
+// watermark: the backup holds every acknowledged record once it has
+// synced up to that sequence number (a fresh pair starts at 0 and
+// needs no sync; a backup attached mid-life calls SyncFrom with it).
 func (s *Server) AttachBackup(addr string) (uint64, error) {
 	conn, err := rpc.Dial(addr)
 	if err != nil {
@@ -115,9 +120,9 @@ func (s *Server) AttachBackup(addr string) (uint64, error) {
 		s.mirrorConn.Close()
 	}
 	s.mirrorConn = conn
-	watermark := s.store.AttachMirror(func(seq uint64, rec kv.ReplRecord) error {
-		req := kv.MirrorReq{Seq: seq, Rec: rec}
-		return s.callExtendingLease(conn, kv.MethodMirror, req.Encode())
+	watermark := s.store.AttachMirrorBatch(func(recs []kv.SyncRec) error {
+		req := kv.MirrorBatchReq{Recs: recs}
+		return s.callExtendingLease(conn, kv.MethodMirrorBatch, req.Encode())
 	})
 	s.startLeaseLoop(conn)
 	return watermark, nil
@@ -308,6 +313,20 @@ func (s *Server) handleMirror(_ context.Context, p []byte) ([]byte, error) {
 		return nil, err
 	}
 	if err := s.store.ApplyMirrored(req.Seq, req.Rec); err != nil {
+		return nil, err
+	}
+	return s.ack(), nil
+}
+
+// handleMirrorBatch applies one group-commit batch; the single ack
+// covers (and, via callExtendingLease on the primary, renews the lease
+// for) every record in it.
+func (s *Server) handleMirrorBatch(_ context.Context, p []byte) ([]byte, error) {
+	req, err := kv.DecodeMirrorBatchReq(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.store.ApplyMirroredBatch(req.Recs); err != nil {
 		return nil, err
 	}
 	return s.ack(), nil
@@ -565,6 +584,10 @@ func (s *Server) Close() error {
 	}
 	s.stopLeaseLoop()
 	if s.mirrorConn != nil {
+		// Detach the replication pipeline too: in-flight durability
+		// waiters fail (they are uncertain, not acked) and the batcher
+		// goroutine stops with the server.
+		s.store.AttachMirrorBatch(nil)
 		s.mirrorConn.Close()
 		s.mirrorConn = nil
 	}

@@ -483,14 +483,30 @@ func (s *Store) installSnapshotLocked(sn *stateSnapshot, enc []byte, viaStream b
 		if enc == nil {
 			enc = encodeSnapshot(sn)
 		}
+		// Quiesce the pipeline first: queued (and in-flight) batched
+		// appends hold records below the snapshot's coverage; teed into
+		// the rotated file they would replay on top of a snapshot that
+		// already contains their effects. The snapshot subsumes them, so
+		// they are dropped, not written.
+		s.discardWALLocked()
 		if swapped, err := s.wal.rotate(enc); err != nil {
 			s.stats.CheckpointFailures.Add(1)
 			if !swapped {
 				s.wal.close()
 				s.wal = nil
+				s.pipe.mu.Lock()
+				s.pipe.needWAL = false
+				s.pipe.wal = nil
+				s.pipe.completeWaitersLocked(nil, 0, 0)
+				s.pipe.mu.Unlock()
 				return fmt.Errorf("kvserver: rotating log onto installed snapshot (write-ahead logging disabled on this replica): %w", err)
 			}
 		}
+		s.pipe.mu.Lock()
+		if sn.Seq > s.pipe.synced {
+			s.pipe.synced = sn.Seq
+		}
+		s.pipe.mu.Unlock()
 	}
 	for seq := range s.pending {
 		if seq < s.repSeq {

@@ -17,17 +17,65 @@
 // only the storage server needs to replicate. A server can run as the
 // primary of a primary-backup pair (Server.AttachBackup): every stream
 // record is assigned a sequence number in the primary's replication
-// stream and synchronously mirrored — the backup must acknowledge
-// before the record's effects become visible or are acknowledged to
-// the client, so a failover to the backup never loses an acknowledged
-// write. Backups apply the stream in strict sequence order; a gap (the
-// backup missed records, e.g. it restarted) makes mirroring fail
-// loudly instead of silently diverging, and the backup re-joins by
-// streaming the missed records from the primary's replication log
-// (Server.SyncFrom / MethodSync, the same records the write-ahead log
-// holds). Writes of a replicated store are serialized through the
-// stream, trading throughput for a total order that makes resync
-// exact; E9 in internal/bench measures the cost.
+// stream and mirrored to the backup, and the client's acknowledgment
+// is withheld until the backup has acknowledged the record, so a
+// failover to the backup never loses an acknowledged write. Backups
+// apply the stream in strict sequence order; a gap (the backup missed
+// records, e.g. it restarted) makes mirroring fail loudly instead of
+// silently diverging, and the backup re-joins by streaming the missed
+// records from the primary's replication log (Server.SyncFrom /
+// MethodSync, the same records the write-ahead log holds).
+//
+// # Group commit and pipelined mirroring
+//
+// Emission and the durability wait are decoupled (pipeline.go). What
+// still happens under repMu — the invariants every consumer of the
+// stream relies on:
+//
+//   - sequence assignment and the epoch stamp;
+//   - the in-memory replication-log append;
+//   - the application of the record's effects (commit versions,
+//     staged prepares, epoch installs) — so visible state always
+//     equals the stream position when repMu is free, which is what
+//     lets snapshot captures and resyncs claim exact coverage.
+//
+// What no longer happens under repMu: the mirror RPC and the
+// write-ahead-log write/fsync. Emitted records are queued to a
+// per-store flusher goroutine that coalesces whatever accumulated —
+// at any concurrency, everything emitted during the previous batch's
+// round trip — into ONE MirrorBatchReq RPC (one round trip, one lease
+// extension, one backup-side contiguous apply under one stream-lock
+// acquisition) and ONE batched WAL append (one buffer, one lock, one
+// write, one fsync). Config.MirrorBatchMaxRecords caps a batch;
+// Config.GroupCommitInterval optionally lets one build.
+//
+// The WATERMARK ACK RULE replaces the old strict per-record mirror: a
+// commit, prepare, or epoch change is acknowledged only once its
+// sequence number clears the durability watermark — covered by a
+// backup batch acknowledgment (when a mirror is attached) AND by a
+// WAL fsync (when LogSync is set). A batch that fails (backup dead,
+// gap, divergence, epoch reject) fails every waiter whose record rode
+// in it: commits surface kv.ErrUncertain (the record is in the local
+// stream, its effects visible; whether it survives a failover depends
+// on whether the batch landed — exactly a lost ack's contract), and
+// prepares vote no and abort, emitting the owed decision record.
+// Waiters never succeed on a record the backup did not apply, so "an
+// acked write survives primary failure" holds unchanged while N
+// concurrent writers share each round trip and fsync. Abort decisions
+// remain fire-and-forget, as before. Throughput under concurrency now
+// scales with the batch depth instead of serializing on one
+// round-trip-plus-fsync per record; BenchmarkReplicationConcurrent
+// and BENCH_replication.json track it.
+//
+// One tradeoff is deliberate and worth knowing: effects become
+// VISIBLE at emission (under repMu), before the batch is acknowledged
+// or fsynced. A reader can therefore observe a commit whose writer
+// later gets ErrUncertain and which a failover then erases — the
+// classic group-commit visibility window (the pre-batching path
+// mirrored before applying, so it could not happen). The window only
+// exists while the primary is alive-but-failing its mirror; closing
+// it would mean gating reads on the durability watermark ("durable
+// reads", see ROADMAP), which today's read path does not do.
 //
 // # Two-phase commit outcome recovery
 //
@@ -221,6 +269,17 @@ type Config struct {
 	// tolerance for mirror-path hiccups. Only meaningful once the group
 	// carries an epoch (InstallEpoch) with more than one member.
 	LeaseDuration time.Duration
+	// MirrorBatchMaxRecords caps how many stream records one mirror
+	// batch RPC carries (default 256; batches are also byte-capped
+	// below the wire frame limit). Larger batches amortize the round
+	// trip further at the cost of per-batch latency under bursts.
+	MirrorBatchMaxRecords int
+	// GroupCommitInterval is how long the replication pipeline waits
+	// after waking before it flushes, letting a batch build (default 0:
+	// flush as soon as the flusher is free — a lone writer pays no
+	// added latency, and concurrent writers still coalesce into
+	// whatever accumulated during the previous batch's round trip).
+	GroupCommitInterval time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -246,8 +305,22 @@ func (c *Config) withDefaults() Config {
 	if out.SnapshotChunkBytes == 0 {
 		out.SnapshotChunkBytes = 1 << 20
 	}
+	if out.MirrorBatchMaxRecords == 0 {
+		out.MirrorBatchMaxRecords = 256
+	}
+	// The durability wait times out at replWaitTimeout; an interval at
+	// or above it would fail every commit while the batch lands fine
+	// moments later. Clamp well below, where coalescing gains flattened
+	// out long ago.
+	if out.GroupCommitInterval > maxGroupCommitInterval {
+		out.GroupCommitInterval = maxGroupCommitInterval
+	}
 	return out
 }
+
+// maxGroupCommitInterval caps the configured coalescing delay far
+// below the pipeline's durability-wait timeout.
+const maxGroupCommitInterval = time.Second
 
 // Stats counts store activity; read with Snapshot. Commits counts
 // two-phase (prepare/commit) transactions and FastCommits one-shot
@@ -285,6 +358,19 @@ type Stats struct {
 	LogRecordsTruncated atomic.Uint64
 	SnapshotsServed     atomic.Uint64
 	SnapshotsInstalled  atomic.Uint64
+	// MirrorBatches counts group-commit batch RPCs sent to the backup;
+	// MirrorBatchRecords the stream records they carried, so
+	// MirrorBatchRecords/MirrorBatches is the achieved batch depth.
+	// WALSyncs counts write-ahead-log fsyncs on the record path (group
+	// commit amortizes them: WALSyncs/(Commits+FastCommits) < 1 under
+	// concurrent load). WALFailures counts batched WAL appends that
+	// failed — with LogSync the affected committers saw the error; off
+	// it, durability of those records silently degraded and the disk
+	// needs attention.
+	MirrorBatches      atomic.Uint64
+	MirrorBatchRecords atomic.Uint64
+	WALSyncs           atomic.Uint64
+	WALFailures        atomic.Uint64
 }
 
 // StatsSnapshot is a plain copy of the counters.
@@ -292,6 +378,7 @@ type StatsSnapshot struct {
 	Reads, ReadWaits, Prepares, Commits, FastCommits, Aborts, OrphanAborts, Conflicts, GCVersions uint64
 	EpochBumps, WrongEpochRejects                                                                 uint64
 	Checkpoints, CheckpointFailures, LogRecordsTruncated, SnapshotsServed, SnapshotsInstalled     uint64
+	MirrorBatches, MirrorBatchRecords, WALSyncs, WALFailures                                      uint64
 }
 
 type version struct {
@@ -368,6 +455,13 @@ type txRecord struct {
 type decision struct {
 	commit   bool
 	commitTS clock.Timestamp
+	// replSeq is 1 + the stream sequence number of the record that
+	// carried this outcome (0 = none). A retried commit is acknowledged
+	// only after that record clears the durability watermark: acking a
+	// duplicate for a record the backup never applied would break the
+	// acked-writes-survive-failover guarantee the first ack refused to
+	// break.
+	replSeq uint64
 }
 
 // decidedMax bounds the decided-transaction table; beyond it the
@@ -422,9 +516,19 @@ type Store struct {
 	// while a resync is filling in the history below them.
 	pending   map[uint64]kv.ReplRecord
 	resyncing bool
-	// mirror, when set, replicates every stream record to a backup
-	// before its effects become visible (see Server.AttachBackup).
-	mirror func(seq uint64, rec kv.ReplRecord) error
+
+	// pipe is the group-commit replication pipeline: emitted records
+	// are queued here and a flusher goroutine batches them into mirror
+	// RPCs and WAL appends; committers wait on its durability watermark
+	// (see pipeline.go). hasMirror mirrors pipe.mirrorOn for lock-free
+	// reads on the emit paths.
+	pipe      replPipe
+	hasMirror atomic.Bool
+	// ckptBusy single-flights asynchronous checkpoint rotations: while
+	// one is encoding/rotating off-lock, further policy triggers only
+	// truncate in memory (the bound holds; the WAL catches up at the
+	// next checkpoint).
+	ckptBusy atomic.Bool
 
 	// epochMu guards the replication-group configuration and lease
 	// clocks. Lock order: repMu (and txMu) before epochMu; epochMu
@@ -471,18 +575,6 @@ type Store struct {
 type decidedEntry struct {
 	txid uint64
 	at   time.Time
-}
-
-// AttachMirror installs fn as the replication hook and returns the
-// sequence number the next stream record will carry — the watermark a
-// backup attached mid-life must sync up to. Pass nil to detach the
-// backup (e.g. when it fails and the operator removes it from the
-// group).
-func (s *Store) AttachMirror(fn func(seq uint64, rec kv.ReplRecord) error) uint64 {
-	s.repMu.Lock()
-	defer s.repMu.Unlock()
-	s.mirror = fn
-	return s.repSeq
 }
 
 // ReplSeq returns the next sequence number in the replication stream
@@ -664,27 +756,34 @@ func (s *Store) CheckClientOp(reqEpoch uint64) error {
 
 // InstallEpoch moves the group to a new configuration: the epoch must
 // exceed the current one, and the change is a RecEpoch record in the
-// replication stream — synchronously mirrored to the backup (if
-// attached), appended to the replication and write-ahead logs — so the
-// whole group agrees on the configuration history in stream order. The
-// emission and installation happen under the stream lock, so no record
-// is ever stamped with a configuration that was already superseded
-// when it entered the stream.
+// replication stream — mirrored to the backup (if attached), appended
+// to the replication and write-ahead logs — so the whole group agrees
+// on the configuration history in stream order. The emission and
+// installation happen under the stream lock, so no record is ever
+// stamped with a configuration that was already superseded when it
+// entered the stream; InstallEpoch returns only once the record has
+// cleared the durability watermark (the backup's ack of the RecEpoch
+// batch seeds the new primary's first lease). A replication failure
+// leaves the epoch installed locally — the configuration change is
+// real — and reports it, so the caller knows the backup has not
+// acknowledged the new configuration.
 func (s *Store) InstallEpoch(newEpoch uint64, members []string) error {
 	s.repMu.Lock()
-	defer s.repMu.Unlock()
 	s.epochMu.Lock()
 	cur := s.epoch
 	s.epochMu.Unlock()
 	if newEpoch <= cur {
+		s.repMu.Unlock()
 		return fmt.Errorf("kvserver: epoch %d does not supersede current epoch %d", newEpoch, cur)
 	}
 	rec := kv.ReplRecord{Kind: kv.RecEpoch, Epoch: newEpoch, Members: append([]string(nil), members...)}
-	if err := s.emitLocked(rec, true); err != nil {
-		return fmt.Errorf("kvserver: replicating epoch %d: %w", newEpoch, err)
-	}
+	seq := s.emitLocked(rec)
 	s.installEpochState(newEpoch, rec.Members)
 	s.maybeCheckpointLocked()
+	s.repMu.Unlock()
+	if err := s.waitReplicated(seq); err != nil {
+		return fmt.Errorf("kvserver: replicating epoch %d: %w", newEpoch, err)
+	}
 	return nil
 }
 
@@ -854,52 +953,92 @@ func (s *Store) Checkpoint() (uint64, error) {
 	return s.checkpointLocked(false)
 }
 
-// checkpointLocked implements Checkpoint. Caller holds repMu, and the
-// visible state must be consistent with repSeq (every emitted record
-// fully applied) — true at the end of any emit-and-apply critical
-// section, never in the middle of one. With retainTail, the newest
-// half-cap of records is kept (the policy path): truncating to empty
-// would force O(state) transfer on any replica even one record behind,
-// while retaining half leaves headroom so the next append does not
-// immediately re-trip the bound.
+// checkpointLocked implements Checkpoint, synchronously. Caller holds
+// repMu, and the visible state must be consistent with repSeq (every
+// emitted record fully applied) — true at the end of any emit-and-apply
+// critical section, never in the middle of one. With retainTail, the
+// newest half-cap of records is kept (the policy path): truncating to
+// empty would force O(state) transfer on any replica even one record
+// behind, while retaining half leaves headroom so the next append does
+// not immediately re-trip the bound.
 func (s *Store) checkpointLocked(retainTail bool) (uint64, error) {
-	var rotateErr error
-	if s.wal != nil {
-		enc := encodeSnapshot(s.captureSnapshotLocked())
-		if _, err := s.wal.rotate(enc); err != nil {
-			// The counter is the operator signal: the inline policy
-			// callers discard this error (a failed bound must not fail
-			// the commit that tripped it), so a climbing value is how a
-			// full disk — or a state too large for one checkpoint frame
-			// — shows up before memory pressure does.
-			s.stats.CheckpointFailures.Add(1)
-			rotateErr = fmt.Errorf("kvserver: rotating log onto checkpoint: %w", err)
-		}
+	if s.wal == nil {
+		s.truncateLogLocked(retainTail)
+		s.stats.Checkpoints.Add(1)
+		return s.repSeq, nil
 	}
-	// Truncate the in-memory log regardless of the rotation outcome:
-	// serving a resync below logBase only needs an on-demand snapshot
-	// (ServeSnapshotChunk), not the rotated file, and a restart replays
-	// the old, un-rotated log correctly — longer, but complete. The
-	// memory bound must hold even when the disk does not cooperate.
-	if s.cfg.ReplicationLog && len(s.commitLog) > 0 {
-		keep, keepBytes := 0, 0
-		if retainTail {
-			keep, keepBytes = s.retainableTailLocked()
-		}
-		if drop := len(s.commitLog) - keep; drop > 0 {
-			s.stats.LogRecordsTruncated.Add(uint64(drop))
-			// Copy the tail out so the dropped prefix's backing array is
-			// actually freed.
-			s.commitLog = append([]kv.ReplRecord(nil), s.commitLog[drop:]...)
-			s.commitLogBytes = keepBytes
-			s.logBase += uint64(drop)
-		}
+	if !s.ckptBusy.CompareAndSwap(false, true) {
+		// An asynchronous rotation is still in flight; the memory bound
+		// must hold anyway.
+		s.truncateLogLocked(retainTail)
+		return 0, fmt.Errorf("kvserver: a checkpoint rotation is already in progress")
 	}
-	if rotateErr != nil {
-		return 0, rotateErr
+	sn := s.captureSnapshotLocked()
+	s.truncateLogLocked(retainTail)
+	if !s.drainWALLocked() {
+		// Queued records could not reach the file; rotating now would
+		// let a later flush tee them after a snapshot that already
+		// covers them (double apply on replay). The truncation stands;
+		// the rotation waits for a drain that succeeds.
+		s.ckptBusy.Store(false)
+		s.stats.CheckpointFailures.Add(1)
+		return 0, fmt.Errorf("kvserver: checkpoint aborted: write-ahead log append failing; records re-queued for retry")
+	}
+	s.wal.beginRotate()
+	seq := s.repSeq
+	if err := s.finishCheckpoint(s.wal, sn); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// truncateLogLocked drops the in-memory replication log (keeping the
+// newest half-cap of records when retainTail is set), independent of
+// any WAL rotation outcome: serving a resync below logBase only needs
+// an on-demand snapshot (ServeSnapshotChunk), not the rotated file,
+// and a restart replays the old, un-rotated log correctly — longer,
+// but complete. The memory bound must hold even when the disk does not
+// cooperate. Caller holds repMu.
+func (s *Store) truncateLogLocked(retainTail bool) {
+	if !s.cfg.ReplicationLog || len(s.commitLog) == 0 {
+		return
+	}
+	keep, keepBytes := 0, 0
+	if retainTail {
+		keep, keepBytes = s.retainableTailLocked()
+	}
+	if drop := len(s.commitLog) - keep; drop > 0 {
+		s.stats.LogRecordsTruncated.Add(uint64(drop))
+		// Copy the tail out so the dropped prefix's backing array is
+		// actually freed.
+		s.commitLog = append([]kv.ReplRecord(nil), s.commitLog[drop:]...)
+		s.commitLogBytes = keepBytes
+		s.logBase += uint64(drop)
+	}
+}
+
+// finishCheckpoint is the off-lock tail of a checkpoint: encode the
+// captured snapshot and rotate the write-ahead log onto it. The
+// expensive O(state) serialization and file write run WITHOUT repMu —
+// the ROADMAP-flagged latency spike where a checkpoint under the
+// stream lock could stall mirror applies past the mirror timeout —
+// while appends that race the rotation are teed into the new file by
+// the wal itself (see wal.finishRotate). The policy paths run it on a
+// goroutine; the explicit Checkpoint keeps it inline.
+func (s *Store) finishCheckpoint(w *wal, sn *stateSnapshot) error {
+	defer s.ckptBusy.Store(false)
+	enc := encodeSnapshot(sn)
+	if _, err := w.finishRotate(enc); err != nil {
+		// The counter is the operator signal: the inline policy
+		// callers never see this error (a failed bound must not fail
+		// the commit that tripped it), so a climbing value is how a
+		// full disk — or a state too large for one checkpoint frame —
+		// shows up before memory pressure does.
+		s.stats.CheckpointFailures.Add(1)
+		return fmt.Errorf("kvserver: rotating log onto checkpoint: %w", err)
 	}
 	s.stats.Checkpoints.Add(1)
-	return s.repSeq, nil
+	return nil
 }
 
 // retainableTailLocked reports how many of the newest log records fit
@@ -956,8 +1095,33 @@ func (s *Store) maybeCheckpointSlackLocked(slack int) (bool, error) {
 	if !overRecords && !overBytes {
 		return false, nil
 	}
-	_, err := s.checkpointLocked(true)
-	return err == nil, err
+	if s.wal == nil {
+		s.truncateLogLocked(true)
+		s.stats.Checkpoints.Add(1)
+		return true, nil
+	}
+	if !s.ckptBusy.CompareAndSwap(false, true) {
+		// A rotation is still encoding/writing off-lock: truncate in
+		// memory now (the bound is strict) and let the in-flight
+		// checkpoint — or the next one — bound the file.
+		s.truncateLogLocked(true)
+		return true, nil
+	}
+	// Under repMu: capture the minimal in-memory copy and write the
+	// already-emitted records into the file (a record left queued
+	// across the rotation would land after a snapshot that covers it
+	// and double-apply on replay). Off repMu (goroutine): the O(state)
+	// encode and the rotation itself.
+	sn := s.captureSnapshotLocked()
+	s.truncateLogLocked(true)
+	if !s.drainWALLocked() {
+		s.ckptBusy.Store(false)
+		s.stats.CheckpointFailures.Add(1)
+		return true, nil
+	}
+	s.wal.beginRotate()
+	go s.finishCheckpoint(s.wal, sn)
+	return true, nil
 }
 
 // NewStore returns an empty store using hlc for timestamps. A nil hlc
@@ -975,6 +1139,7 @@ func NewStore(hlc *clock.HLC, cfg Config) *Store {
 	for i := range s.shard {
 		s.shard[i].objs = make(map[kv.OID]*object)
 	}
+	s.initPipe()
 	return s
 }
 
@@ -1002,6 +1167,11 @@ func (s *Store) Stats() StatsSnapshot {
 		LogRecordsTruncated: s.stats.LogRecordsTruncated.Load(),
 		SnapshotsServed:     s.stats.SnapshotsServed.Load(),
 		SnapshotsInstalled:  s.stats.SnapshotsInstalled.Load(),
+
+		MirrorBatches:      s.stats.MirrorBatches.Load(),
+		MirrorBatchRecords: s.stats.MirrorBatchRecords.Load(),
+		WALSyncs:           s.stats.WALSyncs.Load(),
+		WALFailures:        s.stats.WALFailures.Load(),
 	}
 }
 
@@ -1203,28 +1373,22 @@ func (s *Store) prepare(txid uint64, start clock.Timestamp, ops []*kv.Op, replic
 
 	// Replicate the prepared state before voting yes: the vote promises
 	// the coordinator this participant can commit, so the promise must
-	// survive a primary failure. A replication failure fails the
-	// prepare (the vote is no, the coordinator aborts) — nothing
-	// entered the stream, so no decision record is owed. The emission
-	// and the replicated-flag publication are one repMu critical
-	// section: a state snapshot (captured under repMu) carries exactly
-	// the prepares whose RecPrepare is below its sequence number —
-	// rec.replicated set — and skips the rest, whose records land in
-	// the tail the snapshot installer replays.
+	// survive a primary failure. The emission and the replicated-flag
+	// publication are one repMu critical section: a state snapshot
+	// (captured under repMu) carries exactly the prepares whose
+	// RecPrepare is below its sequence number — rec.replicated set —
+	// and skips the rest, whose records land in the tail the snapshot
+	// installer replays. The durability wait happens after the lock: if
+	// the record never clears the watermark (the backup is dead or
+	// diverged), the vote is no — but the record DID enter the stream,
+	// so the abort owes it a decision record (s.abort emits one).
 	if replicate {
 		s.repMu.Lock()
 		if !s.replicatingLocked() {
 			s.repMu.Unlock()
 			return proposed, nil
 		}
-		if err := s.emitLocked(kv.ReplRecord{Kind: kv.RecPrepare, TxID: txid, TS: proposed, Ops: ops}, true); err != nil {
-			s.repMu.Unlock()
-			s.releaseLocks(txid, locked)
-			s.txMu.Lock()
-			delete(s.txs, txid)
-			s.txMu.Unlock()
-			return 0, fmt.Errorf("kv: replicating prepare: %w", err)
-		}
+		seq := s.emitLocked(kv.ReplRecord{Kind: kv.RecPrepare, TxID: txid, TS: proposed, Ops: ops})
 		s.txMu.Lock()
 		if s.txs[txid] != rec {
 			// The orphan sweep (or an early coordinator abort) resolved
@@ -1232,7 +1396,7 @@ func (s *Store) prepare(txid uint64, start clock.Timestamp, ops []*kv.Op, replic
 			// stream — and, having seen an unreplicated prepare, emitted
 			// no decision. The stream is owed the abort; the vote is no.
 			s.txMu.Unlock()
-			s.emitLocked(kv.ReplRecord{Kind: kv.RecDecide, TxID: txid, Commit: false}, false)
+			s.emitLocked(kv.ReplRecord{Kind: kv.RecDecide, TxID: txid, Commit: false})
 			s.repMu.Unlock()
 			return 0, fmt.Errorf("%w: tx %d aborted during prepare", kv.ErrConflict, txid)
 		}
@@ -1240,6 +1404,13 @@ func (s *Store) prepare(txid uint64, start clock.Timestamp, ops []*kv.Op, replic
 		s.txMu.Unlock()
 		s.maybeCheckpointLocked()
 		s.repMu.Unlock()
+		if err := s.waitReplicated(seq); err != nil {
+			// abort resolves the prepared transaction if it is still
+			// staged (releasing the locks and emitting the owed abort
+			// decision) and is a no-op if something else already did.
+			s.abort(txid, false)
+			return 0, fmt.Errorf("kv: replicating prepare: %w", err)
+		}
 	}
 	return proposed, nil
 }
@@ -1248,59 +1419,42 @@ func (s *Store) prepare(txid uint64, start clock.Timestamp, ops []*kv.Op, replic
 // go: a write-ahead log, an in-memory replication log, or a live
 // mirror. Caller holds repMu.
 func (s *Store) replicatingLocked() bool {
-	return s.wal != nil || s.cfg.ReplicationLog || s.mirror != nil
+	return s.wal != nil || s.cfg.ReplicationLog || s.hasMirror.Load()
 }
 
 // emitLocked appends one record to the replication stream: it assigns
-// the next sequence number, synchronously mirrors the record to the
-// backup (if attached), and appends it to the replication log and the
-// write-ahead log. Caller holds repMu — the native write paths hold it
-// across the emission AND the application of the record's effects, so
-// stream order, log order, per-object version order, and any state
-// snapshot captured under repMu all agree. Every record is stamped
-// with the epoch in effect when it enters the stream — except
-// RecEpoch, whose Epoch field carries the new epoch it installs.
+// the next sequence number, appends the record to the in-memory
+// replication log, and hands it to the group-commit pipeline, which
+// batches the mirror RPC and the write-ahead-log append off the stream
+// lock. Emission is purely local and cannot fail; callers whose
+// acknowledgment promises replication or durability (commits,
+// prepares, epoch changes) call waitReplicated with the returned
+// sequence number AFTER releasing repMu — that wait, outside the
+// stream lock, is what lets concurrent writers share round trips and
+// fsyncs. Callers whose record is fire-and-forget (abort decisions,
+// which must release locks no matter what) simply do not wait; a
+// missed record surfaces on the backup as a loud sequence gap.
 //
-// With strictMirror, a mirror failure consumes nothing — the caller's
-// operation fails cleanly and the sequence number is reused, which the
-// backup detects as divergence if it did apply the record. Without it
-// (abort decisions, which must release locks no matter what), the
-// record is still committed to the local stream; the backup misses it
-// and the next mirror call fails loudly with a sequence gap, flagging
-// the pair for re-forming.
-//
-// A write-ahead-log failure after a successful mirror is a double
-// fault: the stream state is rolled back so this store's replication
-// log never serves the failed record, leaving the backup one record
-// ahead — the seq-mismatch guard turns that into a loud error too.
-func (s *Store) emitLocked(rec kv.ReplRecord, strictMirror bool) error {
+// Caller holds repMu — the native write paths hold it across the
+// emission AND the application of the record's effects, so stream
+// order, log order, per-object version order, and any state snapshot
+// captured under repMu all agree. Every record is stamped with the
+// epoch in effect when it enters the stream — except RecEpoch, whose
+// Epoch field carries the new epoch it installs.
+func (s *Store) emitLocked(rec kv.ReplRecord) uint64 {
 	if rec.Kind != kv.RecEpoch {
 		s.epochMu.Lock()
 		rec.Epoch = s.epoch
 		s.epochMu.Unlock()
 	}
 	seq := s.repSeq
-	if s.mirror != nil {
-		if err := s.mirror(seq, rec); err != nil && strictMirror {
-			return err
-		}
-	}
 	s.repSeq++
 	if s.cfg.ReplicationLog {
 		s.commitLog = append(s.commitLog, rec)
 		s.commitLogBytes += recordSize(&rec)
 	}
-	if s.wal != nil {
-		if err := s.wal.append(rec); err != nil {
-			s.repSeq = seq
-			if s.cfg.ReplicationLog {
-				s.commitLog = s.commitLog[:len(s.commitLog)-1]
-				s.commitLogBytes -= recordSize(&rec)
-			}
-			return err
-		}
-	}
-	return nil
+	s.enqueueLocked(seq, rec)
+	return seq
 }
 
 // conflictLocked applies the first-committer-wins rule for a
@@ -1356,35 +1510,53 @@ func (s *Store) commit(txid uint64, commitTS clock.Timestamp) (applied bool, err
 	// it. Other stores never serve snapshots or resyncs, so they keep
 	// the concurrent path (commitDetached): staged ops apply in
 	// parallel across shards, outside the stream lock.
+	//
+	// The DURABILITY WAIT happens after the critical section: the
+	// record is emitted and its effects applied under repMu, but the
+	// client's acknowledgment is withheld until the record clears the
+	// pipeline's watermark (backup ack + fsync). A wait failure returns
+	// an error with the record already in the local stream — the caller
+	// sees the same uncertainty a lost acknowledgment produces, and the
+	// acked-writes-survive-failover guarantee holds because no ack went
+	// out.
 	s.repMu.Lock()
 	if !s.streamConsistentLocked() {
 		s.repMu.Unlock()
 		return s.commitDetached(txid, commitTS)
 	}
-	defer s.repMu.Unlock()
-	rec, err := s.takePrepared(txid)
+	rec, dup, err := s.takePrepared(txid)
 	if rec == nil {
+		s.repMu.Unlock()
+		if err == nil && dup.replSeq > 0 {
+			// Duplicate decision for an applied commit: ack only once
+			// its record is replicated — the retry may be the client's
+			// way of asking "did that really land?".
+			if werr := s.waitReplicated(dup.replSeq - 1); werr != nil {
+				return false, fmt.Errorf("%w: replicating commit: %v", kv.ErrUncertain, werr)
+			}
+		}
 		return false, err
 	}
 	s.clock.Observe(commitTS)
-	// Write-ahead and replication: the decision must be durable (log)
-	// and replicated (mirror) before any of its effects become visible.
 	// The per-object locks are still held here, so the replication
 	// stream order, the log order, and per-object version order all
-	// agree — on this store and, because mirror calls are acknowledged
-	// in sequence, on the backup. A replicated prepare only needs the
-	// decision on the wire (RecDecide); otherwise the whole transaction
-	// rides in one RecCommit record.
-	if err := s.emitLocked(s.commitRecord(txid, rec, commitTS), true); err != nil {
-		// Failed to replicate the commit decision: nothing became
-		// visible, so abort rather than ack. The abort's own decide
-		// record is best-effort — the pair needs re-forming anyway.
-		s.abortLocked(txid, rec, false)
-		return false, fmt.Errorf("kv: replicating commit: %w", err)
-	}
+	// agree — on this store and, because batches apply in sequence, on
+	// the backup. A replicated prepare only needs the decision on the
+	// wire (RecDecide); otherwise the whole transaction rides in one
+	// RecCommit record.
+	seq := s.emitLocked(s.commitRecord(txid, rec, commitTS))
 	s.applyStaged(txid, rec.oids, commitTS)
-	s.recordDecision(txid, decision{commit: true, commitTS: commitTS})
+	s.recordDecision(txid, decision{commit: true, commitTS: commitTS, replSeq: seq + 1})
 	s.maybeCheckpointLocked()
+	s.repMu.Unlock()
+	if err := s.waitReplicated(seq); err != nil {
+		// The record is in the local stream and its effects are
+		// visible, but the replication/durability promise behind an
+		// acknowledgment cannot be given: the outcome is exactly what
+		// ErrUncertain names — applied here, surviving a failover only
+		// if the batch reached the backup after all.
+		return true, fmt.Errorf("%w: replicating commit: %v", kv.ErrUncertain, err)
+	}
 	return true, nil
 }
 
@@ -1411,9 +1583,11 @@ func (s *Store) commitRecord(txid uint64, rec *txRecord, commitTS clock.Timestam
 // takePrepared removes txid's record from the prepared-transaction
 // table and returns it. A nil record means the transaction cannot be
 // committed, with err saying why: nil for a duplicate decision that
-// already committed (ack it again), ErrConflict for one that already
-// aborted, ErrBadRequest for a transaction this store never heard of.
-func (s *Store) takePrepared(txid uint64) (*txRecord, error) {
+// already committed (ack it again, after its record's durability wait
+// — dup carries the recorded outcome), ErrConflict for one that
+// already aborted, ErrBadRequest for a transaction this store never
+// heard of.
+func (s *Store) takePrepared(txid uint64) (*txRecord, decision, error) {
 	s.txMu.Lock()
 	defer s.txMu.Unlock()
 	rec := s.txs[txid]
@@ -1421,14 +1595,14 @@ func (s *Store) takePrepared(txid uint64) (*txRecord, error) {
 		d, decided := s.decided[txid]
 		switch {
 		case decided && d.commit:
-			return nil, nil // duplicate decision: already committed
+			return nil, d, nil // duplicate decision: already committed
 		case decided:
-			return nil, fmt.Errorf("%w: tx %d already aborted", kv.ErrConflict, txid)
+			return nil, d, fmt.Errorf("%w: tx %d already aborted", kv.ErrConflict, txid)
 		}
-		return nil, fmt.Errorf("%w: commit of unknown tx %d", kv.ErrBadRequest, txid)
+		return nil, decision{}, fmt.Errorf("%w: commit of unknown tx %d", kv.ErrBadRequest, txid)
 	}
 	delete(s.txs, txid)
-	return rec, nil
+	return rec, decision{}, nil
 }
 
 // streamConsistentLocked reports whether this store maintains the
@@ -1438,7 +1612,7 @@ func (s *Store) takePrepared(txid uint64) (*txRecord, error) {
 // plain and WAL-only stores trade it for concurrent commit
 // application. Caller holds repMu.
 func (s *Store) streamConsistentLocked() bool {
-	return s.cfg.ReplicationLog || s.mirror != nil
+	return s.cfg.ReplicationLog || s.hasMirror.Load()
 }
 
 // commitDetached is the commit path of stores outside the stream-
@@ -1446,20 +1620,25 @@ func (s *Store) streamConsistentLocked() bool {
 // lock is touched only for the sequence count) and WAL-only
 // (durability without resync service — the record is emitted under
 // repMu, but staged ops apply outside it, concurrently across shards,
-// exactly the pre-snapshot behavior).
+// exactly the pre-snapshot behavior; the LogSync durability wait rides
+// the same group-commit watermark as the replicated path).
 func (s *Store) commitDetached(txid uint64, commitTS clock.Timestamp) (applied bool, err error) {
-	rec, err := s.takePrepared(txid)
+	rec, dup, err := s.takePrepared(txid)
 	if rec == nil {
+		if err == nil && dup.replSeq > 0 {
+			if werr := s.waitReplicated(dup.replSeq - 1); werr != nil {
+				return false, fmt.Errorf("%w: replicating commit: %v", kv.ErrUncertain, werr)
+			}
+		}
 		return false, err
 	}
 	s.clock.Observe(commitTS)
+	var seq uint64
+	hasSeq := false
 	s.repMu.Lock()
 	if s.replicatingLocked() {
-		if err := s.emitLocked(s.commitRecord(txid, rec, commitTS), true); err != nil {
-			s.abortLocked(txid, rec, false)
-			s.repMu.Unlock()
-			return false, fmt.Errorf("kv: replicating commit: %w", err)
-		}
+		seq = s.emitLocked(s.commitRecord(txid, rec, commitTS))
+		hasSeq = true
 	} else {
 		// Count the record in the stream even without a log or mirror,
 		// so a later AttachMirror reports an honest watermark.
@@ -1467,7 +1646,16 @@ func (s *Store) commitDetached(txid uint64, commitTS clock.Timestamp) (applied b
 	}
 	s.repMu.Unlock()
 	s.applyStaged(txid, rec.oids, commitTS)
-	s.recordDecision(txid, decision{commit: true, commitTS: commitTS})
+	d := decision{commit: true, commitTS: commitTS}
+	if hasSeq {
+		d.replSeq = seq + 1
+	}
+	s.recordDecision(txid, d)
+	if hasSeq {
+		if err := s.waitReplicated(seq); err != nil {
+			return true, fmt.Errorf("%w: replicating commit: %v", kv.ErrUncertain, err)
+		}
+	}
 	return true, nil
 }
 
@@ -1573,18 +1761,16 @@ func (s *Store) abort(txid uint64, orphan bool) {
 
 // abortLocked resolves a transaction already removed from the prepared
 // table as aborted: decision emitted if owed, locks released, outcome
-// recorded — one repMu critical section with whatever emission preceded
-// it (the commit path's double-fault handling relies on that). Caller
-// holds repMu.
+// recorded — one repMu critical section. Caller holds repMu.
 //
 // A replicated prepare owes the stream its decision: the backup (and
-// the write-ahead log) must release the staged locks too. The mirror
-// leg is best-effort — locks must come free even when the backup is
-// unreachable; a missed record surfaces as a loud sequence gap on the
-// next mirror call.
+// the write-ahead log) must release the staged locks too. The abort
+// never waits on the durability watermark — locks must come free even
+// when the backup is unreachable; a missed record surfaces as a loud
+// sequence gap on the backup's next batch.
 func (s *Store) abortLocked(txid uint64, rec *txRecord, orphan bool) {
 	if rec.replicated && s.replicatingLocked() {
-		s.emitLocked(kv.ReplRecord{Kind: kv.RecDecide, TxID: txid, Commit: false}, false)
+		s.emitLocked(kv.ReplRecord{Kind: kv.RecDecide, TxID: txid, Commit: false})
 	}
 	s.releaseLocks(txid, rec.oids)
 	s.recordDecision(txid, decision{commit: false})

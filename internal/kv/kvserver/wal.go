@@ -78,6 +78,33 @@ type wal struct {
 	f    *os.File
 	path string
 	sync bool
+
+	// rotMu serializes rotations (held from beginRotate to the end of
+	// finishRotate); teeing/tail implement the off-lock rotation: while
+	// a rotation is writing the snapshot file, appendBatch copies every
+	// frame it writes to the (old) log into tail too, and finishRotate
+	// appends the accumulated tail after the snapshot frames before
+	// swapping the file in — so records appended during the rotation
+	// survive it. The checkpoint caller guarantees every record BELOW
+	// the snapshot's coverage is already in the old file before
+	// beginRotate (Store.drainWALLocked), so the tail holds only
+	// records the snapshot does not cover.
+	rotMu  sync.Mutex
+	teeing bool
+	tail   []byte
+
+	// broken latches after a failed append: the file may hold a torn
+	// frame, and appending PAST a failure would leave a silent gap
+	// that replays as a spliced, mis-sequenced history (the pre-batch
+	// path rolled the stream back on append failure for exactly this
+	// reason). The next append REPAIRS first: the file is truncated
+	// back to good — the byte size after the last fully successful
+	// append — removing the torn frame, and the failed batch's records
+	// (which the pipeline re-queues, never drops) are rewritten in
+	// order. A checkpoint rotation also clears the latch: the
+	// replacement file is rebuilt from a state snapshot.
+	broken bool
+	good   int64
 }
 
 func openWAL(path string, syncEach bool) (*wal, error) {
@@ -97,19 +124,30 @@ func openWAL(path string, syncEach bool) (*wal, error) {
 			return nil, fmt.Errorf("kvserver: writing log header: %w", err)
 		}
 	}
-	return &wal{f: f, path: path, sync: syncEach}, nil
+	w := &wal{f: f, path: path, sync: syncEach}
+	if st, err := f.Stat(); err == nil {
+		w.good = st.Size()
+	}
+	return w, nil
 }
 
-// writeFrame appends one kind-tagged, checksummed frame to f. The
-// checksum is computed incrementally over kind then data, and the kind
+// frameHeader builds the 9-byte frame header (length, CRC over kind
+// then payload, kind) — the single definition of the frame layout,
+// shared by the streaming and in-memory writers.
+func frameHeader(kind byte, payload []byte) [9]byte {
+	var hdr [9]byte
+	hdr[8] = kind
+	crc := crc32.Update(crc32.Checksum(hdr[8:9], crcTable), crcTable, payload)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(1+len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc)
+	return hdr
+}
+
+// writeFrame appends one kind-tagged, checksummed frame to f. The kind
 // byte rides in the header write, so the payload — snapshot chunks run
 // to many MiB — is never copied.
 func writeFrame(f *os.File, kind byte, data []byte) error {
-	var hdr [9]byte
-	hdr[8] = kind
-	crc := crc32.Update(crc32.Checksum(hdr[8:9], crcTable), crcTable, data)
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(1+len(data)))
-	binary.BigEndian.PutUint32(hdr[4:8], crc)
+	hdr := frameHeader(kind, data)
 	if _, err := f.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -117,19 +155,71 @@ func writeFrame(f *os.File, kind byte, data []byte) error {
 	return err
 }
 
-func (w *wal) append(rec kv.ReplRecord) error {
-	b := wire.NewBuffer(64)
-	kv.EncodeReplRecord(b, &rec)
+// appendFrame appends one framed record to out: the same layout
+// writeFrame produces, built in memory so a whole batch becomes one
+// file write. scratch is reused across the batch.
+func appendFrame(out []byte, scratch *wire.Buffer, rec *kv.ReplRecord) []byte {
+	scratch.Reset()
+	kv.EncodeReplRecord(scratch, rec)
+	payload := scratch.Bytes()
+	hdr := frameHeader(walFrameRecord, payload)
+	out = append(out, hdr[:]...)
+	return append(out, payload...)
+}
 
+// appendBatch appends recs as consecutive record frames in ONE file
+// write under ONE lock acquisition, reusing one encode buffer across
+// the batch, and fsyncs once at the end when the log is in sync mode —
+// the group-commit amortization (the old per-record append paid a
+// fresh buffer, a lock, a write, and an fsync per record). It reports
+// whether it fsynced.
+func (w *wal) appendBatch(recs []kv.ReplRecord) (synced bool, err error) {
+	if len(recs) == 0 {
+		return false, nil
+	}
+	scratch := wire.NewBuffer(256)
+	out := make([]byte, 0, 96*len(recs))
+	for i := range recs {
+		out = appendFrame(out, scratch, &recs[i])
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := writeFrame(w.f, walFrameRecord, b.Bytes()); err != nil {
-		return err
+	if w.f == nil {
+		return false, fmt.Errorf("kvserver: appending to a closed log")
+	}
+	if w.broken {
+		// Repair first: drop the torn frame the earlier failure may
+		// have left (everything at or past good), so this batch —
+		// which the pipeline guarantees starts with the failed batch's
+		// re-queued records — continues the clean prefix gaplessly.
+		if err := w.f.Truncate(w.good); err != nil {
+			return false, fmt.Errorf("kvserver: truncating torn log tail: %w", err)
+		}
+		w.broken = false
+	}
+	if _, err := w.f.Write(out); err != nil {
+		w.broken = true
+		return false, err
 	}
 	if w.sync {
-		return w.f.Sync()
+		if err := w.f.Sync(); err != nil {
+			// The bytes are written but not durable; leave good at the
+			// pre-batch size so the repair truncates them and the retry
+			// rewrites the batch.
+			w.broken = true
+			return false, err
+		}
 	}
-	return nil
+	w.good += int64(len(out))
+	if w.teeing {
+		// A rotation is writing the replacement file: these frames
+		// hold records the snapshot does not cover, so they must
+		// follow it. Teed only on full success — a failed batch is
+		// re-queued by the pipeline and teed when its retry lands, so
+		// the replacement file gets each record exactly once.
+		w.tail = append(w.tail, out...)
+	}
+	return w.sync, nil
 }
 
 // walSnapChunkBytes splits a rotated snapshot across consecutive
@@ -139,23 +229,56 @@ func (w *wal) append(rec kv.ReplRecord) error {
 var walSnapChunkBytes = 16 << 20
 
 // rotate atomically replaces the log with one that begins at a
-// snapshot checkpoint: a fresh file holding only the snapshot frames
-// is written beside the log, fsynced, and renamed over it; subsequent
-// appends continue in the new file. swapped reports whether the new
-// file became the log: false on any failure before the rename (the old
-// log and its open handle are kept — a failed rotation costs log-size
-// bounding, never durability), true once the rename lands, even if the
-// follow-up directory fsync fails (the error still reports that the
-// rename's own durability is unestablished).
+// snapshot checkpoint: a fresh file holding the snapshot frames (plus
+// any records appended while the rotation ran — see finishRotate's
+// tee) is written beside the log, fsynced, and renamed over it;
+// subsequent appends continue in the new file. swapped reports whether
+// the new file became the log: false on any failure before the rename
+// (the old log and its open handle are kept — a failed rotation costs
+// log-size bounding, never durability), true once the rename lands,
+// even if the follow-up directory fsync fails (the error still reports
+// that the rename's own durability is unestablished).
+//
+// rotate is the synchronous form; the policy checkpoint path splits it
+// (beginRotate under the stream lock, finishRotate off it) so the
+// O(state) encode and write never stall the stream.
 func (w *wal) rotate(snapshot []byte) (swapped bool, err error) {
+	w.beginRotate()
+	return w.finishRotate(snapshot)
+}
+
+// beginRotate opens a rotation window: until the matching finishRotate
+// returns, every appendBatch tees its frames into w.tail so they can
+// follow the snapshot into the replacement file. The caller must
+// already have written every record BELOW the snapshot's coverage to
+// the log (Store.drainWALLocked) — the tee captures only what arrives
+// after. Rotations are serialized: beginRotate blocks while another is
+// in flight.
+func (w *wal) beginRotate() {
+	w.rotMu.Lock()
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.f == nil {
-		return false, fmt.Errorf("kvserver: rotating a closed log")
+	w.teeing = true
+	w.tail = nil
+	w.mu.Unlock()
+}
+
+// finishRotate writes the replacement file (magic + chunked snapshot
+// frames), then — briefly under the append lock — flushes the teed
+// tail after it, fsyncs, and renames it over the log. Appends are
+// blocked only for the tail flush and swap, never for the O(snapshot)
+// write. Must follow a beginRotate.
+func (w *wal) finishRotate(snapshot []byte) (swapped bool, err error) {
+	defer w.rotMu.Unlock()
+	endTee := func() {
+		w.teeing = false
+		w.tail = nil
 	}
 	tmp := w.path + ".ckpt"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
+		w.mu.Lock()
+		endTee()
+		w.mu.Unlock()
 		return false, fmt.Errorf("kvserver: creating checkpoint log: %w", err)
 	}
 	err = func() error {
@@ -172,6 +295,34 @@ func (w *wal) rotate(snapshot []byte) (swapped bool, err error) {
 			}
 			if off = end; off >= len(snapshot) {
 				break
+			}
+		}
+		return nil
+	}()
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		w.mu.Lock()
+		endTee()
+		w.mu.Unlock()
+		return false, fmt.Errorf("kvserver: writing checkpoint log: %w", err)
+	}
+
+	// Snapshot frames are on disk; take the append lock to flush the
+	// teed tail and swap, so no record can slip between the tail and
+	// the rename.
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	defer endTee()
+	if w.f == nil {
+		f.Close()
+		os.Remove(tmp)
+		return false, fmt.Errorf("kvserver: rotating a closed log")
+	}
+	err = func() error {
+		if len(w.tail) > 0 {
+			if _, err := f.Write(w.tail); err != nil {
+				return err
 			}
 		}
 		return f.Sync()
@@ -209,6 +360,12 @@ func (w *wal) rotate(snapshot []byte) (swapped bool, err error) {
 	w.f = f
 	old.Sync()
 	old.Close()
+	// The new file is snapshot + complete teed tail: whatever append
+	// failure broke the old file is repaired by construction.
+	w.broken = false
+	if st, serr := f.Stat(); serr == nil {
+		w.good = st.Size()
+	}
 	if dirErr != nil {
 		return true, fmt.Errorf("kvserver: fsyncing log directory after checkpoint swap: %w", dirErr)
 	}
@@ -346,7 +503,17 @@ func OpenStore(hlc *clock.HLC, cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.repMu.Lock()
 	s.wal = w
+	s.pipe.mu.Lock()
+	// Replayed records are already on disk; the durability watermark
+	// starts at the head.
+	s.pipe.synced = s.repSeq
+	s.pipe.needWAL = true
+	s.pipe.wal = w
+	s.pipe.mu.Unlock()
+	s.startFlusherLocked()
+	s.repMu.Unlock()
 	return s, nil
 }
 
@@ -387,6 +554,29 @@ func (s *Store) ApplyReplicatedSeq(seq uint64, rec kv.ReplRecord) error {
 // it, so the duplicate fails loudly and the primary's operation aborts.
 func (s *Store) ApplyMirrored(seq uint64, rec kv.ReplRecord) error {
 	return s.applyReplicated(seq, rec, true)
+}
+
+// ApplyMirroredBatch applies a contiguous group-commit batch from the
+// primary under ONE stream-lock acquisition: each record still passes
+// the per-record epoch, grant, and sequence checks (a gap or
+// divergence inside a batch fails exactly where a per-record mirror
+// would), but the whole batch costs one lock round and one
+// acknowledgment — the backup half of the group-commit pipeline. An
+// error on record k leaves records 0..k-1 applied (a contiguous,
+// consistent prefix of the primary's stream; the backup is merely
+// behind) and fails the RPC, which fails every primary-side waiter in
+// the batch. The replication-log bound runs once per batch, with the
+// live-mirror slack (see mirrorCheckpointSlack).
+func (s *Store) ApplyMirroredBatch(recs []kv.SyncRec) error {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	for i := range recs {
+		if err := s.applyReplicatedLocked(recs[i].Seq, recs[i].Rec, true); err != nil {
+			return err
+		}
+	}
+	s.maybeCheckpointSlackLocked(mirrorCheckpointSlack)
+	return nil
 }
 
 // acceptStreamRecordLocked is the split-brain guard on the live
@@ -431,6 +621,31 @@ func (s *Store) acceptStreamRecordLocked(rec *kv.ReplRecord) error {
 func (s *Store) applyReplicated(seq uint64, rec kv.ReplRecord, strict bool) error {
 	s.repMu.Lock()
 	defer s.repMu.Unlock()
+	if err := s.applyReplicatedLocked(seq, rec, strict); err != nil {
+		return err
+	}
+	// State is consistent with the stream head here, so this is a safe
+	// point for the log-bound policy (backups append to their
+	// replication log too and must truncate it likewise). The
+	// non-strict path (sync catch-up, WAL replay) enforces the bound
+	// exactly — nobody is blocked on those applies. A live mirror
+	// record has the primary waiting for the batch ack, and an O(state)
+	// capture there could delay it: routine truncation is left to the
+	// server's checkpoint ticker, with a hard ceiling at slack times
+	// the cap so the memory bound never rests on a ticker alone.
+	if strict {
+		s.maybeCheckpointSlackLocked(mirrorCheckpointSlack)
+	} else {
+		s.maybeCheckpointLocked()
+	}
+	return nil
+}
+
+// applyReplicatedLocked installs one replicated record (see
+// ApplyReplicatedSeq / ApplyMirrored for the strictness contract) and
+// drains any resync-buffered records that become contiguous. Caller
+// holds repMu and runs the log-bound policy afterwards.
+func (s *Store) applyReplicatedLocked(seq uint64, rec kv.ReplRecord, strict bool) error {
 	if strict {
 		if err := s.acceptStreamRecordLocked(&rec); err != nil {
 			return err
@@ -458,22 +673,6 @@ func (s *Store) applyReplicated(seq uint64, rec kv.ReplRecord, strict bool) erro
 		}
 		next, ok := s.pending[s.repSeq]
 		if !ok {
-			// State is consistent with the stream head here, so this is
-			// a safe point for the log-bound policy (backups append to
-			// their replication log too and must truncate it likewise).
-			// The non-strict path (sync catch-up, WAL replay) enforces
-			// the bound exactly — nobody is blocked on those applies. A
-			// live mirror record has the primary synchronously waiting
-			// for the ack, and an O(state) checkpoint there could
-			// outlast the mirror timeout and fail the primary's commit:
-			// routine truncation is left to the server's checkpoint
-			// ticker, with a hard ceiling at slack times the cap so the
-			// memory bound never rests on a ticker alone.
-			if strict {
-				s.maybeCheckpointSlackLocked(mirrorCheckpointSlack)
-			} else {
-				s.maybeCheckpointLocked()
-			}
 			return nil
 		}
 		delete(s.pending, s.repSeq)
@@ -524,15 +723,19 @@ func (s *Store) applyRecordLocked(rec kv.ReplRecord, viaStream bool) error {
 	default:
 		return fmt.Errorf("%w: replication record kind %d", kv.ErrBadRequest, rec.Kind)
 	}
+	seq := s.repSeq
 	s.repSeq++
 	if s.cfg.ReplicationLog {
 		s.commitLog = append(s.commitLog, rec)
 		s.commitLogBytes += recordSize(&rec)
 	}
 	if s.wal != nil {
-		// Best-effort: replicated state is already acknowledged upstream;
-		// a write error here only costs durability of this replica.
-		s.wal.append(rec)
+		// Best-effort, via the batched pipeline: replicated state is
+		// already acknowledged upstream; a write error here only costs
+		// durability of this replica (WALFailures counts it). Batching
+		// keeps the backup's apply path — and therefore the primary's
+		// batch acknowledgment — off the fsync.
+		s.enqueueLocked(seq, rec)
 	}
 	return nil
 }
@@ -604,10 +807,18 @@ func (s *Store) stageReplicatedPrepare(rec kv.ReplRecord, viaStream bool) error 
 	return nil
 }
 
-// CloseLog flushes and closes the write-ahead log (if any).
+// CloseLog drains the pipeline's queued records into the write-ahead
+// log, then flushes and closes it (if any). The flusher goroutine is
+// stopped unless a mirror still needs it.
 func (s *Store) CloseLog() error {
 	if s.wal == nil {
 		return nil
+	}
+	s.repMu.Lock()
+	s.drainWALLocked()
+	s.repMu.Unlock()
+	if !s.hasMirror.Load() {
+		s.stopFlusher()
 	}
 	return s.wal.close()
 }

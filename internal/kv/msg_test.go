@@ -127,6 +127,56 @@ func TestMirrorReqDecodeErrors(t *testing.T) {
 	}
 }
 
+func TestMirrorBatchReqRoundTrip(t *testing.T) {
+	cases := []MirrorBatchReq{
+		{Recs: nil},
+		{Recs: []SyncRec{{Seq: 0, Rec: ReplRecord{Kind: RecCommit, TxID: 7, TS: 1}}}},
+		{Recs: []SyncRec{
+			{Seq: 5, Rec: ReplRecord{Kind: RecCommit, TxID: 1, TS: 10, Ops: sampleOps()[:3], Epoch: 2}},
+			{Seq: 6, Rec: ReplRecord{Kind: RecPrepare, TxID: 2, TS: 20, Ops: sampleOps()[3:], Epoch: 2}},
+			{Seq: 7, Rec: ReplRecord{Kind: RecDecide, TxID: 2, TS: 30, Commit: true, Epoch: 2}},
+			{Seq: 8, Rec: ReplRecord{Kind: RecEpoch, Epoch: 3, Members: []string{"127.0.0.1:7000", "127.0.0.1:7001"}}},
+			{Seq: 1 << 40, Rec: ReplRecord{Kind: RecCommit, TS: Timestamp(1) << 60, Ops: sampleOps()}},
+		}},
+	}
+	for i, in := range cases {
+		out, err := DecodeMirrorBatchReq(in.Encode())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(out.Recs) != len(in.Recs) {
+			t.Fatalf("case %d: got %d records, want %d", i, len(out.Recs), len(in.Recs))
+		}
+		for j := range in.Recs {
+			if out.Recs[j].Seq != in.Recs[j].Seq {
+				t.Fatalf("case %d record %d: got seq=%d, want seq=%d", i, j, out.Recs[j].Seq, in.Recs[j].Seq)
+			}
+			recEqual(t, out.Recs[j].Rec, in.Recs[j].Rec)
+		}
+	}
+}
+
+func TestMirrorBatchReqDecodeErrors(t *testing.T) {
+	for _, p := range [][]byte{nil, {0x02}, {0x02, 0x01}, {0x01, 0x01, 0xee}} {
+		if _, err := DecodeMirrorBatchReq(p); err == nil {
+			t.Fatalf("decode of truncated/garbage payload %v succeeded", p)
+		}
+	}
+	// A record-count sanity bound: an absurd count must be rejected
+	// before any allocation, not trusted.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	if _, err := DecodeMirrorBatchReq(huge); err == nil {
+		t.Fatal("decode of absurd record count succeeded")
+	}
+	// An unknown record kind inside a batch is rejected, not decoded as
+	// garbage.
+	bad := (&MirrorBatchReq{Recs: []SyncRec{{Seq: 1, Rec: ReplRecord{Kind: RecCommit, TxID: 1, TS: 1}}}}).Encode()
+	bad[2] = 0xee // count uvarint, seq uvarint, then the record's kind byte
+	if _, err := DecodeMirrorBatchReq(bad); err == nil {
+		t.Fatal("decode of unknown record kind inside a batch succeeded")
+	}
+}
+
 func TestSyncReqRoundTrip(t *testing.T) {
 	cases := []SyncReq{
 		{From: 0, Max: 0},
