@@ -93,15 +93,16 @@ func BenchmarkE8_SQLMicro(b *testing.B) { runExperiment(b, "e8") }
 func BenchmarkE9_Replication(b *testing.B) { runExperiment(b, "e9") }
 
 // replWorkload drives `writers` concurrent clients against a 1-slot
-// rf=2 cluster for the given duration and reports aggregate ops plus
-// the slot's primary counters. It is the shared harness behind
-// BenchmarkReplicationConcurrent and the BENCH_replication.json
-// artifact: single-writer numbers hide the write path's serialization
-// entirely (one synchronous client observes the same latency either
-// way), so the concurrent variant is the one that shows whether group
-// commit is amortizing mirror round trips and fsyncs.
-func replWorkload(tb testing.TB, writers int, scfg kvserver.Config, d time.Duration) (ops int, st kvserver.StatsSnapshot) {
-	cl, err := cluster.StartReplicated(1, 2, scfg)
+// cluster with the given replication factor for the given duration and
+// reports aggregate ops plus the slot's primary counters. It is the
+// shared harness behind BenchmarkReplicationConcurrent and the
+// BENCH_replication.json artifact: single-writer numbers hide the
+// write path's serialization entirely (one synchronous client observes
+// the same latency either way), so the concurrent variant is the one
+// that shows whether group commit is amortizing mirror round trips and
+// fsyncs — and, at rf=3, what the quorum fan-out costs over the pair.
+func replWorkload(tb testing.TB, writers, rf int, scfg kvserver.Config, d time.Duration) (ops int, st kvserver.StatsSnapshot) {
+	cl, err := cluster.StartReplicated(1, rf, scfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func replWorkload(tb testing.TB, writers int, scfg kvserver.Config, d time.Durat
 // depth, and fsyncs per commit (group commit drives the latter below
 // 1 under load).
 func BenchmarkReplicationConcurrent(b *testing.B) {
-	run := func(b *testing.B, writers int, logSync bool) {
+	run := func(b *testing.B, writers, rf int, logSync bool) {
 		// One fixed-duration workload per iteration; each iteration
 		// gets a FRESH log directory — sharing one would make later
 		// iterations replay (and inherit) earlier iterations' WALs,
@@ -157,7 +158,7 @@ func BenchmarkReplicationConcurrent(b *testing.B) {
 				scfg.LogSync = true
 			}
 			start := time.Now()
-			ops, st := replWorkload(b, writers, scfg, 500*time.Millisecond)
+			ops, st := replWorkload(b, writers, rf, scfg, 500*time.Millisecond)
 			elapsed := time.Since(start).Seconds()
 			b.ReportMetric(float64(ops)/elapsed, "ops/s")
 			if st.MirrorBatches > 0 {
@@ -168,11 +169,13 @@ func BenchmarkReplicationConcurrent(b *testing.B) {
 			}
 		}
 	}
-	for _, w := range []int{1, 8} {
-		b.Run(fmt.Sprintf("writers=%d", w), func(b *testing.B) { run(b, w, false) })
-	}
-	for _, w := range []int{1, 8} {
-		b.Run(fmt.Sprintf("logsync/writers=%d", w), func(b *testing.B) { run(b, w, true) })
+	for _, rf := range []int{2, 3} {
+		for _, w := range []int{1, 8} {
+			b.Run(fmt.Sprintf("rf=%d/writers=%d", rf, w), func(b *testing.B) { run(b, w, rf, false) })
+		}
+		for _, w := range []int{1, 8} {
+			b.Run(fmt.Sprintf("rf=%d/logsync/writers=%d", rf, w), func(b *testing.B) { run(b, w, rf, true) })
+		}
 	}
 }
 
@@ -200,30 +203,32 @@ func TestReplicationBenchArtifact(t *testing.T) {
 	}
 	const d = 2 * time.Second
 	var points []replBenchPoint
-	for _, w := range []int{1, 8} {
-		start := time.Now()
-		ops, st := replWorkload(t, w, kvserver.Config{}, d)
-		p := replBenchPoint{Config: "rf2", Writers: w, OpsPerSec: float64(ops) / time.Since(start).Seconds(), MirrorBatches: st.MirrorBatches}
-		if st.MirrorBatches > 0 {
-			p.BatchDepth = float64(st.MirrorBatchRecords) / float64(st.MirrorBatches)
+	for _, rf := range []int{2, 3} {
+		for _, w := range []int{1, 8} {
+			start := time.Now()
+			ops, st := replWorkload(t, w, rf, kvserver.Config{}, d)
+			p := replBenchPoint{Config: fmt.Sprintf("rf%d", rf), Writers: w, OpsPerSec: float64(ops) / time.Since(start).Seconds(), MirrorBatches: st.MirrorBatches}
+			if st.MirrorBatches > 0 {
+				p.BatchDepth = float64(st.MirrorBatchRecords) / float64(st.MirrorBatches)
+			}
+			points = append(points, p)
 		}
-		points = append(points, p)
-	}
-	for _, w := range []int{1, 8} {
-		start := time.Now()
-		ops, st := replWorkload(t, w, kvserver.Config{LogPath: t.TempDir(), LogSync: true}, d)
-		p := replBenchPoint{Config: "rf2+logsync", Writers: w, OpsPerSec: float64(ops) / time.Since(start).Seconds(), MirrorBatches: st.MirrorBatches}
-		if st.MirrorBatches > 0 {
-			p.BatchDepth = float64(st.MirrorBatchRecords) / float64(st.MirrorBatches)
+		for _, w := range []int{1, 8} {
+			start := time.Now()
+			ops, st := replWorkload(t, w, rf, kvserver.Config{LogPath: t.TempDir(), LogSync: true}, d)
+			p := replBenchPoint{Config: fmt.Sprintf("rf%d+logsync", rf), Writers: w, OpsPerSec: float64(ops) / time.Since(start).Seconds(), MirrorBatches: st.MirrorBatches}
+			if st.MirrorBatches > 0 {
+				p.BatchDepth = float64(st.MirrorBatchRecords) / float64(st.MirrorBatches)
+			}
+			if commits := st.Commits + st.FastCommits; commits > 0 {
+				p.FsyncsPerCommit = float64(st.WALSyncs) / float64(commits)
+			}
+			points = append(points, p)
 		}
-		if commits := st.Commits + st.FastCommits; commits > 0 {
-			p.FsyncsPerCommit = float64(st.WALSyncs) / float64(commits)
-		}
-		points = append(points, p)
 	}
 	doc := map[string]any{
 		"bench":       "replication",
-		"description": "replicated write path: 1-slot rf=2 loopback cluster, single-object puts; concurrent writers share mirror batches and WAL fsyncs (group commit)",
+		"description": "replicated write path: 1-slot loopback cluster at rf=2 (pair) and rf=3 (quorum group: ack once a majority — primary + 1 of 2 backups — holds the record), single-object puts; concurrent writers share mirror batches and WAL fsyncs (group commit)",
 		"cpus":        runtime.NumCPU(),
 		"points":      points,
 		// The same workload measured immediately before group commit

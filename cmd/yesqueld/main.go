@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -24,7 +25,7 @@ func main() {
 	maxVersions := flag.Int("max-versions", 64, "hard cap on a hot object's version chain")
 	logPath := flag.String("log", "", "write-ahead log path (empty = in-memory only)")
 	logSync := flag.Bool("log-sync", false, "fsync the log on every commit")
-	mirror := flag.String("mirror", "", "backup server address to replicate commits to")
+	mirror := flag.String("mirror", "", "backup server address(es) to replicate commits to, comma-separated (two or more form a quorum group: commits are acknowledged once a majority of the group — this primary plus its backups — holds them)")
 	replLog := flag.String("replication-log", "auto", "keep the in-memory replication log so backups can resync from this server (auto/on/off; auto = on when replication flags are set)")
 	replLogMax := flag.Int("replication-log-max", 0, "bound the in-memory replication log to this many records: beyond it the server checkpoints (state snapshot + WAL rotation) and truncates, and backups too far behind catch up by snapshot transfer (0 = unbounded)")
 	syncFrom := flag.String("sync-from", "", "primary address to stream missed commits from before serving (join or rejoin a replication group as its backup)")
@@ -66,8 +67,15 @@ func main() {
 		log.Printf("yesqueld: synced %d commits", store.ReplSeq())
 	}
 	if *mirror != "" {
-		if err := srv.SetMirror(*mirror); err != nil {
-			log.Fatalf("yesqueld: %v", err)
+		backups := strings.Split(*mirror, ",")
+		for _, b := range backups {
+			b = strings.TrimSpace(b)
+			if b == "" {
+				continue
+			}
+			if _, err := srv.AttachBackupMember(b); err != nil {
+				log.Fatalf("yesqueld: %v", err)
+			}
 		}
 		log.Printf("yesqueld: replicating commits to %s", *mirror)
 	}
@@ -82,8 +90,17 @@ func main() {
 			defer t.Stop()
 			for range t.C {
 				st := srv.Stats()
-				log.Printf("yesqueld: epoch=%d role=%s members=%v lease_valid=%v bumps=%d wrong_epoch_rejects=%d reads=%d commits=%d fastcommits=%d conflicts=%d orphan_aborts=%d checkpoints=%d ckpt_failures=%d log_truncated=%d snaps_served=%d snaps_installed=%d mirror_batches=%d mirror_batch_records=%d wal_syncs=%d wal_failures=%d",
-					st.Epoch, st.Role, st.Members, st.LeaseValid, st.EpochBumps, st.WrongEpochRejects,
+				replicas := ""
+				for _, r := range st.Replicas {
+					lag := st.ReplHead - r.AckedSeq
+					state := "ok"
+					if r.Broken {
+						state = "broken"
+					}
+					replicas += fmt.Sprintf(" replica=%s acked=%d lag=%d state=%s", r.Member, r.AckedSeq, lag, state)
+				}
+				log.Printf("yesqueld: epoch=%d role=%s members=%v lease_valid=%v repl_head=%d quorum_mark=%d quorum_need=%d%s bumps=%d wrong_epoch_rejects=%d reads=%d commits=%d fastcommits=%d conflicts=%d orphan_aborts=%d checkpoints=%d ckpt_failures=%d log_truncated=%d snaps_served=%d snaps_installed=%d mirror_batches=%d mirror_batch_records=%d wal_syncs=%d wal_failures=%d",
+					st.Epoch, st.Role, st.Members, st.LeaseValid, st.ReplHead, st.QuorumMark, st.QuorumNeed, replicas, st.EpochBumps, st.WrongEpochRejects,
 					st.Reads, st.Commits, st.FastCommits, st.Conflicts, st.OrphanAborts,
 					st.Checkpoints, st.CheckpointFailures, st.LogRecordsTruncated, st.SnapshotsServed, st.SnapshotsInstalled,
 					st.MirrorBatches, st.MirrorBatchRecords, st.WALSyncs, st.WALFailures)

@@ -126,10 +126,10 @@ func TestKillPrimaryUnderLoadLosesNoAckedWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := cl.Groups[0]
-	if g.Backup == nil {
+	if len(g.Backups) == 0 {
 		t.Fatal("no backup after Restart")
 	}
-	if got, want := g.Backup.Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
+	if got, want := g.Backups[0].Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
 		t.Fatalf("restarted backup digest %x != acting primary digest %x", got, want)
 	}
 
@@ -140,7 +140,7 @@ func TestKillPrimaryUnderLoadLosesNoAckedWrite(t *testing.T) {
 	if err := tx.Commit(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := g.Backup.Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
+	if got, want := g.Backups[0].Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
 		t.Fatalf("after post-restart write: backup digest %x != primary digest %x", got, want)
 	}
 }
@@ -213,10 +213,10 @@ func TestRestartWhileWritesContinue(t *testing.T) {
 	wg.Wait()
 
 	g := cl.Groups[0]
-	if got, want := g.Backup.Store().ReplSeq(), g.Primary.Store().ReplSeq(); got != want {
+	if got, want := g.Backups[0].Store().ReplSeq(), g.Primary.Store().ReplSeq(); got != want {
 		t.Fatalf("backup seq %d != primary seq %d", got, want)
 	}
-	if got, want := g.Backup.Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
+	if got, want := g.Backups[0].Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
 		t.Fatalf("backup digest %x != primary digest %x", got, want)
 	}
 }
@@ -278,7 +278,7 @@ func TestKillPrimaryBetweenVoteAndPhaseTwo(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := cl.Groups[0]
-	if got, want := g.Backup.Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
+	if got, want := g.Backups[0].Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
 		t.Fatalf("re-formed backup digest %x != primary digest %x", got, want)
 	}
 }

@@ -1,30 +1,32 @@
 // Package cluster starts a Yesquel storage cluster in-process: N
-// logical server slots, each a single server or a primary+backup
-// replication group, listening on loopback TCP ports. Tests, examples,
-// and benchmarks use it to stand up the system the way the paper's
-// testbed stood up N storage machines (see DESIGN.md, substitution 1).
+// logical server slots, each a single server or a replication group of
+// rf members (a primary plus rf-1 synchronously mirrored backups),
+// listening on loopback TCP ports. Tests, examples, and benchmarks use
+// it to stand up the system the way the paper's testbed stood up N
+// storage machines (see DESIGN.md, substitution 1).
 package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"yesquel/internal/kv/kvclient"
 	"yesquel/internal/kv/kvserver"
 )
 
-// Group is one server slot's replication group: an acting primary and,
-// when the replication factor is 2, a synchronously mirrored backup.
-// Replicated groups carry an epoch: every membership change
-// (promotion after a failure, re-formation with a fresh backup) is an
-// explicit epoch bump recorded in the replication stream, and the
-// epoch's primary only serves while it holds the lease its backup
-// grants. Unreplicated slots stay at epoch 0 (no epoch discipline).
+// Group is one server slot's replication group: an acting primary and
+// its live backups. Replicated groups carry an epoch: every membership
+// change (promotion after a failure, re-formation with a fresh backup)
+// is an explicit epoch bump recorded in the replication stream, and the
+// epoch's primary only serves while it holds a lease granted by a
+// majority of its backups. Unreplicated slots stay at epoch 0 (no
+// epoch discipline).
 type Group struct {
 	Primary *kvserver.Server
-	Backup  *kvserver.Server // nil when unreplicated or after a failover
-	Addrs   []string         // replica addresses, acting primary first
+	Backups []*kvserver.Server // live backups (empty when unreplicated or after failovers)
+	Addrs   []string           // replica addresses, acting primary first
 
-	gen int // restart generation, for unique log file names
+	gen int // member-start generation, for unique log file names
 }
 
 // Epoch returns the group's current configuration epoch (as believed
@@ -43,6 +45,10 @@ type Cluster struct {
 	rf  int
 }
 
+// maxReplicationFactor bounds rf to something a loopback test harness
+// can plausibly run; the quorum math itself has no such limit.
+const maxReplicationFactor = 7
+
 // Start launches n unreplicated storage servers on ephemeral loopback
 // ports. Equivalent to StartReplicated(n, 1, cfg).
 func Start(n int, cfg kvserver.Config) (*Cluster, error) {
@@ -50,16 +56,21 @@ func Start(n int, cfg kvserver.Config) (*Cluster, error) {
 }
 
 // StartReplicated launches n logical server slots with the given
-// replication factor (1 = standalone, 2 = primary+backup pairs wired
-// together at startup). With rf 2, every commit is synchronously
-// mirrored to the slot's backup before it is acknowledged, and clients
-// opened with NewClient fail over to the backup when the primary dies.
+// replication factor (1 = standalone, 2 = primary+backup pairs, 3 and
+// up = quorum groups of one primary and rf-1 backups, wired together
+// at startup). With rf >= 2, every commit is synchronously mirrored to
+// a majority of the slot's backups before it is acknowledged, and
+// clients opened with NewClient fail over across the slot's replicas.
+// With rf >= 3 the slot tolerates any minority of members down — one
+// dead backup neither blocks writes (the quorum watermark advances on
+// the survivors) nor expires the primary's lease (a majority of grants
+// still renews).
 func StartReplicated(n, rf int, cfg kvserver.Config) (*Cluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one server, got %d", n)
 	}
-	if rf < 1 || rf > 2 {
-		return nil, fmt.Errorf("cluster: replication factor must be 1 or 2, got %d", rf)
+	if rf < 1 || rf > maxReplicationFactor {
+		return nil, fmt.Errorf("cluster: replication factor must be between 1 and %d, got %d", maxReplicationFactor, rf)
 	}
 	cl := &Cluster{cfg: cfg, rf: rf}
 	for i := 0; i < n; i++ {
@@ -74,14 +85,17 @@ func StartReplicated(n, rf int, cfg kvserver.Config) (*Cluster, error) {
 		cl.Groups = append(cl.Groups, g)
 		cl.Servers = append(cl.Servers, primary)
 		cl.Addrs = append(cl.Addrs, primary.Addr())
-		if rf == 2 {
+		for len(g.Backups) < rf-1 {
 			if err := cl.attachBackup(i); err != nil {
 				cl.Close()
 				return nil, fmt.Errorf("cluster: server %d backup: %w", i, err)
 			}
-			// Install epoch 1 with the fresh pair as members. The
-			// RecEpoch record mirrors to the backup like any stream
-			// record, and its ack doubles as the primary's first lease.
+		}
+		if rf > 1 {
+			// Install epoch 1 with the fresh group as members. The
+			// RecEpoch record mirrors to every backup like any stream
+			// record, and its acks double as the primary's first lease
+			// grants.
 			if _, err := g.Primary.BumpEpoch(append([]string(nil), g.Addrs...)); err != nil {
 				cl.Close()
 				return nil, fmt.Errorf("cluster: server %d epoch: %w", i, err)
@@ -120,10 +134,11 @@ func (cl *Cluster) startMember(i int, suffix string) (*kvserver.Server, error) {
 }
 
 // attachBackup starts a fresh backup for slot i, attaches it to the
-// acting primary, and streams any history it is missing. It works both
-// at cluster startup (empty stores, the sync is a no-op) and after a
-// restart on existing write-ahead logs (the backup catches up from the
-// primary's replication log).
+// acting primary as an additional replication member, and streams any
+// history it is missing. It works both at cluster startup (empty
+// stores, the sync is a no-op) and after a restart on existing
+// write-ahead logs (the backup catches up from the primary's
+// replication log).
 func (cl *Cluster) attachBackup(i int) error {
 	g := cl.Groups[i]
 	g.gen++
@@ -135,35 +150,36 @@ func (cl *Cluster) attachBackup(i int) error {
 	// mirrored while history is still streaming are buffered by the
 	// backup and applied in sequence order.
 	backup.Store().StartResync()
-	watermark, err := g.Primary.AttachBackup(backup.Addr())
+	watermark, err := g.Primary.AttachBackupMember(backup.Addr())
 	if err != nil {
 		backup.Close()
 		backup.Store().CloseLog()
 		return err
 	}
 	if err := backup.SyncFrom(g.Primary.Addr(), watermark); err != nil {
-		g.Primary.SetMirror("")
+		g.Primary.DetachBackupMember(backup.Addr())
 		backup.Close()
 		backup.Store().CloseLog()
 		return err
 	}
-	g.Backup = backup
+	g.Backups = append(g.Backups, backup)
 	g.Addrs = append(g.Addrs, backup.Addr())
 	return nil
 }
 
 // KillPrimary fails slot's primary: the server is shut down hard and
-// the backup is explicitly promoted — an epoch bump whose sole member
-// is the promoted backup, recorded in its replication stream.
-// Connected clients learn the new configuration from the promoted
-// member's ErrWrongEpoch redirects (or ack piggybacks) and fail over;
-// every write acknowledged before the kill is readable on the promoted
-// backup (commits were mirrored before the acknowledgment). The
-// promotion is forced: the orchestrator killed the primary itself, so
-// fencing by lease expiry is unnecessary — certainty beats clocks.
+// the most-caught-up surviving backup is explicitly promoted — an
+// epoch bump whose membership is the surviving group, recorded in the
+// winner's replication stream. Connected clients learn the new
+// configuration from the promoted member's ErrWrongEpoch redirects (or
+// ack piggybacks) and fail over; every write acknowledged before the
+// kill is readable after the promotion (a quorum held it, and the
+// winner has the longest stream among the survivors). The promotion is
+// forced: the orchestrator killed the primary itself, so fencing by
+// lease expiry is unnecessary — certainty beats clocks.
 func (cl *Cluster) KillPrimary(slot int) error {
 	g := cl.Groups[slot]
-	if g.Backup == nil {
+	if len(g.Backups) == 0 {
 		return fmt.Errorf("cluster: slot %d has no backup to fail over to", slot)
 	}
 	g.Primary.Close()
@@ -171,18 +187,43 @@ func (cl *Cluster) KillPrimary(slot int) error {
 	return cl.promote(slot, true)
 }
 
+// KillBackup hard-kills slot's backup at index i WITHOUT telling the
+// primary: the next mirror batch to it fails, marking the member
+// broken in the primary's pipeline, and with rf >= 3 the primary keeps
+// acknowledging writes on the surviving quorum (the dead member stays
+// in the epoch membership as a silent minority). Restart re-forms the
+// group to full strength.
+func (cl *Cluster) KillBackup(slot, i int) error {
+	g := cl.Groups[slot]
+	if i < 0 || i >= len(g.Backups) {
+		return fmt.Errorf("cluster: slot %d has no backup %d", slot, i)
+	}
+	b := g.Backups[i]
+	b.Close()
+	b.Store().CloseLog()
+	g.Backups = append(g.Backups[:i], g.Backups[i+1:]...)
+	for j, a := range g.Addrs {
+		if a == b.Addr() {
+			g.Addrs = append(g.Addrs[:j], g.Addrs[j+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
 // IsolatePrimary simulates a network partition around slot's primary:
 // its outbound replication (mirror records and lease renewals) is
 // suppressed, but the process stays up and keeps answering clients on
-// its side of the "partition". The backup is then promoted WITHOUT
-// force — the promotion waits out the lease the backup granted, so by
-// the time the new epoch acknowledges its first write the stale
-// primary's lease has provably expired and it can no longer
-// acknowledge anything. It returns the isolated old primary so chaos
-// tests can keep poking it.
+// its side of the "partition". A backup is then promoted WITHOUT force
+// — the promotion first freezes every surviving member's grant clock
+// and waits out the leases they granted, so by the time the new epoch
+// acknowledges its first write the stale primary's quorum lease has
+// provably expired (a majority of its grants are gone) and it can no
+// longer acknowledge anything. It returns the isolated old primary so
+// chaos tests can keep poking it.
 func (cl *Cluster) IsolatePrimary(slot int) (*kvserver.Server, error) {
 	g := cl.Groups[slot]
-	if g.Backup == nil {
+	if len(g.Backups) == 0 {
 		return nil, fmt.Errorf("cluster: slot %d has no backup to fail over to", slot)
 	}
 	old := g.Primary
@@ -193,37 +234,139 @@ func (cl *Cluster) IsolatePrimary(slot int) (*kvserver.Server, error) {
 	return old, nil
 }
 
-// promote makes slot's backup the acting primary of a new epoch.
+// promote fails slot over to the most-caught-up surviving backup.
+//
+// Order matters. Every live backup is frozen FIRST (BeginPromotion:
+// it stops granting or re-arming leases and stops accepting stream
+// records), so the stream heads being compared cannot move and the old
+// primary cannot keep its quorum lease alive through a member that was
+// not yet frozen. Only then — after waiting out the granted leases,
+// unless force says the old primary is known dead — are the heads
+// compared and the longest stream promoted. Because acknowledged
+// records reached a majority of the group and every backup holds a
+// prefix of the old primary's stream, the longest surviving prefix
+// contains every acknowledged write; promoting anything less would
+// silently drop acknowledged data, which is exactly what the old
+// blind "promote the backup" did for pairs and what this replaces.
+//
+// The losers then ADOPT the new epoch out-of-band (not merely abandon
+// their frozen promotion state: a loser left at the old epoch would
+// keep granting the deposed primary's lease renewals and hold its
+// quorum lease alive — split-brain by politeness) and rejoin the
+// winner's stream as its backups, resyncing the gap between their
+// heads and the winner's.
 func (cl *Cluster) promote(slot int, force bool) error {
 	g := cl.Groups[slot]
-	if _, err := g.Backup.Promote(force); err != nil {
-		return fmt.Errorf("cluster: promoting slot %d backup: %w", slot, err)
+	live := g.Backups
+	if len(live) == 0 {
+		return fmt.Errorf("cluster: slot %d has no live backup to promote", slot)
 	}
-	g.Primary = g.Backup
-	g.Backup = nil
-	g.Addrs = []string{g.Primary.Addr()}
-	cl.Servers[slot] = g.Primary
-	cl.Addrs[slot] = g.Primary.Addr()
-	return nil
+	for _, b := range live {
+		b.Store().BeginPromotion()
+	}
+	if !force {
+		for _, b := range live {
+			for {
+				wait := time.Until(b.Store().GrantExpiry())
+				if wait <= 0 {
+					break
+				}
+				time.Sleep(wait)
+			}
+		}
+	}
+	win := 0
+	for i, b := range live {
+		if b.Store().ReplSeq() > live[win].Store().ReplSeq() {
+			win = i
+		}
+	}
+	winner := live[win]
+	newEpoch := uint64(0)
+	for _, b := range live {
+		if e := b.Store().Epoch(); e > newEpoch {
+			newEpoch = e
+		}
+	}
+	newEpoch++
+	members := []string{winner.Addr()}
+	var losers []*kvserver.Server
+	for i, b := range live {
+		if i != win {
+			members = append(members, b.Addr())
+			losers = append(losers, b)
+		}
+	}
+	if err := winner.BumpEpochTo(newEpoch, members); err != nil {
+		for _, b := range live {
+			b.Store().AbandonPromotion()
+		}
+		return fmt.Errorf("cluster: promoting slot %d: %w", slot, err)
+	}
+	var firstErr error
+	kept := losers[:0]
+	for _, b := range losers {
+		b.Store().AdoptEpoch(newEpoch, members)
+		b.Store().StartResync()
+		watermark, err := winner.AttachBackupMember(b.Addr())
+		if err == nil {
+			err = b.SyncFrom(winner.Addr(), watermark)
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: rejoining %s to promoted slot %d: %w", b.Addr(), slot, err)
+			}
+			winner.DetachBackupMember(b.Addr())
+			b.Close()
+			b.Store().CloseLog()
+			continue
+		}
+		kept = append(kept, b)
+	}
+	if len(kept) < len(losers) {
+		// Some losers could not rejoin and were dropped; the epoch just
+		// installed still lists them, and the winner would wait forever
+		// for lease grants from members that no longer exist. Re-form
+		// with the membership that actually survived.
+		members = []string{winner.Addr()}
+		for _, b := range kept {
+			members = append(members, b.Addr())
+		}
+		if _, err := winner.BumpEpoch(members); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: re-forming promoted slot %d without failed members: %w", slot, err)
+		}
+	}
+	g.Primary = winner
+	g.Backups = append([]*kvserver.Server(nil), kept...)
+	g.Addrs = []string{winner.Addr()}
+	for _, b := range g.Backups {
+		g.Addrs = append(g.Addrs, b.Addr())
+	}
+	cl.Servers[slot] = winner
+	cl.Addrs[slot] = winner.Addr()
+	return firstErr
 }
 
-// Restart re-forms slot's replication group after a failover: a fresh
-// member starts as the new backup of the acting primary, streams the
-// missed history via MethodSync, and resumes synchronous mirroring —
-// instead of the pre-replication dead end where a broken pair diverged
-// forever. (The restarted member starts from an empty store; its
-// catch-up is a full replay of the primary's replication log,
-// including every past epoch change in stream order.) Re-forming is
+// Restart re-forms slot's replication group back to full strength
+// after failovers: fresh members start as new backups of the acting
+// primary, stream the missed history via MethodSync, and resume
+// synchronous mirroring — instead of the pre-replication dead end
+// where a broken pair diverged forever. (Each restarted member starts
+// from an empty store; its catch-up is a full replay of the primary's
+// replication log, including every past epoch change in stream order,
+// or a state transfer when the log was truncated.) Re-forming is
 // itself a configuration change: the primary bumps the epoch with the
-// two-member membership, and the mirrored RecEpoch record both informs
-// the new backup and seeds the primary's lease.
+// full membership, and the mirrored RecEpoch record both informs the
+// new backups and seeds the primary's lease.
 func (cl *Cluster) Restart(slot int) error {
 	g := cl.Groups[slot]
-	if g.Backup != nil {
-		return fmt.Errorf("cluster: slot %d already has a backup", slot)
+	if len(g.Backups) >= cl.rf-1 {
+		return fmt.Errorf("cluster: slot %d already has %d backups", slot, len(g.Backups))
 	}
-	if err := cl.attachBackup(slot); err != nil {
-		return err
+	for len(g.Backups) < cl.rf-1 {
+		if err := cl.attachBackup(slot); err != nil {
+			return err
+		}
 	}
 	if g.Epoch() > 0 || cl.rf > 1 {
 		if _, err := g.Primary.BumpEpoch(append([]string(nil), g.Addrs...)); err != nil {
@@ -246,7 +389,8 @@ func (cl *Cluster) NewClient() (*kvclient.Client, error) {
 // Close shuts all servers down (flushing their logs, if any).
 func (cl *Cluster) Close() {
 	for _, g := range cl.Groups {
-		for _, s := range []*kvserver.Server{g.Primary, g.Backup} {
+		servers := append([]*kvserver.Server{g.Primary}, g.Backups...)
+		for _, s := range servers {
 			if s != nil {
 				s.Close()
 				s.Store().CloseLog()
@@ -285,7 +429,8 @@ func (cl *Cluster) Stats() kvserver.StatsSnapshot {
 }
 
 // GroupStats reports each slot's acting primary view: epoch, role,
-// membership, lease validity, and counters (operator inspection).
+// membership, lease validity, per-member replication progress, and
+// counters (operator inspection).
 func (cl *Cluster) GroupStats() []kvserver.ServerStats {
 	out := make([]kvserver.ServerStats, len(cl.Servers))
 	for i, s := range cl.Servers {

@@ -308,7 +308,7 @@ func TestOpenReplicatedToleratesDownReplica(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	cl.Groups[0].Backup.Close()
+	cl.Groups[0].Backups[0].Close()
 	c2, err := cl.NewClient()
 	if err != nil {
 		t.Fatalf("open with a dead backup: %v", err)
@@ -333,7 +333,7 @@ func TestBackupRejectsDirectClientWrites(t *testing.T) {
 	}
 	defer cl.Close()
 	g := cl.Groups[0]
-	backupAddr := g.Backup.Addr()
+	backupAddr := g.Backups[0].Addr()
 	start := g.Primary.Store().Clock().Now()
 
 	for _, epoch := range []uint64{0, 1} {
@@ -362,7 +362,7 @@ func TestBackupRejectsDirectClientWrites(t *testing.T) {
 	if err := tx.Commit(context.Background()); err != nil {
 		t.Fatalf("write through the primary after stray attempts: %v", err)
 	}
-	if got, want := g.Backup.Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
+	if got, want := g.Backups[0].Store().StateDigest(), g.Primary.Store().StateDigest(); got != want {
 		t.Fatalf("pair diverged: backup %x primary %x", got, want)
 	}
 }

@@ -15,6 +15,9 @@ func TestWrongEpochErrorRoundTrip(t *testing.T) {
 		{Epoch: 1, Members: []string{"127.0.0.1:7000", "127.0.0.1:7001"}},
 		{Epoch: 1 << 40, Members: []string{"10.0.0.1:9"}},
 		{Epoch: 2, Members: nil},
+		// A quorum group is not a pair: the membership list must
+		// round-trip at rf >= 3 scale with the primary-first order intact.
+		{Epoch: 7, Members: []string{"a:1", "b:2", "c:3", "d:4", "e:5"}},
 	}
 	for i, in := range cases {
 		for _, msg := range []string{
@@ -93,6 +96,8 @@ func TestAckPiggybackRoundTrip(t *testing.T) {
 		{Clock: 5},
 		{Clock: 5, Epoch: 2, Members: []string{"127.0.0.1:7000"}},
 		{Clock: 1 << 60, Epoch: 9, Members: []string{"a:1", "b:2", "c:3"}},
+		// rf >= 3 quorum group: five members, primary first.
+		{Clock: 77, Epoch: 12, Members: []string{"p:1", "b:2", "b:3", "b:4", "b:5"}},
 	}
 	for i, in := range cases {
 		out, err := DecodeAck(in.Encode())
@@ -115,5 +120,43 @@ func TestAckPiggybackRoundTrip(t *testing.T) {
 	}
 	if _, err := DecodeAck(big.Encode()); err == nil {
 		t.Fatal("oversized membership decoded")
+	}
+}
+
+// TestClockMarkRoundTrip pins the clock-stamp protocol commit handlers
+// use on failure paths: the stamp must lead the message, survive the
+// flatten-to-text RPC boundary, parse back to the same timestamp, and
+// never disturb the tail-anchored wrong-epoch parser when both ride
+// the same error.
+func TestClockMarkRoundTrip(t *testing.T) {
+	base := fmt.Errorf("kvserver: replication quorum lost")
+	for _, ts := range []Timestamp{0, 1, 1<<64 - 1} {
+		marked := MarkClock(base, ts)
+		got, ok := ParseClockMark(marked.Error())
+		if !ok || got != ts {
+			t.Fatalf("ts %d: parsed (%d, %v) from %q", ts, got, ok, marked)
+		}
+		if !errors.Is(marked, base) {
+			t.Fatalf("ts %d: mark broke the error chain", ts)
+		}
+	}
+	if MarkClock(nil, 5) != nil {
+		t.Fatal("marking a nil error produced an error")
+	}
+	// The stamp must not swallow a wrong-epoch payload further down the
+	// message, and must not itself parse from unmarked text.
+	we := &WrongEpochError{Epoch: 4, Members: []string{"a:1", "b:2", "c:3"}}
+	both := MarkClock(fmt.Errorf("commit rejected: %w", we), 42).Error()
+	if ts, ok := ParseClockMark(both); !ok || ts != 42 {
+		t.Fatalf("clock mark lost alongside wrong-epoch: %q", both)
+	}
+	if out, ok := ParseWrongEpoch(both); !ok || out.Epoch != 4 || len(out.Members) != 3 {
+		t.Fatalf("wrong-epoch payload lost under clock mark: %q", both)
+	}
+	if _, ok := ParseClockMark("kv: transaction conflict"); ok {
+		t.Fatal("unmarked error parsed as clock mark")
+	}
+	if _, ok := ParseClockMark("clock=xyz kv: oops"); ok {
+		t.Fatal("malformed clock mark parsed")
 	}
 }

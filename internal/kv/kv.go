@@ -238,6 +238,41 @@ func ParseWrongEpoch(msg string) (*WrongEpochError, bool) {
 	return we, true
 }
 
+// MarkClock stamps the server's clock onto an error that crosses the
+// RPC boundary without a response payload (rpc.AppError flattens
+// handler errors to text). The commit handlers use it on their failure
+// paths: a commit that failed its replication/durability wait has
+// still installed versions at this clock, and a client that does not
+// observe it may take its next snapshot below state that exists —
+// surfacing as a spurious first-committer-wins conflict, or a read
+// that misses an acknowledged write. The stamp leads the message so it
+// cannot disturb tail-anchored parsers (ParseWrongEpoch);
+// ParseClockMark recovers it on the other side.
+func MarkClock(err error, ts clock.Timestamp) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("clock=%d %w", uint64(ts), err)
+}
+
+// ParseClockMark recovers a MarkClock stamp from an error string that
+// crossed the RPC boundary.
+func ParseClockMark(msg string) (clock.Timestamp, bool) {
+	const key = "clock="
+	if !strings.HasPrefix(msg, key) {
+		return 0, false
+	}
+	v := msg[len(key):]
+	if j := strings.IndexByte(v, ' '); j >= 0 {
+		v = v[:j]
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return clock.Timestamp(n), true
+}
+
 // OpKind enumerates write operations staged by a transaction.
 type OpKind uint8
 

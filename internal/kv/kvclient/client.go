@@ -377,6 +377,12 @@ func (c *Client) call(ctx context.Context, server int, method string, enc func(e
 		}
 		var app *rpc.AppError
 		if errors.As(err, &app) {
+			if ts, ok := kv.ParseClockMark(app.Msg); ok {
+				// A commit-path failure that still installed state at the
+				// server: merge its clock so this client's next snapshot
+				// covers whatever the failed call left behind.
+				c.hlc.Observe(ts)
+			}
 			we, ok := kv.ParseWrongEpoch(app.Msg)
 			if !ok || epochHops >= maxEpochHops {
 				return nil, err

@@ -1,37 +1,54 @@
 package kvserver
 
-// Group-commit replication pipeline. Record EMISSION (under repMu:
-// sequence assignment, epoch stamp, replication-log append, applying
-// the record's effects) is decoupled from the DURABILITY WAIT: instead
-// of a synchronous per-record mirror RPC and WAL fsync inside the
-// stream lock, emission enqueues the record here and a per-store
-// flusher goroutine coalesces whatever accumulated into one
-// MirrorBatchReq RPC (one round trip, one lease extension, one
-// backup-side contiguous apply) and one batched WAL append (one
-// buffer, one file write, one fsync). Committers block on the
-// DURABILITY WATERMARK — the highest sequence number both acknowledged
-// by the backup and fsynced — before acknowledging the client, so the
-// guarantee "an acked write survives primary failure" is unchanged
-// while N concurrent writers share each round trip and fsync.
+// Group-commit replication pipeline, generalized to quorum groups.
+// Record EMISSION (under repMu: sequence assignment, epoch stamp,
+// replication-log append, applying the record's effects) is decoupled
+// from the DURABILITY WAIT: emission enqueues the record here, and the
+// pipeline coalesces whatever accumulated into batched MirrorBatchReq
+// RPCs (one round trip, one lease extension, one backup-side
+// contiguous apply per batch) and one batched WAL append (one buffer,
+// one file write, one fsync). Committers block on the DURABILITY
+// WATERMARK before acknowledging the client.
 //
-// Failure semantics are watermark semantics, replacing the strict
-// per-record mirror: a batch that fails (backup dead, gap, divergence,
-// epoch reject) fails every waiter whose record rode in it, with the
-// batch's error; the records stay in the primary's local stream
-// (their effects were applied at emission), so the failed waiters'
-// clients must treat the outcome as uncertain — exactly the guarantee
-// they already get from a lost acknowledgment. Whether the backup
-// applied the batch or not, the next batch is loud: either it
-// continues contiguously (the ack was lost, the stream is intact) or
-// the backup reports the gap/divergence per its existing checks.
-// Waiters never succeed on a record the backup did not apply: the only
-// ack path is a successful batch RPC covering the record's sequence
-// number (or an explicit operator detach, which removes the
-// replication requirement itself and fails — not acks — the waiters
-// already in flight).
+// With one backup the watermark is "the backup acked ∧ fsynced" —
+// the original mirror-pair rule. With N backups each member has its
+// own send queue and its own sender goroutine (a slow or dead member
+// must not stall the others' batches), and the watermark generalizes
+// to the QUORUM rule: a record is replication-durable once at least
+// need = (members+1)/2 members have acknowledged it — together with
+// the primary's own copy, a majority of the group of members+1, so any
+// majority that survives a failure intersects the ack set and the
+// most-caught-up survivor holds every acknowledged record. For a pair
+// (one member) need is 1 and nothing changes.
+//
+// Failure semantics are watermark semantics. A batch that fails marks
+// its member BROKEN: the member's queue is dropped and no further
+// batches go to it (whether it applied the batch or not, its next
+// contiguity check on rejoin is loud — it re-enters via resync, never
+// silently). Waiters are then judged by the surviving quorum: with
+// enough live members they simply stop counting on the broken one;
+// when live members fall below need the quorum is LOST and every
+// waiter at or above the watermark fails with the member's error
+// (uncertain — their records are in the primary's local stream, their
+// effects visible, surviving a failover only if enough members applied
+// them after all). Waiters never succeed on a record too few members
+// applied: the only ack path is a quorum of per-member batch
+// acknowledgments covering the record's sequence number (or an
+// explicit operator detach, which removes the replication requirement
+// itself and fails — not acks — the waiters already in flight).
+//
+// One deliberate optimism, inherited from the pair design: a member
+// attached mid-life starts its ack accounting at the attach watermark,
+// and the orchestrator owes the stream a resync of the history below
+// it. The quorum count treats that member as holding the history once
+// its resync was MANDATED, not once it completed — exactly the
+// contract AttachMirrorBatch's returned watermark always expressed.
+// Orchestrators must complete the resync before treating the member
+// as promotable.
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -44,21 +61,49 @@ const mirrorBatchBytes = 4 << 20
 
 // replWaitTimeout bounds a durability wait. The worst legitimate case
 // is a record emitted just after a batch departed toward a slow (but
-// within-timeout) backup: it waits out that in-flight round trip, a
+// within-timeout) member: it waits out that in-flight round trip, a
 // coalescing interval, and its own batch's round trip — so the bound
 // must exceed two mirror timeouts plus the maximum interval, or a
-// healthy-but-slow backup would fail every commit spuriously. A
-// waiter whose record is never covered by an ack (e.g. the batch
-// carrying it failed after the waiter registered, or the backup
-// silently swallowed a batch) fails loudly at this bound instead of
-// wedging the client forever.
+// healthy-but-slow member would fail every commit spuriously. A
+// waiter whose record is never covered by a quorum of acks fails
+// loudly at this bound instead of wedging the client forever.
 const replWaitTimeout = 2*mirrorTimeout + maxGroupCommitInterval + 2*time.Second
+
+// soloMirrorID names the member installed by the single-backup
+// compatibility interfaces (AttachMirrorBatch / AttachMirror), which
+// have no member identity of their own.
+const soloMirrorID = "mirror"
 
 // pipeWaiter is one durability wait: ch receives nil once seq is
 // durable, or the error that made it impossible.
 type pipeWaiter struct {
 	seq uint64
 	ch  chan error
+}
+
+// mirrorMember is one attached replication member: its own send queue
+// (drained by its own goroutine, so a dead member's timeout never
+// stalls a healthy one's batches), its ack watermark, and its failure
+// state. All fields except id/send/stopCh/wake are guarded by pipe.mu;
+// send runs outside the lock.
+type mirrorMember struct {
+	id   string
+	send func([]kv.SyncRec) error
+	// queue holds emitted records awaiting this member's next batch.
+	queue []kv.SyncRec
+	// acked: this member has acknowledged every record with seq <
+	// acked. Starts at the attach watermark (the history below it is
+	// the mandated resync's responsibility).
+	acked uint64
+	// broken: a batch to this member failed; its queue was dropped and
+	// its sender goroutine exited. It rejoins only by re-attach (which
+	// mandates a resync); its past acks still count — the records ARE
+	// on it.
+	broken bool
+	err    error
+
+	stopCh chan struct{}
+	wake   chan struct{}
 }
 
 // replPipe is the per-store pipeline state. Lock order: repMu before
@@ -70,41 +115,50 @@ type replPipe struct {
 	// for the in-flight WAL write so rotation cannot strand records).
 	walDone *sync.Cond
 
-	// sendQ holds emitted records awaiting a mirror batch (only
-	// populated while a sender is attached); walQ holds records
-	// awaiting the batched write-ahead-log append.
-	sendQ []kv.SyncRec
-	walQ  []kv.ReplRecord
+	// members are the attached replication members, in attach order.
+	members []*mirrorMember
+	// need is how many member acks complete a majority of the group
+	// (members plus the primary itself): (len(members)+1)/2.
+	need int
+
+	// walQ holds records awaiting the batched write-ahead-log append.
+	walQ []kv.ReplRecord
 	// walQEnd is the sequence number after walQ's last record.
 	walQEnd uint64
 
-	// Watermarks: acks cover seq < mirrored, the WAL covers seq <
-	// synced (fsynced when LogSync). durableLocked combines them.
+	// Watermarks: a quorum of member acks covers seq < mirrored
+	// (monotone — membership changes never move it backwards), the WAL
+	// covers seq < synced (fsynced when LogSync). durableLocked
+	// combines them.
 	mirrored uint64
 	synced   uint64
 
-	// mirrorOn: a sender is attached, waiters require the mirror ack.
-	// needWAL: the store has a write-ahead log, waiters require the
-	// synced watermark — which advances only once a batch is WRITTEN
-	// to the file (and fsynced, when LogSync is set), so an acked
-	// commit is never still sitting in the in-memory queue when the
-	// process dies (the pre-batching write-then-ack contract).
+	// mirrorOn: at least one member is attached, waiters require the
+	// quorum watermark. needWAL: the store has a write-ahead log,
+	// waiters require the synced watermark — which advances only once a
+	// batch is WRITTEN to the file (and fsynced, when LogSync is set).
 	mirrorOn bool
 	needWAL  bool
-	sender   func([]kv.SyncRec) error
+
+	// quorumErr is set while fewer than need members are live: no
+	// record at or above quorumFrom can ever gather a quorum, so its
+	// waiters (present and future) fail immediately with this error
+	// instead of timing out. Cleared when an attach or detach restores
+	// live >= need.
+	quorumErr  error
+	quorumFrom uint64
 
 	waiters []pipeWaiter
 
 	// failRanges records sequence windows whose replication can never
 	// complete — records emitted under a mirror that was detached or
-	// replaced before acknowledging them. A waiter for such a record
-	// must FAIL (uncertain) even if it registers after the detach
-	// already ran: the detach drops the records from the send queue
-	// and clears mirrorOn, so without this record the late waiter
-	// would see "no mirror required" and ack a record no backup ever
-	// applied. Bounded: one entry per detach/replace event, oldest
-	// dropped past failRangesMax (by then every possible waiter has
-	// long timed out).
+	// replaced before a quorum acknowledged them. A waiter for such a
+	// record must FAIL (uncertain) even if it registers after the
+	// detach already ran: the detach clears mirrorOn, so without this
+	// record the late waiter would see "no mirror required" and ack a
+	// record too few members applied. Bounded: one entry per
+	// detach/replace event, oldest dropped past failRangesMax (by then
+	// every possible waiter has long timed out).
 	failRanges []failRange
 
 	// wal mirrors s.wal for the flusher: s.wal is written under repMu
@@ -113,17 +167,15 @@ type replPipe struct {
 	wal *wal
 
 	// walFlushing marks an in-flight batched WAL write (the flusher
-	// holds it across appendBatch only, never across the mirror RPC).
+	// holds it across appendBatch only).
 	walFlushing bool
 
-	// flushMu serializes whole flush passes (batch grab + I/O +
-	// watermark update): a stop/start race (detach then prompt
-	// re-attach) can briefly leave an old flusher goroutine finishing
-	// its drain while the new one starts, and two concurrent passes
-	// could otherwise send mirror batches out of sequence order.
+	// flushMu serializes whole WAL flush passes (batch grab + I/O +
+	// watermark update): a stop/start race can briefly leave an old
+	// flusher goroutine finishing its drain while the new one starts.
 	flushMu sync.Mutex
 
-	// stopCh is non-nil while the flusher goroutine runs.
+	// stopCh is non-nil while the WAL flusher goroutine runs.
 	stopCh chan struct{}
 	wake   chan struct{}
 }
@@ -150,6 +202,9 @@ func (p *replPipe) failureFor(seq uint64) error {
 			return p.failRanges[i].err
 		}
 	}
+	if p.quorumErr != nil && seq >= p.quorumFrom {
+		return p.quorumErr
+	}
 	return nil
 }
 
@@ -165,23 +220,72 @@ func (p *replPipe) durableLocked(seq uint64) bool {
 	return true
 }
 
+// recomputeQuorumLocked refreshes need, advances the quorum watermark
+// to the need-th largest member ack (never backwards), and maintains
+// the quorum-lost state: with fewer live (non-broken) members than
+// need, no new record can ever gather a quorum, so waiters at or above
+// the watermark must fail now rather than time out. Broken members'
+// PAST acks still count — the records are on them. Caller holds
+// pipe.mu.
+func (p *replPipe) recomputeQuorumLocked() {
+	if len(p.members) == 0 {
+		p.need = 0
+		p.quorumErr = nil
+		return
+	}
+	p.need = (len(p.members) + 1) / 2
+	acks := make([]uint64, len(p.members))
+	live := 0
+	var memberErr error
+	for i, m := range p.members {
+		acks[i] = m.acked
+		if m.broken {
+			memberErr = m.err
+		} else {
+			live++
+		}
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i] > acks[j] })
+	if w := acks[p.need-1]; w > p.mirrored {
+		p.mirrored = w
+	}
+	if live < p.need {
+		if p.quorumErr == nil {
+			if memberErr == nil {
+				memberErr = fmt.Errorf("kvserver: replication member unavailable")
+			}
+			p.quorumErr = fmt.Errorf("kvserver: replication quorum lost (%d of %d members live, need %d): %w", live, len(p.members), p.need, memberErr)
+			p.quorumFrom = p.mirrored
+		}
+	} else {
+		p.quorumErr = nil
+	}
+}
+
 // enqueueLocked hands one emitted record to the pipeline. Caller holds
 // repMu (emission order is queue order is stream order).
 func (s *Store) enqueueLocked(seq uint64, rec kv.ReplRecord) {
 	p := &s.pipe
 	p.mu.Lock()
-	queued := false
-	if p.sender != nil {
-		p.sendQ = append(p.sendQ, kv.SyncRec{Seq: seq, Rec: rec})
-		queued = true
+	sr := kv.SyncRec{Seq: seq, Rec: rec}
+	for _, m := range p.members {
+		if m.broken {
+			continue
+		}
+		m.queue = append(m.queue, sr)
+		select {
+		case m.wake <- struct{}{}:
+		default:
+		}
 	}
+	walQueued := false
 	if s.wal != nil {
 		p.walQ = append(p.walQ, rec)
 		p.walQEnd = seq + 1
-		queued = true
+		walQueued = true
 	}
 	p.mu.Unlock()
-	if queued {
+	if walQueued {
 		s.wakeFlusher()
 	}
 }
@@ -194,10 +298,10 @@ func (s *Store) wakeFlusher() {
 }
 
 // waitReplicated blocks until the record at seq is durable under the
-// store's configured guarantees — acknowledged by the attached mirror,
-// and fsynced when LogSync — or returns the error that failed it.
-// Callers must NOT hold repMu: the wait happening outside the stream
-// lock is the whole point of group commit.
+// store's configured guarantees — acknowledged by a quorum of attached
+// members, and fsynced when LogSync — or returns the error that failed
+// it. Callers must NOT hold repMu: the wait happening outside the
+// stream lock is the whole point of group commit.
 func (s *Store) waitReplicated(seq uint64) error {
 	p := &s.pipe
 	p.mu.Lock()
@@ -238,14 +342,14 @@ func (s *Store) waitReplicated(seq uint64) error {
 }
 
 // completeWaitersLocked answers every waiter that is now durable, and
-// fails those in [failFrom, failTo) with failErr (a failed batch).
-// Caller holds pipe.mu.
-func (p *replPipe) completeWaitersLocked(failErr error, failFrom, failTo uint64) {
+// fails those covered by a permanent failure (a detach window or a
+// lost quorum). Caller holds pipe.mu.
+func (p *replPipe) completeWaitersLocked() {
 	keep := p.waiters[:0]
 	for _, w := range p.waiters {
 		switch {
-		case failErr != nil && w.seq >= failFrom && w.seq < failTo:
-			w.ch <- failErr
+		case p.failureFor(w.seq) != nil:
+			w.ch <- p.failureFor(w.seq)
 		case p.durableLocked(w.seq):
 			w.ch <- nil
 		default:
@@ -259,56 +363,171 @@ func (p *replPipe) completeWaitersLocked(failErr error, failFrom, failTo uint64)
 	p.waiters = keep
 }
 
-// AttachMirrorBatch installs send as the replication batch sender and
+// AttachMirrorMember adds (or replaces) the replication member id and
 // returns the sequence number the next stream record will carry — the
-// watermark a backup attached mid-life must sync up to. The pipeline's
-// mirror watermark restarts at the stream head (nothing below it needs
-// this backup's ack; a resync is responsible for the history). Pass
-// nil to detach: queued-but-unsent records are dropped from the send
-// queue and waiters still awaiting a mirror ack FAIL — detaching must
-// never ack a record the (now removed) backup did not apply; new
-// records emitted after the detach simply no longer require an ack.
-func (s *Store) AttachMirrorBatch(send func([]kv.SyncRec) error) uint64 {
+// watermark the member must resync up to before it can be considered
+// a complete replica (nothing below it needs this member's ack; the
+// mandated resync is responsible for the history). The member's acks
+// count toward the quorum watermark from here on; the required quorum
+// (need) is recomputed from the new member count.
+func (s *Store) AttachMirrorMember(id string, send func([]kv.SyncRec) error) uint64 {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	return s.attachMemberLocked(id, send)
+}
+
+// attachMemberLocked implements AttachMirrorMember. Caller holds repMu.
+func (s *Store) attachMemberLocked(id string, send func([]kv.SyncRec) error) uint64 {
+	p := &s.pipe
+	p.mu.Lock()
+	for i, m := range p.members {
+		if m.id != id {
+			continue
+		}
+		if !m.broken {
+			// Replacing a live member: records still awaiting the OLD
+			// incarnation's ack must fail (uncertain), not be silently
+			// re-homed — the new incarnation only receives them later,
+			// via the resync the returned watermark demands, and an ack
+			// must never race that.
+			p.failMirrorWindowLocked(s.repSeq, fmt.Errorf("kvserver: mirror member %s replaced while awaiting replication", id))
+		}
+		close(m.stopCh)
+		p.members = append(p.members[:i], p.members[i+1:]...)
+		break
+	}
+	m := &mirrorMember{
+		id:     id,
+		send:   send,
+		acked:  s.repSeq,
+		stopCh: make(chan struct{}),
+		wake:   make(chan struct{}, 1),
+	}
+	p.members = append(p.members, m)
+	p.mirrorOn = true
+	p.recomputeQuorumLocked()
+	p.completeWaitersLocked()
+	p.mu.Unlock()
+	s.hasMirror.Store(true)
+	go s.memberLoop(m)
+	return s.repSeq
+}
+
+// DetachMirrorMember removes the replication member id: its sender
+// stops and its queued records are dropped. Detaching the LAST member
+// removes the replication requirement itself — waiters still awaiting
+// a quorum FAIL (a detach must never ack a record too few members
+// applied), and records emitted from here on simply no longer require
+// acks. Detaching one of several members re-judges waiters against the
+// smaller group's quorum.
+func (s *Store) DetachMirrorMember(id string) {
 	s.repMu.Lock()
 	defer s.repMu.Unlock()
 	p := &s.pipe
 	p.mu.Lock()
-	if send != nil {
-		if p.mirrorOn {
-			// Replacing a live mirror: records still awaiting the OLD
-			// backup's ack must fail (uncertain), not be silently
-			// re-homed — the new backup only receives them later, via
-			// the resync the returned watermark demands, and an ack
-			// must never race that.
-			p.failMirrorWindowLocked(s.repSeq, fmt.Errorf("kvserver: mirror replaced while awaiting replication"))
+	found := false
+	for i, m := range p.members {
+		if m.id != id {
+			continue
 		}
-		p.sender = send
-		p.mirrorOn = true
-		p.mirrored = s.repSeq
-		p.sendQ = nil
-		p.mu.Unlock()
-		s.hasMirror.Store(true)
-		s.startFlusherLocked()
-		return s.repSeq
+		close(m.stopCh)
+		p.members = append(p.members[:i], p.members[i+1:]...)
+		found = true
+		break
 	}
-	p.sender = nil
-	p.sendQ = nil
-	if p.mirrorOn {
-		// Fail — do not ack — records that were still awaiting the old
-		// backup's acknowledgment; records emitted from here on simply
-		// no longer require one.
+	if !found {
+		p.mu.Unlock()
+		return
+	}
+	if len(p.members) == 0 && p.mirrorOn {
 		p.failMirrorWindowLocked(s.repSeq, fmt.Errorf("kvserver: mirror detached while awaiting replication"))
 		p.mirrorOn = false
-		// Remaining waiters no longer need a mirror ack; some may be
-		// durable already.
-		p.completeWaitersLocked(nil, 0, 0)
+	}
+	p.recomputeQuorumLocked()
+	p.completeWaitersLocked()
+	empty := len(p.members) == 0
+	p.mu.Unlock()
+	if empty {
+		s.hasMirror.Store(false)
+	}
+}
+
+// MirrorMembers returns the attached members' ids (diagnostics).
+func (s *Store) MirrorMembers() []string {
+	p := &s.pipe
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.members))
+	for i, m := range p.members {
+		out[i] = m.id
+	}
+	return out
+}
+
+// ReplicaStatus is one attached replication member's progress, for
+// stats: how far its acks reach, and whether it is broken (a batch
+// failed; it needs a re-attach and resync). Lag is Head - AckedSeq at
+// snapshot time.
+type ReplicaStatus struct {
+	Member   string
+	AckedSeq uint64
+	Broken   bool
+}
+
+// ReplicationStatus reports the stream head, the quorum durability
+// watermark, the required member-ack count, and each attached member's
+// progress — what makes a permanently-behind minority member
+// observable instead of silent.
+func (s *Store) ReplicationStatus() (head, watermark uint64, need int, members []ReplicaStatus) {
+	s.repMu.Lock()
+	head = s.repSeq
+	p := &s.pipe
+	p.mu.Lock()
+	watermark = p.mirrored
+	need = p.need
+	members = make([]ReplicaStatus, len(p.members))
+	for i, m := range p.members {
+		members[i] = ReplicaStatus{Member: m.id, AckedSeq: m.acked, Broken: m.broken}
 	}
 	p.mu.Unlock()
-	s.hasMirror.Store(false)
-	if s.wal == nil {
-		s.stopFlusher()
+	s.repMu.Unlock()
+	return head, watermark, need, members
+}
+
+// AttachMirrorBatch installs send as the sole replication member,
+// detaching any members already attached — the single-backup
+// interface, kept for hand-wired pairs and tests. Pass nil to detach
+// every member. Semantics of the returned watermark and of detaching
+// match AttachMirrorMember / DetachMirrorMember.
+func (s *Store) AttachMirrorBatch(send func([]kv.SyncRec) error) uint64 {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	if send == nil {
+		s.detachAllMembersLocked(fmt.Errorf("kvserver: mirror detached while awaiting replication"))
+		return s.repSeq
 	}
-	return s.repSeq
+	s.detachAllMembersLocked(fmt.Errorf("kvserver: mirror replaced while awaiting replication"))
+	return s.attachMemberLocked(soloMirrorID, send)
+}
+
+// detachAllMembersLocked stops and removes every member, failing —
+// not acking — the waiters still awaiting a quorum. Caller holds
+// repMu.
+func (s *Store) detachAllMembersLocked(err error) {
+	p := &s.pipe
+	p.mu.Lock()
+	for _, m := range p.members {
+		close(m.stopCh)
+	}
+	p.members = nil
+	if p.mirrorOn {
+		p.failMirrorWindowLocked(s.repSeq, err)
+		p.mirrorOn = false
+	}
+	p.recomputeQuorumLocked()
+	p.completeWaitersLocked()
+	p.mu.Unlock()
+	s.hasMirror.Store(false)
 }
 
 // failMirrorWindowLocked permanently fails the unacknowledged window
@@ -356,8 +575,98 @@ func (s *Store) AttachMirror(fn func(seq uint64, rec kv.ReplRecord) error) uint6
 	})
 }
 
-// startFlusherLocked starts the flusher goroutine if it is not already
-// running. Caller holds repMu (OpenStore and attach paths).
+// memberLoop is one member's sender goroutine: woken by emissions, it
+// drains the member's queue in batches until empty, then sleeps. With
+// a configured GroupCommitInterval it waits that long after the first
+// wake to let a batch build; at the default (0) it flushes as soon as
+// it is free — a lone writer pays no added latency, while concurrent
+// writers naturally coalesce into whatever accumulated during the
+// previous batch's round trip. A failed batch breaks the member and
+// ends the loop: batches to one member must stay in sequence order,
+// and after a failure only a resync (via re-attach) can restore the
+// contiguity contract.
+func (s *Store) memberLoop(m *mirrorMember) {
+	p := &s.pipe
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case <-m.wake:
+		}
+		if d := s.cfg.GroupCommitInterval; d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-m.stopCh:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		for {
+			p.mu.Lock()
+			batch, _, to := m.takeBatchLocked(s.cfg.MirrorBatchMaxRecords)
+			p.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			err := m.send(batch)
+			p.mu.Lock()
+			if err != nil {
+				m.broken = true
+				m.err = err
+				m.queue = nil
+				p.recomputeQuorumLocked()
+				p.completeWaitersLocked()
+				p.mu.Unlock()
+				return
+			}
+			if to > m.acked {
+				m.acked = to
+			}
+			s.stats.MirrorBatches.Add(1)
+			s.stats.MirrorBatchRecords.Add(uint64(len(batch)))
+			p.recomputeQuorumLocked()
+			p.completeWaitersLocked()
+			p.mu.Unlock()
+			select {
+			case <-m.stopCh:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// takeBatchLocked slices the next batch off the member's queue,
+// bounded by maxRecs and mirrorBatchBytes (at least one record always
+// goes — it crossed the wire once already, so it fits a frame).
+// Caller holds pipe.mu.
+func (m *mirrorMember) takeBatchLocked(maxRecs int) (batch []kv.SyncRec, from, to uint64) {
+	if len(m.queue) == 0 {
+		return nil, 0, 0
+	}
+	if maxRecs <= 0 || maxRecs > len(m.queue) {
+		maxRecs = len(m.queue)
+	}
+	n, bytes := 0, 0
+	for n < maxRecs {
+		sz := recordSize(&m.queue[n].Rec)
+		if n > 0 && bytes+sz > mirrorBatchBytes {
+			break
+		}
+		bytes += sz
+		n++
+	}
+	batch = m.queue[:n:n]
+	m.queue = m.queue[n:]
+	if len(m.queue) == 0 {
+		m.queue = nil
+	}
+	return batch, batch[0].Seq, batch[n-1].Seq + 1
+}
+
+// startFlusherLocked starts the WAL flusher goroutine if it is not
+// already running. Caller holds repMu (OpenStore and attach paths).
 func (s *Store) startFlusherLocked() {
 	p := &s.pipe
 	p.mu.Lock()
@@ -379,13 +688,11 @@ func (s *Store) stopFlusher() {
 	}
 }
 
-// flushLoop is the pipeline's sender: woken by emissions, it drains
-// the queues in batches until empty, then sleeps. With a configured
-// GroupCommitInterval it waits that long after the first wake to let a
-// batch build; at the default (0) it flushes as soon as it is free —
-// a lone writer pays no added latency, while concurrent writers
-// naturally coalesce into whatever accumulated during the previous
-// batch's round trip.
+// flushLoop is the write-ahead log's batcher: woken by emissions, it
+// drains the WAL queue in batched appends until empty, then sleeps.
+// With a configured GroupCommitInterval it waits that long after the
+// first wake to let a batch build. (Mirror batches have per-member
+// sender goroutines; see memberLoop.)
 func (s *Store) flushLoop(stopCh chan struct{}) {
 	for {
 		select {
@@ -412,87 +719,52 @@ func (s *Store) flushLoop(stopCh chan struct{}) {
 	}
 }
 
-// flushOnce sends one mirror batch and performs one batched WAL append
-// (in parallel — their order never mattered: the old path mirrored
-// before logging), then advances the watermarks and completes waiters.
-// It reports whether it did any work.
+// flushOnce performs one batched WAL append, then advances the synced
+// watermark and completes waiters. It reports whether it did any work.
 func (s *Store) flushOnce() bool {
 	p := &s.pipe
 	p.flushMu.Lock()
 	defer p.flushMu.Unlock()
 	p.mu.Lock()
-	send, sendFrom, sendTo := p.takeSendBatchLocked(s.cfg.MirrorBatchMaxRecords)
 	walRecs := p.walQ
 	walTo := p.walQEnd
 	p.walQ = nil
-	sender := p.sender
 	w := p.wal
 	if len(walRecs) > 0 {
 		p.walFlushing = true
 	}
 	p.mu.Unlock()
-	if len(send) == 0 && len(walRecs) == 0 {
+	if len(walRecs) == 0 {
 		return false
 	}
 
-	var mirrorErr, walErr error
-	walSynced := false
-	var wg sync.WaitGroup
-	if len(walRecs) > 0 {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			walSynced, walErr = walAppendBatch(w, walRecs)
-		}()
-	}
-	if len(send) > 0 && sender != nil {
-		mirrorErr = sender(send)
-	}
-	wg.Wait()
+	walSynced, walErr := walAppendBatch(w, walRecs)
 
 	p.mu.Lock()
-	if len(walRecs) > 0 {
-		p.walFlushing = false
-		p.walDone.Broadcast()
-		if walErr == nil {
-			if walTo > p.synced {
-				p.synced = walTo
-			}
-			if walSynced {
-				s.stats.WALSyncs.Add(1)
-			}
-		} else {
-			// Re-queue the failed batch AT THE FRONT: the records must
-			// reach the file in stream order with no gap (the wal's
-			// torn-tail repair assumes the retry starts exactly where
-			// the clean prefix ends), so they go out again before
-			// anything emitted since. Their waiters keep waiting — the
-			// retry may well succeed (transient disk error) and ack
-			// them; if the disk stays broken they time out as
-			// uncertain. A delayed self-wake drives the retry even if
-			// no new emission comes.
-			s.stats.WALFailures.Add(1)
-			p.walQ = append(walRecs, p.walQ...)
-			time.AfterFunc(walRetryDelay, s.wakeFlusher)
+	p.walFlushing = false
+	p.walDone.Broadcast()
+	if walErr == nil {
+		if walTo > p.synced {
+			p.synced = walTo
 		}
-	}
-	if len(send) > 0 {
-		if mirrorErr == nil {
-			if sendTo > p.mirrored {
-				p.mirrored = sendTo
-			}
-			s.stats.MirrorBatches.Add(1)
-			s.stats.MirrorBatchRecords.Add(uint64(len(send)))
+		if walSynced {
+			s.stats.WALSyncs.Add(1)
 		}
-	}
-	// A failed mirror batch fails exactly the waiters whose records
-	// rode in it; later waiters are judged by their own batches (the
-	// backup's contiguity checks make a silent gap impossible).
-	if mirrorErr != nil {
-		p.completeWaitersLocked(mirrorErr, sendFrom, sendTo)
 	} else {
-		p.completeWaitersLocked(nil, 0, 0)
+		// Re-queue the failed batch AT THE FRONT: the records must
+		// reach the file in stream order with no gap (the wal's
+		// torn-tail repair assumes the retry starts exactly where
+		// the clean prefix ends), so they go out again before
+		// anything emitted since. Their waiters keep waiting — the
+		// retry may well succeed (transient disk error) and ack
+		// them; if the disk stays broken they time out as
+		// uncertain. A delayed self-wake drives the retry even if
+		// no new emission comes.
+		s.stats.WALFailures.Add(1)
+		p.walQ = append(walRecs, p.walQ...)
+		time.AfterFunc(walRetryDelay, s.wakeFlusher)
 	}
+	p.completeWaitersLocked()
 	p.mu.Unlock()
 	return true
 }
@@ -500,34 +772,6 @@ func (s *Store) flushOnce() bool {
 // walRetryDelay paces retries of a failed batched WAL append, so a
 // persistently broken disk does not spin the flusher.
 const walRetryDelay = 100 * time.Millisecond
-
-// takeSendBatchLocked slices the next mirror batch off sendQ, bounded
-// by maxRecs and mirrorBatchBytes (at least one record always goes —
-// it crossed the wire once already, so it fits a frame). Caller holds
-// pipe.mu.
-func (p *replPipe) takeSendBatchLocked(maxRecs int) (batch []kv.SyncRec, from, to uint64) {
-	if len(p.sendQ) == 0 || p.sender == nil {
-		return nil, 0, 0
-	}
-	if maxRecs <= 0 || maxRecs > len(p.sendQ) {
-		maxRecs = len(p.sendQ)
-	}
-	n, bytes := 0, 0
-	for n < maxRecs {
-		sz := recordSize(&p.sendQ[n].Rec)
-		if n > 0 && bytes+sz > mirrorBatchBytes {
-			break
-		}
-		bytes += sz
-		n++
-	}
-	batch = p.sendQ[:n:n]
-	p.sendQ = p.sendQ[n:]
-	if len(p.sendQ) == 0 {
-		p.sendQ = nil
-	}
-	return batch, batch[0].Seq, batch[n-1].Seq + 1
-}
 
 // walAppendBatch writes recs to the WAL in one batched append and
 // reports whether the append ended in an fsync. The wal pointer is the
@@ -600,6 +844,6 @@ func (s *Store) drainWALLocked() bool {
 	if synced {
 		s.stats.WALSyncs.Add(1)
 	}
-	p.completeWaitersLocked(nil, 0, 0)
+	p.completeWaitersLocked()
 	return true
 }

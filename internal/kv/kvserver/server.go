@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,16 +17,20 @@ import (
 // Server exposes a Store over the RPC stack. One Server corresponds to
 // one storage-server process in Figure 1 of the paper.
 type Server struct {
-	store      *Store
-	rpc        *rpc.Server
-	ln         net.Listener
-	sweeper    *time.Ticker
-	ckpt       *time.Ticker
-	stopCh     chan struct{}
-	mirrorConn *rpc.Client
-	// leaseStop terminates the lease-renewal loop of the current
-	// mirror attachment (nil when no loop is running).
-	leaseStop chan struct{}
+	store   *Store
+	rpc     *rpc.Server
+	ln      net.Listener
+	sweeper *time.Ticker
+	ckpt    *time.Ticker
+	stopCh  chan struct{}
+	// mirrorMu guards the backup-connection and lease-loop maps, both
+	// keyed by backup address (the member identity everywhere: the
+	// pipeline's member id, the epoch membership entry, and the lease
+	// grant all use it).
+	mirrorMu    sync.Mutex
+	mirrorConns map[string]*rpc.Client
+	// leaseStops terminates each member's lease-renewal loop.
+	leaseStops map[string]chan struct{}
 	// isolated simulates an outbound network partition: while set, the
 	// mirror hook and lease renewals fail without sending, so the
 	// server's lease expires and its strict-mirror writes fail exactly
@@ -112,32 +117,84 @@ func (s *Server) ack() []byte {
 // synced up to that sequence number (a fresh pair starts at 0 and
 // needs no sync; a backup attached mid-life calls SyncFrom with it).
 func (s *Server) AttachBackup(addr string) (uint64, error) {
+	s.DetachAllBackups()
+	return s.AttachBackupMember(addr)
+}
+
+// AttachBackupMember adds the backup at addr to this primary's
+// replication group WITHOUT detaching the members already attached —
+// the rf >= 3 interface. Each member gets its own connection, its own
+// batch sender (a dead member's timeout never stalls the others), and
+// its own lease-renewal loop; committers are acknowledged once a
+// MAJORITY of the group (the primary plus a quorum of backups) holds
+// their record. Like AttachBackup, it returns the replication-stream
+// watermark the new member must SyncFrom up to.
+func (s *Server) AttachBackupMember(addr string) (uint64, error) {
 	conn, err := rpc.Dial(addr)
 	if err != nil {
 		return 0, fmt.Errorf("kvserver: dialing backup: %w", err)
 	}
-	if s.mirrorConn != nil {
-		s.mirrorConn.Close()
+	s.mirrorMu.Lock()
+	if old := s.mirrorConns[addr]; old != nil {
+		old.Close()
 	}
-	s.mirrorConn = conn
-	watermark := s.store.AttachMirrorBatch(func(recs []kv.SyncRec) error {
+	if s.mirrorConns == nil {
+		s.mirrorConns = make(map[string]*rpc.Client)
+	}
+	s.mirrorConns[addr] = conn
+	s.mirrorMu.Unlock()
+	watermark := s.store.AttachMirrorMember(addr, func(recs []kv.SyncRec) error {
 		req := kv.MirrorBatchReq{Recs: recs}
-		return s.callExtendingLease(conn, kv.MethodMirrorBatch, req.Encode())
+		return s.callExtendingLease(conn, addr, kv.MethodMirrorBatch, req.Encode())
 	})
-	s.startLeaseLoop(conn)
+	s.startLeaseLoop(addr, conn)
 	return watermark, nil
 }
 
-// callExtendingLease performs one RPC to the backup whose
-// acknowledgment doubles as a lease renewal (mirror records and
-// MethodLease renewals alike): the call is timeout-bounded — it runs
-// while the caller may hold the replication stream, and a frozen
+// DetachBackupMember removes the backup at addr from the replication
+// group: its sender and lease loop stop and its connection closes.
+// Waiters are re-judged against the remaining members' quorum (see
+// Store.DetachMirrorMember).
+func (s *Server) DetachBackupMember(addr string) {
+	s.store.DetachMirrorMember(addr)
+	s.mirrorMu.Lock()
+	if stop, ok := s.leaseStops[addr]; ok {
+		close(stop)
+		delete(s.leaseStops, addr)
+	}
+	if conn, ok := s.mirrorConns[addr]; ok {
+		conn.Close()
+		delete(s.mirrorConns, addr)
+	}
+	s.mirrorMu.Unlock()
+}
+
+// DetachAllBackups removes every attached backup; in-flight durability
+// waiters fail (they are uncertain, not acked).
+func (s *Server) DetachAllBackups() {
+	s.store.AttachMirrorBatch(nil)
+	s.mirrorMu.Lock()
+	for addr, stop := range s.leaseStops {
+		close(stop)
+		delete(s.leaseStops, addr)
+	}
+	for addr, conn := range s.mirrorConns {
+		conn.Close()
+		delete(s.mirrorConns, addr)
+	}
+	s.mirrorMu.Unlock()
+}
+
+// callExtendingLease performs one RPC to the backup at member whose
+// acknowledgment doubles as that member's lease grant (mirror records
+// and MethodLease renewals alike): the call is timeout-bounded — it
+// runs while the caller may hold the replication stream, and a frozen
 // backup must fail the operation after a bounded wait, not wedge the
-// primary's write path — the lease is extended from before the
-// request was sent (the backup's grant, measured from receipt,
+// primary's write path — the member's grant is extended from before
+// the request was sent (the backup's grant, measured from receipt,
 // necessarily outlasts it), and the ack's clock is merged. While
 // Isolate is in effect, the call fails without sending.
-func (s *Server) callExtendingLease(conn *rpc.Client, method string, payload []byte) error {
+func (s *Server) callExtendingLease(conn *rpc.Client, member, method string, payload []byte) error {
 	if s.isolated.Load() {
 		return errIsolated
 	}
@@ -148,7 +205,7 @@ func (s *Server) callExtendingLease(conn *rpc.Client, method string, payload []b
 	if err != nil {
 		return err
 	}
-	s.store.ExtendLease(t0.Add(s.store.cfg.LeaseDuration))
+	s.store.ExtendLease(member, t0.Add(s.store.cfg.LeaseDuration))
 	if ack, err := kv.DecodeAck(respB); err == nil {
 		s.store.Clock().Observe(ack.Clock)
 	}
@@ -167,13 +224,24 @@ var errIsolated = errors.New("kvserver: outbound replication isolated (simulated
 // precisely what the tests assert.
 func (s *Server) Isolate() { s.isolated.Store(true) }
 
-// startLeaseLoop begins periodic lease renewals to the attached backup
-// over conn, replacing any previous loop. Renewals keep the lease
-// fresh through write-idle periods (mirror acks cover the busy ones).
-func (s *Server) startLeaseLoop(conn *rpc.Client) {
-	s.stopLeaseLoop()
+// startLeaseLoop begins periodic lease renewals to the backup member
+// at addr over conn, replacing any previous loop for that member.
+// Renewals keep the member's grant fresh through write-idle periods
+// (mirror acks cover the busy ones); each member renews on its own
+// loop, so one unreachable member blocking on its timeout never
+// starves the others' renewals — exactly what lets a quorum lease
+// survive any minority of down members.
+func (s *Server) startLeaseLoop(addr string, conn *rpc.Client) {
 	stop := make(chan struct{})
-	s.leaseStop = stop
+	s.mirrorMu.Lock()
+	if old, ok := s.leaseStops[addr]; ok {
+		close(old)
+	}
+	if s.leaseStops == nil {
+		s.leaseStops = make(map[string]chan struct{})
+	}
+	s.leaseStops[addr] = stop
+	s.mirrorMu.Unlock()
 	go func() {
 		interval := s.store.cfg.LeaseDuration / 3
 		if interval <= 0 {
@@ -188,7 +256,7 @@ func (s *Server) startLeaseLoop(conn *rpc.Client) {
 			case <-s.stopCh:
 				return
 			case <-t.C:
-				if !s.renewLease(conn) {
+				if !s.renewLease(addr, conn) {
 					return
 				}
 			}
@@ -196,22 +264,17 @@ func (s *Server) startLeaseLoop(conn *rpc.Client) {
 	}()
 }
 
-func (s *Server) stopLeaseLoop() {
-	if s.leaseStop != nil {
-		close(s.leaseStop)
-		s.leaseStop = nil
-	}
-}
-
-// renewLease sends one lease renewal to the backup and reports whether
-// the renewal loop should keep running. A wrong-epoch rejection means
-// the backup was promoted while we were away: adopt the new
-// configuration (dropping to RoleRemoved) so clients are redirected
-// instead of served stale data — and stop renewing; a deposed member
-// hammering the new primary with doomed renewals forever would only
-// pollute its WrongEpochRejects signal. Any other failure simply
-// leaves the lease to expire on its own.
-func (s *Server) renewLease(conn *rpc.Client) bool {
+// renewLease sends one lease renewal to the backup member at addr and
+// reports whether that member's renewal loop should keep running. A
+// wrong-epoch rejection means the group moved on while we were away:
+// adopt the new configuration (dropping to RoleRemoved if deposed) so
+// clients are redirected instead of served stale data — and stop
+// renewing; a deposed member hammering the new primary with doomed
+// renewals forever would only pollute its WrongEpochRejects signal.
+// Any other failure simply leaves that member's grant to expire on its
+// own — with rf >= 3 the lease survives on the remaining members'
+// grants as long as they form a majority.
+func (s *Server) renewLease(addr string, conn *rpc.Client) bool {
 	epoch := s.store.Epoch()
 	if epoch == 0 {
 		return true // legacy pair: no lease discipline (yet)
@@ -219,7 +282,7 @@ func (s *Server) renewLease(conn *rpc.Client) bool {
 	if s.store.Role() != RolePrimary {
 		return false // deposed or reconfigured away: nothing to renew
 	}
-	err := s.callExtendingLease(conn, kv.MethodLease, (&kv.LeaseReq{Epoch: epoch}).Encode())
+	err := s.callExtendingLease(conn, addr, kv.MethodLease, (&kv.LeaseReq{Epoch: epoch}).Encode())
 	var app *rpc.AppError
 	if errors.As(err, &app) {
 		if we, ok := kv.ParseWrongEpoch(app.Msg); ok {
@@ -287,6 +350,15 @@ func (s *Server) BumpEpoch(members []string) (uint64, error) {
 	return newEpoch, nil
 }
 
+// BumpEpochTo installs the given epoch with the given membership (this
+// server first) — the failover promotion path, where the new epoch
+// must exceed whatever ANY live member has seen, not merely this
+// member's own epoch plus one. The store still refuses an epoch at or
+// below its current one.
+func (s *Server) BumpEpochTo(epoch uint64, members []string) error {
+	return s.store.InstallEpoch(epoch, members)
+}
+
 // mirrorTimeout bounds one synchronous mirror round trip.
 const mirrorTimeout = 5 * time.Second
 
@@ -295,12 +367,7 @@ const mirrorTimeout = 5 * time.Second
 // any writes, where the watermark is necessarily zero.
 func (s *Server) SetMirror(addr string) error {
 	if addr == "" {
-		s.stopLeaseLoop()
-		s.store.AttachMirror(nil)
-		if s.mirrorConn != nil {
-			s.mirrorConn.Close()
-			s.mirrorConn = nil
-		}
+		s.DetachAllBackups()
 		return nil
 	}
 	_, err := s.AttachBackup(addr)
@@ -337,7 +404,7 @@ func (s *Server) handleSync(_ context.Context, p []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs, head, base, err := s.store.SyncRecords(req.From, int(req.Max))
+	recs, head, base, err := s.store.SyncRecords(req.From, int(req.Max), req.Epoch)
 	if err != nil {
 		return nil, err
 	}
@@ -402,7 +469,7 @@ func (s *Server) SyncFrom(addr string, until uint64) error {
 	installs := 0
 	for {
 		from := s.store.ReplSeq()
-		req := kv.SyncReq{From: from, Max: 512}
+		req := kv.SyncReq{From: from, Max: 512, Epoch: s.store.StreamEpoch()}
 		respB, err := conn.Call(ctx, kv.MethodSync, req.Encode())
 		if err != nil {
 			var app *rpc.AppError
@@ -469,6 +536,17 @@ const (
 // or evicted server-side session restarts the transfer from scratch
 // (bounded by snapTransferAttempts) rather than failing the resync.
 func (s *Server) installSnapshotFrom(ctx context.Context, conn *rpc.Client, addr string) error {
+	return s.transferSnapshotFrom(ctx, conn, addr, s.store.InstallSnapshot)
+}
+
+// installSnapshotDiscardingTailFrom is installSnapshotFrom for the
+// diverged-replica path: the transferred snapshot replaces the local
+// state even when it lies behind the local stream head.
+func (s *Server) installSnapshotDiscardingTailFrom(ctx context.Context, conn *rpc.Client, addr string) error {
+	return s.transferSnapshotFrom(ctx, conn, addr, s.store.InstallSnapshotDiscardingTail)
+}
+
+func (s *Server) transferSnapshotFrom(ctx context.Context, conn *rpc.Client, addr string, install func([]byte) error) error {
 	var lastErr error
 	for attempt := 0; attempt < snapTransferAttempts; attempt++ {
 		var data []byte
@@ -503,12 +581,33 @@ func (s *Server) installSnapshotFrom(ctx context.Context, conn *rpc.Client, addr
 		if expired {
 			continue
 		}
-		if err := s.store.InstallSnapshot(data); err != nil {
+		if err := install(data); err != nil {
 			return fmt.Errorf("kvserver: installing snapshot from %s: %w", addr, err)
 		}
 		return nil
 	}
 	return fmt.Errorf("kvserver: snapshot transfer from %s restarted %d times without completing: %w", addr, snapTransferAttempts, lastErr)
+}
+
+// StateTransferFrom rejoins this replica to the group at addr by full
+// state transfer, abandoning its own history: a complete snapshot of
+// the source replaces the local state wholesale — even when the local
+// stream head is AHEAD of the snapshot (the diverged-but-behind old
+// primary: its stranded tail is discarded, never merged) — and the
+// log-tail sync then follows the source to the given watermark (0 =
+// the source's head). This is the only road back for a replica whose
+// SyncFrom failed with kv.ErrDiverged.
+func (s *Server) StateTransferFrom(addr string, until uint64) error {
+	conn, err := rpc.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("kvserver: dialing state-transfer source: %w", err)
+	}
+	err = s.installSnapshotDiscardingTailFrom(context.Background(), conn, addr)
+	conn.Close()
+	if err != nil {
+		return err
+	}
+	return s.SyncFrom(addr, until)
 }
 
 // Store returns the underlying storage engine.
@@ -524,16 +623,31 @@ type ServerStats struct {
 	Role       string
 	Members    []string
 	LeaseValid bool
+	// Replication-group progress (meaningful on a primary with
+	// attached backups): the stream head, the quorum durability
+	// watermark, how many member acks complete a quorum, and each
+	// member's individual progress — AckLag = ReplHead - AckedSeq is
+	// the signal that flags a permanently-behind minority member.
+	ReplHead   uint64
+	QuorumMark uint64
+	QuorumNeed int
+	Replicas   []ReplicaStatus
 }
 
-// Stats reports counters plus epoch/lease state (see ServerStats).
+// Stats reports counters plus epoch/lease/replication state (see
+// ServerStats).
 func (s *Server) Stats() ServerStats {
+	head, mark, need, replicas := s.store.ReplicationStatus()
 	return ServerStats{
 		StatsSnapshot: s.store.Stats(),
 		Epoch:         s.store.Epoch(),
 		Role:          s.store.Role(),
 		Members:       s.store.Members(),
 		LeaseValid:    s.store.LeaseValid(),
+		ReplHead:      head,
+		QuorumMark:    mark,
+		QuorumNeed:    need,
+		Replicas:      replicas,
 	}
 }
 
@@ -582,16 +696,23 @@ func (s *Server) Close() error {
 		s.sweeper.Stop()
 		s.ckpt.Stop()
 	}
-	s.stopLeaseLoop()
-	if s.mirrorConn != nil {
-		// Detach the replication pipeline too: in-flight durability
-		// waiters fail (they are uncertain, not acked) and the batcher
-		// goroutine stops with the server.
-		s.store.AttachMirrorBatch(nil)
-		s.mirrorConn.Close()
-		s.mirrorConn = nil
-	}
-	return s.rpc.Close()
+	// Shut the RPC server down BEFORE detaching the replication
+	// pipeline, and in this order only. rpc.Close closes every
+	// connection and then waits for in-flight handlers to drain; any
+	// commit still executing keeps its full durability requirement (the
+	// members are still attached) and, whatever its outcome, cannot
+	// deliver an acknowledgment on a closed connection. Detaching first
+	// would empty the member set under those handlers — durableLocked
+	// with no members and no WAL demand is trivially satisfied — and a
+	// late commit would be acked as if this were an unreplicated store:
+	// an acknowledged write existing only on a dying primary, exactly
+	// the loss the quorum is there to prevent.
+	err := s.rpc.Close()
+	// Handlers drained: now stop the member senders and lease loops.
+	// Remaining durability waiters (none can ack a client anymore) fail
+	// as uncertain.
+	s.DetachAllBackups()
+	return err
 }
 
 func (s *Server) handleRead(_ context.Context, p []byte) ([]byte, error) {
@@ -657,7 +778,9 @@ func (s *Server) handlePrepare(_ context.Context, p []byte) ([]byte, error) {
 		resp.OK = true
 		resp.Proposed = proposed
 	} else if !errors.Is(err, kv.ErrConflict) && !errors.Is(err, kv.ErrBadRequest) {
-		return nil, err
+		// The prepare may have locked and replicated state at this
+		// clock; the error response must carry it (see kv.MarkClock).
+		return nil, kv.MarkClock(err, s.store.Clock().Now())
 	}
 	resp.Clock = s.store.Clock().Now()
 	return resp.Encode(), nil
@@ -672,7 +795,9 @@ func (s *Server) handleCommit(_ context.Context, p []byte) ([]byte, error) {
 		return nil, err
 	}
 	if err := s.store.Commit(req.TxID, req.CommitTS); err != nil {
-		return nil, err
+		// An uncertain commit is applied locally: stamp the clock so the
+		// client's next snapshot lands above it (see kv.MarkClock).
+		return nil, kv.MarkClock(err, s.store.Clock().Now())
 	}
 	return s.ack(), nil
 }
@@ -703,7 +828,10 @@ func (s *Server) handleFastCommit(_ context.Context, p []byte) ([]byte, error) {
 		resp.OK = true
 		resp.CommitTS = commitTS
 	} else if !errors.Is(err, kv.ErrConflict) && !errors.Is(err, kv.ErrBadRequest) {
-		return nil, err
+		// The one-shot transaction is applied locally even when its
+		// durability wait fails (ErrUncertain): stamp the clock so the
+		// client's next snapshot lands above it (see kv.MarkClock).
+		return nil, kv.MarkClock(err, s.store.Clock().Now())
 	}
 	resp.Clock = s.store.Clock().Now()
 	return resp.Encode(), nil

@@ -393,6 +393,32 @@ func (s *Store) InstallSnapshot(enc []byte) error {
 	return s.installSnapshotLocked(sn, enc, true)
 }
 
+// InstallSnapshotDiscardingTail installs a snapshot even when it lies
+// behind this replica's stream head — the state-transfer path for a
+// replica whose history DIVERGED from the group's (kv.ErrDiverged):
+// an old primary that kept appending records its group never saw. Its
+// stranded suffix — every record above the snapshot's coverage — is
+// abandoned wholesale, along with its epoch stamps and any buffered
+// out-of-order records; a diverged history is replaced, never merged
+// record-wise. The ordinary InstallSnapshot refuses to move the
+// stream backwards precisely so that only this explicit path can.
+func (s *Store) InstallSnapshotDiscardingTail(enc []byte) error {
+	sn, err := decodeSnapshot(enc)
+	if err != nil {
+		return err
+	}
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	if sn.Seq < s.repSeq {
+		s.repSeq = sn.Seq
+		s.streamEpoch = 0
+		for seq := range s.pending {
+			delete(s.pending, seq)
+		}
+	}
+	return s.installSnapshotLocked(sn, enc, true)
+}
+
 // installSnapshotLocked implements InstallSnapshot; OpenStore also uses
 // it to replay a write-ahead log's checkpoint frame into a fresh store.
 // Caller holds repMu. enc is the snapshot's canonical encoding for the
@@ -464,6 +490,11 @@ func (s *Store) installSnapshotLocked(sn *stateSnapshot, enc []byte, viaStream b
 		s.commitLogBytes = 0
 		s.logBase = sn.Seq
 	}
+	if sn.Epoch > s.streamEpoch {
+		// The snapshot's coverage includes every RecEpoch below its seq;
+		// its epoch is what the stream had installed there.
+		s.streamEpoch = sn.Epoch
+	}
 	if sn.Epoch > 0 {
 		s.installEpochState(sn.Epoch, append([]string(nil), sn.Members...))
 	}
@@ -497,7 +528,7 @@ func (s *Store) installSnapshotLocked(sn *stateSnapshot, enc []byte, viaStream b
 				s.pipe.mu.Lock()
 				s.pipe.needWAL = false
 				s.pipe.wal = nil
-				s.pipe.completeWaitersLocked(nil, 0, 0)
+				s.pipe.completeWaitersLocked()
 				s.pipe.mu.Unlock()
 				return fmt.Errorf("kvserver: rotating log onto installed snapshot (write-ahead logging disabled on this replica): %w", err)
 			}

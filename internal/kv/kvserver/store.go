@@ -154,6 +154,51 @@
 // unreplicated server, or a hand-wired SetMirror pair — keep all
 // pre-epoch behavior, including the availability-first TTL abort.
 //
+// # Quorum groups
+//
+// The mirror pair generalizes to replication factors above 2: a
+// primary fans each batch out to N backup members in parallel (one
+// member loop, queue, and connection per member — pipeline.go), and
+// the durability watermark becomes "a MAJORITY of members have
+// acknowledged the sequence number, and it is fsynced locally when
+// LogSync demands it". With rf = 3 that means one backup ack
+// suffices, so a minority of backups being down, slow, or broken
+// stalls nothing: writes keep flowing at the speed of the fastest
+// majority, and a broken member's past acks still count toward
+// watermarks they already covered. Only when fewer live members
+// remain than a majority requires does the pipeline fail fast,
+// surfacing kv.ErrUncertain to in-flight commits instead of hanging.
+//
+// The lease generalizes the same way: a multi-member primary serves
+// while it holds unexpired grants from a MAJORITY of its backups
+// (every member's batch ack and lease renewal is a grant), and a
+// promotion without force waits out the grants it observed. The two
+// majorities intersect, which is the whole safety argument: any
+// acknowledged write lives on at least one member of any electing
+// majority, and the member chosen by promotion is the MOST CAUGHT-UP
+// live member — the orchestrator freezes every live member
+// (BeginPromotion), compares stream heads, promotes the maximum, and
+// re-joins the rest as backups of the winner (cluster.promote). A
+// member whose head is behind the winner's syncs the missing tail; a
+// member whose history DIVERGED — it holds records at positions the
+// winner's stream stamped with a different epoch, the classic
+// isolated-old-primary-with-stranded-writes case — is rejected with
+// kv.ErrDiverged at every splice point and re-joins by state transfer
+// only:
+//
+//   - the sync source compares the requester's stream epoch against
+//     the epoch its own log held at the requested position;
+//   - every applied record's epoch stamp must equal the epoch the
+//     replica's stream installed at that position (the per-record
+//     splice guard), so stranded old-epoch records can never be
+//     overlaid by a successor's re-stamped history, nor vice versa;
+//   - a record arriving BELOW the replica's head is acknowledged as a
+//     duplicate only if the retained log proves identity (same kind,
+//     epoch, transaction, timestamp at that position) — the
+//     attach-before-sync overlap ships some records twice by design,
+//     and content, not timing, is what tells a benign duplicate from
+//     a split brain.
+//
 // # Log truncation and snapshots
 //
 // The replication log that serves MethodSync resyncs is bounded. When
@@ -516,6 +561,18 @@ type Store struct {
 	// while a resync is filling in the history below them.
 	pending   map[uint64]kv.ReplRecord
 	resyncing bool
+	// streamEpoch is the epoch installed BY THE STREAM at or below the
+	// current head: it advances only when a RecEpoch record is emitted
+	// or applied at its position (or a snapshot install seeds it), never
+	// by an out-of-band AdoptEpoch. That distinction is the splice
+	// guard: a deposed primary adopts the successor epoch from a
+	// rejection, but its STREAM still ends in the old epoch's records —
+	// so comparing incoming record stamps against streamEpoch (not
+	// epoch) still exposes the divergence. Every record applied at the
+	// head must be stamped with exactly streamEpoch; any other stamp
+	// means the record belongs to a history this replica never
+	// installed, rejected with kv.ErrDiverged. Guarded by repMu.
+	streamEpoch uint64
 
 	// pipe is the group-commit replication pipeline: emitted records
 	// are queued here and a flusher goroutine batches them into mirror
@@ -542,15 +599,20 @@ type Store struct {
 	// self is this member's advertised address (Server.Listen sets it);
 	// the role follows from its position in epochMembers.
 	self string
-	// leaseUntil is, on a primary, the end of its authority to serve:
-	// each mirror or lease-renewal ack extends it to send-time +
-	// LeaseDuration. grantUntil is, on a backup, the matching promise:
-	// no promotion is accepted before it. leaseUntil is measured from
-	// before the renewal was sent and grantUntil from after it was
-	// received, so grantUntil >= leaseUntil always — the primary stops
-	// serving before the backup may take over.
-	leaseUntil time.Time
-	grantUntil time.Time
+	// memberLease is, on a primary, the end of its authority as granted
+	// by each backup member (keyed by the member's address): each mirror
+	// or lease-renewal ack from that member extends its entry to
+	// send-time + LeaseDuration. The primary serves only while a
+	// MAJORITY of the group believes in it — its own vote plus
+	// unexpired grants from at least len(epochMembers)/2 backups (the
+	// quorum lease; a pair reduces to the old rule, one backup grant).
+	// grantUntil is, on a backup, the matching promise: no promotion is
+	// accepted before it. Each entry is measured from before the
+	// renewal was sent and grantUntil from after it was received, so
+	// grantUntil >= the granted entry always — the primary stops
+	// serving before enough backups may vote it out.
+	memberLease map[string]time.Time
+	grantUntil  time.Time
 	// promoting freezes the grant clock: once a promotion has begun,
 	// no mirror record or lease renewal is accepted (and therefore no
 	// ack can extend the old primary's authority), so the grant-expiry
@@ -619,6 +681,17 @@ func (s *Store) Epoch() uint64 {
 	return s.epoch
 }
 
+// StreamEpoch returns the epoch this store's replication stream had
+// installed at its head — unlike Epoch it never reflects an
+// out-of-band AdoptEpoch, only RecEpoch records and snapshot installs.
+// A resync request carries it so the source can detect a diverged-but-
+// behind history (see SyncRecords).
+func (s *Store) StreamEpoch() uint64 {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	return s.streamEpoch
+}
+
 // Members returns a copy of the current membership, primary first.
 func (s *Store) Members() []string {
 	s.epochMu.Lock()
@@ -651,23 +724,41 @@ func (s *Store) roleLocked() string {
 // LeaseValid reports whether this member currently holds the authority
 // a lease confers: true for legacy stores, sole members, and backups
 // (their authority questions are answered by role, not lease), and for
-// a multi-member primary only until leaseUntil.
+// a multi-member primary only while a majority of the group backs it —
+// its own vote plus unexpired grants from at least half the remaining
+// members (the quorum lease; a pair needs its one backup's grant).
 func (s *Store) LeaseValid() bool {
 	s.epochMu.Lock()
 	defer s.epochMu.Unlock()
+	return s.leaseValidLocked(time.Now())
+}
+
+// leaseValidLocked implements LeaseValid. Caller holds epochMu.
+func (s *Store) leaseValidLocked(now time.Time) bool {
 	if s.epoch == 0 || len(s.epochMembers) <= 1 || s.roleLocked() != RolePrimary {
 		return true
 	}
-	return time.Now().Before(s.leaseUntil)
+	need := len(s.epochMembers) / 2 // backup grants completing a majority with the primary's own vote
+	granted := 0
+	for _, m := range s.epochMembers[1:] {
+		if now.Before(s.memberLease[m]) {
+			granted++
+		}
+	}
+	return granted >= need
 }
 
-// ExtendLease advances the primary's serving authority to until (never
-// backwards). The caller measures until from *before* the renewal
-// request was sent, so the backup's matching grant always outlasts it.
-func (s *Store) ExtendLease(until time.Time) {
+// ExtendLease advances the serving authority granted by one backup
+// member to until (never backwards). The caller measures until from
+// *before* the renewal request was sent, so that member's matching
+// grant always outlasts it.
+func (s *Store) ExtendLease(member string, until time.Time) {
 	s.epochMu.Lock()
-	if until.After(s.leaseUntil) {
-		s.leaseUntil = until
+	if s.memberLease == nil {
+		s.memberLease = make(map[string]time.Time)
+	}
+	if until.After(s.memberLease[member]) {
+		s.memberLease[member] = until
 	}
 	s.epochMu.Unlock()
 }
@@ -745,10 +836,10 @@ func (s *Store) CheckClientOp(reqEpoch uint64) error {
 	if reqEpoch != 0 && reqEpoch != s.epoch {
 		return s.wrongEpochLocked()
 	}
-	if len(s.epochMembers) > 1 && !time.Now().Before(s.leaseUntil) {
-		// Lease expired: the backup may already have been promoted and
-		// be acknowledging writes under a new epoch. Serving anything —
-		// even a read — could contradict the new primary.
+	if !s.leaseValidLocked(time.Now()) {
+		// Quorum lease lost: a majority of the group may already have
+		// promoted a successor and be acknowledging writes under a new
+		// epoch. Serving anything — even a read — could contradict it.
 		return s.wrongEpochLocked()
 	}
 	return nil
@@ -871,7 +962,20 @@ const syncBatchBytes = 4 << 20
 // irreconcilable histories, reported loudly as kv.ErrDiverged
 // (mirroring ApplyMirrored's strict check) rather than answered with a
 // silently empty batch the requester would mistake for "caught up".
-func (s *Store) SyncRecords(from uint64, max int) (recs []kv.SyncRec, head, base uint64, err error) {
+//
+// reqEpoch is the requester's STREAM epoch (see streamEpoch) and closes
+// the diverged-but-BEHIND hole the seq-only checks left open: an
+// isolated old primary whose stranded old-epoch records sit at
+// sequence numbers this stream later re-stamped passes every position
+// check once the head grows past it. When the retained log still holds
+// the record just below from, the epoch in force there is compared
+// against reqEpoch; a mismatch means the requester's history below
+// from is NOT a prefix of this stream, rejected with kv.ErrDiverged —
+// the requester can only rejoin by state transfer. When that record
+// was truncated the check is skipped here; the requester's own
+// per-record apply check (applyRecordLocked) still catches the splice
+// on the first delivered record.
+func (s *Store) SyncRecords(from uint64, max int, reqEpoch uint64) (recs []kv.SyncRec, head, base uint64, err error) {
 	if max <= 0 {
 		max = 512
 	}
@@ -882,6 +986,14 @@ func (s *Store) SyncRecords(from uint64, max int) (recs []kv.SyncRec, head, base
 	}
 	if from > s.repSeq {
 		return nil, s.repSeq, s.logBase, fmt.Errorf("%w: requested seq %d is beyond this replica's head %d: the requester applied records never in this stream, re-form the group", kv.ErrDiverged, from, s.repSeq)
+	}
+	if from > s.logBase && from <= s.logBase+uint64(len(s.commitLog)) {
+		// The record below from is retained; its stamp is the epoch this
+		// stream had in force there (a RecEpoch's stamp is the epoch it
+		// installed, equally the epoch in force after it).
+		if srcEpoch := s.commitLog[from-1-s.logBase].Epoch; srcEpoch != reqEpoch {
+			return nil, s.repSeq, s.logBase, fmt.Errorf("%w: requester's stream is at epoch %d below seq %d but this stream had epoch %d in force there: the histories diverged, rejoin by state transfer", kv.ErrDiverged, reqEpoch, from, srcEpoch)
+		}
 	}
 	if from < s.logBase || from >= s.logBase+uint64(len(s.commitLog)) {
 		return nil, s.repSeq, s.logBase, nil
@@ -1446,6 +1558,10 @@ func (s *Store) emitLocked(rec kv.ReplRecord) uint64 {
 		s.epochMu.Lock()
 		rec.Epoch = s.epoch
 		s.epochMu.Unlock()
+	} else if rec.Epoch > s.streamEpoch {
+		// The stream itself is installing this epoch; record stamps from
+		// here on must match it (see streamEpoch).
+		s.streamEpoch = rec.Epoch
 	}
 	seq := s.repSeq
 	s.repSeq++

@@ -586,10 +586,14 @@ func (s *Store) ApplyMirroredBatch(recs []kv.SyncRec) error {
 // acknowledging it would let the stale primary keep serving. RecEpoch
 // records must strictly advance the epoch. Nothing is accepted while a
 // promotion is waiting out the grant (the ack would re-arm the lease
-// mid-wait). Sync catch-ups are exempt from the epoch comparisons —
-// they replay history in sequence order, transitioning epochs as the
-// RecEpoch records at the right positions are applied — but resync
-// buffering still grants: a buffered record is acknowledged too.
+// mid-wait). The checks hold even while this replica is RESYNCING:
+// sync catch-ups replay history through the non-strict path
+// (ApplyReplicatedSeq) and never reach this guard, so the only live
+// records a resync exemption would admit here are stale ones — e.g. a
+// straggler batch from the primary a failover just deposed, landing in
+// the window after the loser adopts the new epoch and before it
+// resyncs from the winner, silently growing its stream past the head
+// the promotion measured.
 //
 // Accepting a record extends the grant HERE, atomically with the
 // decision to accept (under repMu+epochMu, before any ack can go
@@ -603,7 +607,7 @@ func (s *Store) acceptStreamRecordLocked(rec *kv.ReplRecord) error {
 	if s.promoting {
 		return fmt.Errorf("promotion in progress: %w", s.wrongEpochLocked())
 	}
-	if !s.resyncing && s.epoch != 0 {
+	if s.epoch != 0 {
 		if rec.Kind == kv.RecEpoch {
 			if rec.Epoch <= s.epoch {
 				return fmt.Errorf("stale configuration change: %w", s.wrongEpochLocked())
@@ -654,10 +658,37 @@ func (s *Store) applyReplicatedLocked(seq uint64, rec kv.ReplRecord, strict bool
 	for {
 		switch {
 		case seq < s.repSeq:
+			// A record below the head is either a duplicate delivery or
+			// evidence of divergence, and the two must be told apart by
+			// CONTENT, not by timing: a member attaches before its catch-up
+			// sync, so a record emitted in between rides BOTH the member's
+			// queue and the sync replay, and the second copy can land
+			// after the resync window has already closed. The retained
+			// replication log settles it — if the epoch stamped on our
+			// record at that position matches the incoming record's, the
+			// single-writer-per-epoch stream guarantees they are the same
+			// record and the duplicate is safe to acknowledge. Legacy
+			// epoch-0 pairs have no single-writer guarantee (a stray
+			// client can write natively to the backup), so identity is
+			// pinned on the full record header — kind, epoch, transaction
+			// and timestamp — not the epoch alone. A mismatch means this
+			// replica's history holds something else there: genuinely
+			// diverged, rejoin by state transfer.
 			if strict {
-				return fmt.Errorf("%w: replica is ahead of the primary's stream (got seq %d, local head %d): re-form the pair", kv.ErrDiverged, seq, s.repSeq)
+				if seq >= s.logBase && seq-s.logBase < uint64(len(s.commitLog)) {
+					have := s.commitLog[seq-s.logBase]
+					if have.Epoch != rec.Epoch || have.Kind != rec.Kind || have.TxID != rec.TxID || have.TS != rec.TS {
+						return fmt.Errorf("%w: record at seq %d (epoch %d, tx %d) does not match the record this replica's stream holds there (epoch %d, tx %d): the histories diverged, rejoin by state transfer", kv.ErrDiverged, seq, rec.Epoch, rec.TxID, have.Epoch, have.TxID)
+					}
+				} else if !s.resyncing {
+					// Below the retained log and not mid-resync: identity
+					// can't be verified, and no legitimate duplicate is
+					// that stale (the in-flight window spans the attach,
+					// not a checkpoint truncation). Treat as divergence.
+					return fmt.Errorf("%w: replica is ahead of the primary's stream (got seq %d, local head %d, log retained from %d): re-form the group", kv.ErrDiverged, seq, s.repSeq, s.logBase)
+				}
 			}
-			return nil // duplicate delivery
+			return nil
 		case seq > s.repSeq:
 			if !s.resyncing {
 				return fmt.Errorf("%w: replication gap: got seq %d, want %d; backup needs resync", kv.ErrBadRequest, seq, s.repSeq)
@@ -689,6 +720,22 @@ func (s *Store) applyReplicatedLocked(seq uint64, rec kv.ReplRecord, strict bool
 // (mirror or sync) rather than this node's own log replay; it only
 // affects the orphan sweep's grace period.
 func (s *Store) applyRecordLocked(rec kv.ReplRecord, viaStream bool) error {
+	// The per-record epoch check — the splice guard. Every record except
+	// RecEpoch must be stamped with exactly the epoch this stream
+	// installed at or below the current head (streamEpoch; RecEpoch
+	// records are the transitions and are vetted by their own strictly-
+	// advancing check on the live path). A mismatch means the record
+	// belongs to a history this replica never installed: the classic
+	// case is a diverged-but-BEHIND replica resyncing from a successor —
+	// its stranded old-epoch records sit at sequence numbers the new
+	// stream re-stamped, so the seq checks all pass, and the first
+	// delivered record (stamped with the successor epoch the replica's
+	// stream never installed) is the only tell. Rejected with
+	// kv.ErrDiverged: such a replica rejoins by state transfer, never by
+	// record replay.
+	if rec.Kind != kv.RecEpoch && rec.Epoch != s.streamEpoch {
+		return fmt.Errorf("%w: record at seq %d stamped epoch %d but this replica's stream installed epoch %d there: the histories diverged, rejoin by state transfer", kv.ErrDiverged, s.repSeq, rec.Epoch, s.streamEpoch)
+	}
 	s.clock.Observe(rec.TS)
 	switch rec.Kind {
 	case kv.RecCommit:
@@ -718,7 +765,11 @@ func (s *Store) applyRecordLocked(rec kv.ReplRecord, viaStream bool) error {
 		// A configuration change flowing through the stream (or replayed
 		// from the log): adopt the new epoch and membership. Roles and
 		// lease requirements follow from the membership; no object state
-		// changes.
+		// changes. streamEpoch advances HERE — this is an epoch the
+		// stream itself installed, unlike an out-of-band AdoptEpoch.
+		if rec.Epoch > s.streamEpoch {
+			s.streamEpoch = rec.Epoch
+		}
 		s.installEpochState(rec.Epoch, append([]string(nil), rec.Members...))
 	default:
 		return fmt.Errorf("%w: replication record kind %d", kv.ErrBadRequest, rec.Kind)

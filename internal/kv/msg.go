@@ -255,15 +255,23 @@ func DecodeMirrorBatchReq(p []byte) (*MirrorBatchReq, error) {
 
 // SyncReq asks a primary for its replication log starting at sequence
 // number From, at most Max records per response (0 = server default).
+// Epoch is the epoch the requester's own stream had installed at its
+// head (its stream epoch, not an out-of-band adopted one): a source
+// whose stream carried a different epoch at position From rejects the
+// sync with ErrDiverged — the requester holds records the source's
+// stream re-stamped, and replaying the tail onto them would splice two
+// histories.
 type SyncReq struct {
-	From uint64
-	Max  uint32
+	From  uint64
+	Max   uint32
+	Epoch uint64
 }
 
 func (m *SyncReq) Encode() []byte {
-	b := wire.NewBuffer(16)
+	b := wire.NewBuffer(24)
 	b.PutUvarint(m.From)
 	b.PutUint32(m.Max)
+	b.PutUvarint(m.Epoch)
 	return b.Bytes()
 }
 
@@ -275,6 +283,9 @@ func DecodeSyncReq(p []byte) (*SyncReq, error) {
 		return nil, err
 	}
 	if m.Max, err = r.Uint32(); err != nil {
+		return nil, err
+	}
+	if m.Epoch, err = r.Uvarint(); err != nil {
 		return nil, err
 	}
 	return m, nil

@@ -181,7 +181,8 @@ func TestSyncReqRoundTrip(t *testing.T) {
 	cases := []SyncReq{
 		{From: 0, Max: 0},
 		{From: 42, Max: 512},
-		{From: 1<<64 - 1, Max: 1<<32 - 1},
+		{From: 42, Max: 512, Epoch: 3},
+		{From: 1<<64 - 1, Max: 1<<32 - 1, Epoch: 1<<64 - 1},
 	}
 	for i, in := range cases {
 		out, err := DecodeSyncReq(in.Encode())
