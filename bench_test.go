@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"yesquel/internal/kv"
 	"yesquel/internal/kv/kvclient"
 	"yesquel/internal/kv/kvserver"
+	"yesquel/internal/ycsb"
 )
 
 // benchParams keeps -bench wall time reasonable while preserving each
@@ -138,6 +140,193 @@ func replWorkload(tb testing.TB, writers, rf int, scfg kvserver.Config, d time.D
 	return int(total.Load()), cl.Stats()
 }
 
+// replReadResult summarizes one read-mostly replication workload run.
+type replReadResult struct {
+	reads, writes int
+	readsPerSec   float64
+	p50, p95, p99 time.Duration
+	st            kvserver.StatsSnapshot
+}
+
+// latPercentile picks the p-th percentile (0..100) from a sorted
+// latency sample, nearest-rank on the sample index.
+func latPercentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(sorted)-1) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// replReadWorkload drives `workers` concurrent clients running a YCSB
+// read-mostly mix (B = 95/5 read/update, C = read-only) against a
+// 1-slot cluster at the given replication factor. With followerReads
+// set, read transactions begin at the client's learned durability
+// frontier (BeginFollower) and route to backups, so the group's read
+// capacity is every replica; without it, every read goes to the
+// primary. Workers ping once before the run so even the read-only
+// WorkloadC clients learn a frontier from the heartbeat ack piggyback
+// before their first read. Reports read/write counts, read ops/sec
+// over the measured window, read latency percentiles, and the slot's
+// aggregated server counters (FollowerReads shows where reads landed).
+func replReadWorkload(tb testing.TB, workers, rf int, wl ycsb.Workload, followerReads bool, d time.Duration) replReadResult {
+	// Follower reads run at the durability frontier, which trails the
+	// newest commits; a hot zipfian key takes enough updates per
+	// second that the default 64-version chain cap would prune the
+	// version a frontier read needs. Deepen the cap so the retention
+	// window, not the chain length, bounds readable staleness.
+	cl, err := cluster.StartReplicated(1, rf, kvserver.Config{MaxVersions: 4096})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	// Seed the keyspace; replicate it fully before the run starts so
+	// every backup can serve any key at the frontier.
+	const records = 256
+	seed, err := cl.NewClient()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer seed.Close()
+	oids := make([]kv.OID, records)
+	for i := range oids {
+		oids[i] = seed.NewOID(0)
+	}
+	for i := 0; i < records; i += 32 {
+		tx := seed.Begin()
+		for j := i; j < i+32 && j < records; j++ {
+			tx.Put(oids[j], kv.NewPlain(ycsb.Value(int64(j))))
+		}
+		if err := tx.Commit(ctx); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if followerReads {
+		// Wait until a backup actually SERVES a follower read of the
+		// last seeded object: a successful read alone isn't enough
+		// (the client falls back to the primary transparently while
+		// the backups' remote watermark — carried by mirror batches
+		// and lease renewals — still trails the seeding). Once the
+		// FollowerReads counter moves, the backups' own frontiers
+		// cover the full seed, so the workers start against a group
+		// whose every replica can serve every key.
+		seed.SetFollowerReads(true)
+		for wait := time.Now().Add(10 * time.Second); ; {
+			if err := seed.Ping(ctx, 0); err != nil {
+				tb.Fatal(err)
+			}
+			if seed.FollowerSnapshot() > 0 {
+				tx := seed.BeginFollower()
+				if _, err := tx.Read(ctx, oids[records-1]); err != nil && !errors.Is(err, kv.ErrNotFound) {
+					tb.Fatal(err)
+				}
+				if cl.Stats().FollowerReads > 0 {
+					break
+				}
+			}
+			if time.Now().After(wait) {
+				tb.Fatal("backups never served a follower read of the seed writes")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	var reads, writes atomic.Int64
+	var wg sync.WaitGroup
+	latCh := make(chan []time.Duration, workers)
+	start := time.Now()
+	deadline := start.Add(d)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := cl.NewClient()
+			if err != nil {
+				tb.Errorf("worker %d: %v", w, err)
+				return
+			}
+			defer c.Close()
+			c.SetFollowerReads(followerReads)
+			// Learn the slot's durability frontier before the first
+			// read (the ping ack piggybacks it), then keep it fresh
+			// with the heartbeat: the follower snapshot must advance
+			// through the run or reads pin to an ever-staler
+			// timestamp and eventually fall out of the hot keys'
+			// retained version history.
+			if err := c.Ping(ctx, 0); err != nil {
+				tb.Errorf("worker %d: ping: %v", w, err)
+				return
+			}
+			c.StartHeartbeat(50 * time.Millisecond)
+			gen, err := ycsb.NewGenerator(wl, records, int64(w)+1)
+			if err != nil {
+				tb.Errorf("worker %d: %v", w, err)
+				return
+			}
+			var lats []time.Duration
+			nr, nw := int64(0), int64(0)
+			for time.Now().Before(deadline) {
+				op := gen.Next()
+				oid := oids[int(op.Key%records)]
+				if op.Kind == ycsb.OpRead || op.Kind == ycsb.OpScan {
+					t0 := time.Now()
+					var tx *kvclient.Tx
+					if followerReads {
+						tx = c.BeginFollower()
+					} else {
+						tx = c.Begin()
+					}
+					if _, err := tx.Read(ctx, oid); err != nil {
+						tb.Errorf("worker %d: read: %v", w, err)
+						return
+					}
+					lats = append(lats, time.Since(t0))
+					nr++
+				} else {
+					tx := c.Begin()
+					tx.Put(oid, kv.NewPlain(ycsb.Value(op.Key)))
+					switch err := tx.Commit(ctx); {
+					case err == nil:
+						nw++
+					case errors.Is(err, kv.ErrConflict) || errors.Is(err, kv.ErrUncertain):
+						// Zipfian hot keys under first-committer-wins:
+						// losing a race is part of the workload, not a
+						// harness failure.
+					default:
+						tb.Errorf("worker %d: commit: %v", w, err)
+						return
+					}
+				}
+			}
+			reads.Add(nr)
+			writes.Add(nw)
+			latCh <- lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(latCh)
+	var all []time.Duration
+	for l := range latCh {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return replReadResult{
+		reads:       int(reads.Load()),
+		writes:      int(writes.Load()),
+		readsPerSec: float64(reads.Load()) / elapsed.Seconds(),
+		p50:         latPercentile(all, 50),
+		p95:         latPercentile(all, 95),
+		p99:         latPercentile(all, 99),
+		st:          cl.Stats(),
+	}
+}
+
 // BenchmarkReplicationConcurrent measures the replicated write path
 // under concurrency — the workload BenchmarkE9_Replication's
 // per-commit latency view cannot show. Sub-benchmarks cover 1 and 8
@@ -177,16 +366,43 @@ func BenchmarkReplicationConcurrent(b *testing.B) {
 			b.Run(fmt.Sprintf("rf=%d/logsync/writers=%d", rf, w), func(b *testing.B) { run(b, w, rf, true) })
 		}
 	}
+	// Read-mostly (YCSB-B, 95/5) at rf=3: primary-only vs
+	// watermark-gated follower reads. The follower variant's reads
+	// fan out across all three replicas at the durability frontier;
+	// reported latencies are per-read (begin→value).
+	for _, fr := range []bool{false, true} {
+		fr := fr
+		b.Run(fmt.Sprintf("rf=3/readmostly/follower=%v", fr), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := replReadWorkload(b, 8, 3, ycsb.WorkloadB, fr, 500*time.Millisecond)
+				b.ReportMetric(res.readsPerSec, "read-ops/s")
+				b.ReportMetric(float64(res.p50.Microseconds()), "p50-µs")
+				b.ReportMetric(float64(res.p95.Microseconds()), "p95-µs")
+				b.ReportMetric(float64(res.p99.Microseconds()), "p99-µs")
+				if fr && res.st.FollowerReads == 0 {
+					b.Fatalf("follower reads enabled but none served (frontier never learned?)")
+				}
+			}
+		})
+	}
 }
 
-// replBenchPoint is one row of BENCH_replication.json.
+// replBenchPoint is one row of BENCH_replication.json. The write-path
+// rows fill OpsPerSec and the batching fields; the read-mostly rows
+// fill the read fields instead (ReadOpsPerSec, latency percentiles,
+// and FollowerReads — how many of the reads backups served).
 type replBenchPoint struct {
 	Config          string  `json:"config"`
 	Writers         int     `json:"writers"`
-	OpsPerSec       float64 `json:"ops_per_sec"`
-	MirrorBatches   uint64  `json:"mirror_batches"`
-	BatchDepth      float64 `json:"batch_depth"`
-	FsyncsPerCommit float64 `json:"fsyncs_per_commit"`
+	OpsPerSec       float64 `json:"ops_per_sec,omitempty"`
+	MirrorBatches   uint64  `json:"mirror_batches,omitempty"`
+	BatchDepth      float64 `json:"batch_depth,omitempty"`
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit,omitempty"`
+	ReadOpsPerSec   float64 `json:"read_ops_per_sec,omitempty"`
+	FollowerReads   uint64  `json:"follower_reads,omitempty"`
+	P50Micros       float64 `json:"read_p50_us,omitempty"`
+	P95Micros       float64 `json:"read_p95_us,omitempty"`
+	P99Micros       float64 `json:"read_p99_us,omitempty"`
 }
 
 // TestReplicationBenchArtifact emits BENCH_replication.json — the
@@ -226,9 +442,55 @@ func TestReplicationBenchArtifact(t *testing.T) {
 			points = append(points, p)
 		}
 	}
+	// Read-mostly column (rf=3, YCSB-B 95/5 and YCSB-C read-only, 8
+	// workers): primary-only routing vs watermark-gated follower
+	// reads. The follower rows should show strictly more read ops/s —
+	// reads fan out across the replicas instead of queueing on the
+	// primary behind the write path. The two configurations run as
+	// back-to-back pairs and the reported pair is the one with the
+	// MEDIAN follower/primary ratio: slow-machine drift between reps
+	// hits both numbers of a pair alike, so the comparison reflects
+	// the typical relative performance, not which rep drew the fast
+	// scheduling.
+	const readReps = 5
+	for _, wl := range []ycsb.Workload{ycsb.WorkloadB, ycsb.WorkloadC} {
+		type pair struct{ primary, follower replReadResult }
+		pairs := make([]pair, 0, readReps)
+		for rep := 0; rep < readReps; rep++ {
+			pairs = append(pairs, pair{
+				primary:  replReadWorkload(t, 8, 3, wl, false, d),
+				follower: replReadWorkload(t, 8, 3, wl, true, d),
+			})
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			return pairs[i].follower.readsPerSec/pairs[i].primary.readsPerSec <
+				pairs[j].follower.readsPerSec/pairs[j].primary.readsPerSec
+		})
+		med := pairs[len(pairs)/2]
+		if med.follower.st.FollowerReads == 0 {
+			t.Errorf("rf3+ycsb-%c+follower-reads: no follower reads served", wl)
+		}
+		for _, m := range []struct {
+			cfg string
+			res replReadResult
+		}{
+			{fmt.Sprintf("rf3+ycsb-%c+primary-only", wl), med.primary},
+			{fmt.Sprintf("rf3+ycsb-%c+follower-reads", wl), med.follower},
+		} {
+			points = append(points, replBenchPoint{
+				Config:        m.cfg,
+				Writers:       8,
+				ReadOpsPerSec: m.res.readsPerSec,
+				FollowerReads: m.res.st.FollowerReads,
+				P50Micros:     float64(m.res.p50.Microseconds()),
+				P95Micros:     float64(m.res.p95.Microseconds()),
+				P99Micros:     float64(m.res.p99.Microseconds()),
+			})
+		}
+	}
 	doc := map[string]any{
 		"bench":       "replication",
-		"description": "replicated write path: 1-slot loopback cluster at rf=2 (pair) and rf=3 (quorum group: ack once a majority — primary + 1 of 2 backups — holds the record), single-object puts; concurrent writers share mirror batches and WAL fsyncs (group commit)",
+		"description": "replicated write path: 1-slot loopback cluster at rf=2 (pair) and rf=3 (quorum group: ack once a majority — primary + 1 of 2 backups — holds the record), single-object puts; concurrent writers share mirror batches and WAL fsyncs (group commit); read-mostly rows run YCSB-B/C with reads either pinned to the primary or served by any replica at the durability watermark's frontier (follower reads)",
 		"cpus":        runtime.NumCPU(),
 		"points":      points,
 		// The same workload measured immediately before group commit

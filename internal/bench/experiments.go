@@ -107,6 +107,10 @@ func RunE1(ctx context.Context, p Params) (*Table, error) {
 		return nil, err
 	}
 	defer c.Close()
+	// No-op on this unreplicated cluster, but keeps the experiment
+	// honest when pointed at a replicated deployment: read-only
+	// transactions go to whatever replica can serve them.
+	c.SetFollowerReads(true)
 	tree, err := dbt.Create(ctx, c, benchTreeID, dbt.Config{})
 	if err != nil {
 		return nil, err
@@ -146,7 +150,10 @@ func RunE1(ctx context.Context, p Params) (*Table, error) {
 	}
 
 	if err := measure("lookup", func(i int) error {
-		tx := c.Begin()
+		// Read-only: BeginFollower lets a replicated deployment serve
+		// the lookup from any replica at the durability frontier; on an
+		// unreplicated cluster it is identical to Begin.
+		tx := c.BeginFollower()
 		defer tx.Abort()
 		_, err := tree.Get(ctx, tx, []byte(ycsb.KeyName(rng.Int63n(int64(p.Records)))))
 		return err
@@ -175,7 +182,7 @@ func RunE1(ctx context.Context, p Params) (*Table, error) {
 		return nil, err
 	}
 	if err := measure("scan100", func(i int) error {
-		tx := c.Begin()
+		tx := c.BeginFollower()
 		defer tx.Abort()
 		_, err := tree.Scan(ctx, tx, []byte(ycsb.KeyName(rng.Int63n(int64(p.Records)))), 100)
 		return err
@@ -228,6 +235,7 @@ func RunE2(ctx context.Context, p Params) (*Table, error) {
 				cl.Close()
 				return nil, err
 			}
+			wc.SetFollowerReads(true)
 			wt, err := dbt.Open(ctx, wc, benchTreeID, dbt.Config{})
 			if err != nil {
 				cl.Close()
@@ -265,7 +273,7 @@ func RunE2(ctx context.Context, p Params) (*Table, error) {
 					}
 					return 1, nil
 				}
-				tx := wcs[w].Begin()
+				tx := wcs[w].BeginFollower()
 				defer tx.Abort()
 				_, err := wts[w].Get(ctx, tx, []byte(ycsb.KeyName(key)))
 				if err != nil && !errors.Is(err, dbt.ErrKeyNotFound) {
@@ -342,6 +350,7 @@ func RunE3(ctx context.Context, p Params) (*Table, error) {
 		return nil, err
 	}
 	defer kvc.Close()
+	kvc.SetFollowerReads(true)
 	raw := baseline.NewRawKV(kvc)
 	for i := 0; i < p.Records; i++ {
 		if err := raw.Set(ctx, ycsb.KeyName(int64(i)), ycsb.Value(int64(i))); err != nil {
@@ -449,7 +458,9 @@ func runYCSBKVOp(ctx context.Context, c *kvclient.Client, raw *baseline.RawKV, t
 	case ycsb.OpUpdate, ycsb.OpInsert:
 		return 1, raw.Set(ctx, key, ycsb.Value(op.Key+1))
 	case ycsb.OpScan:
-		tx := c.Begin()
+		// Scans never write: the follower snapshot routes them off the
+		// primary wherever the deployment is replicated.
+		tx := c.BeginFollower()
 		defer tx.Abort()
 		_, err := tree.Scan(ctx, tx, []byte(key), op.ScanLen)
 		return 1, err

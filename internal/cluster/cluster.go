@@ -399,13 +399,29 @@ func (cl *Cluster) Close() {
 	}
 }
 
-// Stats aggregates the acting primaries' counters across slots.
+// Stats aggregates the acting primaries' counters across slots. The
+// follower-read counters additionally sum over each slot's BACKUPS —
+// that is where follower reads are served — so Reads counts every
+// read the cluster answered and FollowerReads says how many of them
+// the backups absorbed.
 func (cl *Cluster) Stats() kvserver.StatsSnapshot {
 	var out kvserver.StatsSnapshot
+	for _, g := range cl.Groups {
+		for _, b := range g.Backups {
+			st := b.Store().Stats()
+			out.Reads += st.Reads
+			out.FollowerReads += st.FollowerReads
+			out.FollowerReadWaits += st.FollowerReadWaits
+			out.DurableReadWaits += st.DurableReadWaits
+		}
+	}
 	for _, s := range cl.Servers {
 		st := s.Store().Stats()
 		out.Reads += st.Reads
 		out.ReadWaits += st.ReadWaits
+		out.FollowerReads += st.FollowerReads
+		out.FollowerReadWaits += st.FollowerReadWaits
+		out.DurableReadWaits += st.DurableReadWaits
 		out.Prepares += st.Prepares
 		out.Commits += st.Commits
 		out.FastCommits += st.FastCommits

@@ -1,0 +1,474 @@
+package cluster_test
+
+// Chaos drills for watermark-gated follower reads. The pinned
+// guarantees:
+//
+//   - A follower read never returns a write that a later failover
+//     erases: everything below the durability frontier is held by a
+//     majority, so it survives any promotion the group can perform.
+//   - A write stranded on a deposed primary (locally applied, never
+//     quorum-acked) is never visible through the follower-read path —
+//     not before the failover (it is above every frontier) and not
+//     after (the new epoch's history never contained it).
+//   - A backup detached from the replication stream refuses reads
+//     above its own frozen frontier (the client falls back to the
+//     primary transparently) while still serving reads at or below it.
+//   - A fully idle client keeps a fresh follower-read bound through
+//     the heartbeat ping's frontier piggyback, across failovers.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"yesquel/internal/clock"
+	"yesquel/internal/cluster"
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvclient"
+	"yesquel/internal/kv/kvserver"
+)
+
+// waitLease blocks until slot 0's current primary holds a valid quorum
+// lease — after a failover, nothing is served until then.
+func waitLease(t *testing.T, cl *cluster.Cluster) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cl.Groups[0].Primary.Stats().LeaseValid {
+		if time.Now().After(deadline) {
+			t.Fatal("new primary never obtained a quorum lease")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitFollowerSnapshot pings slot 0 until the client has learned a
+// durability frontier at or above want (0 = any nonzero frontier).
+func waitFollowerSnapshot(t *testing.T, c *kvclient.Client, want uint64) uint64 {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := c.Ping(context.Background(), 0); err == nil {
+			if snap := uint64(c.FollowerSnapshot()); snap > 0 && snap >= want {
+				return snap
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never learned a durability frontier >= %d", want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFollowerReadNeverErasedByFailover is the headline chaos drill:
+// concurrent writers bump per-key counters while follower-reading
+// clients watch them and the primary is killed mid-run. Every value a
+// follower read RETURNS must survive the failover — for each key, the
+// re-formed group's final state must be at least as new as the newest
+// value any follower read observed. A violation means a follower
+// served a write that the promotion then erased: the exact stale-read
+// anomaly the durability watermark exists to make impossible.
+func TestFollowerReadNeverErasedByFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos drill (-short)")
+	}
+	cl, err := cluster.StartReplicated(1, 3, kvserver.Config{LeaseDuration: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	// One counter object per writer; writers never conflict, so every
+	// successful Commit is a strictly newer value for its key.
+	const writers = 4
+	const readers = 3
+	seedc, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seedc.Close()
+	oids := make([]kv.OID, writers)
+	for i := range oids {
+		oids[i] = seedc.NewOID(0)
+		tx := seedc.Begin()
+		tx.Put(oids[i], kv.NewPlain([]byte("0")))
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	acked := make([]atomic.Int64, writers)    // newest counter value acked per key
+	observed := make([]atomic.Int64, writers) // newest value any follower read returned per key
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := cl.NewClient()
+			if err != nil {
+				t.Errorf("writer %d: %v", w, err)
+				return
+			}
+			defer c.Close()
+			for n := int64(1); !stop.Load(); n++ {
+				tx := c.Begin()
+				tx.Put(oids[w], kv.NewPlain([]byte(strconv.FormatInt(n, 10))))
+				err := tx.Commit(ctx)
+				switch {
+				case err == nil:
+					acked[w].Store(n)
+				case errors.Is(err, kv.ErrUncertain):
+					// Unknown fate: the value may or may not survive; it
+					// must not be counted as acked, and a follower may
+					// only return it if it did survive — the final-state
+					// check below covers both.
+				default:
+					// Failover window: redirects/lease gaps surface as
+					// retried or failed commits. The write did not
+					// happen; retry the same n.
+					n--
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := cl.NewClient()
+			if err != nil {
+				t.Errorf("reader %d: %v", r, err)
+				return
+			}
+			defer c.Close()
+			c.SetFollowerReads(true)
+			c.StartHeartbeat(20 * time.Millisecond)
+			for i := 0; !stop.Load(); i++ {
+				if c.FollowerSnapshot() == 0 {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				k := i % writers
+				tx := c.BeginFollower()
+				v, err := tx.Read(ctx, oids[k])
+				if err != nil {
+					// Failover window: a read can fail while the group
+					// re-forms; correctness is about what reads RETURN,
+					// not that every read succeeds.
+					continue
+				}
+				n, err := strconv.ParseInt(string(v.Data), 10, 64)
+				if err != nil {
+					t.Errorf("reader %d: non-counter value %q", r, v.Data)
+					return
+				}
+				for {
+					cur := observed[k].Load()
+					if n <= cur || observed[k].CompareAndSwap(cur, n) {
+						break
+					}
+				}
+			}
+		}(r)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	if err := cl.KillPrimary(0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	// Settle, then check: the surviving group's state must be at least
+	// as new as anything a follower read ever returned (no erased
+	// writes), and at least as new as everything acked (no lost acks).
+	verify, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer verify.Close()
+	waitLease(t, cl)
+	check := verify.Begin()
+	defer check.Abort()
+	for k := 0; k < writers; k++ {
+		v, err := check.Read(ctx, oids[k])
+		if err != nil {
+			t.Fatalf("final read of key %d: %v", k, err)
+		}
+		final, err := strconv.ParseInt(string(v.Data), 10, 64)
+		if err != nil {
+			t.Fatalf("final value of key %d: %q", k, v.Data)
+		}
+		if obs := observed[k].Load(); final < obs {
+			t.Fatalf("key %d: follower read returned %d but the failover left %d — a follower served an erased write", k, obs, final)
+		}
+		if ack := acked[k].Load(); final < ack {
+			t.Fatalf("key %d: acked %d but the failover left %d — an acknowledged write was lost", k, ack, final)
+		}
+	}
+}
+
+// TestStrandedWriteInvisibleToFollowerReads pins read-your-writes
+// hygiene across a failover: a write the old primary applied locally
+// but never got quorum-acked (its mirror batches died unsent) must
+// never surface through a follower read — before the failover it sits
+// above every durability frontier, and after it the new epoch's
+// history simply never contained it.
+func TestStrandedWriteInvisibleToFollowerReads(t *testing.T) {
+	cl, err := cluster.StartReplicated(1, 3, kvserver.Config{LeaseDuration: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		tx := c.Begin()
+		tx.Put(c.NewOID(0), kv.NewPlain([]byte(fmt.Sprintf("pre-%d", i))))
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	old, err := cl.IsolatePrimary(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strand a write on the deposed primary: the store-level commit
+	// bypasses the client gate, applies locally, and fails its
+	// durability wait (the group is unreachable).
+	oldStore := old.Store()
+	strandedOID := kv.MakeOID(0, 1<<52)
+	if _, err := oldStore.FastCommit(1<<52, oldStore.Clock().Now(), []*kv.Op{
+		{Kind: kv.OpPut, OID: strandedOID, Value: kv.NewPlain([]byte("stranded"))},
+	}); err == nil {
+		t.Fatal("isolated primary acknowledged a write")
+	}
+
+	// Follower reads through the re-formed group: the stranded write
+	// must not exist at ANY snapshot the follower path will serve.
+	waitLease(t, cl)
+	r, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.SetFollowerReads(true)
+	waitFollowerSnapshot(t, r, 0)
+	for i := 0; i < 20; i++ {
+		tx := r.BeginFollower()
+		if v, err := tx.Read(ctx, strandedOID); err == nil {
+			t.Fatalf("follower read returned stranded write %q: a value no quorum ever held", v.Data)
+		} else if !errors.Is(err, kv.ErrNotFound) {
+			t.Fatalf("follower read of stranded oid: %v, want ErrNotFound", err)
+		}
+		// Keep the group moving so the frontier keeps advancing past
+		// fresh commits while we probe.
+		tx2 := r.Begin()
+		tx2.Put(r.NewOID(0), kv.NewPlain([]byte(fmt.Sprintf("post-%d", i))))
+		if err := tx2.Commit(ctx); err != nil && !errors.Is(err, kv.ErrUncertain) {
+			t.Fatal(err)
+		}
+	}
+	if got := cl.Stats().FollowerReads; got == 0 {
+		t.Fatal("probe reads never exercised the follower path")
+	}
+}
+
+// TestDetachedBackupRefusesReadsAboveItsFrontier pins the stale-backup
+// bound: a backup cut off from the replication stream keeps serving
+// snapshots at or below the frontier its frozen watermark vouches for,
+// and refuses anything newer — the client falls back to the primary
+// transparently, so staleness is bounded by the backup's own
+// durability knowledge, never by the client's optimism.
+func TestDetachedBackupRefusesReadsAboveItsFrontier(t *testing.T) {
+	cl, err := cluster.StartReplicated(1, 3, kvserver.Config{LeaseDuration: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	g := cl.Groups[0]
+	detached := g.Backups[1]
+
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	oldOID := c.NewOID(0)
+	tx := c.Begin()
+	tx.Put(oldOID, kv.NewPlain([]byte("old")))
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// A frontier the detached backup will still be able to vouch for:
+	// wait until the whole group (lease renewals carry the watermark)
+	// has seen the pre-detach commit become quorum-durable.
+	preDetach := waitFollowerSnapshot(t, c, 0)
+	detachDeadline := time.Now().Add(5 * time.Second)
+	for uint64(detached.Store().DurableFrontier()) < preDetach {
+		if time.Now().After(detachDeadline) {
+			t.Fatalf("backup frontier %d never reached %d", detached.Store().DurableFrontier(), preDetach)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Cut the backup off and move the group past it.
+	g.Primary.DetachBackupMember(detached.Addr())
+	newOID := c.NewOID(0)
+	tx = c.Begin()
+	tx.Put(newOID, kv.NewPlain([]byte("new")))
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	postDetach := waitFollowerSnapshot(t, c, preDetach+1)
+
+	// A reader whose only known backup is the detached one: reads at
+	// the fresh frontier must be REFUSED by the backup (its own
+	// frontier froze at detach) and fall back to the primary for the
+	// right answer — the client's optimism never buys a stale read.
+	r, err := kvclient.OpenReplicated([][]string{{g.Primary.Addr(), detached.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.SetFollowerReads(true)
+	waitFollowerSnapshot(t, r, postDetach)
+
+	before := detached.Store().Stats().FollowerReads
+	tx2 := r.BeginFollower()
+	if uint64(tx2.Snapshot()) < postDetach {
+		t.Fatalf("follower snapshot %d below the learned frontier %d", tx2.Snapshot(), postDetach)
+	}
+	v, err := tx2.Read(ctx, newOID)
+	if err != nil || string(v.Data) != "new" {
+		t.Fatalf("read at fresh frontier through stale backup: %v %v (want transparent primary fallback)", v, err)
+	}
+	if got := detached.Store().Stats().FollowerReads; got != before {
+		t.Fatalf("detached backup served %d reads above its frozen frontier", got-before)
+	}
+
+	// The bound itself, at the store gate: above the frozen frontier the
+	// detached backup refuses (typed redirect), at or below it it still
+	// serves — staleness is bounded by the backup's own durability
+	// knowledge.
+	st := detached.Store()
+	if err := st.CheckClientRead(0, clock.Timestamp(postDetach)); err == nil {
+		t.Fatal("detached backup accepted a read above its frozen frontier")
+	} else if !errors.Is(err, kv.ErrWrongEpoch) {
+		t.Fatalf("refusal above the frontier: %v, want a wrong-epoch redirect", err)
+	}
+	if err := st.CheckClientRead(0, clock.Timestamp(preDetach)); err != nil {
+		t.Fatalf("detached backup refused a read at its own frontier: %v", err)
+	}
+	if got := st.Stats().FollowerReads; got != before+1 {
+		t.Fatalf("detached backup FollowerReads %d, want %d", got, before+1)
+	}
+}
+
+// TestIdleClientHeartbeatLearnsFrontier pins the heartbeat piggyback:
+// a client that never reads or writes still learns the durability
+// frontier from its periodic pings — including across a failover — so
+// its FIRST follower read routes correctly instead of starting from a
+// cold (or stale-epoch) view.
+func TestIdleClientHeartbeatLearnsFrontier(t *testing.T) {
+	cl, err := cluster.StartReplicated(1, 3, kvserver.Config{LeaseDuration: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	w, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	oid := w.NewOID(0)
+	tx := w.Begin()
+	tx.Put(oid, kv.NewPlain([]byte("v1")))
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The idle client: heartbeat only, no traffic.
+	idle, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	idle.SetFollowerReads(true)
+	idle.StartHeartbeat(20 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for idle.FollowerSnapshot() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle client's heartbeat never learned a durability frontier")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Failover while the client stays idle; its heartbeat must carry it
+	// to the new epoch AND keep the frontier fresh enough to cover the
+	// pre-failover write.
+	preFailover := uint64(idle.FollowerSnapshot())
+	if err := cl.KillPrimary(0); err != nil {
+		t.Fatal(err)
+	}
+	waitLease(t, cl)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		tx = w.Begin()
+		tx.Put(oid, kv.NewPlain([]byte("v2")))
+		if err := tx.Commit(ctx); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("write after failover never succeeded: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for uint64(idle.FollowerSnapshot()) <= preFailover {
+		if time.Now().After(deadline) {
+			t.Fatal("idle client's frontier never advanced past the failover")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Let the surviving backup's watermark copy (it rides lease
+	// renewals while the group is idle) catch up to what the client
+	// learned, so the first read routes to the follower rather than
+	// falling back on the piggyback race.
+	snap := uint64(idle.FollowerSnapshot())
+	deadline = time.Now().Add(5 * time.Second)
+	for uint64(cl.Groups[0].Backups[0].Store().DurableFrontier()) < snap {
+		if time.Now().After(deadline) {
+			t.Fatal("surviving backup's frontier never caught up to the client's")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// First-ever read from the idle client: the follower path must
+	// serve it and see the post-failover value.
+	before := cl.Stats().FollowerReads
+	rtx := idle.BeginFollower()
+	v, err := rtx.Read(ctx, oid)
+	if err != nil || string(v.Data) != "v2" {
+		t.Fatalf("idle client's first follower read: %v %v, want v2", v, err)
+	}
+	if got := cl.Stats().FollowerReads; got == before {
+		t.Fatal("idle client's first read was not served by the follower path")
+	}
+}

@@ -34,11 +34,35 @@ type Client struct {
 	nextTx  atomic.Uint64
 	nextOID atomic.Uint64
 
+	// followerReads routes snapshot reads whose timestamp lies at or
+	// below a group's learned durability frontier to that group's
+	// backups, round-robin — read throughput scales with the
+	// replication factor instead of pinning every read on the primary.
+	// durableReads stamps every read Durable: the serving replica holds
+	// the answer until the durability frontier passes the snapshot, so
+	// the transaction never observes a write a failover could erase
+	// (closing the group-commit visibility window at the price of the
+	// in-flight batch's round trip). See SetFollowerReads /
+	// SetDurableReads.
+	followerReads atomic.Bool
+	durableReads  atomic.Bool
+
 	// hbStop terminates the membership heartbeat goroutine (see
 	// StartHeartbeat); hbMu guards restarts.
 	hbMu   sync.Mutex
 	hbStop chan struct{}
 }
+
+// SetFollowerReads toggles routing of frontier-covered snapshot reads
+// to backup replicas. Safe to flip at any time; in-flight reads finish
+// on the path they started.
+func (c *Client) SetFollowerReads(on bool) { c.followerReads.Store(on) }
+
+// SetDurableReads toggles durable-read mode: every read waits out the
+// durability watermark, so no transaction observes a write that is not
+// quorum-durable. Reads below the frontier are unaffected (the wait is
+// a no-op there).
+func (c *Client) SetDurableReads(on bool) { c.durableReads.Store(on) }
 
 // replicaGroup is one server slot's replica set: the membership the
 // client currently believes (acting primary first), the group's epoch,
@@ -58,6 +82,131 @@ type replicaGroup struct {
 	// a heartbeat ping racing Close could re-dial after the teardown
 	// and leak the fresh connection.
 	closed bool
+
+	// Follower-read state: the highest durability frontier any ack from
+	// this group has piggybacked (monotone — the frontier only ever
+	// covers quorum-durable prefixes, which every successor epoch
+	// preserves), the backup this client's reads are pinned to, and
+	// one dedicated connection per backup (the primary connection
+	// above stays reserved for writes and fallback). Reads stick to
+	// one backup and rotate only on failure: clients spread across
+	// backups via the process-wide seed, while each individual client
+	// keeps a single warm read connection.
+	frontier  uint64
+	readCur   int
+	readConns map[string]*rpc.Client
+
+	// readFrontier is the highest durability frontier a BACKUP of this
+	// group has reported on a read response. The primary-fresh frontier
+	// above always runs slightly ahead of the backups' watermark copies
+	// (the copy rides the NEXT mirror batch), so a transaction
+	// snapshotted at it arrives early and parks in the backup's
+	// patience wait. Snapshotting at what a backup has actually
+	// reported keeps steady-state follower reads wait-free; it is just
+	// as monotone-safe, being the same quorum-durable bound one hop
+	// later.
+	readFrontier uint64
+}
+
+// readSeed staggers which backup each successive client pins its
+// reads to, so a process full of follower-reading clients spreads
+// load across the group instead of piling onto backup #1.
+var readSeed atomic.Uint64
+
+// noteFrontier adopts a durability frontier learned from an ack.
+func (g *replicaGroup) noteFrontier(f clock.Timestamp) {
+	g.mu.Lock()
+	if uint64(f) > g.frontier {
+		g.frontier = uint64(f)
+	}
+	g.mu.Unlock()
+}
+
+// frontierNow returns the highest durability frontier learned so far.
+func (g *replicaGroup) frontierNow() clock.Timestamp {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return clock.Timestamp(g.frontier)
+}
+
+// noteReadFrontier adopts a durability frontier a backup reported on a
+// read response.
+func (g *replicaGroup) noteReadFrontier(f clock.Timestamp) {
+	g.mu.Lock()
+	if uint64(f) > g.readFrontier {
+		g.readFrontier = uint64(f)
+	}
+	g.mu.Unlock()
+}
+
+// followerSnapNow returns the snapshot BeginFollower should use for
+// this group: the backup-reported frontier once one is known (reads at
+// it are served without waiting), otherwise the primary-fresh one.
+func (g *replicaGroup) followerSnapNow() clock.Timestamp {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.readFrontier > 0 {
+		return clock.Timestamp(g.readFrontier)
+	}
+	return clock.Timestamp(g.frontier)
+}
+
+// routeFrontierNow returns the highest snapshot worth routing to a
+// backup: the freshest durability frontier learned from either side.
+func (g *replicaGroup) routeFrontierNow() clock.Timestamp {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.readFrontier > g.frontier {
+		return clock.Timestamp(g.readFrontier)
+	}
+	return clock.Timestamp(g.frontier)
+}
+
+// followerConn returns a connection to this client's pinned backup
+// (addrs[0] is the believed primary and is skipped), dialing on
+// demand; an undialable backup rotates the pin to the next one. ok is
+// false when the group has no reachable backup.
+func (g *replicaGroup) followerConn() (conn *rpc.Client, addr string, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed || len(g.addrs) < 2 {
+		return nil, "", false
+	}
+	n := len(g.addrs) - 1
+	for i := 0; i < n; i++ {
+		idx := 1 + (g.readCur+i)%n
+		a := g.addrs[idx]
+		c := g.readConns[a]
+		if c == nil {
+			dialed, err := rpc.DialTimeout(a, dialTimeout)
+			if err != nil {
+				continue
+			}
+			if g.readConns == nil {
+				g.readConns = make(map[string]*rpc.Client)
+			}
+			g.readConns[a] = dialed
+			c = dialed
+		}
+		g.readCur = (g.readCur + i) % n
+		return c, a, true
+	}
+	return nil, "", false
+}
+
+// invalidateFollower drops a failed backup connection and rotates the
+// read pin off it; the identity check keeps concurrent callers from
+// closing a fresh redial.
+func (g *replicaGroup) invalidateFollower(addr string, bad *rpc.Client) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.readConns[addr] == bad {
+		bad.Close()
+		delete(g.readConns, addr)
+	}
+	if n := len(g.addrs) - 1; n > 0 && g.addrs[1+g.readCur%n] == addr {
+		g.readCur = (g.readCur + 1) % n
+	}
 }
 
 // dialTimeout bounds each replica dial during failover: a blackholed
@@ -123,6 +272,16 @@ func (g *replicaGroup) noteEpoch(epoch uint64, members []string) bool {
 		g.conn.Close()
 		g.conn = nil
 	}
+	// Drop backup read connections: the membership changed, and a
+	// connection to a retired member would keep bouncing reads off it.
+	// (Reconfiguration is rare; redialing survivors is cheap.) The
+	// learned frontier is KEPT — it covers only quorum-durable prefixes,
+	// which the new epoch preserves.
+	for a, rc := range g.readConns {
+		rc.Close()
+		delete(g.readConns, a)
+	}
+	g.readCur = int(readSeed.Add(1))
 	return true
 }
 
@@ -146,6 +305,10 @@ func (g *replicaGroup) close() {
 	if g.conn != nil {
 		g.conn.Close()
 		g.conn = nil
+	}
+	for a, rc := range g.readConns {
+		rc.Close()
+		delete(g.readConns, a)
 	}
 }
 
@@ -188,7 +351,7 @@ func OpenReplicated(groups [][]string) (*Client, error) {
 		if len(addrs) == 0 {
 			return nil, fmt.Errorf("kvclient: server slot %d has no replicas", s)
 		}
-		c.groups = append(c.groups, &replicaGroup{addrs: addrs})
+		c.groups = append(c.groups, &replicaGroup{addrs: addrs, readCur: int(readSeed.Add(1))})
 	}
 	ctx := context.Background()
 	for s := range c.groups {
@@ -415,10 +578,12 @@ func (c *Client) call(ctx context.Context, server int, method string, enc func(e
 	return nil, lastErr
 }
 
-// observeAck merges an ack's clock and configuration piggyback.
+// observeAck merges an ack's clock, configuration, and durability-
+// frontier piggybacks.
 func (c *Client) observeAck(server int, ack *kv.Ack) {
 	c.hlc.Observe(ack.Clock)
 	c.groups[server].noteEpoch(ack.Epoch, ack.Members)
+	c.groups[server].noteFrontier(ack.Frontier)
 }
 
 // Ping round-trips to server slot i, merging clocks and learning the
@@ -436,12 +601,95 @@ func (c *Client) Ping(ctx context.Context, server int) error {
 	return nil
 }
 
+// FollowerSnapshot returns the newest snapshot timestamp every
+// replicated server slot can currently serve as a follower read: the
+// minimum durability frontier learned across multi-replica groups
+// (single-replica slots always serve at any snapshot and don't cap
+// it). Once a group's backups have reported their own frontier on
+// read responses, that bound is used — reads at it never park in a
+// backup's patience wait. Zero until any frontier has been learned —
+// callers fall back to a current-time snapshot then.
+func (c *Client) FollowerSnapshot() clock.Timestamp {
+	snap, any := clock.Timestamp(0), false
+	for _, g := range c.groups {
+		if g.size() < 2 {
+			continue
+		}
+		f := g.followerSnapNow()
+		if !any || f < snap {
+			snap, any = f, true
+		}
+	}
+	return snap
+}
+
+// BeginFollower starts a transaction at the FollowerSnapshot, so with
+// follower reads enabled every read it performs can be served by a
+// backup. The snapshot trails the newest commits by the watermark lag
+// (bounded staleness: everything visible is quorum-durable, but this
+// transaction may not see this client's own most recent writes). Use
+// it for read-only work that values throughput over freshness; it
+// falls back to an ordinary Begin until a frontier is known.
+func (c *Client) BeginFollower() *Tx {
+	if snap := c.FollowerSnapshot(); snap > 0 {
+		return c.BeginAt(snap)
+	}
+	return c.Begin()
+}
+
+// readCall routes one snapshot read. With follower reads on and the
+// snapshot at or below the group's learned durability frontier, it
+// first tries this client's pinned backup — the backup's own
+// CheckClientRead re-verifies the bound against ITS frontier, so a
+// stale client view costs a redirect, never a stale answer. Any
+// follower failure (unreachable, wrong epoch, behind) falls back to
+// the ordinary primary path; epoch redirects learned on the way are
+// adopted first, so the fallback already walks the fresh membership.
+// viaFollower reports which side answered, so the caller can file the
+// response's frontier under the right bound.
+func (c *Client) readCall(ctx context.Context, server int, snap clock.Timestamp, method string, enc func(epoch uint64) []byte) (respB []byte, viaFollower bool, err error) {
+	g := c.groups[server]
+	if c.followerReads.Load() && snap <= g.routeFrontierNow() {
+		if conn, addr, ok := g.followerConn(); ok {
+			resp, err := conn.Call(ctx, method, enc(g.epochNow()))
+			if err == nil {
+				return resp, true, nil
+			}
+			var app *rpc.AppError
+			if errors.As(err, &app) {
+				if we, ok := kv.ParseWrongEpoch(app.Msg); ok {
+					g.noteEpoch(we.Epoch, we.Members)
+				}
+			} else if ctx.Err() == nil {
+				g.invalidateFollower(addr, conn)
+			}
+		}
+	}
+	respB, err = c.call(ctx, server, method, enc, retryAlways)
+	return respB, false, err
+}
+
+// noteReadResp files the durability frontier a read response carried:
+// a backup's answer vouches for the backup-reported bound, a primary's
+// for the fresh one.
+func (c *Client) noteReadResp(server int, frontier clock.Timestamp, viaFollower bool) {
+	if frontier == 0 {
+		return
+	}
+	if viaFollower {
+		c.groups[server].noteReadFrontier(frontier)
+	} else {
+		c.groups[server].noteFrontier(frontier)
+	}
+}
+
 // readAt fetches the newest version of oid visible at snap.
 func (c *Client) readAt(ctx context.Context, oid kv.OID, snap clock.Timestamp) (*kv.Value, error) {
 	server := c.ServerFor(oid)
-	respB, err := c.call(ctx, server, kv.MethodRead, func(epoch uint64) []byte {
-		return (&kv.ReadReq{OID: oid, Snap: snap, Epoch: epoch}).Encode()
-	}, retryAlways)
+	durable := c.durableReads.Load()
+	respB, viaFollower, err := c.readCall(ctx, server, snap, kv.MethodRead, func(epoch uint64) []byte {
+		return (&kv.ReadReq{OID: oid, Snap: snap, Epoch: epoch, Durable: durable}).Encode()
+	})
 	if err != nil {
 		return nil, translateRPCErr(err)
 	}
@@ -450,6 +698,7 @@ func (c *Client) readAt(ctx context.Context, oid kv.OID, snap clock.Timestamp) (
 		return nil, err
 	}
 	c.hlc.Observe(resp.Clock)
+	c.noteReadResp(server, resp.Frontier, viaFollower)
 	if !resp.Found {
 		return nil, kv.ErrNotFound
 	}

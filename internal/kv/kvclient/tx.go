@@ -170,9 +170,10 @@ func (t *Tx) ReadPart(ctx context.Context, oid kv.OID, from, to []byte, max uint
 	}
 
 	server := t.c.ServerFor(oid)
-	respB, err := t.c.call(ctx, server, kv.MethodReadPart, func(epoch uint64) []byte {
-		return (&kv.ReadPartReq{OID: oid, Snap: t.start, From: from, To: to, Max: max, Epoch: epoch}).Encode()
-	}, retryAlways)
+	durable := t.c.durableReads.Load()
+	respB, viaFollower, err := t.c.readCall(ctx, server, t.start, kv.MethodReadPart, func(epoch uint64) []byte {
+		return (&kv.ReadPartReq{OID: oid, Snap: t.start, From: from, To: to, Max: max, Epoch: epoch, Durable: durable}).Encode()
+	})
 	if err != nil {
 		return nil, 0, translateRPCErr(err)
 	}
@@ -181,6 +182,7 @@ func (t *Tx) ReadPart(ctx context.Context, oid kv.OID, from, to []byte, max uint
 		return nil, 0, err
 	}
 	t.c.hlc.Observe(resp.Clock)
+	t.c.noteReadResp(server, resp.Frontier, viaFollower)
 
 	var base *kv.Value
 	total := int(resp.Total)
@@ -259,6 +261,7 @@ func (t *Tx) fastCommit(ctx context.Context, server int, ops []*kv.Op) error {
 		return err
 	}
 	t.c.hlc.Observe(resp.Clock)
+	t.c.groups[server].noteFrontier(resp.Frontier)
 	if !resp.OK {
 		return kv.ErrConflict
 	}

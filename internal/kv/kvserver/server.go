@@ -91,13 +91,16 @@ func NewServer(store *Store) *Server {
 }
 
 // ack builds the generic acknowledgment, piggybacking the current
-// epoch and membership so clients keep their group view fresh from
-// ordinary traffic.
+// epoch and membership — and the durability frontier, so clients keep
+// their group view AND their follower-read routing bound fresh from
+// ordinary traffic (any ack, including the ping a fully idle client's
+// heartbeat sends).
 func (s *Server) ack() []byte {
 	return (&kv.Ack{
-		Clock:   s.store.Clock().Now(),
-		Epoch:   s.store.Epoch(),
-		Members: s.store.Members(),
+		Clock:    s.store.Clock().Now(),
+		Epoch:    s.store.Epoch(),
+		Members:  s.store.Members(),
+		Frontier: s.store.DurableFrontier(),
 	}).Encode()
 }
 
@@ -144,7 +147,10 @@ func (s *Server) AttachBackupMember(addr string) (uint64, error) {
 	s.mirrorConns[addr] = conn
 	s.mirrorMu.Unlock()
 	watermark := s.store.AttachMirrorMember(addr, func(recs []kv.SyncRec) error {
-		req := kv.MirrorBatchReq{Recs: recs}
+		// Piggyback the durability watermark the primary can vouch for
+		// RIGHT NOW (it trails this batch, which is not yet acked): the
+		// backup uses it to advance its follower-read frontier.
+		req := kv.MirrorBatchReq{Recs: recs, Watermark: s.store.DurableWatermark()}
 		return s.callExtendingLease(conn, addr, kv.MethodMirrorBatch, req.Encode())
 	})
 	s.startLeaseLoop(addr, conn)
@@ -282,7 +288,8 @@ func (s *Server) renewLease(addr string, conn *rpc.Client) bool {
 	if s.store.Role() != RolePrimary {
 		return false // deposed or reconfigured away: nothing to renew
 	}
-	err := s.callExtendingLease(conn, addr, kv.MethodLease, (&kv.LeaseReq{Epoch: epoch}).Encode())
+	req := &kv.LeaseReq{Epoch: epoch, Watermark: s.store.DurableWatermark()}
+	err := s.callExtendingLease(conn, addr, kv.MethodLease, req.Encode())
 	var app *rpc.AppError
 	if errors.As(err, &app) {
 		if we, ok := kv.ParseWrongEpoch(app.Msg); ok {
@@ -305,6 +312,11 @@ func (s *Server) handleLease(_ context.Context, p []byte) ([]byte, error) {
 	if err := s.store.RenewLeaseGrant(req.Epoch); err != nil {
 		return nil, err
 	}
+	// The grant succeeded, so the sender is this epoch's primary: its
+	// piggybacked watermark is authoritative. This is what keeps a
+	// backup's follower-read frontier advancing through write-idle
+	// periods, when no mirror batches flow.
+	s.store.InstallRemoteWatermark(req.Watermark)
 	return s.ack(), nil
 }
 
@@ -396,6 +408,12 @@ func (s *Server) handleMirrorBatch(_ context.Context, p []byte) ([]byte, error) 
 	if err := s.store.ApplyMirroredBatch(req.Recs); err != nil {
 		return nil, err
 	}
+	// Batch applied under the stream's epoch checks, so the sender is
+	// the live primary: adopt its piggybacked durability watermark
+	// (InstallRemoteWatermark caps the effective value at the local
+	// head, so a watermark above what this replica holds never vouches
+	// for records it hasn't applied).
+	s.store.InstallRemoteWatermark(req.Watermark)
 	return s.ack(), nil
 }
 
@@ -632,12 +650,23 @@ type ServerStats struct {
 	QuorumMark uint64
 	QuorumNeed int
 	Replicas   []ReplicaStatus
+	// Follower-read health: the durability frontier this member serves
+	// snapshot reads up to, and how far the stream head runs ahead of
+	// the quorum watermark (WatermarkLag = ReplHead - QuorumMark; a
+	// growing lag means follower reads are falling behind the primary's
+	// emissions).
+	Frontier     uint64
+	WatermarkLag uint64
 }
 
 // Stats reports counters plus epoch/lease/replication state (see
 // ServerStats).
 func (s *Server) Stats() ServerStats {
 	head, mark, need, replicas := s.store.ReplicationStatus()
+	var lag uint64
+	if head > mark {
+		lag = head - mark
+	}
 	return ServerStats{
 		StatsSnapshot: s.store.Stats(),
 		Epoch:         s.store.Epoch(),
@@ -648,6 +677,8 @@ func (s *Server) Stats() ServerStats {
 		QuorumMark:    mark,
 		QuorumNeed:    need,
 		Replicas:      replicas,
+		Frontier:      uint64(s.store.DurableFrontier()),
+		WatermarkLag:  lag,
 	}
 }
 
@@ -720,8 +751,16 @@ func (s *Server) handleRead(_ context.Context, p []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.store.CheckClientOp(req.Epoch); err != nil {
+	// Reads pass the watermark-aware authority check: the primary under
+	// the usual epoch/lease rules, a backup whenever the snapshot is at
+	// or below its durability frontier.
+	if err := s.store.CheckClientRead(req.Epoch, req.Snap); err != nil {
 		return nil, err
+	}
+	if req.Durable {
+		if err := s.store.WaitDurable(req.Snap); err != nil {
+			return nil, err
+		}
 	}
 	resp := &kv.ReadResp{}
 	val, ver, err := s.store.Read(req.OID, req.Snap)
@@ -737,6 +776,7 @@ func (s *Server) handleRead(_ context.Context, p []byte) ([]byte, error) {
 		return nil, err
 	}
 	resp.Clock = s.store.Clock().Now()
+	resp.Frontier = s.store.DurableFrontier()
 	return resp.Encode(), nil
 }
 
@@ -745,8 +785,13 @@ func (s *Server) handleReadPart(_ context.Context, p []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.store.CheckClientOp(req.Epoch); err != nil {
+	if err := s.store.CheckClientRead(req.Epoch, req.Snap); err != nil {
 		return nil, err
+	}
+	if req.Durable {
+		if err := s.store.WaitDurable(req.Snap); err != nil {
+			return nil, err
+		}
 	}
 	resp := &kv.ReadPartResp{}
 	val, total, ver, err := s.store.ReadPart(req.OID, req.Snap, req.From, req.To, req.Max)
@@ -761,6 +806,7 @@ func (s *Server) handleReadPart(_ context.Context, p []byte) ([]byte, error) {
 		return nil, err
 	}
 	resp.Clock = s.store.Clock().Now()
+	resp.Frontier = s.store.DurableFrontier()
 	return resp.Encode(), nil
 }
 
@@ -824,6 +870,7 @@ func (s *Server) handleFastCommit(_ context.Context, p []byte) ([]byte, error) {
 	}
 	resp := &kv.FastCommitResp{}
 	commitTS, err := s.store.FastCommit(req.TxID, req.Start, req.Ops)
+	resp.Frontier = s.store.DurableFrontier()
 	if err == nil {
 		resp.OK = true
 		resp.CommitTS = commitTS

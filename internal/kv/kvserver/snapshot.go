@@ -485,6 +485,30 @@ func (s *Store) installSnapshotLocked(sn *stateSnapshot, enc []byte, viaStream b
 
 	s.clock.Observe(sn.Clock)
 	s.repSeq = sn.Seq
+	// Reinstall the durability-frontier bookkeeping over the new state.
+	// The frontier bound comes from the DATA — the highest version or
+	// decided-commit timestamp the snapshot actually holds — never from
+	// sn.Clock: the source's clock runs ahead of its commits (reads
+	// observe their snapshots into it), and a frontier above the real
+	// data would vouch for timestamps at which this replica's answer is
+	// not yet fixed. Whether the mark ever PUBLISHES still depends on
+	// durableSeqLocked: on a follower the reset also drops the remote
+	// watermark, so the frontier stays frozen until the current primary
+	// vouches for the installed coverage afresh.
+	var maxTS clock.Timestamp
+	for i := range sn.Objects {
+		for j := range sn.Objects[i].Versions {
+			if ts := sn.Objects[i].Versions[j].TS; ts > maxTS {
+				maxTS = ts
+			}
+		}
+	}
+	for i := range sn.Decided {
+		if d := &sn.Decided[i]; d.Commit && d.TS > maxTS {
+			maxTS = d.TS
+		}
+	}
+	s.resetFrontierLocked(sn.Seq, maxTS)
 	if s.cfg.ReplicationLog {
 		s.commitLog = nil
 		s.commitLogBytes = 0

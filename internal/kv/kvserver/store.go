@@ -67,15 +67,23 @@
 // round-trip-plus-fsync per record; BenchmarkReplicationConcurrent
 // and BENCH_replication.json track it.
 //
-// One tradeoff is deliberate and worth knowing: effects become
-// VISIBLE at emission (under repMu), before the batch is acknowledged
-// or fsynced. A reader can therefore observe a commit whose writer
-// later gets ErrUncertain and which a failover then erases — the
-// classic group-commit visibility window (the pre-batching path
-// mirrored before applying, so it could not happen). The window only
-// exists while the primary is alive-but-failing its mirror; closing
-// it would mean gating reads on the durability watermark ("durable
-// reads", see ROADMAP), which today's read path does not do.
+// One tradeoff is deliberate and worth stating precisely: effects
+// become VISIBLE at emission (under repMu), before the batch is
+// acknowledged or fsynced. The guarantee is therefore two-tiered.
+// VISIBLE-AT-EMISSION: a default read on the primary observes every
+// record emitted so far — including commits still awaiting their
+// quorum ack — so it can observe a write whose writer later gets
+// ErrUncertain and which a failover then erases (the classic
+// group-commit visibility window; it exists only while the primary is
+// alive but failing its mirror). DURABLE-AT-WATERMARK: everything at
+// or below the durability watermark is held by a majority and fsynced
+// when LogSync demands it, so no failover can erase it. The DURABLE
+// READ mode (ReadReq.Durable on the wire, kvclient's DurableReads
+// option) is what closes the window: the server blocks such a read
+// until the durability frontier passes its snapshot (Store.WaitDurable),
+// so the response reflects quorum-durable state only. Default primary
+// reads keep the window; follower reads never had it — a backup only
+// serves at or below its frontier (see the follower-reads section).
 //
 // # Two-phase commit outcome recovery
 //
@@ -198,6 +206,44 @@
 //     attach-before-sync overlap ships some records twice by design,
 //     and content, not timing, is what tells a benign duplicate from
 //     a split brain.
+//
+// # Follower reads and the durability watermark
+//
+// Backups serve snapshot reads, so read capacity scales with the
+// replication factor instead of idling at 1/rf of it. The machinery
+// is the durability FRONTIER: the highest commit timestamp t such
+// that every committed version at or below t is applied locally AND
+// quorum-durable. The pipeline tracks the prefix-max commit timestamp
+// per stream position (pipeline.go's tsMark) and publishes the
+// frontier as the durable prefix advances — on a primary from its own
+// quorum and WAL watermarks, on a backup from the watermark the
+// primary piggybacks on every mirror batch and lease renewal. A
+// backup never treats its OWN stream position as durable: records it
+// holds may have been acked by no one else, and a replica restarted
+// from its WAL cannot know how far the group's quorum reached — its
+// frontier is frozen until the current primary vouches afresh.
+//
+// A backup serves Read/ReadPart when the request's snapshot is at or
+// below its frontier (Store.CheckClientRead); above it — or for any
+// write — it answers with the usual ErrWrongEpoch redirect, so the
+// client falls back to the primary instead of reading maybe-durable
+// state (no silently stale data). Safety is two rules composed:
+// (1) every commit with ts <= frontier is durable, by construction of
+// the marks; (2) no commit with ts <= frontier can arrive later,
+// because proposed timestamps are drawn from a clock that has
+// observed every earlier record's timestamp, and a two-phase decision
+// whose prepare sits below the watermark has that prepare's locks
+// applied on the backup, where the Clock-SI read rule makes readers
+// at or above the proposed timestamp wait the decision out. A
+// follower read is therefore exactly a primary snapshot read at the
+// same timestamp — minus the visibility window. kvclient pins each
+// client's eligible read-only snapshot ops to one backup (staggered
+// across clients, rotating on failure) and learns each group's
+// frontier for free from the Ack piggyback (including the idle
+// heartbeat ping) and from fast-commit and read responses; read-only
+// transactions snapshot at the frontier a backup last REPORTED, so in
+// steady state a follower read never arrives ahead of the backup's
+// own watermark copy.
 //
 // # Log truncation and snapshots
 //
@@ -325,6 +371,12 @@ type Config struct {
 	// added latency, and concurrent writers still coalesce into
 	// whatever accumulated during the previous batch's round trip).
 	GroupCommitInterval time.Duration
+	// NoFollowerReads disables serving snapshot reads from this store
+	// while it is a BACKUP (CheckClientRead then redirects every read
+	// to the primary, watermark or not). Off by default: a backup
+	// serves reads at or below its durability frontier. The yesqueld
+	// -follower-reads=false flag sets it.
+	NoFollowerReads bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -416,6 +468,19 @@ type Stats struct {
 	MirrorBatchRecords atomic.Uint64
 	WALSyncs           atomic.Uint64
 	WALFailures        atomic.Uint64
+	// FollowerReads counts snapshot reads this member served as a
+	// backup under the durability-frontier gate (zero on a primary).
+	// FollowerReadWaits counts the subset that arrived ahead of this
+	// member's watermark copy and parked for the piggyback race to
+	// close — a climbing share of FollowerReads means clients outrun
+	// the mirror stream. DurableReadWaits counts durable-mode reads
+	// that found the frontier below their snapshot and had to wait out
+	// the watermark — a climbing value means readers routinely outrun
+	// durability and the mirror/fsync path is the read path's
+	// bottleneck.
+	FollowerReads     atomic.Uint64
+	FollowerReadWaits atomic.Uint64
+	DurableReadWaits  atomic.Uint64
 }
 
 // StatsSnapshot is a plain copy of the counters.
@@ -424,6 +489,7 @@ type StatsSnapshot struct {
 	EpochBumps, WrongEpochRejects                                                                 uint64
 	Checkpoints, CheckpointFailures, LogRecordsTruncated, SnapshotsServed, SnapshotsInstalled     uint64
 	MirrorBatches, MirrorBatchRecords, WALSyncs, WALFailures                                      uint64
+	FollowerReads, FollowerReadWaits, DurableReadWaits                                            uint64
 }
 
 type version struct {
@@ -845,6 +911,104 @@ func (s *Store) CheckClientOp(reqEpoch uint64) error {
 	return nil
 }
 
+// CheckClientRead gates a snapshot READ behind the epoch discipline,
+// relaxed for backups: the primary serves any read under the usual
+// CheckClientOp rules, and a BACKUP serves a read whose snapshot is at
+// or below its durability frontier — everything such a read can
+// observe is applied here and quorum-durable, so the answer is exactly
+// what the primary would give, and no failover can erase it. A backup
+// needs no lease for this (durable snapshot data is valid forever),
+// but the request's epoch must still match: a stale-epoch client is
+// redirected so it learns the membership before trusting any replica.
+// A read above the frontier is refused with the same typed redirect —
+// the client falls back to the primary rather than reading
+// maybe-durable state. Writes always go through CheckClientOp.
+func (s *Store) CheckClientRead(reqEpoch uint64, snap clock.Timestamp) error {
+	s.epochMu.Lock()
+	if s.epoch == 0 {
+		s.epochMu.Unlock()
+		return nil
+	}
+	role := s.roleLocked()
+	if role != RoleBackup || s.cfg.NoFollowerReads {
+		s.epochMu.Unlock()
+		return s.CheckClientOp(reqEpoch)
+	}
+	if reqEpoch != 0 && reqEpoch != s.epoch {
+		defer s.epochMu.Unlock()
+		return s.wrongEpochLocked()
+	}
+	s.epochMu.Unlock()
+	if snap > s.DurableFrontier() {
+		s.stats.FollowerReadWaits.Add(1)
+		if !s.waitFrontierBounded(snap, followerReadPatience) {
+			s.epochMu.Lock()
+			defer s.epochMu.Unlock()
+			return s.wrongEpochLocked()
+		}
+	}
+	s.stats.FollowerReads.Add(1)
+	return nil
+}
+
+// followerReadPatience bounds how long a backup holds a read whose
+// snapshot is slightly above its durability frontier before redirecting
+// it to the primary. The gap is a propagation race: the client learned
+// the frontier from the primary's latest ack, while this backup's copy
+// of the watermark rides the NEXT mirror batch or lease renewal. Under
+// write load that batch arrives within a round trip — far cheaper to
+// absorb here than to burn a redirect plus a primary round trip — and
+// when the group is idle the client's frontier equals ours and no wait
+// happens at all.
+const followerReadPatience = 5 * time.Millisecond
+
+// waitFrontierBounded parks until the durability frontier reaches snap
+// or the patience budget runs out, reporting whether it got there. The
+// wait is event-driven — woken by the frontier advance itself — so a
+// read held on the piggyback race resumes the moment the mirror batch
+// lands rather than a sleep quantum later.
+func (s *Store) waitFrontierBounded(snap clock.Timestamp, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		// Channel before check: an advance between the two is then a
+		// closed channel, never a lost wakeup.
+		ch := s.pipe.frontierChanged()
+		if snap <= s.DurableFrontier() {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return snap <= s.DurableFrontier()
+		}
+	}
+}
+
+// WaitDurable blocks until the durability frontier passes snap, so a
+// read at snap afterwards observes only quorum-durable writes — the
+// DurableReads mode. Observing snap into the clock FIRST is what makes
+// the subsequent watermark wait sufficient: any commit proposed after
+// the observation lands strictly above snap (the same Clock-SI rule
+// Read relies on), so waiting out the records already emitted covers
+// everything a read at snap could ever see. On an idle store the wait
+// is the in-flight batch's round trip; the fast path is one atomic
+// load.
+func (s *Store) WaitDurable(snap clock.Timestamp) error {
+	if s.DurableFrontier() >= snap {
+		return nil
+	}
+	s.clock.Observe(snap)
+	s.repMu.Lock()
+	head := s.repSeq
+	s.repMu.Unlock()
+	if s.DurableFrontier() >= snap || head == 0 {
+		return nil
+	}
+	s.stats.DurableReadWaits.Add(1)
+	return s.waitReplicated(head - 1)
+}
+
 // InstallEpoch moves the group to a new configuration: the epoch must
 // exceed the current one, and the change is a RecEpoch record in the
 // replication stream — mirrored to the backup (if attached), appended
@@ -915,8 +1079,14 @@ func (s *Store) installEpochState(newEpoch uint64, members []string) bool {
 	s.epoch = newEpoch
 	s.epochMembers = members
 	s.promoting = false
+	role := s.roleLocked()
 	s.epochMu.Unlock()
 	s.stats.EpochBumps.Add(1)
+	// Keep the durability pipeline's follower flag in lockstep with the
+	// epoch role: a backup's frontier may only advance on the primary's
+	// word (its own WAL isn't evidence of quorum durability), while a
+	// primary computes the watermark from its members' acks directly.
+	s.setFollower(role != RolePrimary && role != RoleLegacy)
 	return true
 }
 
@@ -1284,6 +1454,10 @@ func (s *Store) Stats() StatsSnapshot {
 		MirrorBatchRecords: s.stats.MirrorBatchRecords.Load(),
 		WALSyncs:           s.stats.WALSyncs.Load(),
 		WALFailures:        s.stats.WALFailures.Load(),
+
+		FollowerReads:     s.stats.FollowerReads.Load(),
+		FollowerReadWaits: s.stats.FollowerReadWaits.Load(),
+		DurableReadWaits:  s.stats.DurableReadWaits.Load(),
 	}
 }
 

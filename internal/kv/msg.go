@@ -159,14 +159,19 @@ func decodeMembers(r *wire.Reader) ([]string, error) {
 // LeaseReq renews the primary's lease on its backup. Epoch is the
 // primary's current group epoch; a backup that has moved to a later
 // epoch rejects the renewal with ErrWrongEpoch, which is how a deposed
-// primary learns it was superseded.
+// primary learns it was superseded. Watermark piggybacks the primary's
+// durability watermark (every record below it is quorum-acked and
+// fsynced), so a backup's follower-read frontier keeps advancing even
+// through write-idle periods when no mirror batches flow.
 type LeaseReq struct {
-	Epoch uint64
+	Epoch     uint64
+	Watermark uint64
 }
 
 func (m *LeaseReq) Encode() []byte {
 	b := wire.NewBuffer(12)
 	b.PutUvarint(m.Epoch)
+	b.PutUvarint(m.Watermark)
 	return b.Bytes()
 }
 
@@ -176,7 +181,13 @@ func DecodeLeaseReq(p []byte) (*LeaseReq, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &LeaseReq{Epoch: epoch}, nil
+	m := &LeaseReq{Epoch: epoch}
+	if r.Remaining() > 0 {
+		if m.Watermark, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // MirrorReq replicates one stream record to a backup. Seq is the
@@ -212,9 +223,13 @@ func DecodeMirrorReq(p []byte) (*MirrorReq, error) {
 // backup in one RPC. Records are in strict sequence order; the backup
 // applies them one by one under a single stream-lock acquisition, so a
 // gap or divergence inside the batch fails exactly where a per-record
-// mirror call would have.
+// mirror call would have. Watermark piggybacks the primary's durability
+// watermark as of the batch's departure (every record below it is
+// quorum-acked and fsynced): the backup advances its follower-read
+// frontier with it, at zero extra round trips.
 type MirrorBatchReq struct {
-	Recs []SyncRec
+	Recs      []SyncRec
+	Watermark uint64
 }
 
 func (m *MirrorBatchReq) Encode() []byte {
@@ -224,6 +239,7 @@ func (m *MirrorBatchReq) Encode() []byte {
 		b.PutUvarint(m.Recs[i].Seq)
 		EncodeReplRecord(b, &m.Recs[i].Rec)
 	}
+	b.PutUvarint(m.Watermark)
 	return b.Bytes()
 }
 
@@ -249,6 +265,11 @@ func DecodeMirrorBatchReq(p []byte) (*MirrorBatchReq, error) {
 			return nil, err
 		}
 		m.Recs = append(m.Recs, rec)
+	}
+	if r.Remaining() > 0 {
+		if m.Watermark, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
 	}
 	return m, nil
 }
@@ -453,11 +474,15 @@ func DecodeSnapResp(p []byte) (*SnapResp, error) {
 // ReadReq asks for the newest version of OID visible at Snap. Epoch is
 // the replication-group epoch the client believes current (0 = epoch-
 // unaware); the server rejects a stale epoch with ErrWrongEpoch so the
-// client adopts the new membership before retrying.
+// client adopts the new membership before retrying. Durable asks the
+// server to answer only from quorum-durable state: a primary whose
+// durability frontier has not yet passed Snap blocks (bounded) until it
+// does, so the response can never show a write a failover later erases.
 type ReadReq struct {
-	OID   OID
-	Snap  Timestamp
-	Epoch uint64
+	OID     OID
+	Snap    Timestamp
+	Epoch   uint64
+	Durable bool
 }
 
 // ReadResp carries the result of a read. Clock is the server's HLC
@@ -468,6 +493,13 @@ type ReadResp struct {
 	Version Timestamp
 	Value   *Value
 	Clock   Timestamp
+	// Frontier is the serving replica's own durability frontier, the
+	// same value Ack.Frontier piggybacks. A follower-reading client
+	// snapshots its next transactions at the highest frontier a backup
+	// has REPORTED rather than the primary-fresh one, so steady-state
+	// reads never arrive ahead of the backup's watermark copy.
+	// Trailing optional field: zero when absent.
+	Frontier Timestamp
 }
 
 // ReadPartReq asks for a window of a supervalue: the cells with keys in
@@ -478,12 +510,13 @@ type ReadResp struct {
 // A bounds/attrs-only header always comes back, plus the node's total
 // cell count, so fence checks and split heuristics work on the window.
 type ReadPartReq struct {
-	OID   OID
-	Snap  Timestamp
-	From  []byte
-	To    []byte // nil = unbounded
-	Max   uint32 // 0 = unlimited
-	Epoch uint64 // group epoch the client believes current (0 = unaware)
+	OID     OID
+	Snap    Timestamp
+	From    []byte
+	To      []byte // nil = unbounded
+	Max     uint32 // 0 = unlimited
+	Epoch   uint64 // group epoch the client believes current (0 = unaware)
+	Durable bool   // answer only from quorum-durable state (see ReadReq)
 }
 
 // ReadPartResp carries the windowed value and the total cell count of
@@ -494,6 +527,9 @@ type ReadPartResp struct {
 	Value   *Value // partial supervalue (or full plain value)
 	Total   uint32
 	Clock   Timestamp
+	// Frontier is the serving replica's durability frontier (see
+	// ReadResp.Frontier). Trailing optional field: zero when absent.
+	Frontier Timestamp
 }
 
 func (m *ReadPartReq) Encode() []byte {
@@ -505,6 +541,7 @@ func (m *ReadPartReq) Encode() []byte {
 	b.PutBool(m.To != nil)
 	b.PutUint32(m.Max)
 	b.PutUvarint(m.Epoch)
+	b.PutBool(m.Durable)
 	return b.Bytes()
 }
 
@@ -540,16 +577,22 @@ func DecodeReadPartReq(p []byte) (*ReadPartReq, error) {
 	if m.Epoch, err = r.Uvarint(); err != nil {
 		return nil, err
 	}
+	if r.Remaining() > 0 {
+		if m.Durable, err = r.Bool(); err != nil {
+			return nil, err
+		}
+	}
 	return m, nil
 }
 
 func (m *ReadPartResp) Encode() []byte {
-	b := wire.NewBuffer(40 + m.Value.EncodedSize())
+	b := wire.NewBuffer(48 + m.Value.EncodedSize())
 	b.PutBool(m.Found)
 	b.PutUint64(uint64(m.Version))
 	EncodeValue(b, m.Value)
 	b.PutUint32(m.Total)
 	b.PutUint64(uint64(m.Clock))
+	b.PutUint64(uint64(m.Frontier))
 	return b.Bytes()
 }
 
@@ -576,6 +619,13 @@ func DecodeReadPartResp(p []byte) (*ReadPartResp, error) {
 		return nil, err
 	}
 	m.Clock = Timestamp(ck)
+	if r.Remaining() > 0 {
+		f, err := r.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		m.Frontier = Timestamp(f)
+	}
 	return m, nil
 }
 
@@ -649,11 +699,16 @@ type FastCommitReq struct {
 	Epoch uint64 // group epoch the client believes current (0 = unaware)
 }
 
-// FastCommitResp reports the outcome of a fast commit.
+// FastCommitResp reports the outcome of a fast commit. Frontier
+// piggybacks the primary's durability frontier like Ack.Frontier does:
+// a client that only ever writes through fast commits still keeps its
+// follower-read bound fresh at per-commit granularity (trailing
+// optional field, zero when absent).
 type FastCommitResp struct {
 	OK       bool
 	CommitTS Timestamp
 	Clock    Timestamp
+	Frontier Timestamp
 }
 
 // Ack is the generic response for commit/abort/ping/mirror/lease. It
@@ -661,10 +716,15 @@ type FastCommitResp struct {
 // membership (acting primary first; empty on epoch-unaware servers), so
 // a fresh client learns the live configuration from its opening pings
 // and every later ack keeps it current without extra round trips.
+// Frontier piggybacks the responder's durability frontier — the highest
+// commit timestamp at which a snapshot read is quorum-durable — so
+// clients learn where follower reads are safe from ordinary traffic
+// (including the idle-client heartbeat ping).
 type Ack struct {
-	Clock   Timestamp
-	Epoch   uint64
-	Members []string
+	Clock    Timestamp
+	Epoch    uint64
+	Members  []string
+	Frontier Timestamp
 }
 
 func (m *ReadReq) Encode() []byte {
@@ -672,6 +732,7 @@ func (m *ReadReq) Encode() []byte {
 	b.PutUint64(uint64(m.OID))
 	b.PutUint64(uint64(m.Snap))
 	b.PutUvarint(m.Epoch)
+	b.PutBool(m.Durable)
 	return b.Bytes()
 }
 
@@ -689,15 +750,22 @@ func DecodeReadReq(p []byte) (*ReadReq, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ReadReq{OID: OID(oid), Snap: Timestamp(snap), Epoch: epoch}, nil
+	m := &ReadReq{OID: OID(oid), Snap: Timestamp(snap), Epoch: epoch}
+	if r.Remaining() > 0 {
+		if m.Durable, err = r.Bool(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 func (m *ReadResp) Encode() []byte {
-	b := wire.NewBuffer(32 + m.Value.EncodedSize())
+	b := wire.NewBuffer(40 + m.Value.EncodedSize())
 	b.PutBool(m.Found)
 	b.PutUint64(uint64(m.Version))
 	EncodeValue(b, m.Value)
 	b.PutUint64(uint64(m.Clock))
+	b.PutUint64(uint64(m.Frontier))
 	return b.Bytes()
 }
 
@@ -721,6 +789,13 @@ func DecodeReadResp(p []byte) (*ReadResp, error) {
 		return nil, err
 	}
 	m.Clock = Timestamp(ck)
+	if r.Remaining() > 0 {
+		f, err := r.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		m.Frontier = Timestamp(f)
+	}
 	return m, nil
 }
 
@@ -883,10 +958,11 @@ func DecodeFastCommitReq(p []byte) (*FastCommitReq, error) {
 }
 
 func (m *FastCommitResp) Encode() []byte {
-	b := wire.NewBuffer(24)
+	b := wire.NewBuffer(32)
 	b.PutBool(m.OK)
 	b.PutUint64(uint64(m.CommitTS))
 	b.PutUint64(uint64(m.Clock))
+	b.PutUint64(uint64(m.Frontier))
 	return b.Bytes()
 }
 
@@ -906,14 +982,21 @@ func DecodeFastCommitResp(p []byte) (*FastCommitResp, error) {
 		return nil, err
 	}
 	m.Clock = Timestamp(v)
+	if r.Remaining() > 0 {
+		if v, err = r.Uint64(); err != nil {
+			return nil, err
+		}
+		m.Frontier = Timestamp(v)
+	}
 	return m, nil
 }
 
 func (m *Ack) Encode() []byte {
-	b := wire.NewBuffer(32)
+	b := wire.NewBuffer(40)
 	b.PutUint64(uint64(m.Clock))
 	b.PutUvarint(m.Epoch)
 	encodeMembers(b, m.Members)
+	b.PutUint64(uint64(m.Frontier))
 	return b.Bytes()
 }
 
@@ -931,5 +1014,13 @@ func DecodeAck(p []byte) (*Ack, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Ack{Clock: Timestamp(v), Epoch: epoch, Members: members}, nil
+	m := &Ack{Clock: Timestamp(v), Epoch: epoch, Members: members}
+	if r.Remaining() > 0 {
+		fr, err := r.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		m.Frontier = Timestamp(fr)
+	}
+	return m, nil
 }

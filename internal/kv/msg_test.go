@@ -241,3 +241,112 @@ func TestSyncRespDecodeErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestPiggybackFieldsRoundTrip covers the watermark/frontier fields
+// that ride existing messages: the primary's durability watermark on
+// lease renewals and mirror batches, the durability frontier on acks,
+// fast-commit and read responses, and the Durable read flag.
+func TestPiggybackFieldsRoundTrip(t *testing.T) {
+	lease := &LeaseReq{Epoch: 7, Watermark: 1 << 40}
+	if got, err := DecodeLeaseReq(lease.Encode()); err != nil || *got != *lease {
+		t.Fatalf("lease: got %+v (%v), want %+v", got, err, lease)
+	}
+
+	batch := &MirrorBatchReq{
+		Recs:      []SyncRec{{Seq: 5, Rec: ReplRecord{Kind: RecCommit, TxID: 1, TS: 10}}},
+		Watermark: 6,
+	}
+	if got, err := DecodeMirrorBatchReq(batch.Encode()); err != nil || got.Watermark != batch.Watermark {
+		t.Fatalf("mirror batch watermark: got %+v (%v), want %d", got, err, batch.Watermark)
+	}
+
+	ack := &Ack{Clock: 99, Epoch: 3, Members: []string{"a:1", "b:2"}, Frontier: 88}
+	gotAck, err := DecodeAck(ack.Encode())
+	if err != nil || gotAck.Frontier != ack.Frontier || gotAck.Epoch != ack.Epoch {
+		t.Fatalf("ack: got %+v (%v), want %+v", gotAck, err, ack)
+	}
+
+	fc := &FastCommitResp{OK: true, CommitTS: 50, Clock: 51, Frontier: 49}
+	if got, err := DecodeFastCommitResp(fc.Encode()); err != nil || *got != *fc {
+		t.Fatalf("fast commit: got %+v (%v), want %+v", got, err, fc)
+	}
+
+	rr := &ReadResp{Found: true, Version: 10, Value: NewPlain([]byte("v")), Clock: 11, Frontier: 9}
+	gotRR, err := DecodeReadResp(rr.Encode())
+	if err != nil || gotRR.Frontier != rr.Frontier || !gotRR.Value.Equal(rr.Value) {
+		t.Fatalf("read resp: got %+v (%v), want %+v", gotRR, err, rr)
+	}
+
+	rp := &ReadPartResp{Found: true, Version: 10, Value: NewPlain([]byte("v")), Total: 3, Clock: 11, Frontier: 9}
+	gotRP, err := DecodeReadPartResp(rp.Encode())
+	if err != nil || gotRP.Frontier != rp.Frontier || gotRP.Total != rp.Total {
+		t.Fatalf("read part resp: got %+v (%v), want %+v", gotRP, err, rp)
+	}
+
+	req := &ReadReq{OID: MakeOID(1, 2), Snap: 77, Epoch: 4, Durable: true}
+	if got, err := DecodeReadReq(req.Encode()); err != nil || *got != *req {
+		t.Fatalf("read req: got %+v (%v), want %+v", got, err, req)
+	}
+	preq := &ReadPartReq{OID: MakeOID(1, 2), Snap: 77, From: []byte("a"), Epoch: 4, Durable: true}
+	if got, err := DecodeReadPartReq(preq.Encode()); err != nil || got.Durable != preq.Durable || got.Epoch != preq.Epoch {
+		t.Fatalf("read part req: got %+v (%v), want %+v", got, err, preq)
+	}
+}
+
+// TestPiggybackFieldsBackwardCompat decodes payloads in the PRE-
+// piggyback layouts (no trailing watermark/frontier/durable field):
+// every trailing optional field must come back zero-valued, never an
+// error — old and new servers interoperate during a rolling upgrade.
+func TestPiggybackFieldsBackwardCompat(t *testing.T) {
+	// LeaseReq was once just the epoch uvarint.
+	old := (&LeaseReq{Epoch: 7}).Encode()
+	old = old[:len(old)-1] // strip the zero watermark uvarint
+	if got, err := DecodeLeaseReq(old); err != nil || got.Epoch != 7 || got.Watermark != 0 {
+		t.Fatalf("old lease: got %+v (%v)", got, err)
+	}
+
+	// MirrorBatchReq without the trailing watermark.
+	old = (&MirrorBatchReq{Recs: []SyncRec{{Seq: 5, Rec: ReplRecord{Kind: RecCommit, TxID: 1, TS: 10}}}}).Encode()
+	old = old[:len(old)-1]
+	if got, err := DecodeMirrorBatchReq(old); err != nil || got.Watermark != 0 || len(got.Recs) != 1 {
+		t.Fatalf("old mirror batch: got %+v (%v)", got, err)
+	}
+
+	// Ack without the trailing frontier.
+	old = (&Ack{Clock: 99, Epoch: 3, Members: []string{"a:1"}}).Encode()
+	old = old[:len(old)-8]
+	if got, err := DecodeAck(old); err != nil || got.Frontier != 0 || got.Epoch != 3 {
+		t.Fatalf("old ack: got %+v (%v)", got, err)
+	}
+
+	// FastCommitResp without the trailing frontier.
+	old = (&FastCommitResp{OK: true, CommitTS: 50, Clock: 51}).Encode()
+	old = old[:len(old)-8]
+	if got, err := DecodeFastCommitResp(old); err != nil || got.Frontier != 0 || got.CommitTS != 50 {
+		t.Fatalf("old fast commit: got %+v (%v)", got, err)
+	}
+
+	// ReadResp / ReadPartResp without the trailing frontier.
+	old = (&ReadResp{Found: true, Version: 10, Value: NewPlain([]byte("v")), Clock: 11}).Encode()
+	old = old[:len(old)-8]
+	if got, err := DecodeReadResp(old); err != nil || got.Frontier != 0 || got.Clock != 11 {
+		t.Fatalf("old read resp: got %+v (%v)", got, err)
+	}
+	old = (&ReadPartResp{Found: true, Version: 10, Value: NewPlain([]byte("v")), Total: 3, Clock: 11}).Encode()
+	old = old[:len(old)-8]
+	if got, err := DecodeReadPartResp(old); err != nil || got.Frontier != 0 || got.Total != 3 {
+		t.Fatalf("old read part resp: got %+v (%v)", got, err)
+	}
+
+	// ReadReq / ReadPartReq without the trailing durable flag.
+	old = (&ReadReq{OID: MakeOID(1, 2), Snap: 77, Epoch: 4}).Encode()
+	old = old[:len(old)-1]
+	if got, err := DecodeReadReq(old); err != nil || got.Durable || got.Snap != 77 {
+		t.Fatalf("old read req: got %+v (%v)", got, err)
+	}
+	old = (&ReadPartReq{OID: MakeOID(1, 2), Snap: 77, From: []byte("a"), Epoch: 4}).Encode()
+	old = old[:len(old)-1]
+	if got, err := DecodeReadPartReq(old); err != nil || got.Durable || got.Epoch != 4 {
+		t.Fatalf("old read part req: got %+v (%v)", got, err)
+	}
+}
