@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -21,6 +22,7 @@ import (
 
 	"yesquel/internal/bench"
 	"yesquel/internal/cluster"
+	"yesquel/internal/dbt"
 	"yesquel/internal/kv"
 	"yesquel/internal/kv/kvclient"
 	"yesquel/internal/kv/kvserver"
@@ -327,6 +329,133 @@ func replReadWorkload(tb testing.TB, workers, rf int, wl ycsb.Workload, follower
 	}
 }
 
+// scanRunResult summarizes one scan workload run.
+type scanRunResult struct {
+	scans         int
+	scansPerSec   float64
+	p50, p95, p99 time.Duration
+}
+
+// scanWorkload drives tree scans from a single consumer for d and
+// reports throughput plus per-scan latency percentiles. One worker on
+// purpose: scan readahead is a per-iterator pipeline, and a single
+// consumer shows its effect undiluted by CPU contention between
+// workers. With e1 set the shape is E1's scan100 (uniform start, 100
+// cells); otherwise it is YCSB-E's scan mix (zipfian start, length
+// uniform in 1..100) with the generator's 5% inserts skipped — the
+// row measures the read pipeline, and the write path has its own rows.
+func scanWorkload(tb testing.TB, c *kvclient.Client, tree *dbt.Tree, records int, e1 bool, d time.Duration) scanRunResult {
+	tb.Helper()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(1))
+	gen, err := ycsb.NewGenerator(ycsb.WorkloadE, int64(records), 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var lats []time.Duration
+	n := 0
+	start := time.Now()
+	deadline := start.Add(d)
+	for time.Now().Before(deadline) {
+		var key string
+		var scanLen int
+		if e1 {
+			key = ycsb.KeyName(rng.Int63n(int64(records)))
+			scanLen = 100
+		} else {
+			op := gen.Next()
+			if op.Kind != ycsb.OpScan {
+				continue
+			}
+			key = ycsb.KeyName(op.Key)
+			scanLen = op.ScanLen
+		}
+		t0 := time.Now()
+		tx := c.Begin()
+		if _, err := tree.Scan(ctx, tx, []byte(key), scanLen); err != nil {
+			tb.Fatalf("scan: %v", err)
+		}
+		tx.Abort()
+		lats = append(lats, time.Since(t0))
+		n++
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return scanRunResult{
+		scans:       n,
+		scansPerSec: float64(n) / elapsed.Seconds(),
+		p50:         latPercentile(lats, 50),
+		p95:         latPercentile(lats, 95),
+		p99:         latPercentile(lats, 99),
+	}
+}
+
+// scanBenchPair seeds a fresh single-server tree and measures the same
+// scan workload through the synchronous iterator (NoReadahead) and the
+// readahead pipeline, back to back against the identical data. Small
+// leaves (MaxCells=8) make a scan100 cross ~13 leaves, the regime the
+// leaf pipeline targets; a single server keeps adjacent leaves
+// co-located so the prefetcher's batched run fetch (two leaves per
+// MethodReadBatch RPC) actually consolidates round trips.
+func scanBenchPair(tb testing.TB, e1 bool, d time.Duration) (syncRes, raRes scanRunResult) {
+	tb.Helper()
+	const records = 2000
+	const maxCells = 8
+	cl, err := cluster.Start(1, kvserver.Config{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer cl.Close()
+	c, err := cl.NewClient()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	loader, err := dbt.Create(ctx, c, 1, dbt.Config{MaxCells: maxCells, SyncSplit: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer loader.Close()
+	for i := 0; i < records; i++ {
+		for attempt := 0; ; attempt++ {
+			tx := c.Begin()
+			if err := loader.Put(ctx, tx, []byte(ycsb.KeyName(int64(i))), ycsb.Value(int64(i))); err != nil {
+				tb.Fatalf("seed put: %v", err)
+			}
+			err := tx.Commit(ctx)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, kv.ErrConflict) || attempt > 20 {
+				tb.Fatalf("seed commit: %v", err)
+			}
+		}
+	}
+	syncTree, err := dbt.Open(ctx, c, 1, dbt.Config{MaxCells: maxCells, NoReadahead: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer syncTree.Close()
+	raTree, err := dbt.Open(ctx, c, 1, dbt.Config{MaxCells: maxCells})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer raTree.Close()
+	// Warm both handles' inner-node caches: the comparison is about
+	// leaf fetching, not cold-cache descent costs.
+	for _, tr := range []*dbt.Tree{syncTree, raTree} {
+		tx := c.Begin()
+		if _, err := tr.Scan(ctx, tx, nil, -1); err != nil {
+			tb.Fatalf("warm scan: %v", err)
+		}
+		tx.Abort()
+	}
+	syncRes = scanWorkload(tb, c, syncTree, records, e1, d)
+	raRes = scanWorkload(tb, c, raTree, records, e1, d)
+	return syncRes, raRes
+}
+
 // BenchmarkReplicationConcurrent measures the replicated write path
 // under concurrency — the workload BenchmarkE9_Replication's
 // per-commit latency view cannot show. Sub-benchmarks cover 1 and 8
@@ -399,6 +528,7 @@ type replBenchPoint struct {
 	BatchDepth      float64 `json:"batch_depth,omitempty"`
 	FsyncsPerCommit float64 `json:"fsyncs_per_commit,omitempty"`
 	ReadOpsPerSec   float64 `json:"read_ops_per_sec,omitempty"`
+	ScanOpsPerSec   float64 `json:"scan_ops_per_sec,omitempty"`
 	FollowerReads   uint64  `json:"follower_reads,omitempty"`
 	P50Micros       float64 `json:"read_p50_us,omitempty"`
 	P95Micros       float64 `json:"read_p95_us,omitempty"`
@@ -488,9 +618,52 @@ func TestReplicationBenchArtifact(t *testing.T) {
 			})
 		}
 	}
+	// Scan column (single server, 8-cell leaves): the client read
+	// pipeline of this PR — scan readahead with batched leaf-run
+	// fetches vs the synchronous leaf-at-a-time iterator, over
+	// identical seeded trees. Same pairing discipline as the
+	// read-mostly rows: each rep runs both configurations back to
+	// back and the reported pair is the one with the MEDIAN
+	// readahead/synchronous throughput ratio.
+	const scanReps = 5
+	for _, sw := range []struct {
+		name string
+		e1   bool
+	}{
+		{"scan100", true},
+		{"ycsb-e", false},
+	} {
+		type scanPair struct{ syncRes, raRes scanRunResult }
+		spairs := make([]scanPair, 0, scanReps)
+		for rep := 0; rep < scanReps; rep++ {
+			s, r := scanBenchPair(t, sw.e1, d)
+			spairs = append(spairs, scanPair{syncRes: s, raRes: r})
+		}
+		sort.Slice(spairs, func(i, j int) bool {
+			return spairs[i].raRes.scansPerSec/spairs[i].syncRes.scansPerSec <
+				spairs[j].raRes.scansPerSec/spairs[j].syncRes.scansPerSec
+		})
+		smed := spairs[len(spairs)/2]
+		for _, m := range []struct {
+			cfg string
+			res scanRunResult
+		}{
+			{sw.name + "+no-readahead", smed.syncRes},
+			{sw.name + "+readahead", smed.raRes},
+		} {
+			points = append(points, replBenchPoint{
+				Config:        m.cfg,
+				Writers:       1,
+				ScanOpsPerSec: m.res.scansPerSec,
+				P50Micros:     float64(m.res.p50.Microseconds()),
+				P95Micros:     float64(m.res.p95.Microseconds()),
+				P99Micros:     float64(m.res.p99.Microseconds()),
+			})
+		}
+	}
 	doc := map[string]any{
 		"bench":       "replication",
-		"description": "replicated write path: 1-slot loopback cluster at rf=2 (pair) and rf=3 (quorum group: ack once a majority — primary + 1 of 2 backups — holds the record), single-object puts; concurrent writers share mirror batches and WAL fsyncs (group commit); read-mostly rows run YCSB-B/C with reads either pinned to the primary or served by any replica at the durability watermark's frontier (follower reads)",
+		"description": "replicated write path: 1-slot loopback cluster at rf=2 (pair) and rf=3 (quorum group: ack once a majority — primary + 1 of 2 backups — holds the record), single-object puts; concurrent writers share mirror batches and WAL fsyncs (group commit); read-mostly rows run YCSB-B/C with reads either pinned to the primary or served by any replica at the durability watermark's frontier (follower reads); scan rows run E1-style scan100 and YCSB-E scans on a single-server 8-cell-leaf tree, comparing the synchronous leaf-at-a-time iterator against scan readahead with batched leaf-run fetches (MethodReadBatch)",
 		"cpus":        runtime.NumCPU(),
 		"points":      points,
 		// The same workload measured immediately before group commit

@@ -12,17 +12,26 @@ import (
 // fences — so the cache needs no coherence protocol, which is what
 // makes it cheap: a hit costs zero communication.
 //
+// The cache is bounded: admitting a node past maxNodes evicts a
+// random resident entry first (Go's map iteration order serves as the
+// random pick). Random replacement is deliberate — evicting the
+// "wrong" node costs one extra transactional read on a later descent,
+// never a wrong answer, so the bound can be enforced without any
+// recency bookkeeping on the hit path.
+//
 // Values stored here are committed versions and are treated as
 // immutable by the whole client.
 type nodeCache struct {
-	mu    sync.RWMutex
-	nodes map[kv.OID]*kv.Value
-	hits  atomic.Uint64
-	miss  atomic.Uint64
+	mu       sync.RWMutex
+	nodes    map[kv.OID]*kv.Value
+	maxNodes int // <= 0 = unlimited
+	hits     atomic.Uint64
+	miss     atomic.Uint64
+	evicted  atomic.Uint64
 }
 
-func newNodeCache() *nodeCache {
-	return &nodeCache{nodes: make(map[kv.OID]*kv.Value)}
+func newNodeCache(maxNodes int) *nodeCache {
+	return &nodeCache{nodes: make(map[kv.OID]*kv.Value), maxNodes: maxNodes}
 }
 
 func (c *nodeCache) get(oid kv.OID) (*kv.Value, bool) {
@@ -39,6 +48,15 @@ func (c *nodeCache) get(oid kv.OID) (*kv.Value, bool) {
 
 func (c *nodeCache) put(oid kv.OID, v *kv.Value) {
 	c.mu.Lock()
+	if _, resident := c.nodes[oid]; !resident && c.maxNodes > 0 {
+		for len(c.nodes) >= c.maxNodes {
+			for victim := range c.nodes {
+				delete(c.nodes, victim)
+				c.evicted.Add(1)
+				break
+			}
+		}
+	}
 	c.nodes[oid] = v
 	c.mu.Unlock()
 }

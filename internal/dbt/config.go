@@ -19,6 +19,26 @@
 //   - Delegated (asynchronous) splits. Writers enqueue oversized
 //     leaves; a splitter goroutine splits them in separate
 //     transactions, off the insert's critical path.
+//
+// # Scan readahead
+//
+// Iterators additionally pipeline leaf fetches: while the consumer
+// drains the current leaf, a background goroutine resolves the next
+// leaf by its fence key (Config.ReadaheadLeaves bounds how far ahead).
+// When the inner-node cache can predict the run of upcoming leaves,
+// the prefetcher fetches the whole run with one batched RPC
+// (MethodReadBatch) instead of one round trip per leaf, validating
+// each leaf's fences against the chain and falling back to an ordinary
+// descent on any staleness.
+// The prefetch reads a concurrency-safe snapshot view at the owning
+// transaction's timestamp — plain MVCC snapshot reads, never the
+// transaction itself — so a prefetched leaf is byte-identical to what
+// a synchronous descent would have returned, and always safe to
+// discard: stale-cache back-downs, prefetch errors, and staged writes
+// appearing mid-scan all just fall back to the synchronous path.
+// Readahead is off under NoReadahead and whenever an ablation switch
+// is active (Ablated), since ablation baselines must measure the
+// un-pipelined path.
 package dbt
 
 import "yesquel/internal/kv"
@@ -69,6 +89,28 @@ type Config struct {
 	// MaxDescentRetries bounds back-down retries before the search
 	// gives up caching entirely. Default 6.
 	MaxDescentRetries int
+
+	// ReadaheadLeaves bounds how many leaves ahead of the consumer a
+	// scan iterator may prefetch (see the package doc's "Scan
+	// readahead" section). It is also the batching depth: when the
+	// inner-node cache can predict a run of that many upcoming leaves,
+	// the prefetcher fetches the run with one batched RPC. Default 2
+	// (set 1 for a strictly leaf-at-a-time pipeline); clamped to at
+	// most 2 — deeper pipelines would only pile up leaves the consumer
+	// hasn't asked for yet.
+	ReadaheadLeaves int
+
+	// NoReadahead disables scan readahead: the iterator fetches every
+	// leaf synchronously when the consumer reaches it. Also implied by
+	// any ablation switch (Ablated).
+	NoReadahead bool
+
+	// CacheMaxNodes caps the inner-node cache in entries. When full,
+	// admitting a fresh node evicts a random resident one — eviction
+	// order does not matter for correctness (stale entries are caught
+	// by fence checks either way), so cheap beats clever. Default
+	// 4096; negative = unlimited.
+	CacheMaxNodes int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,7 +120,25 @@ func (c Config) withDefaults() Config {
 	if c.MaxDescentRetries == 0 {
 		c.MaxDescentRetries = 6
 	}
+	if c.ReadaheadLeaves <= 0 {
+		c.ReadaheadLeaves = 2
+	}
+	if c.ReadaheadLeaves > 2 {
+		c.ReadaheadLeaves = 2
+	}
+	if c.CacheMaxNodes == 0 {
+		c.CacheMaxNodes = 4096
+	}
 	return c
+}
+
+// Ablated reports whether any of the paper's ablation switches is
+// active. Scan readahead turns itself off then: the ablation
+// experiments measure the cost of each mechanism in isolation, and a
+// pipelined leaf fetch would mask exactly the serialization they are
+// trying to expose.
+func (c Config) Ablated() bool {
+	return c.NoCache || c.NoDelta || c.NoPartial || c.SyncSplit
 }
 
 // NaiveConfig returns the configuration of the naive-DBT baseline used

@@ -1,6 +1,7 @@
 package dbt
 
 import (
+	"bytes"
 	"context"
 
 	"yesquel/internal/kv"
@@ -13,6 +14,14 @@ import (
 // inner-node descents are served by the cache, advancing to the next
 // leaf costs one transactional leaf read — the same as following a
 // sibling pointer, but immune to stale links.
+//
+// With readahead enabled (the default; see the package doc's "Scan
+// readahead" section) that leaf read is pipelined: a background
+// goroutine resolves upcoming leaves by fence key on a snapshot
+// ReadView while the consumer drains the current one, and the
+// synchronous path remains the fallback whenever a prefetch cannot be
+// used. Call Close on an iterator abandoned before exhaustion so the
+// prefetcher is released promptly.
 type Iterator struct {
 	t   *Tree
 	tx  *kvclient.Tx
@@ -23,6 +32,26 @@ type Iterator struct {
 	next  []byte // low key of the next leaf to fetch; nil = exhausted
 	done  bool
 	err   error
+
+	ra    *readahead
+	raOff bool // readahead permanently disabled for this iterator
+}
+
+// readahead is the iterator's leaf prefetcher: one goroutine following
+// the fence-key chain on a snapshot ReadView, delivering each leaf on
+// a channel whose capacity (plus the descent in flight) bounds how far
+// it runs ahead of the consumer.
+type readahead struct {
+	cancel context.CancelFunc
+	ch     chan raResult
+}
+
+// raResult is one prefetched leaf: the fence key it was descended for,
+// so the consumer can verify it is being handed the leaf it wants.
+type raResult struct {
+	key []byte
+	li  leafInfo
+	err error
 }
 
 // NewIterator returns an iterator positioned at the first key >= start
@@ -32,6 +61,7 @@ func (t *Tree) NewIterator(ctx context.Context, tx *kvclient.Tx, start []byte) *
 		start = []byte{}
 	}
 	it := &Iterator{t: t, tx: tx, ctx: ctx}
+	it.raOff = t.cfg.NoReadahead || t.cfg.Ablated()
 	it.load(start)
 	return it
 }
@@ -40,11 +70,15 @@ func (t *Tree) NewIterator(ctx context.Context, tx *kvclient.Tx, start []byte) *
 // >= key.
 func (it *Iterator) load(key []byte) {
 	for {
-		li, err := it.t.descend(it.ctx, it.tx, key, tailWindow(key))
-		if err != nil {
-			it.err = err
-			it.done = true
-			return
+		li, ok := it.takeReadahead(key)
+		if !ok {
+			var err error
+			li, err = it.t.descend(it.ctx, it.tx, key, tailWindow(key))
+			if err != nil {
+				it.err = err
+				it.done = true
+				return
+			}
 		}
 		leaf := li.node
 		it.cells = leaf.Cells
@@ -64,6 +98,7 @@ func (it *Iterator) load(key []byte) {
 		} else {
 			it.next = append([]byte(nil), leaf.HighKey...)
 		}
+		it.maybeReadahead()
 		if it.pos < len(it.cells) {
 			return
 		}
@@ -74,6 +109,147 @@ func (it *Iterator) load(key []byte) {
 		}
 		key = it.next
 	}
+}
+
+// maybeReadahead starts the prefetcher for the upcoming leaves, unless
+// one is already running or the iterator must stay synchronous. Staged
+// writes disable readahead for good: the prefetcher reads the bare
+// snapshot, and from the first staged write on, every leaf must be
+// overlaid through the transaction.
+func (it *Iterator) maybeReadahead() {
+	if it.ra != nil || it.raOff || it.next == nil {
+		return
+	}
+	if it.tx.NumWrites() > 0 {
+		it.raOff = true
+		return
+	}
+	ctx, cancel := context.WithCancel(it.ctx)
+	// Channel capacity plus the fetch in flight = ReadaheadLeaves (1–2)
+	// leaves ahead of the consumer, at most.
+	ch := make(chan raResult, it.t.cfg.ReadaheadLeaves-1)
+	view := it.tx.View()
+	t := it.t
+	batch := it.t.cfg.ReadaheadLeaves
+	go func(key []byte) {
+		// deliver sends one prefetched leaf; false means the iterator is
+		// gone (context cancelled) or the chain ended at this leaf.
+		deliver := func(key []byte, li leafInfo, err error) bool {
+			select {
+			case ch <- raResult{key: key, li: li, err: err}:
+			case <-ctx.Done():
+				return false
+			}
+			return err == nil && li.node.HighKey != nil
+		}
+		for {
+			// Fast path: when the inner-node cache can predict a run of
+			// upcoming leaves on ONE server slot, fetch the whole run
+			// with one batched RPC instead of one round trip per leaf.
+			// The run is trimmed to the leading same-slot prefix because
+			// batching pays off only by consolidating RPCs — a cross-slot
+			// pair costs the same two RPCs either way, plus fan-out
+			// overhead. Prediction is routing only — each fetched leaf is
+			// fence-checked against the chain and the run is abandoned
+			// (falling back to a validated descent) the moment a leaf is
+			// missing, foreign, or no longer covers its fence key. Extra
+			// cells a whole-leaf read returns below the fence are
+			// harmless: the consumer positions by binary search inside
+			// every leaf.
+			if run := t.sameSlotPrefix(t.leafRunFromCache(key, batch)); len(run) >= 2 {
+				items := make([]kv.ReadBatchItem, len(run))
+				for i, oid := range run {
+					items[i] = kv.ReadBatchItem{OID: oid}
+				}
+				t.stats.NodeReads.Add(uint64(len(items)))
+				results, err := view.ReadBatch(ctx, items)
+				if err != nil {
+					// Transport trouble: let the synchronous path report it.
+					deliver(key, leafInfo{}, err)
+					return
+				}
+				advanced := false
+				for i := range results {
+					leaf := results[i].Value
+					if !results[i].Found || leaf.Kind != kv.KindSuper ||
+						leaf.Attrs[AttrTree] != t.id || leaf.Attrs[AttrHeight] != 0 ||
+						!leaf.InBounds(key) {
+						break
+					}
+					if !deliver(key, leafInfo{oid: run[i], node: leaf, total: leaf.NumCells()}, nil) {
+						return
+					}
+					advanced = true
+					key = append([]byte(nil), leaf.HighKey...)
+				}
+				if advanced {
+					continue
+				}
+				// The first predicted leaf was already stale: descend.
+			}
+			li, err := t.descend(ctx, view, key, tailWindow(key))
+			if !deliver(key, li, err) {
+				return
+			}
+			key = append([]byte(nil), li.node.HighKey...)
+		}
+	}(it.next)
+	it.ra = &readahead{cancel: cancel, ch: ch}
+}
+
+// takeReadahead consumes the prefetched leaf for key, if one is (or
+// will shortly be) available and still usable. A miss of any kind —
+// no prefetcher running, staged writes appeared (the prefetch carries
+// no overlay), the prefetcher failed, or it answered a different fence
+// key — shuts the pipeline down and sends the caller to the
+// synchronous path, which recomputes the same leaf under the full
+// overlay and back-down rules. Discarding is always safe: prefetched
+// leaves are plain snapshot reads the synchronous descent reproduces
+// byte for byte.
+func (it *Iterator) takeReadahead(key []byte) (leafInfo, bool) {
+	if it.ra == nil {
+		return leafInfo{}, false
+	}
+	if it.tx.NumWrites() > 0 {
+		it.stopReadahead()
+		return leafInfo{}, false
+	}
+	var res raResult
+	select {
+	case res = <-it.ra.ch:
+	case <-it.ctx.Done():
+		it.stopReadahead()
+		return leafInfo{}, false
+	}
+	if res.err != nil || !bytes.Equal(res.key, key) {
+		it.stopReadahead()
+		return leafInfo{}, false
+	}
+	if res.li.node.HighKey == nil {
+		// Final leaf delivered; the prefetcher has already exited.
+		it.stopReadahead()
+	}
+	return res.li, true
+}
+
+// stopReadahead tears the prefetcher down (it exits on the cancelled
+// context even if parked on a send) and pins the iterator to the
+// synchronous path.
+func (it *Iterator) stopReadahead() {
+	if it.ra != nil {
+		it.ra.cancel()
+		it.ra = nil
+	}
+	it.raOff = true
+}
+
+// Close releases the iterator's background resources. It is idempotent
+// and safe on exhausted iterators; call it whenever an iterator may be
+// abandoned before exhaustion (e.g. a LIMITed scan), or the prefetch
+// goroutine lingers until the surrounding context ends.
+func (it *Iterator) Close() {
+	it.stopReadahead()
+	it.done = true
 }
 
 // Valid reports whether the iterator is positioned at a cell.
@@ -111,6 +287,7 @@ func (it *Iterator) Next() {
 func (t *Tree) Scan(ctx context.Context, tx *kvclient.Tx, start []byte, limit int) ([]kv.Cell, error) {
 	var out []kv.Cell
 	it := t.NewIterator(ctx, tx, start)
+	defer it.Close()
 	for ; it.Valid(); it.Next() {
 		if limit >= 0 && len(out) >= limit {
 			break

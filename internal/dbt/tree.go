@@ -33,9 +33,22 @@ type Stats struct {
 	SplitConflict atomic.Uint64
 }
 
-// StatsSnapshot is a plain copy of the counters.
+// StatsSnapshot is a plain copy of the counters. Evictions counts
+// inner-node cache entries displaced by the CacheMaxNodes bound.
 type StatsSnapshot struct {
 	Descents, BackDowns, CacheHits, NodeReads, SplitsDone, SplitConflict uint64
+	Evictions                                                            uint64
+}
+
+// nodeReader is the read capability a descent needs. *kvclient.Tx
+// satisfies it (reads overlay the transaction's staged writes); so
+// does *kvclient.ReadView, which is what lets the scan readahead
+// prefetch leaves from a plain goroutine — a ReadView reads the same
+// MVCC snapshot with no overlay and is safe for concurrent use, while
+// a Tx is not.
+type nodeReader interface {
+	Read(ctx context.Context, oid kv.OID) (*kv.Value, error)
+	ReadPart(ctx context.Context, oid kv.OID, from, to []byte, max uint32) (*kv.Value, int, error)
 }
 
 // Tree is a client handle to one distributed balanced tree. Handles are
@@ -102,7 +115,7 @@ func newTree(c *kvclient.Client, id uint64, cfg Config) *Tree {
 		id:    id,
 		root:  RootOID(id, c.NumServers()),
 		cfg:   cfg.withDefaults(),
-		cache: newNodeCache(),
+		cache: newNodeCache(cfg.withDefaults().CacheMaxNodes),
 	}
 }
 
@@ -128,6 +141,7 @@ func (t *Tree) Stats() StatsSnapshot {
 		NodeReads:     t.stats.NodeReads.Load(),
 		SplitsDone:    t.stats.SplitsDone.Load(),
 		SplitConflict: t.stats.SplitConflict.Load(),
+		Evictions:     t.cache.evicted.Load(),
 	}
 }
 
@@ -231,13 +245,13 @@ type leafInfo struct {
 // because transactional reads see a consistent snapshot of the tree.
 // Leaf reads fetch only the requested window unless the configuration
 // disables partial reads.
-func (t *Tree) descend(ctx context.Context, tx *kvclient.Tx, key []byte, win window) (leafInfo, error) {
+func (t *Tree) descend(ctx context.Context, r nodeReader, key []byte, win window) (leafInfo, error) {
 	t.stats.Descents.Add(1)
 	maxAttempts := t.cfg.MaxDescentRetries
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		// The last two attempts bypass the cache entirely.
 		useCache := !t.cfg.NoCache && attempt < maxAttempts-2
-		li, err := t.descendOnce(ctx, tx, key, win, useCache)
+		li, err := t.descendOnce(ctx, r, key, win, useCache)
 		if err == nil {
 			return li, nil
 		}
@@ -251,20 +265,20 @@ func (t *Tree) descend(ctx context.Context, tx *kvclient.Tx, key []byte, win win
 
 // readNode fetches cur, windowed when the caller expects a leaf and the
 // configuration allows. It returns the node and its total cell count.
-func (t *Tree) readNode(ctx context.Context, tx *kvclient.Tx, cur kv.OID, win window, expectLeaf bool) (*kv.Value, int, error) {
+func (t *Tree) readNode(ctx context.Context, r nodeReader, cur kv.OID, win window, expectLeaf bool) (*kv.Value, int, error) {
 	t.stats.NodeReads.Add(1)
 	if expectLeaf && !win.full && !t.cfg.NoPartial {
-		node, total, err := tx.ReadPart(ctx, cur, win.from, win.to, win.max)
+		node, total, err := r.ReadPart(ctx, cur, win.from, win.to, win.max)
 		return node, total, err
 	}
-	node, err := tx.Read(ctx, cur)
+	node, err := r.Read(ctx, cur)
 	if err != nil {
 		return nil, 0, err
 	}
 	return node, node.NumCells(), nil
 }
 
-func (t *Tree) descendOnce(ctx context.Context, tx *kvclient.Tx, key []byte, win window, useCache bool) (leafInfo, error) {
+func (t *Tree) descendOnce(ctx context.Context, r nodeReader, key []byte, win window, useCache bool) (leafInfo, error) {
 	cur := t.root
 	var path []kv.OID
 	expectLeaf := false // unknown height at the root: read it whole
@@ -283,7 +297,7 @@ func (t *Tree) descendOnce(ctx context.Context, tx *kvclient.Tx, key []byte, win
 			}
 		}
 		if node == nil {
-			v, n, err := t.readNode(ctx, tx, cur, win, expectLeaf)
+			v, n, err := t.readNode(ctx, r, cur, win, expectLeaf)
 			if err != nil {
 				if errors.Is(err, kv.ErrNotFound) {
 					// Dangling pointer: the node was moved by a split

@@ -106,6 +106,13 @@ type replicaGroup struct {
 	// as monotone-safe, being the same quorum-durable bound one hop
 	// later.
 	readFrontier uint64
+
+	// noBatch remembers that a replica of this group rejected
+	// MethodReadBatch as unknown (the peer predates the method), so
+	// later batches skip straight to the per-object fallback instead of
+	// paying a doomed round trip each time. Reset when the membership
+	// changes: a new configuration may be all upgraded servers.
+	noBatch atomic.Bool
 }
 
 // readSeed staggers which backup each successive client pins its
@@ -282,6 +289,7 @@ func (g *replicaGroup) noteEpoch(epoch uint64, members []string) bool {
 		delete(g.readConns, a)
 	}
 	g.readCur = int(readSeed.Add(1))
+	g.noBatch.Store(false)
 	return true
 }
 
@@ -703,6 +711,195 @@ func (c *Client) readAt(ctx context.Context, oid kv.OID, snap clock.Timestamp) (
 		return nil, kv.ErrNotFound
 	}
 	return resp.Value, nil
+}
+
+// readPartAt fetches a windowed view of oid at snap: cells in
+// [floor(from), to) capped at max (0 = unlimited), plus the node's
+// total cell count. Like readAt it carries no staged-write overlay.
+func (c *Client) readPartAt(ctx context.Context, oid kv.OID, snap clock.Timestamp, from, to []byte, max uint32) (*kv.Value, int, error) {
+	server := c.ServerFor(oid)
+	durable := c.durableReads.Load()
+	respB, viaFollower, err := c.readCall(ctx, server, snap, kv.MethodReadPart, func(epoch uint64) []byte {
+		return (&kv.ReadPartReq{OID: oid, Snap: snap, From: from, To: to, Max: max, Epoch: epoch, Durable: durable}).Encode()
+	})
+	if err != nil {
+		return nil, 0, translateRPCErr(err)
+	}
+	resp, err := kv.DecodeReadPartResp(respB)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.hlc.Observe(resp.Clock)
+	c.noteReadResp(server, resp.Frontier, viaFollower)
+	if !resp.Found {
+		return nil, 0, kv.ErrNotFound
+	}
+	return resp.Value, int(resp.Total), nil
+}
+
+// readBatchAt serves items — all living on server slot server — at
+// snap with one MethodReadBatch RPC, routed like any other snapshot
+// read (follower pinning, primary fallback, frontier bookkeeping).
+// Against a peer that predates the method it downgrades to per-object
+// reads, remembering the downgrade on the group so later batches skip
+// the doomed attempt. Results are positional; absent objects come back
+// Found=false (Version is zero on the fallback path).
+func (c *Client) readBatchAt(ctx context.Context, server int, snap clock.Timestamp, items []kv.ReadBatchItem) ([]kv.ReadBatchResult, error) {
+	g := c.groups[server]
+	if !g.noBatch.Load() {
+		durable := c.durableReads.Load()
+		respB, viaFollower, err := c.readCall(ctx, server, snap, kv.MethodReadBatch, func(epoch uint64) []byte {
+			return (&kv.ReadBatchReq{Snap: snap, Epoch: epoch, Durable: durable, Items: items}).Encode()
+		})
+		switch {
+		case err == nil:
+			resp, err := kv.DecodeReadBatchResp(respB)
+			if err != nil {
+				return nil, err
+			}
+			if len(resp.Results) != len(items) {
+				return nil, fmt.Errorf("kvclient: read batch answered %d of %d items", len(resp.Results), len(items))
+			}
+			c.hlc.Observe(resp.Clock)
+			c.noteReadResp(server, resp.Frontier, viaFollower)
+			return resp.Results, nil
+		case isUnknownMethod(err):
+			g.noBatch.Store(true)
+		default:
+			return nil, translateRPCErr(err)
+		}
+	}
+	results := make([]kv.ReadBatchResult, len(items))
+	for i := range items {
+		item := &items[i]
+		var (
+			val   *kv.Value
+			total int
+			err   error
+		)
+		if item.Part {
+			val, total, err = c.readPartAt(ctx, item.OID, snap, item.From, item.To, item.Max)
+		} else {
+			val, err = c.readAt(ctx, item.OID, snap)
+		}
+		switch {
+		case err == nil:
+			results[i] = kv.ReadBatchResult{Found: true, Value: val, Total: uint32(total)}
+		case errors.Is(err, kv.ErrNotFound):
+			// Found=false result: one absent object must not fail the batch.
+		default:
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// readBatchSlots partitions items by owning server slot, sends each
+// slot's sub-batch with one readBatchAt call — the sub-batches in
+// parallel when more than one slot is involved — and merges the
+// answers positionally.
+func (c *Client) readBatchSlots(ctx context.Context, snap clock.Timestamp, items []kv.ReadBatchItem) ([]kv.ReadBatchResult, error) {
+	bySlot := make(map[int][]int)
+	for i := range items {
+		s := c.ServerFor(items[i].OID)
+		bySlot[s] = append(bySlot[s], i)
+	}
+	if len(bySlot) == 1 {
+		for s := range bySlot {
+			return c.readBatchAt(ctx, s, snap, items)
+		}
+	}
+	results := make([]kv.ReadBatchResult, len(items))
+	type slotResult struct {
+		idx []int
+		res []kv.ReadBatchResult
+		err error
+	}
+	ch := make(chan slotResult, len(bySlot))
+	for s, idx := range bySlot {
+		sub := make([]kv.ReadBatchItem, len(idx))
+		for j, i := range idx {
+			sub[j] = items[i]
+		}
+		go func(s int, idx []int, sub []kv.ReadBatchItem) {
+			res, err := c.readBatchAt(ctx, s, snap, sub)
+			ch <- slotResult{idx: idx, res: res, err: err}
+		}(s, idx, sub)
+	}
+	var firstErr error
+	for range bySlot {
+		sr := <-ch
+		if sr.err != nil {
+			if firstErr == nil {
+				firstErr = sr.err
+			}
+			continue
+		}
+		for j, i := range sr.idx {
+			results[i] = sr.res[j]
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// isUnknownMethod reports that the server answered "no such RPC
+// method" — the signal that a peer predates a newer method and the
+// caller should fall back to older ones.
+func isUnknownMethod(err error) bool {
+	var app *rpc.AppError
+	return errors.As(err, &app) && strings.Contains(app.Msg, rpc.ErrUnknownMethod.Error())
+}
+
+// ReadView is a concurrency-safe, read-only view of the store at a
+// fixed snapshot timestamp. Unlike a Tx it stages no writes and
+// overlays nothing, so it may be shared across goroutines; the dbt
+// scan readahead uses one to prefetch leaves on a background goroutine
+// while the owning transaction's goroutine keeps consuming. Reads
+// route exactly like transaction reads (follower pinning, primary
+// fallback, frontier bookkeeping), and — reading a fixed MVCC snapshot
+// — return the same bytes a transaction at the same snapshot with no
+// staged writes would see, no matter which goroutine or replica serves
+// them.
+type ReadView struct {
+	c    *Client
+	snap clock.Timestamp
+}
+
+// View returns a read view of the store at snap.
+func (c *Client) View(snap clock.Timestamp) *ReadView {
+	return &ReadView{c: c, snap: snap}
+}
+
+// View returns a concurrency-safe read view at this transaction's
+// snapshot. The view does NOT see the transaction's staged writes —
+// callers that may have writes pending must overlay via the Tx.
+func (t *Tx) View() *ReadView { return t.c.View(t.start) }
+
+// Snapshot returns the view's snapshot timestamp.
+func (v *ReadView) Snapshot() clock.Timestamp { return v.snap }
+
+// Read fetches the newest version of oid visible at the snapshot.
+func (v *ReadView) Read(ctx context.Context, oid kv.OID) (*kv.Value, error) {
+	return v.c.readAt(ctx, oid, v.snap)
+}
+
+// ReadPart fetches a window of the supervalue at oid: cells in
+// [floor(from), to) capped at max, plus the node's total cell count.
+func (v *ReadView) ReadPart(ctx context.Context, oid kv.OID, from, to []byte, max uint32) (*kv.Value, int, error) {
+	return v.c.readPartAt(ctx, oid, v.snap, from, to, max)
+}
+
+// ReadBatch performs len(items) snapshot reads in as few RPCs as the
+// data's placement allows: one MethodReadBatch per involved server
+// slot, in parallel. The same contract as Tx.ReadBatch minus any
+// overlay: results are positional, absent objects come back
+// Found=false. The dbt scan readahead uses this to fetch runs of
+// predicted leaves with one round trip.
+func (v *ReadView) ReadBatch(ctx context.Context, items []kv.ReadBatchItem) ([]kv.ReadBatchResult, error) {
+	return v.c.readBatchSlots(ctx, v.snap, items)
 }
 
 // translateRPCErr maps application errors from the server back to the

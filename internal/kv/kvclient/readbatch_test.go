@@ -1,0 +1,235 @@
+package kvclient_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"testing"
+
+	"yesquel/internal/cluster"
+	"yesquel/internal/kv"
+	"yesquel/internal/kv/kvclient"
+	"yesquel/internal/kv/kvserver"
+	"yesquel/internal/rpc"
+)
+
+// seedBatchObjects commits one plain object and one supervalue per
+// server slot and returns their OIDs (plain first).
+func seedBatchObjects(t *testing.T, c *kvclient.Client, servers int) (plain, super []kv.OID) {
+	t.Helper()
+	ctx := context.Background()
+	tx := c.Begin()
+	for s := 0; s < servers; s++ {
+		p := c.NewOID(uint16(s))
+		tx.Put(p, kv.NewPlain([]byte(fmt.Sprintf("plain-%d", s))))
+		plain = append(plain, p)
+		sv := kv.NewSuper()
+		for i := 0; i < 10; i++ {
+			sv.ListAdd([]byte(fmt.Sprintf("k%02d", i)), []byte{byte(s), byte(i)})
+		}
+		o := c.NewOID(uint16(s))
+		tx.Put(o, sv)
+		super = append(super, o)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return plain, super
+}
+
+// checkBatchAgainstSingles asserts that a ReadBatch answers exactly
+// what per-object Read/ReadPart at the same snapshot answer.
+func checkBatchAgainstSingles(t *testing.T, tx *kvclient.Tx, items []kv.ReadBatchItem, results []kv.ReadBatchResult) {
+	t.Helper()
+	ctx := context.Background()
+	if len(results) != len(items) {
+		t.Fatalf("got %d results for %d items", len(results), len(items))
+	}
+	for i, item := range items {
+		res := results[i]
+		if item.Part {
+			want, total, err := tx.ReadPart(ctx, item.OID, item.From, item.To, item.Max)
+			if err != nil {
+				if !res.Found {
+					continue
+				}
+				t.Fatalf("item %d: batch found, single errored: %v", i, err)
+			}
+			if !res.Found || !res.Value.Equal(want) || int(res.Total) != total {
+				t.Fatalf("item %d: batch %+v/%d != single %+v/%d", i, res.Value, res.Total, want, total)
+			}
+			continue
+		}
+		want, err := tx.Read(ctx, item.OID)
+		if err != nil {
+			if !res.Found {
+				continue
+			}
+			t.Fatalf("item %d: batch found, single errored: %v", i, err)
+		}
+		if !res.Found || !res.Value.Equal(want) {
+			t.Fatalf("item %d: batch %+v != single %+v", i, res.Value, want)
+		}
+	}
+}
+
+func TestTxReadBatchAcrossServers(t *testing.T) {
+	const servers = 3
+	_, c := startCluster(t, servers)
+	plain, super := seedBatchObjects(t, c, servers)
+
+	tx := c.Begin()
+	defer tx.Abort()
+	var items []kv.ReadBatchItem
+	for s := 0; s < servers; s++ {
+		items = append(items,
+			kv.ReadBatchItem{OID: plain[s]},
+			kv.ReadBatchItem{OID: super[s], Part: true, From: []byte("k03"), To: []byte("k07"), Max: 2},
+			kv.ReadBatchItem{OID: c.NewOID(uint16(s))}, // absent
+		)
+	}
+	results, err := tx.ReadBatch(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < servers; s++ {
+		if !results[3*s].Found || results[3*s+2].Found {
+			t.Fatalf("slot %d: found flags %v %v", s, results[3*s].Found, results[3*s+2].Found)
+		}
+	}
+	checkBatchAgainstSingles(t, tx, items, results)
+}
+
+func TestTxReadBatchStagedOverlay(t *testing.T) {
+	_, c := startCluster(t, 2)
+	ctx := context.Background()
+	plain, super := seedBatchObjects(t, c, 2)
+
+	tx := c.Begin()
+	defer tx.Abort()
+	// Staged writes of every flavour: a delta on a committed
+	// supervalue, a full overwrite of a committed plain value, and a
+	// write to an OID that does not exist yet.
+	tx.ListAdd(super[0], []byte("k99"), []byte("mine"))
+	tx.Put(plain[1], kv.NewPlain([]byte("overwritten")))
+	fresh := c.NewOID(0)
+	tx.Put(fresh, kv.NewPlain([]byte("unborn")))
+
+	items := []kv.ReadBatchItem{
+		{OID: super[0], Part: true, From: []byte("k90"), To: nil},
+		{OID: plain[1]},
+		{OID: fresh},
+		{OID: plain[0]}, // clean item sharing the batch
+	}
+	results, err := tx.ReadBatch(ctx, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := results[0].Value.ListGet([]byte("k99")); !ok || !bytes.Equal(v, []byte("mine")) {
+		t.Fatalf("staged delta invisible: %v %v", v, ok)
+	}
+	if string(results[1].Value.Data) != "overwritten" || string(results[2].Value.Data) != "unborn" {
+		t.Fatalf("staged overwrites invisible: %+v %+v", results[1].Value, results[2].Value)
+	}
+	checkBatchAgainstSingles(t, tx, items, results)
+}
+
+// startOldServerProxy fronts addr with an RPC server that forwards
+// every method EXCEPT MethodReadBatch — the wire behaviour of a peer
+// that predates the method, which answers rpc.ErrUnknownMethod.
+func startOldServerProxy(t *testing.T, addr string) string {
+	t.Helper()
+	up, err := rpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { up.Close() })
+	srv := rpc.NewServer()
+	forward := func(method string) rpc.Handler {
+		return func(ctx context.Context, req []byte) ([]byte, error) {
+			return up.Call(ctx, method, req)
+		}
+	}
+	for _, m := range []string{
+		kv.MethodRead, kv.MethodReadPart, kv.MethodPrepare, kv.MethodCommit,
+		kv.MethodAbort, kv.MethodFastCommit, kv.MethodPing,
+	} {
+		srv.Register(m, forward(m))
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// TestTxReadBatchFallbackOldServer runs a batch against a server
+// without the MethodReadBatch handler, end to end: the client must
+// detect the unknown method, downgrade to per-object reads, remember
+// the downgrade, and still answer correctly.
+func TestTxReadBatchFallbackOldServer(t *testing.T) {
+	cl, err := cluster.Start(1, kvserver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	oldAddr := startOldServerProxy(t, cl.Addrs[0])
+	c, err := kvclient.Open([]string{oldAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	plain, super := seedBatchObjects(t, c, 1)
+	for round := 0; round < 2; round++ { // round 2 exercises the memoized downgrade
+		tx := c.Begin()
+		items := []kv.ReadBatchItem{
+			{OID: plain[0]},
+			{OID: super[0], Part: true, From: []byte("k02"), To: []byte("k05")},
+			{OID: c.NewOID(0)}, // absent
+		}
+		results, err := tx.ReadBatch(context.Background(), items)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !results[0].Found || !results[1].Found || results[2].Found {
+			t.Fatalf("round %d: found flags %v %v %v", round,
+				results[0].Found, results[1].Found, results[2].Found)
+		}
+		checkBatchAgainstSingles(t, tx, items, results)
+		tx.Abort()
+	}
+}
+
+// TestReadViewMatchesTx asserts a ReadView answers exactly what a
+// clean transaction at the same snapshot answers — the property the
+// dbt readahead relies on.
+func TestReadViewMatchesTx(t *testing.T) {
+	_, c := startCluster(t, 2)
+	ctx := context.Background()
+	plain, super := seedBatchObjects(t, c, 2)
+
+	tx := c.Begin()
+	defer tx.Abort()
+	view := tx.View()
+	if view.Snapshot() != tx.Snapshot() {
+		t.Fatalf("view snapshot %v != tx snapshot %v", view.Snapshot(), tx.Snapshot())
+	}
+	for _, oid := range plain {
+		got, err := view.Read(ctx, oid)
+		want, werr := tx.Read(ctx, oid)
+		if err != nil || werr != nil || !got.Equal(want) {
+			t.Fatalf("view read %v: %+v (%v) vs %+v (%v)", oid, got, err, want, werr)
+		}
+	}
+	for _, oid := range super {
+		got, gt, err := view.ReadPart(ctx, oid, []byte("k02"), []byte("k08"), 3)
+		want, wt, werr := tx.ReadPart(ctx, oid, []byte("k02"), []byte("k08"), 3)
+		if err != nil || werr != nil || !got.Equal(want) || gt != wt {
+			t.Fatalf("view readpart %v: %+v/%d (%v) vs %+v/%d (%v)", oid, got, gt, err, want, wt, werr)
+		}
+	}
+}

@@ -169,27 +169,15 @@ func (t *Tx) ReadPart(ctx context.Context, oid kv.OID, from, to []byte, max uint
 		}
 	}
 
-	server := t.c.ServerFor(oid)
-	durable := t.c.durableReads.Load()
-	respB, viaFollower, err := t.c.readCall(ctx, server, t.start, kv.MethodReadPart, func(epoch uint64) []byte {
-		return (&kv.ReadPartReq{OID: oid, Snap: t.start, From: from, To: to, Max: max, Epoch: epoch, Durable: durable}).Encode()
-	})
+	base, total, err := t.c.readPartAt(ctx, oid, t.start, from, to, max)
 	if err != nil {
-		return nil, 0, translateRPCErr(err)
-	}
-	resp, err := kv.DecodeReadPartResp(respB)
-	if err != nil {
-		return nil, 0, err
-	}
-	t.c.hlc.Observe(resp.Clock)
-	t.c.noteReadResp(server, resp.Frontier, viaFollower)
-
-	var base *kv.Value
-	total := int(resp.Total)
-	if resp.Found {
-		base = resp.Value
-	} else if len(staged) == 0 {
-		return nil, 0, kv.ErrNotFound
+		if !errors.Is(err, kv.ErrNotFound) {
+			return nil, 0, err
+		}
+		if len(staged) == 0 {
+			return nil, 0, kv.ErrNotFound
+		}
+		base, total = nil, 0
 	}
 	if len(staged) == 0 {
 		return base, total, nil
@@ -211,6 +199,97 @@ func (t *Tx) ReadPart(ctx context.Context, oid kv.OID, from, to []byte, max uint
 		return nil, 0, kv.ErrNotFound
 	}
 	return v, total, nil
+}
+
+// ReadBatch performs len(items) reads at the transaction's snapshot in
+// as few RPCs as the data's placement allows: items free of staged
+// writes are grouped by server slot and each slot's sub-batch goes out
+// as one MethodReadBatch call, the sub-batches in parallel over the
+// existing read connections (follower pinning and primary fallback
+// included — the client layer downgrades to per-object reads against a
+// peer that predates the method). Items whose OIDs carry staged
+// operations are served through the ordinary overlay paths on the
+// calling goroutine, so read-your-own-writes holds item by item.
+//
+// Results are positional: results[i] answers items[i], with Found=false
+// for absent objects (never an error, unlike Read). Version may be zero
+// on the per-object fallback path; Total is meaningful only for
+// windowed (Part) items.
+func (t *Tx) ReadBatch(ctx context.Context, items []kv.ReadBatchItem) ([]kv.ReadBatchResult, error) {
+	if t.done {
+		return nil, kv.ErrAborted
+	}
+	results := make([]kv.ReadBatchResult, len(items))
+	var stagedIdx, cleanIdx []int
+	for i := range items {
+		if len(t.byOID[items[i].OID]) > 0 {
+			stagedIdx = append(stagedIdx, i)
+		} else {
+			cleanIdx = append(cleanIdx, i)
+		}
+	}
+	type cleanResult struct {
+		res []kv.ReadBatchResult
+		err error
+	}
+	var ch chan cleanResult
+	if len(cleanIdx) > 0 {
+		sub := make([]kv.ReadBatchItem, len(cleanIdx))
+		for j, i := range cleanIdx {
+			sub[j] = items[i]
+		}
+		ch = make(chan cleanResult, 1)
+		// The goroutine touches only the concurrency-safe Client (and
+		// the immutable snapshot), never the Tx; readBatchSlots fans the
+		// sub-batch out per server slot from there.
+		go func() {
+			res, err := t.c.readBatchSlots(ctx, t.start, sub)
+			ch <- cleanResult{res: res, err: err}
+		}()
+	}
+	// Staged items overlay on the calling goroutine while the sub-batches
+	// are in flight.
+	var stagedErr error
+	for _, i := range stagedIdx {
+		item := &items[i]
+		var (
+			val   *kv.Value
+			total int
+			err   error
+		)
+		if item.Part {
+			val, total, err = t.ReadPart(ctx, item.OID, item.From, item.To, item.Max)
+		} else {
+			val, err = t.Read(ctx, item.OID)
+		}
+		switch {
+		case err == nil:
+			results[i] = kv.ReadBatchResult{Found: true, Value: val, Total: uint32(total)}
+		case errors.Is(err, kv.ErrNotFound):
+		default:
+			if stagedErr == nil {
+				stagedErr = err
+			}
+		}
+	}
+	var firstErr error
+	if ch != nil {
+		cr := <-ch
+		if cr.err != nil {
+			firstErr = cr.err
+		} else {
+			for j, i := range cleanIdx {
+				results[i] = cr.res[j]
+			}
+		}
+	}
+	if firstErr == nil {
+		firstErr = stagedErr
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
 }
 
 // Commit atomically applies the staged writes. Read-only transactions

@@ -77,6 +77,7 @@ func NewServer(store *Store) *Server {
 	}()
 	s.rpc.Register(kv.MethodRead, s.handleRead)
 	s.rpc.Register(kv.MethodReadPart, s.handleReadPart)
+	s.rpc.Register(kv.MethodReadBatch, s.handleReadBatch)
 	s.rpc.Register(kv.MethodPrepare, s.handlePrepare)
 	s.rpc.Register(kv.MethodCommit, s.handleCommit)
 	s.rpc.Register(kv.MethodAbort, s.handleAbort)
@@ -804,6 +805,57 @@ func (s *Server) handleReadPart(_ context.Context, p []byte) ([]byte, error) {
 	case errors.Is(err, kv.ErrNotFound):
 	default:
 		return nil, err
+	}
+	resp.Clock = s.store.Clock().Now()
+	resp.Frontier = s.store.DurableFrontier()
+	return resp.Encode(), nil
+}
+
+// handleReadBatch serves N reads at one snapshot in a single RPC. The
+// admission checks — epoch, follower-read frontier, and the optional
+// durability wait — run ONCE for the whole batch; the per-item reads
+// then take their per-shard locks exactly as N single reads would, so
+// batches ride the follower-read path unchanged.
+func (s *Server) handleReadBatch(_ context.Context, p []byte) ([]byte, error) {
+	req, err := kv.DecodeReadBatchReq(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.store.CheckClientRead(req.Epoch, req.Snap); err != nil {
+		return nil, err
+	}
+	if req.Durable {
+		if err := s.store.WaitDurable(req.Snap); err != nil {
+			return nil, err
+		}
+	}
+	resp := &kv.ReadBatchResp{Results: make([]kv.ReadBatchResult, len(req.Items))}
+	for i := range req.Items {
+		item := &req.Items[i]
+		res := &resp.Results[i]
+		var (
+			val   *kv.Value
+			total int
+			ver   kv.Timestamp
+			err   error
+		)
+		if item.Part {
+			val, total, ver, err = s.store.ReadPart(item.OID, req.Snap, item.From, item.To, item.Max)
+		} else {
+			val, ver, err = s.store.Read(item.OID, req.Snap)
+		}
+		switch {
+		case err == nil:
+			res.Found = true
+			res.Version = ver
+			res.Value = val
+			res.Total = uint32(total)
+		case errors.Is(err, kv.ErrNotFound):
+			// Found=false result, not an RPC error: absence is a normal
+			// outcome, and one missing object must not fail the batch.
+		default:
+			return nil, err
+		}
 	}
 	resp.Clock = s.store.Clock().Now()
 	resp.Frontier = s.store.DurableFrontier()

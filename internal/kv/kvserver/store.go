@@ -245,6 +245,17 @@
 // steady state a follower read never arrives ahead of the backup's
 // own watermark copy.
 //
+// Batched reads (MethodReadBatch) ride these rules unchanged: the
+// batch carries ONE snapshot for its N object reads, so the epoch and
+// frontier admission checks and the optional durable-read wait run
+// once for the whole batch, and a replica that may serve one of the
+// reads may serve them all. The per-item reads then take their
+// per-shard locks exactly as N single Read/ReadPart calls would —
+// including the Clock-SI wait on prepared transactions — so a batch
+// answers precisely what N single reads at the same snapshot would
+// have answered, in one round trip; the response piggybacks the
+// serving replica's frontier like any read response.
+//
 // # Log truncation and snapshots
 //
 // The replication log that serves MethodSync resyncs is bounded. When
@@ -1481,6 +1492,15 @@ func (s *Store) Read(oid kv.OID, snap clock.Timestamp) (*kv.Value, clock.Timesta
 	s.clock.Observe(snap)
 	sh := s.shardFor(oid)
 	deadline := time.Now().Add(s.cfg.LockWaitTimeout)
+	// One reusable timer for the whole wait loop: time.After leaks a
+	// live timer until the deadline on EVERY woken iteration, and a
+	// read can be woken once per conflicting transaction.
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		sh.mu.Lock()
 		obj := sh.objs[oid]
@@ -1494,10 +1514,25 @@ func (s *Store) Read(oid kv.OID, snap clock.Timestamp) (*kv.Value, clock.Timesta
 			ch := obj.lock.done
 			sh.mu.Unlock()
 			s.stats.ReadWaits.Add(1)
+			if timer == nil {
+				timer = time.NewTimer(time.Until(deadline))
+			} else {
+				// The previous wait ended on ch, but the timer may have
+				// fired concurrently; drain the stale tick before
+				// rearming or the next select would time out instantly.
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(time.Until(deadline))
+			}
 			select {
 			case <-ch:
 				continue
-			case <-time.After(time.Until(deadline)):
+			case <-timer.C:
+				timer = nil
 				return nil, 0, fmt.Errorf("%w: read blocked on prepared transaction", kv.ErrConflict)
 			}
 		}

@@ -10,6 +10,11 @@ import (
 const (
 	MethodRead       = "kv.read"
 	MethodReadPart   = "kv.readpart"
+	// MethodReadBatch serves N object reads — each a whole-object read
+	// or a ReadPart window — at one snapshot timestamp in a single RPC.
+	// A server that predates the method answers rpc.ErrUnknownMethod;
+	// clients fall back to per-object MethodRead/MethodReadPart.
+	MethodReadBatch = "kv.readbatch"
 	MethodPrepare    = "kv.prepare"
 	MethodCommit     = "kv.commit"
 	MethodAbort      = "kv.abort"
@@ -613,6 +618,189 @@ func DecodeReadPartResp(p []byte) (*ReadPartResp, error) {
 	}
 	if m.Total, err = r.Uint32(); err != nil {
 		return nil, err
+	}
+	ck, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	m.Clock = Timestamp(ck)
+	if r.Remaining() > 0 {
+		f, err := r.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		m.Frontier = Timestamp(f)
+	}
+	return m, nil
+}
+
+// ReadBatchItem is one read inside a ReadBatchReq: a whole-object read
+// of OID, or — when Part is set — a windowed read of the cells in
+// [floor(From), To) capped at Max (ReadPartReq documents the floor
+// semantics). From/To/Max are ignored when Part is false.
+type ReadBatchItem struct {
+	OID  OID
+	Part bool
+	From []byte
+	To   []byte // nil = unbounded
+	Max  uint32 // 0 = unlimited
+}
+
+// ReadBatchReq asks for N objects at one snapshot timestamp in a
+// single RPC. Epoch and Durable mean exactly what they mean on ReadReq
+// and are checked ONCE for the whole batch: either every item may be
+// served under the follower-read rules, or the batch is rejected — a
+// batch never mixes replicas or admission decisions mid-flight.
+type ReadBatchReq struct {
+	Snap    Timestamp
+	Epoch   uint64 // group epoch the client believes current (0 = unaware)
+	Durable bool   // answer only from quorum-durable state (see ReadReq)
+	Items   []ReadBatchItem
+}
+
+// ReadBatchResult is one per-item answer, positionally matched to the
+// request's Items. Total carries the full-node cell count for windowed
+// items (see ReadPartResp); it is zero for whole-object reads.
+type ReadBatchResult struct {
+	Found   bool
+	Version Timestamp
+	Value   *Value
+	Total   uint32
+}
+
+// ReadBatchResp carries the batch's results plus the same Clock and
+// Frontier piggybacks a ReadResp carries, so batches advance the
+// client's clock and follower-read frontier exactly like single reads.
+type ReadBatchResp struct {
+	Results []ReadBatchResult
+	Clock   Timestamp
+	// Frontier is the serving replica's durability frontier (see
+	// ReadResp.Frontier). Trailing optional field: zero when absent.
+	Frontier Timestamp
+}
+
+func (m *ReadBatchReq) Encode() []byte {
+	b := wire.NewBuffer(32 + 24*len(m.Items))
+	b.PutUint64(uint64(m.Snap))
+	b.PutUvarint(m.Epoch)
+	b.PutBool(m.Durable)
+	b.PutUvarint(uint64(len(m.Items)))
+	for i := range m.Items {
+		it := &m.Items[i]
+		b.PutUint64(uint64(it.OID))
+		b.PutBool(it.Part)
+		b.PutBytes(it.From)
+		b.PutBytes(it.To)
+		b.PutBool(it.To != nil)
+		b.PutUint32(it.Max)
+	}
+	return b.Bytes()
+}
+
+func DecodeReadBatchReq(p []byte) (*ReadBatchReq, error) {
+	r := wire.NewReader(p)
+	m := &ReadBatchReq{}
+	snap, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	m.Snap = Timestamp(snap)
+	if m.Epoch, err = r.Uvarint(); err != nil {
+		return nil, err
+	}
+	if m.Durable, err = r.Bool(); err != nil {
+		return nil, err
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each item costs at least two bytes on the wire, so a count the
+	// remaining payload cannot possibly hold is garbage — rejected
+	// BEFORE the allocation it would otherwise size.
+	if n > uint64(len(p))/2 {
+		return nil, fmt.Errorf("%w: read batch of %d items in %d bytes", ErrBadRequest, n, len(p))
+	}
+	m.Items = make([]ReadBatchItem, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var it ReadBatchItem
+		oid, err := r.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		it.OID = OID(oid)
+		if it.Part, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		if it.From, err = r.BytesCopy(); err != nil {
+			return nil, err
+		}
+		to, err := r.BytesCopy()
+		if err != nil {
+			return nil, err
+		}
+		hasTo, err := r.Bool()
+		if err != nil {
+			return nil, err
+		}
+		if hasTo {
+			it.To = to
+		}
+		if it.Max, err = r.Uint32(); err != nil {
+			return nil, err
+		}
+		m.Items = append(m.Items, it)
+	}
+	return m, nil
+}
+
+func (m *ReadBatchResp) Encode() []byte {
+	size := 32
+	for i := range m.Results {
+		size += 16 + m.Results[i].Value.EncodedSize()
+	}
+	b := wire.NewBuffer(size)
+	b.PutUvarint(uint64(len(m.Results)))
+	for i := range m.Results {
+		res := &m.Results[i]
+		b.PutBool(res.Found)
+		b.PutUint64(uint64(res.Version))
+		EncodeValue(b, res.Value)
+		b.PutUint32(res.Total)
+	}
+	b.PutUint64(uint64(m.Clock))
+	b.PutUint64(uint64(m.Frontier))
+	return b.Bytes()
+}
+
+func DecodeReadBatchResp(p []byte) (*ReadBatchResp, error) {
+	r := wire.NewReader(p)
+	m := &ReadBatchResp{}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(p))/2 {
+		return nil, fmt.Errorf("%w: read batch of %d results in %d bytes", ErrBadRequest, n, len(p))
+	}
+	m.Results = make([]ReadBatchResult, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var res ReadBatchResult
+		if res.Found, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		ver, err := r.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		res.Version = Timestamp(ver)
+		if res.Value, err = DecodeValue(r); err != nil {
+			return nil, err
+		}
+		if res.Total, err = r.Uint32(); err != nil {
+			return nil, err
+		}
+		m.Results = append(m.Results, res)
 	}
 	ck, err := r.Uint64()
 	if err != nil {

@@ -2,7 +2,10 @@ package kv
 
 import (
 	"bytes"
+	"errors"
 	"testing"
+
+	"yesquel/internal/wire"
 )
 
 // TestSnapMessagesRoundTrip covers the chunked state-transfer pair.
@@ -349,4 +352,121 @@ func TestPiggybackFieldsBackwardCompat(t *testing.T) {
 	if got, err := DecodeReadPartReq(old); err != nil || got.Durable || got.Epoch != 4 {
 		t.Fatalf("old read part req: got %+v (%v)", got, err)
 	}
+}
+
+// TestReadBatchMessagesRoundTrip covers the batched-read pair: mixed
+// whole-object and windowed items, nil-vs-set windows, and found-vs-
+// absent results.
+func TestReadBatchMessagesRoundTrip(t *testing.T) {
+	sv := NewSuper()
+	sv.ListAdd([]byte("k1"), []byte("v1"))
+	req := &ReadBatchReq{
+		Snap:    42,
+		Epoch:   7,
+		Durable: true,
+		Items: []ReadBatchItem{
+			{OID: MakeOID(1, 10)},
+			{OID: MakeOID(2, 20), Part: true, From: []byte("a"), To: []byte("m"), Max: 8},
+			{OID: MakeOID(3, 30), Part: true, From: []byte{}, To: nil}, // tail window
+		},
+	}
+	got, err := DecodeReadBatchReq(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Snap != req.Snap || got.Epoch != req.Epoch || got.Durable != req.Durable || len(got.Items) != len(req.Items) {
+		t.Fatalf("req header: %+v != %+v", got, req)
+	}
+	for i := range req.Items {
+		g, w := got.Items[i], req.Items[i]
+		if g.OID != w.OID || g.Part != w.Part || g.Max != w.Max ||
+			!bytes.Equal(g.From, w.From) || (g.To == nil) != (w.To == nil) || !bytes.Equal(g.To, w.To) {
+			t.Fatalf("item %d: got %+v, want %+v", i, g, w)
+		}
+	}
+
+	resp := &ReadBatchResp{
+		Results: []ReadBatchResult{
+			{Found: true, Version: 9, Value: NewPlain([]byte("payload"))},
+			{}, // absent object: Found=false, nil value
+			{Found: true, Version: 11, Value: sv, Total: 31},
+		},
+		Clock:    55,
+		Frontier: 44,
+	}
+	gotR, err := DecodeReadBatchResp(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotR.Clock != resp.Clock || gotR.Frontier != resp.Frontier || len(gotR.Results) != len(resp.Results) {
+		t.Fatalf("resp header: %+v != %+v", gotR, resp)
+	}
+	for i := range resp.Results {
+		g, w := gotR.Results[i], resp.Results[i]
+		if g.Found != w.Found || g.Version != w.Version || g.Total != w.Total {
+			t.Fatalf("result %d scalars: got %+v, want %+v", i, g, w)
+		}
+		if (g.Value == nil) != (w.Value == nil) || (g.Value != nil && !g.Value.Equal(w.Value)) {
+			t.Fatalf("result %d value: got %+v, want %+v", i, g.Value, w.Value)
+		}
+	}
+}
+
+// TestReadBatchDecodeErrors exercises the failure paths: truncation at
+// every prefix length and the item-count allocation guard.
+func TestReadBatchDecodeErrors(t *testing.T) {
+	full := (&ReadBatchReq{Snap: 1, Epoch: 2, Items: []ReadBatchItem{
+		{OID: MakeOID(1, 1)},
+		{OID: MakeOID(1, 2), Part: true, From: []byte("f"), To: []byte("t"), Max: 3},
+	}}).Encode()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeReadBatchReq(full[:cut]); err == nil {
+			t.Fatalf("req truncated to %d bytes decoded successfully", cut)
+		}
+	}
+	// A claimed item count the payload cannot hold must be rejected
+	// before it sizes an allocation.
+	b := wireEncodeBatchHeader(1, 2, false, 1<<40)
+	if _, err := DecodeReadBatchReq(b); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("absurd item count: err = %v, want ErrBadRequest", err)
+	}
+
+	fullR := (&ReadBatchResp{Results: []ReadBatchResult{
+		{Found: true, Version: 3, Value: NewPlain([]byte("x"))},
+	}, Clock: 9, Frontier: 4}).Encode()
+	// The trailing 8 bytes are the optional frontier; every shorter cut
+	// must fail cleanly.
+	for cut := 0; cut < len(fullR)-8; cut++ {
+		if _, err := DecodeReadBatchResp(fullR[:cut]); err == nil {
+			t.Fatalf("resp truncated to %d bytes decoded successfully", cut)
+		}
+	}
+	if _, err := DecodeReadBatchResp(wireEncodeBatchCount(1 << 40)); !errors.Is(err, ErrBadRequest) {
+		t.Fatal("absurd result count accepted")
+	}
+
+	// Frontier-less responses (an older peer) decode with Frontier 0.
+	old := fullR[:len(fullR)-8]
+	if got, err := DecodeReadBatchResp(old); err != nil || got.Frontier != 0 || got.Clock != 9 {
+		t.Fatalf("old read batch resp: got %+v (%v)", got, err)
+	}
+}
+
+// wireEncodeBatchHeader hand-builds a ReadBatchReq prefix with an
+// arbitrary (possibly absurd) item count.
+func wireEncodeBatchHeader(snap, epoch uint64, durable bool, count uint64) []byte {
+	b := wire.NewBuffer(32)
+	b.PutUint64(snap)
+	b.PutUvarint(epoch)
+	b.PutBool(durable)
+	b.PutUvarint(count)
+	return b.Bytes()
+}
+
+// wireEncodeBatchCount hand-builds a ReadBatchResp prefix with an
+// arbitrary result count.
+func wireEncodeBatchCount(count uint64) []byte {
+	b := wire.NewBuffer(16)
+	b.PutUvarint(count)
+	return b.Bytes()
 }

@@ -2,7 +2,6 @@ package sql
 
 import (
 	"context"
-	"errors"
 	"fmt"
 
 	"yesquel/internal/dbt"
@@ -314,20 +313,47 @@ func (db *DB) scanTable(ctx context.Context, tx *kvclient.Tx, table *Table, path
 		}
 		if ok {
 			idxTree := table.IndexTrees[path.idx]
-			return db.scanTreeRange(ctx, tx, idxTree, lo, hi, func(_, rowKey []byte) (bool, error) {
-				raw, err := table.Tree.Get(ctx, tx, rowKey)
+			// Gather matching row keys in chunks and fetch the rows with
+			// one batched read per chunk (dbt.GetBatch): the index scan
+			// stays pipelined, and the row lookups shed their
+			// round-trip-per-row cost.
+			const rowBatch = 64
+			keys := make([][]byte, 0, rowBatch)
+			flush := func() (bool, error) {
+				if len(keys) == 0 {
+					return true, nil
+				}
+				rows, err := table.Tree.GetBatch(ctx, tx, keys)
 				if err != nil {
-					if errors.Is(err, dbt.ErrKeyNotFound) {
+					return false, err
+				}
+				for i, raw := range rows {
+					if raw == nil {
 						return false, fmt.Errorf("sql: index %s points at missing row", is.Name)
 					}
-					return false, err
+					row, err := DecodeRow(raw)
+					if err != nil {
+						return false, err
+					}
+					cont, err := visit(keys[i], row)
+					if err != nil || !cont {
+						return cont, err
+					}
 				}
-				row, err := DecodeRow(raw)
-				if err != nil {
-					return false, err
+				keys = keys[:0]
+				return true, nil
+			}
+			if err := db.scanTreeRange(ctx, tx, idxTree, lo, hi, func(_, rowKey []byte) (bool, error) {
+				keys = append(keys, rowKey)
+				if len(keys) == rowBatch {
+					return flush()
 				}
-				return visit(rowKey, row)
-			})
+				return true, nil
+			}); err != nil {
+				return err
+			}
+			_, err := flush()
+			return err
 		}
 	}
 	// Full scan.
@@ -344,6 +370,7 @@ func (db *DB) scanTable(ctx context.Context, tx *kvclient.Tx, table *Table, path
 // are unbounded.
 func (db *DB) scanTreeRange(ctx context.Context, tx *kvclient.Tx, tree *dbt.Tree, lo, hi []byte, visit func(key, val []byte) (bool, error)) error {
 	it := tree.NewIterator(ctx, tx, lo)
+	defer it.Close()
 	for ; it.Valid(); it.Next() {
 		if hi != nil && bytesCompare(it.Key(), hi) >= 0 {
 			break
