@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"yesquel/internal/lint"
+)
+
+// The package under testdata/ is invisible to ./... wildcards but is a
+// valid module package when named explicitly — the suite must flag its
+// planted violations.
+const brokenPkg = "yesquel/cmd/yesqlint/testdata/src/broken"
+
+func TestSuiteFlagsInjectedViolations(t *testing.T) {
+	findings, err := lint.Run(".", suite, brokenPkg)
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	byAnalyzer := map[string]int{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer]++
+	}
+	if byAnalyzer["errsentinel"] == 0 {
+		t.Errorf("planted errsentinel violation not flagged; findings: %v", findings)
+	}
+	if byAnalyzer["timerloop"] == 0 {
+		t.Errorf("planted timerloop violation not flagged; findings: %v", findings)
+	}
+}
+
+// TestCLIExitsNonZero pins the contract CI relies on: the yesqlint
+// binary itself exits 1 when findings survive.
+func TestCLIExitsNonZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI via go run")
+	}
+	cmd := exec.Command("go", "run", ".", brokenPkg)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("go run on a broken package: err = %v (output %q), want exit error", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "errsentinel") || !strings.Contains(string(out), "timerloop") {
+		t.Fatalf("output missing expected findings:\n%s", out)
+	}
+}

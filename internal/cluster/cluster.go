@@ -41,6 +41,12 @@ type Cluster struct {
 	Addrs   []string
 	Groups  []*Group
 
+	// orphans are servers deposed out of every group but deliberately
+	// left running — an isolated old primary a chaos test keeps poking
+	// (IsolatePrimary). Close owns their final shutdown; without this
+	// list they would outlive the test (its leak check would fail).
+	orphans []*kvserver.Server
+
 	cfg kvserver.Config
 	rf  int
 }
@@ -231,6 +237,9 @@ func (cl *Cluster) IsolatePrimary(slot int) (*kvserver.Server, error) {
 	if err := cl.promote(slot, false); err != nil {
 		return nil, err
 	}
+	// The deposed primary is out of the group but still running by
+	// design; Close shuts it down when the harness is torn down.
+	cl.orphans = append(cl.orphans, old)
 	return old, nil
 }
 
@@ -386,7 +395,8 @@ func (cl *Cluster) NewClient() (*kvclient.Client, error) {
 	return kvclient.OpenReplicated(groups)
 }
 
-// Close shuts all servers down (flushing their logs, if any).
+// Close shuts all servers down (flushing their logs, if any),
+// including deposed primaries left running by IsolatePrimary.
 func (cl *Cluster) Close() {
 	for _, g := range cl.Groups {
 		servers := append([]*kvserver.Server{g.Primary}, g.Backups...)
@@ -397,6 +407,11 @@ func (cl *Cluster) Close() {
 			}
 		}
 	}
+	for _, s := range cl.orphans {
+		s.Close()
+		s.Store().CloseLog()
+	}
+	cl.orphans = nil
 }
 
 // Stats aggregates the acting primaries' counters across slots. The

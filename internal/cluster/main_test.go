@@ -1,0 +1,14 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"yesquel/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running.
+// The chaos tests here kill and restart whole server processes;
+// whatever they orphan must still drain by teardown.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

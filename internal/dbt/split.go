@@ -112,6 +112,14 @@ func (t *Tree) MaintainNow(ctx context.Context) error {
 func (s *splitter) run() {
 	defer s.wg.Done()
 	ctx := context.Background()
+	// One reusable backoff timer across all retries the goroutine ever
+	// makes; allocated on first use, Reset per retry.
+	var backoff *time.Timer
+	defer func() {
+		if backoff != nil {
+			backoff.Stop()
+		}
+	}()
 	for {
 		select {
 		case <-s.stopCh:
@@ -129,10 +137,16 @@ func (s *splitter) run() {
 					break
 				}
 				s.t.stats.SplitConflict.Add(1)
+				d := time.Duration(i+1) * time.Millisecond
+				if backoff == nil {
+					backoff = time.NewTimer(d)
+				} else {
+					backoff.Reset(d)
+				}
 				select {
 				case <-s.stopCh:
 					return
-				case <-time.After(time.Duration(i+1) * time.Millisecond):
+				case <-backoff.C:
 				}
 			}
 		}

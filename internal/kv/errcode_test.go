@@ -1,0 +1,44 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestWireErrorCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want uint64
+	}{
+		{nil, 0},
+		{ErrConflict, CodeConflict},
+		{ErrAborted, CodeAborted},
+		{ErrNotFound, CodeNotFound},
+		{ErrBadRequest, CodeBadRequest},
+		{ErrUncertain, CodeUncertain},
+		{ErrDiverged, CodeDiverged},
+		{ErrWrongEpoch, CodeWrongEpoch},
+		{fmt.Errorf("wrapped: %w", ErrConflict), CodeConflict},
+		{&WrongEpochError{Epoch: 3, Members: []string{"a"}}, CodeWrongEpoch},
+		{fmt.Errorf("unclassified"), 0},
+	}
+	for _, c := range cases {
+		if got := WireErrorCode(c.err); got != c.want {
+			t.Errorf("WireErrorCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// An uncertain commit wraps the batch error that caused it, which may
+// itself be a sentinel promising "not executed". Uncertain must win:
+// the operation DID reach the primary's stream.
+func TestWireErrorCodeUncertainFirst(t *testing.T) {
+	err := fmt.Errorf("%w: replication wait: %w", ErrUncertain, ErrWrongEpoch)
+	if got := WireErrorCode(err); got != CodeUncertain {
+		t.Fatalf("WireErrorCode(uncertain∘wrongepoch) = %d, want CodeUncertain=%d", got, CodeUncertain)
+	}
+	err = fmt.Errorf("%w: %w", ErrUncertain, ErrConflict)
+	if got := WireErrorCode(err); got != CodeUncertain {
+		t.Fatalf("WireErrorCode(uncertain∘conflict) = %d, want CodeUncertain=%d", got, CodeUncertain)
+	}
+}

@@ -196,6 +196,56 @@ var (
 	ErrWrongEpoch = errors.New("kv: wrong epoch")
 )
 
+// Wire error codes: compact classifications stamped onto application
+// errors that cross the RPC boundary (rpc.AppError.Code), so clients
+// match errors structurally instead of grepping message text. The
+// registry spans every service in the tree — codes 1–49 are the kv
+// sentinels above, 50+ belong to server-side sentinels that still
+// need client-visible classification (snapshot sessions, the RPC
+// layer's own unknown-method rejection). Code 0 means unclassified;
+// never assign it. Values are wire protocol: append, never renumber.
+const (
+	CodeConflict           uint64 = 1
+	CodeAborted            uint64 = 2
+	CodeNotFound           uint64 = 3
+	CodeBadRequest         uint64 = 4
+	CodeUncertain          uint64 = 5
+	CodeDiverged           uint64 = 6
+	CodeWrongEpoch         uint64 = 7
+	CodeSnapSessionExpired uint64 = 50
+	CodeUnknownMethod      uint64 = 51
+)
+
+// WireErrorCode maps a handler error to its wire code, or 0 if the
+// error matches no kv sentinel. ErrUncertain is matched FIRST and
+// exclusively: an uncertain commit wraps the underlying batch error,
+// which may itself carry wrong-epoch/conflict/bad-request — sentinels
+// whose contracts promise the operation was NOT executed, the
+// opposite of what an uncertain outcome means. Servers with
+// service-local sentinels layer their own cases before delegating
+// here (see kvserver's error coder).
+func WireErrorCode(err error) uint64 {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, ErrUncertain):
+		return CodeUncertain
+	case errors.Is(err, ErrConflict):
+		return CodeConflict
+	case errors.Is(err, ErrAborted):
+		return CodeAborted
+	case errors.Is(err, ErrNotFound):
+		return CodeNotFound
+	case errors.Is(err, ErrWrongEpoch):
+		return CodeWrongEpoch
+	case errors.Is(err, ErrDiverged):
+		return CodeDiverged
+	case errors.Is(err, ErrBadRequest):
+		return CodeBadRequest
+	}
+	return 0
+}
+
 // WrongEpochError is the typed form of ErrWrongEpoch: the rejecting
 // member's current epoch and membership (primary first), so a stale
 // client can adopt the new configuration and redirect, and a deposed

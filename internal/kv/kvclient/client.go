@@ -13,7 +13,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -849,8 +848,7 @@ func (c *Client) readBatchSlots(ctx context.Context, snap clock.Timestamp, items
 // method" — the signal that a peer predates a newer method and the
 // caller should fall back to older ones.
 func isUnknownMethod(err error) bool {
-	var app *rpc.AppError
-	return errors.As(err, &app) && strings.Contains(app.Msg, rpc.ErrUnknownMethod.Error())
+	return rpc.AppErrIs(err, kv.CodeUnknownMethod, rpc.ErrUnknownMethod)
 }
 
 // ReadView is a concurrency-safe, read-only view of the store at a
@@ -903,12 +901,15 @@ func (v *ReadView) ReadBatch(ctx context.Context, items []kv.ReadBatchItem) ([]k
 }
 
 // translateRPCErr maps application errors from the server back to the
-// package's sentinel errors so callers can match with errors.Is.
+// package's sentinel errors so callers can match with errors.Is. The
+// match is by wire code (rpc.AppError.Code, assigned by the server's
+// error coder); rpc.AppErrIs falls back to text matching only for a
+// response from a server predating codes.
 func translateRPCErr(err error) error {
 	var app *rpc.AppError
 	if errors.As(err, &app) {
 		switch {
-		case strings.Contains(app.Msg, kv.ErrUncertain.Error()):
+		case rpc.AppErrIs(err, kv.CodeUncertain, kv.ErrUncertain):
 			// A commit that failed its replication/durability wait: the
 			// record is in the primary's local stream but the backup's
 			// acknowledgment never came, so whether it survives a
@@ -917,12 +918,14 @@ func translateRPCErr(err error) error {
 			// error, which may itself name wrong-epoch/conflict/bad-
 			// request — sentinels whose contracts promise the operation
 			// was NOT executed, the opposite of what happened here.
+			// (Coded responses already resolve this precedence on the
+			// server; the legacy text fallback still relies on it.)
 			return fmt.Errorf("%w: %s", kv.ErrUncertain, app.Msg)
-		case strings.Contains(app.Msg, kv.ErrConflict.Error()):
+		case rpc.AppErrIs(err, kv.CodeConflict, kv.ErrConflict):
 			return fmt.Errorf("%w: %s", kv.ErrConflict, app.Msg)
-		case strings.Contains(app.Msg, kv.ErrWrongEpoch.Error()):
+		case rpc.AppErrIs(err, kv.CodeWrongEpoch, kv.ErrWrongEpoch):
 			return fmt.Errorf("%w: %s", kv.ErrWrongEpoch, app.Msg)
-		case strings.Contains(app.Msg, kv.ErrBadRequest.Error()):
+		case rpc.AppErrIs(err, kv.CodeBadRequest, kv.ErrBadRequest):
 			return fmt.Errorf("%w: %s", kv.ErrBadRequest, app.Msg)
 		}
 	}

@@ -550,6 +550,8 @@ func (s *Store) waitReplicated(seq uint64) error {
 // completeWaitersLocked answers every waiter that is now durable, and
 // fails those covered by a permanent failure (a detach window or a
 // lost quorum). Caller holds pipe.mu.
+//
+//yesqlint:allow repmublock -- each waiter channel is buffered (cap 1) and receives exactly one completion; the send cannot block
 func (p *replPipe) completeWaitersLocked() {
 	keep := p.waiters[:0]
 	for _, w := range p.waiters {
@@ -742,6 +744,8 @@ func (s *Store) detachAllMembersLocked(err error) {
 // released repMu but not yet called waitReplicated when the mirror
 // went away) fails identically instead of slipping past a cleared
 // mirrorOn. Caller holds pipe.mu.
+//
+//yesqlint:allow repmublock -- each waiter channel is buffered (cap 1) and receives exactly one completion; the send cannot block
 func (p *replPipe) failMirrorWindowLocked(head uint64, err error) {
 	if head > p.mirrored {
 		p.failRanges = append(p.failRanges, failRange{from: p.mirrored, to: head, err: err})
@@ -793,6 +797,14 @@ func (s *Store) AttachMirror(fn func(seq uint64, rec kv.ReplRecord) error) uint6
 // contiguity contract.
 func (s *Store) memberLoop(m *mirrorMember) {
 	p := &s.pipe
+	// One reusable batching timer for the loop's lifetime; allocated on
+	// the first wake that needs it, Reset on every later one.
+	var batchTimer *time.Timer
+	defer func() {
+		if batchTimer != nil {
+			batchTimer.Stop()
+		}
+	}()
 	for {
 		select {
 		case <-m.stopCh:
@@ -800,12 +812,15 @@ func (s *Store) memberLoop(m *mirrorMember) {
 		case <-m.wake:
 		}
 		if d := s.cfg.GroupCommitInterval; d > 0 {
-			t := time.NewTimer(d)
+			if batchTimer == nil {
+				batchTimer = time.NewTimer(d)
+			} else {
+				batchTimer.Reset(d)
+			}
 			select {
 			case <-m.stopCh:
-				t.Stop()
 				return
-			case <-t.C:
+			case <-batchTimer.C:
 			}
 		}
 		for {
@@ -900,6 +915,14 @@ func (s *Store) stopFlusher() {
 // first wake to let a batch build. (Mirror batches have per-member
 // sender goroutines; see memberLoop.)
 func (s *Store) flushLoop(stopCh chan struct{}) {
+	// One reusable batching timer for the loop's lifetime; allocated on
+	// the first wake that needs it, Reset on every later one.
+	var batchTimer *time.Timer
+	defer func() {
+		if batchTimer != nil {
+			batchTimer.Stop()
+		}
+	}()
 	for {
 		select {
 		case <-stopCh:
@@ -907,12 +930,15 @@ func (s *Store) flushLoop(stopCh chan struct{}) {
 		case <-s.pipe.wake:
 		}
 		if d := s.cfg.GroupCommitInterval; d > 0 {
-			t := time.NewTimer(d)
+			if batchTimer == nil {
+				batchTimer = time.NewTimer(d)
+			} else {
+				batchTimer.Reset(d)
+			}
 			select {
 			case <-stopCh:
-				t.Stop()
 				return
-			case <-t.C:
+			case <-batchTimer.C:
 			}
 		}
 		for s.flushOnce() {
@@ -996,6 +1022,8 @@ func walAppendBatch(w *wal, recs []kv.ReplRecord) (synced bool, err error) {
 // the queued records without writing them — used when a snapshot
 // install supersedes them (the snapshot covers their effects, and the
 // log file is about to be replaced wholesale). Caller holds repMu.
+//
+//yesqlint:allow repmublock -- deliberate bounded wait under repMu: at most one in-flight file write + fsync, never a network call
 func (s *Store) discardWALLocked() {
 	if s.wal == nil {
 		return
@@ -1020,6 +1048,8 @@ func (s *Store) discardWALLocked() {
 // flusher's retry and the caller MUST NOT rotate (the still-queued
 // records are below the would-be snapshot's coverage; teed into its
 // tail by a later flush they would double-apply on replay).
+//
+//yesqlint:allow repmublock -- deliberate bounded wait under repMu: one file write + fsync, never a network call (the PR 5 checkpoint contract)
 func (s *Store) drainWALLocked() bool {
 	if s.wal == nil {
 		return true

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,10 +43,26 @@ type Server struct {
 	TestHookSnapChunk func(chunk uint32)
 }
 
+// errorCode classifies handler errors for the wire (rpc.AppError.Code):
+// the kvserver-local sentinels first, then the shared kv registry.
+// Installed on the RPC server at construction, it also stamps the RPC
+// layer's own unknown-method rejection so version-probing clients can
+// match it without text comparison.
+func errorCode(err error) uint64 {
+	switch {
+	case errors.Is(err, ErrSnapshotSessionExpired):
+		return kv.CodeSnapSessionExpired
+	case errors.Is(err, rpc.ErrUnknownMethod):
+		return kv.CodeUnknownMethod
+	}
+	return kv.WireErrorCode(err)
+}
+
 // NewServer wraps store in an RPC service. Call Serve (or ListenAndServe)
 // to start it.
 func NewServer(store *Store) *Server {
 	s := &Server{store: store, rpc: rpc.NewServer(), stopCh: make(chan struct{})}
+	s.rpc.SetErrorCoder(errorCode)
 	// Background hygiene: tombstone sweeping at half the retention
 	// period, plus orphaned-prepare and decided-table eviction (their
 	// TTLs are far coarser than the tick, so sharing the ticker only
@@ -491,9 +506,8 @@ func (s *Server) SyncFrom(addr string, until uint64) error {
 		req := kv.SyncReq{From: from, Max: 512, Epoch: s.store.StreamEpoch()}
 		respB, err := conn.Call(ctx, kv.MethodSync, req.Encode())
 		if err != nil {
-			var app *rpc.AppError
-			if errors.As(err, &app) && strings.Contains(app.Msg, kv.ErrDiverged.Error()) {
-				return fmt.Errorf("%w: sync source %s rejected seq %d: %s", kv.ErrDiverged, addr, from, app.Msg)
+			if rpc.AppErrIs(err, kv.CodeDiverged, kv.ErrDiverged) {
+				return fmt.Errorf("%w: sync source %s rejected seq %d: %v", kv.ErrDiverged, addr, from, err)
 			}
 			return fmt.Errorf("kvserver: sync from %s: %w", addr, err)
 		}
@@ -575,8 +589,7 @@ func (s *Server) transferSnapshotFrom(ctx context.Context, conn *rpc.Client, add
 			req := kv.SnapReq{ID: id, Chunk: chunk}
 			respB, err := conn.Call(ctx, kv.MethodSnap, req.Encode())
 			if err != nil {
-				var app *rpc.AppError
-				if errors.As(err, &app) && strings.Contains(app.Msg, ErrSnapshotSessionExpired.Error()) {
+				if rpc.AppErrIs(err, kv.CodeSnapSessionExpired, ErrSnapshotSessionExpired) {
 					lastErr = err
 					expired = true
 					break

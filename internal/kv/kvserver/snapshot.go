@@ -426,6 +426,8 @@ func (s *Store) InstallSnapshotDiscardingTail(enc []byte) error {
 // from another replica's snapshot (the transfer path) rather than this
 // node's own checkpoint replay — like the live stream, it only affects
 // the orphan sweep's grace period (own prepares get the normal TTL).
+//
+//yesqlint:allow repmublock -- deliberate: replacing the whole visible state must exclude concurrent stream applies, and the inline WAL rotation/close is bounded local file work, never a network call
 func (s *Store) installSnapshotLocked(sn *stateSnapshot, enc []byte, viaStream bool) error {
 	if sn.Seq < s.repSeq {
 		return fmt.Errorf("%w: snapshot covers seq %d but this replica is already at %d: refusing to move the stream backwards", kv.ErrBadRequest, sn.Seq, s.repSeq)

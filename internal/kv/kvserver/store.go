@@ -294,6 +294,40 @@
 // (c) for replication factors above 2 (see ROADMAP). A backup that is
 // AHEAD of its sync source is rejected with kv.ErrDiverged — an
 // irreconcilable history must be re-formed, never papered over.
+//
+// # Invariants and linting
+//
+// The rules above lean on conventions no compiler checks, so the repo
+// carries its own analyzer suite (internal/lint, run as
+// `go run ./cmd/yesqlint ./...`, blocking in CI) that enforces them
+// mechanically:
+//
+//   - repmublock: no blocking operation on a path holding repMu — no
+//     channel waits, selects, time.Sleep, RPC calls, or fsyncs.
+//     Blocking leaf functions are marked //yesqlint:blocking (e.g.
+//     rpc.(*Client).Call, the wal's batched fsync append) and the
+//     property propagates through same-package call chains. The few
+//     deliberate bounded waits under repMu (the checkpoint drain, the
+//     snapshot-install rotation) each carry a //yesqlint:allow with
+//     the justification inline.
+//   - lockorder: the store's mutexes nest in one global order —
+//     repMu, then txMu, then epochMu, then snapMu. Acquiring them in
+//     any other order (directly or via a same-package call) is
+//     flagged.
+//   - errsentinel: errors are classified by errors.Is/errors.As or by
+//     the typed RPC code (rpc.AppError.Code, kv.WireErrorCode), never
+//     by comparing message text. rpc.AppErrIs holds the single
+//     sanctioned legacy-text fallback for pre-code peers.
+//   - wirecodec: hand-rolled Encode/Decode pairs must read fields in
+//     the exact order they were written, and optional
+//     backward-compatible fields (guarded by Reader.Remaining) must
+//     be trailing.
+//   - timerloop: no per-iteration time.After/NewTimer allocation in
+//     wait loops; hoist one reusable timer.
+//
+// Annotations: //yesqlint:blocking marks a leaf that blocks;
+// //yesqlint:allow <analyzer> -- <reason> suppresses one finding (on
+// the doc comment for a whole function, or on/above the line).
 package kvserver
 
 import (
@@ -1254,6 +1288,8 @@ func (s *Store) Checkpoint() (uint64, error) {
 // empty would force O(state) transfer on any replica even one record
 // behind, while retaining half leaves headroom so the next append does
 // not immediately re-trip the bound.
+//
+//yesqlint:allow repmublock -- deliberate: the explicit Checkpoint keeps the rotation inline under repMu (bounded local file work); the policy paths run finishCheckpoint on a goroutine, off-lock
 func (s *Store) checkpointLocked(retainTail bool) (uint64, error) {
 	if s.wal == nil {
 		s.truncateLogLocked(retainTail)

@@ -173,6 +173,8 @@ func appendFrame(out []byte, scratch *wire.Buffer, rec *kv.ReplRecord) []byte {
 // the group-commit amortization (the old per-record append paid a
 // fresh buffer, a lock, a write, and an fsync per record). It reports
 // whether it fsynced.
+//
+//yesqlint:blocking
 func (w *wal) appendBatch(recs []kv.ReplRecord) (synced bool, err error) {
 	if len(recs) == 0 {
 		return false, nil

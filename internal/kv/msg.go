@@ -8,13 +8,13 @@ import (
 
 // RPC method names served by a storage server.
 const (
-	MethodRead       = "kv.read"
-	MethodReadPart   = "kv.readpart"
+	MethodRead     = "kv.read"
+	MethodReadPart = "kv.readpart"
 	// MethodReadBatch serves N object reads — each a whole-object read
 	// or a ReadPart window — at one snapshot timestamp in a single RPC.
 	// A server that predates the method answers rpc.ErrUnknownMethod;
 	// clients fall back to per-object MethodRead/MethodReadPart.
-	MethodReadBatch = "kv.readbatch"
+	MethodReadBatch  = "kv.readbatch"
 	MethodPrepare    = "kv.prepare"
 	MethodCommit     = "kv.commit"
 	MethodAbort      = "kv.abort"

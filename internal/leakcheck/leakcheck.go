@@ -1,0 +1,113 @@
+// Package leakcheck fails a test binary whose goroutines outlive its
+// tests. It is a small stdlib substitute for the usual goleak
+// dependency (this tree builds with no module downloads): after the
+// tests pass, it snapshots all goroutine stacks, ignores the runtime's
+// and the caller's declared long-lived ones, and retries over a short
+// settle window before declaring the rest leaked.
+//
+// Wire it into a package with:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// Long-lived goroutines that are part of the package's design are
+// declared by substring of their stack (typically the "created by"
+// frame) via Allow options.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// testRunner matches *testing.M without importing testing into
+// non-test builds.
+type testRunner interface{ Run() int }
+
+// settleWindow bounds how long Main waits for goroutines that are
+// merely slow to exit (deferred Closes racing the test's return). Real
+// leaks are permanent, so a retry loop distinguishes the two.
+const settleWindow = 5 * time.Second
+
+// ignoredStacks are goroutines every Go test binary owns: the test
+// framework itself and runtime helpers. Matched as substrings of the
+// full stack block.
+var ignoredStacks = []string{
+	"testing.Main(",
+	"testing.(*M).",
+	"testing.RunTests",
+	"runtime.goexit0",
+	"runtime/trace.Start",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ReadTrace",
+	"runtime.gc(",
+	"runtime.MHeap_Scavenger",
+	"leakcheck.Main",
+	"leakcheck.leaked",
+}
+
+// Main runs the package's tests, then fails the binary (exit 1) if
+// goroutines other than the allowed set are still running once the
+// settle window closes. allow entries are substrings matched against a
+// goroutine's full stack trace; a goroutine matching any entry is
+// permitted to live on.
+func Main(m testRunner, allow ...string) {
+	code := m.Run()
+	if code != 0 {
+		os.Exit(code) // test failures win; leak output would only bury them
+	}
+	deadline := time.Now().Add(settleWindow)
+	var left []string
+	for {
+		left = leaked(allow)
+		if len(left) == 0 {
+			os.Exit(code)
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) still running after the tests:\n\n", len(left))
+	for _, s := range left {
+		fmt.Fprintf(os.Stderr, "%s\n\n", s)
+	}
+	os.Exit(1)
+}
+
+// leaked returns the stack blocks of goroutines that are neither the
+// runtime's, the test framework's, nor covered by allow.
+func leaked(allow []string) []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+blocks:
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		block = strings.TrimSpace(block)
+		if block == "" || !strings.HasPrefix(block, "goroutine ") {
+			continue
+		}
+		for _, ig := range ignoredStacks {
+			if strings.Contains(block, ig) {
+				continue blocks
+			}
+		}
+		for _, a := range allow {
+			if strings.Contains(block, a) {
+				continue blocks
+			}
+		}
+		out = append(out, block)
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+// Package analysistest runs a yesqlint analyzer over a testdata
+// package and checks its diagnostics against // want annotations, in
+// the style of golang.org/x/tools/go/analysis/analysistest (which the
+// hermetic build environment cannot vendor).
+//
+// A test package lives at testdata/src/<name> relative to the
+// analyzer's directory. Because the go tool skips directories named
+// "testdata" when expanding ./..., these packages are invisible to
+// ordinary builds and to yesqlint's own repository run, yet remain
+// valid, compilable module packages when named explicitly — which is
+// what lets the loader type-check them with the real toolchain.
+//
+// Expectations are trailing comments of the form:
+//
+//	badCall() // want "regexp"
+//	worse()   // want "first" "second"
+//
+// Each quoted regexp must match one diagnostic reported on that line;
+// diagnostics with no matching want, and wants with no matching
+// diagnostic, fail the test.
+package analysistest
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"yesquel/internal/lint"
+	"yesquel/internal/lint/analysis"
+)
+
+var wantRE = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+var wantArgRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run applies analyzer to each named testdata package and reports
+// mismatches through t.
+func Run(t *testing.T, analyzer *analysis.Analyzer, pkgNames ...string) {
+	t.Helper()
+	for _, name := range pkgNames {
+		dir := filepath.Join("testdata", "src", name)
+		runOne(t, analyzer, name, dir)
+	}
+}
+
+func runOne(t *testing.T, analyzer *analysis.Analyzer, name, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	expects, err := collectWants(abs)
+	if err != nil {
+		t.Fatalf("%s: reading want annotations: %v", name, err)
+	}
+	findings, err := lint.Run(abs, []*analysis.Analyzer{analyzer}, ".")
+	if err != nil {
+		t.Fatalf("%s: running %s: %v", name, analyzer.Name, err)
+	}
+	for _, f := range findings {
+		base := filepath.Base(f.Pos.Filename)
+		matched := false
+		for _, e := range expects {
+			if e.met || e.file != base || e.line != f.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(f.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", name, base, f.Pos.Line, f.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", name, e.file, e.line, e.raw)
+		}
+	}
+}
+
+func collectWants(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var expects []*expectation
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for lineNo := 1; sc.Scan(); lineNo++ {
+			m := wantRE.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+				pattern := arg[2] // backtick form, taken verbatim
+				if arg[1] != "" || arg[2] == "" {
+					pattern = strings.ReplaceAll(arg[1], `\"`, `"`)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					f.Close()
+					return nil, err
+				}
+				expects = append(expects, &expectation{
+					file: ent.Name(), line: lineNo, re: re, raw: pattern,
+				})
+			}
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return expects, nil
+}

@@ -1,0 +1,11 @@
+package errsentinel
+
+import (
+	"testing"
+
+	"yesquel/internal/lint/analysistest"
+)
+
+func TestErrSentinel(t *testing.T) {
+	analysistest.Run(t, Analyzer, "a")
+}

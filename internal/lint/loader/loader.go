@@ -1,0 +1,223 @@
+// Package loader type-checks Go packages for the yesqlint analyzers
+// without golang.org/x/tools. It shells out to `go list -export` to
+// make the toolchain compile dependencies into the build cache, then
+// parses the target packages' sources and type-checks them against the
+// compiler's export data (importer.ForCompiler with a lookup that maps
+// import paths to the export files `go list` reported). Everything —
+// enumeration, export data, type checking — is the standard toolchain;
+// no network, no module downloads.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"yesquel/internal/lint/analysis"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listEntry mirrors the subset of `go list -json` output we consume.
+type listEntry struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+}
+
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(out)
+	var entries []listEntry
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return entries, nil
+}
+
+// Load type-checks the packages matching patterns (standard go
+// patterns: import paths, directories, ./...) rooted at dir, and
+// returns them together with the module-wide annotation facts.
+func Load(dir string, patterns ...string) ([]*Package, *analysis.Facts, error) {
+	jsonFields := "-json=Dir,ImportPath,Export,Standard,GoFiles"
+	// One -deps listing serves both needs: the export-data map for the
+	// type checker and the module-local file set for the annotation
+	// scan. A second, non-deps listing identifies which entries are
+	// the requested targets.
+	deps, err := goList(dir, append([]string{"-export", "-deps", jsonFields}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	targets, err := goList(dir, append([]string{jsonFields}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, e := range deps {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	// Targets are type-checked from source, so their export data (and
+	// that of any target importing another) must not shadow the need
+	// to compile; the gc importer only resolves IMPORTS, and a target
+	// importing a sibling target resolves it from export data too —
+	// which is fine: annotations come from the facts scan, not types.
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	facts := &analysis.Facts{
+		Blocking: make(map[string]bool),
+		Allowed:  make(map[string]map[string]bool),
+	}
+	for _, e := range deps {
+		if e.Standard {
+			continue
+		}
+		scanAnnotations(fset, e, facts)
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		p, err := typecheck(fset, imp, t)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, facts, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, e listEntry) (*Package, error) {
+	var files []*ast.File
+	for _, name := range e.GoFiles {
+		path := filepath.Join(e.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", e.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: e.ImportPath,
+		Dir:        e.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// scanAnnotations parses the package's files (syntax only) and records
+// //yesqlint:blocking and //yesqlint:allow annotations from function
+// doc comments under their canonical keys.
+func scanAnnotations(fset *token.FileSet, e listEntry, facts *analysis.Facts) {
+	for _, name := range e.GoFiles {
+		path := filepath.Join(e.Dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil || !bytes.Contains(src, []byte("//yesqlint:")) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			key := analysis.SyntacticFuncKey(e.ImportPath, fd)
+			for _, c := range fd.Doc.List {
+				switch {
+				case strings.HasPrefix(c.Text, "//yesqlint:blocking"):
+					facts.Blocking[key] = true
+				case strings.HasPrefix(c.Text, "//yesqlint:allow "):
+					for _, name := range AllowedNames(c.Text) {
+						if facts.Allowed[key] == nil {
+							facts.Allowed[key] = make(map[string]bool)
+						}
+						facts.Allowed[key][name] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// AllowedNames parses a "//yesqlint:allow name1,name2 -- reason"
+// comment and returns the suppressed analyzer names.
+func AllowedNames(comment string) []string {
+	rest := strings.TrimPrefix(comment, "//yesqlint:allow ")
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	var names []string
+	for _, n := range strings.Split(rest, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}

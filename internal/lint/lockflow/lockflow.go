@@ -1,0 +1,314 @@
+// Package lockflow walks a function body in source order while
+// tracking which of a named set of mutexes are held, with enough
+// control-flow awareness for the kvserver locking idioms: an Unlock
+// inside an early-return branch does not end the critical section on
+// the fall-through path, and a deferred Unlock holds to the end of
+// the function. The repmublock and lockorder analyzers are both built
+// on it.
+//
+// The tracking is deliberately approximate in the direction that
+// suits a linter: a path merge that COULD be holding the mutex is
+// treated as holding it (union of branch exits), so real violations
+// are not lost to branchy code, while the early-return idiom —
+//
+//	s.repMu.Lock()
+//	if bad {
+//		s.repMu.Unlock()
+//		return err
+//	}
+//	... still holding ...
+//
+// — is modeled exactly.
+package lockflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Tracker names the mutexes to follow and receives events.
+type Tracker struct {
+	// IsMutex reports whether a selector like s.repMu names a tracked
+	// mutex, returning its canonical name.
+	IsMutex func(sel *ast.SelectorExpr) (name string, ok bool)
+	// OnLock is called for each mutex acquisition with the mutexes
+	// already held (in acquisition order) at that point.
+	OnLock func(name string, call *ast.CallExpr, held []string)
+	// OnNode is called for every other expression/statement node
+	// reached in source order (excluding nested FuncLit bodies, go
+	// statements, and deferred calls) with the mutexes held there.
+	OnNode func(n ast.Node, held []string)
+}
+
+// Walk runs the tracker over one function body.
+func (t *Tracker) Walk(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	t.scanStmts(body.List, &heldSet{})
+}
+
+type heldSet struct{ names []string }
+
+func (h *heldSet) clone() *heldSet {
+	return &heldSet{names: append([]string(nil), h.names...)}
+}
+
+func (h *heldSet) add(name string) {
+	for _, n := range h.names {
+		if n == name {
+			return
+		}
+	}
+	h.names = append(h.names, name)
+}
+
+func (h *heldSet) remove(name string) {
+	for i, n := range h.names {
+		if n == name {
+			h.names = append(h.names[:i], h.names[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *heldSet) union(o *heldSet) {
+	for _, n := range o.names {
+		h.add(n)
+	}
+}
+
+// lockCall classifies call as Lock/RLock or Unlock/RUnlock on a
+// tracked mutex.
+func (t *Tracker) lockCall(call *ast.CallExpr) (name string, lock, unlock bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	name, ok = t.IsMutex(inner)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return name, true, false
+	case "Unlock", "RUnlock":
+		return name, false, true
+	}
+	return "", false, false
+}
+
+func (t *Tracker) scanStmts(stmts []ast.Stmt, held *heldSet) (terminates bool) {
+	for _, s := range stmts {
+		if t.scanStmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanStmt processes one statement, mutating held; it reports whether
+// the statement terminates the enclosing block (return, branch,
+// panic).
+func (t *Tracker) scanStmt(s ast.Stmt, held *heldSet) (terminates bool) {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if name, lock, unlock := t.lockCall(call); lock || unlock {
+				if lock {
+					t.OnLock(name, call, append([]string(nil), held.names...))
+					held.add(name)
+				} else {
+					held.remove(name)
+				}
+				return false
+			}
+			if isPanic(call) {
+				t.visit(s.X, held)
+				return true
+			}
+		}
+		t.visit(s.X, held)
+		return false
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the mutex held for the rest of the
+		// body; any other deferred call runs at return time, outside
+		// this walk's source-order model.
+		return false
+	case *ast.GoStmt:
+		// The spawned goroutine's work is not on this path.
+		return false
+	case *ast.BlockStmt:
+		return t.scanStmts(s.List, held)
+	case *ast.IfStmt:
+		t.scanStmt(s.Init, held)
+		t.visit(s.Cond, held)
+		bodyHeld := held.clone()
+		bodyTerm := t.scanStmts(s.Body.List, bodyHeld)
+		elseHeld := held.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = t.scanStmt(s.Else, elseHeld)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return true
+		case bodyTerm:
+			*held = *elseHeld
+		case elseTerm:
+			*held = *bodyHeld
+		default:
+			*held = *bodyHeld
+			held.union(elseHeld)
+		}
+		return false
+	case *ast.ForStmt:
+		t.scanStmt(s.Init, held)
+		t.visit(s.Cond, held)
+		bodyHeld := held.clone()
+		t.scanStmts(s.Body.List, bodyHeld)
+		t.scanStmt(s.Post, bodyHeld)
+		held.union(bodyHeld)
+		return false
+	case *ast.RangeStmt:
+		t.visit(s.X, held)
+		bodyHeld := held.clone()
+		t.scanStmts(s.Body.List, bodyHeld)
+		held.union(bodyHeld)
+		return false
+	case *ast.SwitchStmt:
+		t.scanStmt(s.Init, held)
+		t.visit(s.Tag, held)
+		return t.scanClauses(s.Body, held, false)
+	case *ast.TypeSwitchStmt:
+		t.scanStmt(s.Init, held)
+		t.visit(s.Assign, held)
+		return t.scanClauses(s.Body, held, false)
+	case *ast.SelectStmt:
+		// The select itself is a potentially-blocking event: surface
+		// it before descending into the clauses.
+		t.OnNode(s, append([]string(nil), held.names...))
+		return t.scanClauses(s.Body, held, true)
+	case *ast.LabeledStmt:
+		return t.scanStmt(s.Stmt, held)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			t.visit(r, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	default:
+		t.visit(s, held)
+		return false
+	}
+}
+
+// scanClauses handles the shared shape of switch/select bodies. Comm
+// clauses' communication statements are visited inside the clause.
+func (t *Tracker) scanClauses(body *ast.BlockStmt, held *heldSet, isSelect bool) bool {
+	exit := held.clone()
+	any := false
+	for _, c := range body.List {
+		clauseHeld := held.clone()
+		var term bool
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				t.visit(e, clauseHeld)
+			}
+			term = t.scanStmts(c.Body, clauseHeld)
+		case *ast.CommClause:
+			if isSelect && c.Comm != nil {
+				// The comm op's expressions (channel operands) are
+				// evaluated as part of the blocking select already
+				// reported by the caller; still scan for lock calls
+				// hidden in them (there are none in practice).
+				t.scanStmt(c.Comm, clauseHeld)
+			}
+			term = t.scanStmts(c.Body, clauseHeld)
+		}
+		if !term {
+			exit.union(clauseHeld)
+			any = true
+		}
+	}
+	_ = any
+	*held = *exit
+	return false
+}
+
+// visit walks an expression/statement subtree in source order,
+// invoking OnNode on each node but not descending into function
+// literals (their bodies run on their own schedule).
+func (t *Tracker) visit(n ast.Node, held *heldSet) {
+	if n == nil || t.OnNode == nil {
+		return
+	}
+	snapshot := append([]string(nil), held.names...)
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if _, ok := c.(*ast.FuncLit); ok {
+			t.OnNode(c, snapshot)
+			return false
+		}
+		t.OnNode(c, snapshot)
+		return true
+	})
+}
+
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// FieldMutex returns an IsMutex classifier matching selector
+// expressions whose field name is in names and whose type is
+// sync.Mutex or sync.RWMutex.
+func FieldMutex(info *types.Info, names map[string]bool) func(sel *ast.SelectorExpr) (string, bool) {
+	return func(sel *ast.SelectorExpr) (string, bool) {
+		if !names[sel.Sel.Name] {
+			return "", false
+		}
+		tv, ok := info.Types[sel]
+		if !ok {
+			return "", false
+		}
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		n, ok := t.(*types.Named)
+		if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+			return "", false
+		}
+		if name := n.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+			return "", false
+		}
+		return sel.Sel.Name, true
+	}
+}
+
+// Callee resolves the *types.Func a call invokes, or nil for builtins,
+// function values, and conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

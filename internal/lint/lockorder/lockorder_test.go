@@ -1,0 +1,11 @@
+package lockorder
+
+import (
+	"testing"
+
+	"yesquel/internal/lint/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, Analyzer, "a")
+}

@@ -1,0 +1,333 @@
+// Package repmublock forbids blocking operations on any path that
+// holds Store.repMu — the replication stack's central invariant since
+// PR 5 decoupled record emission from the durability wait: repMu
+// serializes emission and must never be held across an RPC send, a
+// WAL fsync, a watermark or channel wait, a sleep, or a network dial,
+// or every concurrent committer stalls behind one waiter.
+//
+// Blocking is established three ways:
+//
+//  1. Leaf annotation: a function marked //yesqlint:blocking in its
+//     doc comment (rpc.(*Client).Call, wal fsync paths, ...). The
+//     annotation is visible across packages.
+//  2. Built-in knowledge: time.Sleep, sync.(*WaitGroup).Wait,
+//     sync.(*Cond).Wait, net dialing, (*os.File).Sync.
+//  3. Syntax: channel send/receive, select without a default clause,
+//     range over a channel.
+//
+// A same-package function containing any of these is itself blocking
+// for its callers (call-graph propagation). A function annotated
+// //yesqlint:allow repmublock is treated as non-blocking everywhere —
+// the annotation is the sanctioned escape hatch for deliberately
+// bounded waits (the checkpoint WAL drain holds repMu across one
+// fsync by design) and must carry its justification.
+package repmublock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"yesquel/internal/lint/analysis"
+	"yesquel/internal/lint/lockflow"
+)
+
+const name = "repmublock"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "no blocking operation (RPC, fsync, channel wait, sleep, dial) on a path holding Store.repMu",
+	Run:  run,
+}
+
+// builtinBlocking lists well-known blocking functions by the same
+// canonical keys analysis.FuncKey produces.
+var builtinBlocking = map[string]string{
+	"time.Sleep":               "sleeps",
+	"sync.(WaitGroup).Wait":    "waits on a WaitGroup",
+	"sync.(Cond).Wait":         "waits on a Cond",
+	"net.Dial":                 "dials the network",
+	"net.DialTimeout":          "dials the network",
+	"net.(Dialer).Dial":        "dials the network",
+	"net.(Dialer).DialContext": "dials the network",
+	"os.(File).Sync":           "fsyncs",
+}
+
+func run(pass *analysis.Pass) error {
+	blocking := classify(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if allowed(pass, fd) {
+				continue
+			}
+			checkFunc(pass, fd, blocking)
+		}
+	}
+	return nil
+}
+
+func allowed(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	key := analysis.SyntacticFuncKey(pass.Pkg.Path(), fd)
+	return pass.Facts.Allowed[key][name]
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, blocking map[*types.Func]string) {
+	// Comm statements of an already-reported select must not be
+	// re-reported as bare channel operations.
+	commPos := make(map[token.Pos]bool)
+	tr := &lockflow.Tracker{
+		IsMutex: lockflow.FieldMutex(pass.TypesInfo, map[string]bool{"repMu": true}),
+		OnLock:  func(string, *ast.CallExpr, []string) {},
+		OnNode: func(n ast.Node, held []string) {
+			if sel, ok := n.(*ast.SelectStmt); ok {
+				for _, c := range sel.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						commPos[cc.Comm.Pos()] = true
+						markChanOps(cc.Comm, commPos)
+					}
+				}
+			}
+			if len(held) == 0 {
+				return
+			}
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				if !hasDefault(n) {
+					pass.Reportf(n.Pos(), "select without default blocks while Store.repMu is held")
+				}
+			case *ast.SendStmt:
+				if !commPos[n.Pos()] {
+					pass.Reportf(n.Pos(), "channel send blocks while Store.repMu is held (use a select with default, or move it off the lock)")
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !commPos[n.Pos()] {
+					pass.Reportf(n.Pos(), "channel receive blocks while Store.repMu is held")
+				}
+			case *ast.RangeStmt:
+				if isChanType(pass, n.X) {
+					pass.Reportf(n.Pos(), "ranging over a channel blocks while Store.repMu is held")
+				}
+			case *ast.CallExpr:
+				callee := lockflow.Callee(pass.TypesInfo, n)
+				if callee == nil {
+					return
+				}
+				if why, ok := calleeBlocks(pass, callee, blocking); ok {
+					pass.Reportf(n.Pos(), "%s %s while Store.repMu is held; release repMu first (emission under the lock, waiting outside it)",
+						callee.Name(), why)
+				}
+			}
+		},
+	}
+	tr.Walk(fd.Body)
+}
+
+// markChanOps records the positions of channel operations that form a
+// select comm statement (including the recv inside an AssignStmt
+// comm like `v := <-ch`).
+func markChanOps(s ast.Stmt, commPos map[token.Pos]bool) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				commPos[n.Pos()] = true
+			}
+		case *ast.SendStmt:
+			commPos[n.Pos()] = true
+		}
+		return true
+	})
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isChanType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Chan)
+	return ok
+}
+
+// calleeBlocks decides whether calling fn may block: by annotation,
+// by built-in knowledge, or by same-package propagation.
+func calleeBlocks(pass *analysis.Pass, fn *types.Func, blocking map[*types.Func]string) (string, bool) {
+	key := analysis.FuncKey(fn)
+	if pass.Facts.Allowed[key][name] {
+		return "", false
+	}
+	if pass.Facts.Blocking[key] {
+		return "may block (annotated //yesqlint:blocking)", true
+	}
+	if why, ok := builtinBlocking[key]; ok {
+		return why, true
+	}
+	if why, ok := blocking[fn]; ok {
+		return why, true
+	}
+	return "", false
+}
+
+// classify computes the blocking set for functions declared in this
+// package by fixed-point propagation over the same-package call
+// graph.
+func classify(pass *analysis.Pass) map[*types.Func]string {
+	type funcInfo struct {
+		obj     *types.Func
+		direct  string // non-empty if the body itself blocks
+		callees []*types.Func
+	}
+	var infos []*funcInfo
+	byObj := make(map[*types.Func]*funcInfo)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{obj: obj}
+			if pass.Facts.Allowed[analysis.FuncKey(obj)][name] {
+				// Sanctioned bounded wait: non-blocking for callers and
+				// excluded from propagation.
+				infos = append(infos, fi)
+				byObj[obj] = fi
+				continue
+			}
+			inspectOnPath(fd.Body, func(n ast.Node) {
+				switch n := n.(type) {
+				case *ast.SelectStmt:
+					if !hasDefault(n) && fi.direct == "" {
+						fi.direct = "waits on a select"
+					}
+				case *ast.SendStmt:
+					if !inSelectComm(fd.Body, n.Pos()) && fi.direct == "" {
+						fi.direct = "sends on a channel"
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW && !inSelectComm(fd.Body, n.Pos()) && fi.direct == "" {
+						fi.direct = "receives on a channel"
+					}
+				case *ast.RangeStmt:
+					if isChanType(pass, n.X) && fi.direct == "" {
+						fi.direct = "ranges over a channel"
+					}
+				case *ast.CallExpr:
+					callee := lockflow.Callee(pass.TypesInfo, n)
+					if callee == nil {
+						return
+					}
+					key := analysis.FuncKey(callee)
+					if pass.Facts.Allowed[key][name] {
+						return
+					}
+					if pass.Facts.Blocking[key] {
+						if fi.direct == "" {
+							fi.direct = "calls " + callee.Name() + " (annotated //yesqlint:blocking)"
+						}
+						return
+					}
+					if _, ok := builtinBlocking[key]; ok {
+						if fi.direct == "" {
+							fi.direct = "calls " + callee.Name()
+						}
+						return
+					}
+					if callee.Pkg() == pass.Pkg {
+						fi.callees = append(fi.callees, callee)
+					}
+				}
+			})
+			infos = append(infos, fi)
+			byObj[obj] = fi
+		}
+	}
+
+	result := make(map[*types.Func]string)
+	for _, fi := range infos {
+		if fi.direct != "" {
+			result[fi.obj] = fi.direct
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range infos {
+			if _, done := result[fi.obj]; done || fi.direct != "" {
+				continue
+			}
+			for _, c := range fi.callees {
+				if _, ok := result[c]; ok {
+					result[fi.obj] = "calls " + c.Name() + ", which may block,"
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// Rewrite reasons into caller-facing phrasing.
+	for fn, why := range result {
+		switch why {
+		case "waits on a select", "sends on a channel", "receives on a channel", "ranges over a channel":
+			result[fn] = why
+		}
+	}
+	return result
+}
+
+// inSelectComm reports whether the channel op at pos is the comm
+// statement of some select in the body (those are only blocking when
+// the select is, which the SelectStmt case already models).
+func inSelectComm(body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			if cc.Comm.Pos() <= pos && pos < cc.Comm.End() {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// inspectOnPath visits nodes on the function's own execution path:
+// not into FuncLit bodies or go statements.
+func inspectOnPath(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil:
+			return false
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		}
+		fn(n)
+		return true
+	})
+}

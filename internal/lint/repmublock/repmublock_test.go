@@ -1,0 +1,11 @@
+package repmublock
+
+import (
+	"testing"
+
+	"yesquel/internal/lint/analysistest"
+)
+
+func TestRepMuBlock(t *testing.T) {
+	analysistest.Run(t, Analyzer, "a")
+}

@@ -1,0 +1,126 @@
+// Package a exercises the repmublock analyzer: blocking operations
+// under a struct's repMu are flagged, whether detected syntactically,
+// through built-in knowledge, through the //yesqlint:blocking
+// annotation, or through same-package call-graph propagation.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type Store struct {
+	repMu sync.Mutex
+	txMu  sync.Mutex
+	wake  chan struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+//yesqlint:blocking
+func sendRPC(payload []byte) error { return nil }
+
+// emit is the sanctioned shape: only non-blocking work under repMu,
+// the wait happens after release.
+func (s *Store) emit(p []byte) error {
+	s.repMu.Lock()
+	select { // non-blocking wakeup: has a default clause
+	case s.wake <- struct{}{}:
+	default:
+	}
+	s.repMu.Unlock()
+	<-s.done // waiting after release is fine
+	return sendRPC(p)
+}
+
+func (s *Store) annotatedUnderLock(p []byte) error {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	return sendRPC(p) // want `sendRPC may block \(annotated //yesqlint:blocking\) while Store\.repMu is held`
+}
+
+func (s *Store) sleepUnderLock() {
+	s.repMu.Lock()
+	time.Sleep(time.Millisecond) // want `Sleep sleeps while Store\.repMu is held`
+	s.repMu.Unlock()
+}
+
+func (s *Store) waitGroupUnderLock() {
+	s.repMu.Lock()
+	s.wg.Wait() // want `Wait waits on a WaitGroup while Store\.repMu is held`
+	s.repMu.Unlock()
+}
+
+func (s *Store) recvUnderLock() {
+	s.repMu.Lock()
+	<-s.done // want `channel receive blocks while Store\.repMu is held`
+	s.repMu.Unlock()
+}
+
+func (s *Store) sendUnderLock() {
+	s.repMu.Lock()
+	s.wake <- struct{}{} // want `channel send blocks while Store\.repMu is held`
+	s.repMu.Unlock()
+}
+
+func (s *Store) selectUnderLock() {
+	s.repMu.Lock()
+	select { // want `select without default blocks while Store\.repMu is held`
+	case <-s.done:
+	case <-s.wake:
+	}
+	s.repMu.Unlock()
+}
+
+// waitDone blocks; callers under repMu inherit the finding via
+// call-graph propagation.
+func (s *Store) waitDone() { <-s.done }
+
+func (s *Store) propagatedUnderLock() {
+	s.repMu.Lock()
+	s.waitDone() // want `waitDone receives on a channel while Store\.repMu is held`
+	s.repMu.Unlock()
+}
+
+// earlyReturn: the fall-through path still holds repMu after the
+// branch released-and-returned, so the sleep is flagged.
+func (s *Store) earlyReturn(bad bool) {
+	s.repMu.Lock()
+	if bad {
+		s.repMu.Unlock()
+		return
+	}
+	time.Sleep(time.Millisecond) // want `Sleep sleeps while Store\.repMu is held`
+	s.repMu.Unlock()
+}
+
+// otherMutexFree: blocking under a different mutex is not this
+// analyzer's concern.
+func (s *Store) otherMutexFree() {
+	s.txMu.Lock()
+	<-s.done
+	s.txMu.Unlock()
+}
+
+// spawned goroutines run off the lock path.
+func (s *Store) goStmtClean() {
+	s.repMu.Lock()
+	go func() { <-s.done }()
+	s.repMu.Unlock()
+}
+
+// drainBounded is the sanctioned escape hatch: a deliberately bounded
+// wait under repMu, suppressed with its justification, and treated as
+// non-blocking by callers.
+//
+//yesqlint:allow repmublock -- bounded by design: one fsync, no network
+func (s *Store) drainBounded() {
+	// Caller holds repMu (the *Locked convention).
+	s.wg.Wait()
+}
+
+func (s *Store) callsAllowedUnderLock() {
+	s.repMu.Lock()
+	s.drainBounded()
+	s.repMu.Unlock()
+}

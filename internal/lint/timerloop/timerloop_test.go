@@ -1,0 +1,11 @@
+package timerloop
+
+import (
+	"testing"
+
+	"yesquel/internal/lint/analysistest"
+)
+
+func TestTimerLoop(t *testing.T) {
+	analysistest.Run(t, Analyzer, "a")
+}

@@ -1,0 +1,11 @@
+package wirecodec
+
+import (
+	"testing"
+
+	"yesquel/internal/lint/analysistest"
+)
+
+func TestWireCodec(t *testing.T) {
+	analysistest.Run(t, Analyzer, "a")
+}

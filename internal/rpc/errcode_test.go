@@ -1,0 +1,161 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+
+	"yesquel/internal/wire"
+)
+
+// Typed error codes: the server's coder stamps AppError.Code onto the
+// wire as a trailing optional field, and AppErrIs matches it without
+// looking at message text. These tests pin the round trip, the
+// unknown-method stamping, the coder-less zero, the legacy text
+// fallback, and — via a hand-built old-format frame — that a new
+// client still decodes responses from servers predating codes.
+
+var errTestSentinel = errors.New("errcode_test: sentinel")
+
+const testCode = 42
+
+func TestErrorCodeRoundTrip(t *testing.T) {
+	s := NewServer()
+	s.Register("fail", func(_ context.Context, _ []byte) ([]byte, error) {
+		return nil, fmt.Errorf("%w: wrapped detail", errTestSentinel)
+	})
+	s.SetErrorCoder(func(err error) uint64 {
+		if errors.Is(err, errTestSentinel) {
+			return testCode
+		}
+		return 0
+	})
+	addr := startServer(t, s)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, err = c.Call(context.Background(), "fail", nil)
+	var app *AppError
+	if !errors.As(err, &app) {
+		t.Fatalf("want *AppError, got %v", err)
+	}
+	if app.Code != testCode {
+		t.Fatalf("Code = %d, want %d", app.Code, testCode)
+	}
+	// The code decides; the sentinel argument is only the legacy
+	// fallback and must not rescue a mismatched code.
+	if !AppErrIs(err, testCode, nil) {
+		t.Fatal("AppErrIs(code) = false for matching code")
+	}
+	if AppErrIs(err, testCode+1, errTestSentinel) {
+		t.Fatal("AppErrIs matched a different code on a coded response")
+	}
+}
+
+func TestErrorCodeUnknownMethod(t *testing.T) {
+	s := NewServer()
+	s.SetErrorCoder(func(err error) uint64 {
+		if errors.Is(err, ErrUnknownMethod) {
+			return testCode
+		}
+		return 0
+	})
+	addr := startServer(t, s)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, err = c.Call(context.Background(), "no-such-method", nil)
+	if !AppErrIs(err, testCode, ErrUnknownMethod) {
+		t.Fatalf("unknown-method rejection not stamped with coder's code: %v", err)
+	}
+}
+
+func TestErrorCodeLegacyTextFallback(t *testing.T) {
+	// No coder installed: the server sends code 0 and clients must fall
+	// back to matching the sentinel's text, the pre-code scheme.
+	s := NewServer()
+	s.Register("fail", func(_ context.Context, _ []byte) ([]byte, error) {
+		return nil, fmt.Errorf("outer: %w", errTestSentinel)
+	})
+	addr := startServer(t, s)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, err = c.Call(context.Background(), "fail", nil)
+	var app *AppError
+	if !errors.As(err, &app) {
+		t.Fatalf("want *AppError, got %v", err)
+	}
+	if app.Code != 0 {
+		t.Fatalf("Code = %d, want 0 from a coder-less server", app.Code)
+	}
+	if !AppErrIs(err, testCode, errTestSentinel) {
+		t.Fatal("legacy fallback did not match the sentinel text")
+	}
+	if AppErrIs(err, testCode, errors.New("some other text")) {
+		t.Fatal("legacy fallback matched a sentinel not in the message")
+	}
+}
+
+// TestDecodeLegacyErrorFrame feeds the client an error response in the
+// OLD wire format — no trailing code — from a hand-rolled server, and
+// checks the client decodes it as Code 0 rather than failing the
+// connection: the backward-compatibility contract of the trailing
+// optional field.
+func TestDecodeLegacyErrorFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		r := wire.NewReader(payload)
+		r.Byte()             // kind
+		id, _ := r.Uvarint() // request id
+		b := wire.NewBuffer(32)
+		b.PutByte(kindResponse)
+		b.PutUvarint(id)
+		b.PutByte(statusErr)
+		b.PutString("legacy: " + errTestSentinel.Error())
+		// Deliberately NO trailing code uvarint.
+		wire.WriteFrame(conn, b.Bytes())
+		wire.ReadFrame(conn) // hold the conn open until the client is done
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Call(context.Background(), "anything", nil)
+	var app *AppError
+	if !errors.As(err, &app) {
+		t.Fatalf("want *AppError from legacy frame, got %v", err)
+	}
+	if app.Code != 0 {
+		t.Fatalf("Code = %d, want 0 from a legacy frame", app.Code)
+	}
+	if !AppErrIs(err, testCode, errTestSentinel) {
+		t.Fatal("legacy frame did not fall back to text matching")
+	}
+}

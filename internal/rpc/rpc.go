@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,9 +53,35 @@ var (
 
 // AppError is an error returned by the remote handler (as opposed to a
 // transport failure). The text crosses the wire; the type does not.
-type AppError struct{ Msg string }
+// Code, when nonzero, is a service-defined classification assigned by
+// the server's error coder (SetErrorCoder). It travels as a trailing
+// optional wire field: a response from a server predating codes
+// decodes with Code 0, and a coder-less server sends 0 explicitly.
+type AppError struct {
+	Msg  string
+	Code uint64
+}
 
 func (e *AppError) Error() string { return e.Msg }
+
+// AppErrIs reports whether err is an application error whose wire code
+// is code. For responses that carry no code (Code 0 — a server
+// predating codes, or one without a coder), it falls back to matching
+// sentinel's text in the message, the legacy classification scheme
+// the codes replace. This function is the ONE sanctioned home of that
+// string match; everything else must compare codes or errors.Is a
+// sentinel that survived the wire.
+func AppErrIs(err error, code uint64, sentinel error) bool {
+	var app *AppError
+	if !errors.As(err, &app) {
+		return false
+	}
+	if app.Code != 0 {
+		return app.Code == code
+	}
+	//yesqlint:allow errsentinel -- legacy fallback: a pre-code response conveys the class only in its text
+	return sentinel != nil && strings.Contains(app.Msg, sentinel.Error())
+}
 
 // frame kinds
 const (
@@ -77,13 +104,16 @@ func encodeRequest(id uint64, method string, body []byte) []byte {
 	return b.Bytes()
 }
 
-func encodeResponse(id uint64, body []byte, appErr error) []byte {
+func encodeResponse(id uint64, body []byte, appErr error, code uint64) []byte {
 	b := wire.NewBuffer(16 + len(body))
 	b.PutByte(kindResponse)
 	b.PutUvarint(id)
 	if appErr != nil {
 		b.PutByte(statusErr)
 		b.PutString(appErr.Error())
+		// Trailing optional field: old clients stop after the message
+		// and never see it; new clients read it only when present.
+		b.PutUvarint(code)
 	} else {
 		b.PutByte(statusOK)
 		b.PutBytes(body)
@@ -96,6 +126,7 @@ func encodeResponse(id uint64, body []byte, appErr error) []byte {
 // supported (no locking on the read path).
 type Server struct {
 	handlers map[string]Handler
+	coder    func(error) uint64
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -121,6 +152,23 @@ func NewServer() *Server {
 // before Serve.
 func (s *Server) Register(method string, h Handler) {
 	s.handlers[method] = h
+}
+
+// SetErrorCoder installs f to assign wire codes to handler errors
+// (AppError.Code on the client side). Like Register, it must be called
+// before Serve. The coder also classifies the server's own
+// unknown-method rejection, which wraps ErrUnknownMethod. A nil or
+// absent coder sends code 0 (clients then fall back to text matching;
+// see AppErrIs).
+func (s *Server) SetErrorCoder(f func(error) uint64) {
+	s.coder = f
+}
+
+func (s *Server) errCode(err error) uint64 {
+	if err == nil || s.coder == nil {
+		return 0
+	}
+	return s.coder(err)
 }
 
 // Serve accepts connections on ln until Close is called. It blocks.
@@ -217,8 +265,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		h, ok := s.handlers[method]
 		if !ok {
+			unknownErr := fmt.Errorf("%w: %s", ErrUnknownMethod, method)
 			writeMu.Lock()
-			wire.WriteFrame(conn, encodeResponse(id, nil, fmt.Errorf("%s: %s", ErrUnknownMethod, method)))
+			wire.WriteFrame(conn, encodeResponse(id, nil, unknownErr, s.errCode(unknownErr)))
 			writeMu.Unlock()
 			continue
 		}
@@ -229,7 +278,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			defer handlerWG.Done()
 			resp, appErr := h(s.baseCtx, body)
 			writeMu.Lock()
-			err := wire.WriteFrame(conn, encodeResponse(id, resp, appErr))
+			err := wire.WriteFrame(conn, encodeResponse(id, resp, appErr, s.errCode(appErr)))
 			writeMu.Unlock()
 			if err != nil {
 				conn.Close()
@@ -263,12 +312,16 @@ type callResult struct {
 const defaultDialTimeout = 10 * time.Second
 
 // Dial connects to a server at addr with the default connect timeout.
+//
+//yesqlint:blocking
 func Dial(addr string) (*Client, error) {
 	return DialTimeout(addr, defaultDialTimeout)
 }
 
 // DialTimeout connects to a server at addr, failing after the given
 // connect timeout (0 = the package default).
+//
+//yesqlint:blocking
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	if timeout <= 0 {
 		timeout = defaultDialTimeout
@@ -341,7 +394,14 @@ func (c *Client) readLoop() {
 				c.fail(fmt.Errorf("%w: bad frame", ErrClosed))
 				return
 			}
-			res.err = &AppError{Msg: msg}
+			var code uint64
+			if r.Remaining() > 0 { // trailing optional: absent from pre-code servers
+				if code, err = r.Uvarint(); err != nil {
+					c.fail(fmt.Errorf("%w: bad frame", ErrClosed))
+					return
+				}
+			}
+			res.err = &AppError{Msg: msg, Code: code}
 		} else {
 			body, err := r.BytesCopy()
 			if err != nil {
@@ -365,6 +425,8 @@ func (c *Client) readLoop() {
 }
 
 // Call issues method(req) and waits for the response or ctx done.
+//
+//yesqlint:blocking
 func (c *Client) Call(ctx context.Context, method string, req []byte) ([]byte, error) {
 	id := c.nextID.Add(1)
 	ch := make(chan callResult, 1)
