@@ -142,6 +142,114 @@ func replWorkload(tb testing.TB, writers, rf int, scfg kvserver.Config, d time.D
 	return int(total.Load()), cl.Stats()
 }
 
+// scaleOutResult summarizes the elastic scale-out run: ops counted in
+// fixed windows before and after a mid-run server join, ops during the
+// join itself, and commit latency percentiles during the join — what
+// the live migration costs the workload while it runs.
+type scaleOutResult struct {
+	before, during, after int
+	windowSecs            float64
+	joinSecs              float64
+	durP50, durP99        time.Duration
+}
+
+// scaleOutWorkload is the bench-artifact version of the elastic
+// scale-out demo (internal/cluster TestScaleOutLive): a 2-group
+// cluster formed with 6 routes runs a sustained put workload, a third
+// group joins mid-run, and Rebalance migrates its fair share (two
+// routes) onto it live. MirrorSendDelay makes each group's replication
+// pipeline a bounded-capacity resource so the windows measure CAPACITY
+// — which the join grows — rather than host CPU, which it cannot.
+func scaleOutWorkload(tb testing.TB, window time.Duration) scaleOutResult {
+	const nroutes = 6
+	const workers = 32
+	cl, err := cluster.StartElastic(2, 3, 2, kvserver.Config{
+		MaxVersions:           4,
+		MirrorBatchMaxRecords: 8,
+		MirrorSendDelay:       2 * time.Millisecond,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var opsN atomic.Int64
+	var recording atomic.Bool
+	var latMu sync.Mutex
+	var lats []time.Duration
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := cl.NewClient()
+			if err != nil {
+				tb.Errorf("worker %d: %v", w, err)
+				return
+			}
+			defer c.Close()
+			// Bounded working set: reused OIDs keep the store's size flat
+			// so the windows compare steady states.
+			oids := make([]kv.OID, nroutes*8)
+			for k := range oids {
+				oids[k] = c.NewOID(uint16(k % nroutes))
+			}
+			var myLats []time.Duration
+			defer func() {
+				latMu.Lock()
+				lats = append(lats, myLats...)
+				latMu.Unlock()
+			}()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := c.Begin()
+				tx.Put(oids[(w+i)%len(oids)], kv.NewPlain([]byte(fmt.Sprintf("w%d-%d", w, i))))
+				t0 := time.Now()
+				if err := tx.Commit(ctx); err != nil {
+					tb.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if recording.Load() {
+					myLats = append(myLats, time.Since(t0))
+				}
+				opsN.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(300 * time.Millisecond) // warmup
+	res := scaleOutResult{windowSecs: window.Seconds()}
+	b0 := opsN.Load()
+	time.Sleep(window)
+	res.before = int(opsN.Load() - b0)
+	recording.Store(true)
+	joinStart := time.Now()
+	gi, err := cl.AddServer()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m0 := opsN.Load()
+	if _, err := cl.Rebalance(gi); err != nil {
+		tb.Fatal(err)
+	}
+	res.during = int(opsN.Load() - m0)
+	res.joinSecs = time.Since(joinStart).Seconds()
+	recording.Store(false)
+	a0 := opsN.Load()
+	time.Sleep(window)
+	res.after = int(opsN.Load() - a0)
+	close(stop)
+	wg.Wait()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.durP50 = latPercentile(lats, 50)
+	res.durP99 = latPercentile(lats, 99)
+	return res
+}
+
 // replReadResult summarizes one read-mostly replication workload run.
 type replReadResult struct {
 	reads, writes int
@@ -533,6 +641,8 @@ type replBenchPoint struct {
 	P50Micros       float64 `json:"read_p50_us,omitempty"`
 	P95Micros       float64 `json:"read_p95_us,omitempty"`
 	P99Micros       float64 `json:"read_p99_us,omitempty"`
+	CommitP50Micros float64 `json:"commit_p50_us,omitempty"`
+	CommitP99Micros float64 `json:"commit_p99_us,omitempty"`
 }
 
 // TestReplicationBenchArtifact emits BENCH_replication.json — the
@@ -661,9 +771,27 @@ func TestReplicationBenchArtifact(t *testing.T) {
 			})
 		}
 	}
+	// Scale-out column: the elastic-sharding demo as a trajectory row.
+	// The before/after rows bracket a mid-run server join (2 groups →
+	// 3, two of six routes migrated live by the rebalancer); the
+	// during-join row shows the workload's throughput and commit
+	// latency percentiles while the migration itself runs. After-join
+	// ops/s exceeding before-join is the point of the feature.
+	so := scaleOutWorkload(t, d)
+	points = append(points,
+		replBenchPoint{Config: "scale-out+before-join", Writers: 32,
+			OpsPerSec: float64(so.before) / so.windowSecs},
+		replBenchPoint{Config: "scale-out+during-join", Writers: 32,
+			OpsPerSec:       float64(so.during) / so.joinSecs,
+			CommitP50Micros: float64(so.durP50.Microseconds()),
+			CommitP99Micros: float64(so.durP99.Microseconds())},
+		replBenchPoint{Config: "scale-out+after-join", Writers: 32,
+			OpsPerSec: float64(so.after) / so.windowSecs},
+	)
+
 	doc := map[string]any{
 		"bench":       "replication",
-		"description": "replicated write path: 1-slot loopback cluster at rf=2 (pair) and rf=3 (quorum group: ack once a majority — primary + 1 of 2 backups — holds the record), single-object puts; concurrent writers share mirror batches and WAL fsyncs (group commit); read-mostly rows run YCSB-B/C with reads either pinned to the primary or served by any replica at the durability watermark's frontier (follower reads); scan rows run E1-style scan100 and YCSB-E scans on a single-server 8-cell-leaf tree, comparing the synchronous leaf-at-a-time iterator against scan readahead with batched leaf-run fetches (MethodReadBatch)",
+		"description": "replicated write path: 1-slot loopback cluster at rf=2 (pair) and rf=3 (quorum group: ack once a majority — primary + 1 of 2 backups — holds the record), single-object puts; concurrent writers share mirror batches and WAL fsyncs (group commit); read-mostly rows run YCSB-B/C with reads either pinned to the primary or served by any replica at the durability watermark's frontier (follower reads); scan rows run E1-style scan100 and YCSB-E scans on a single-server 8-cell-leaf tree, comparing the synchronous leaf-at-a-time iterator against scan readahead with batched leaf-run fetches (MethodReadBatch); scale-out rows run the elastic-sharding demo (2 groups/6 routes under sustained load, a third group joins mid-run, the rebalancer migrates two routes live) with MirrorSendDelay emulating a bounded-capacity replication link so added groups add measurable capacity",
 		"cpus":        runtime.NumCPU(),
 		"points":      points,
 		// The same workload measured immediately before group commit

@@ -10,7 +10,8 @@
 //
 // The suite enforces, mechanically, the replication stack's safety
 // rules: no blocking under Store.repMu (repmublock), the
-// repMu → txMu → epochMu → snapMu acquisition order (lockorder), no
+// repMu → txMu → epochMu → snapMu → dirMu acquisition order
+// (lockorder), no
 // error classification by string matching (errsentinel),
 // Encode/Decode wire symmetry and the trailing-optional
 // backward-compat contract (wirecodec), and no per-iteration timer

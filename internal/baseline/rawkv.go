@@ -37,7 +37,10 @@ type RawKV struct {
 // NewRawKV wraps a kv client for raw access.
 func NewRawKV(c *kvclient.Client) *RawKV { return &RawKV{c: c} }
 
-// oidFor maps a key to a deterministic OID spread across servers.
+// oidFor maps a key to a deterministic OID spread across servers. The
+// slot here is only a name: which server actually owns it is decided
+// at RPC time by the client's slot directory, so keys keep their OIDs
+// across scale-out and simply follow their slot's route.
 func (r *RawKV) oidFor(key string) kv.OID {
 	h := fnv.New64a()
 	h.Write([]byte(key))

@@ -7,9 +7,11 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"yesquel/internal/kv"
 	"yesquel/internal/kv/kvclient"
 	"yesquel/internal/kv/kvserver"
 )
@@ -47,6 +49,16 @@ type Cluster struct {
 	// list they would outlive the test (its leak check would fail).
 	orphans []*kvserver.Server
 
+	// dir is the cluster's slot directory — the versioned route→group
+	// map the cluster authority publishes to every member (see
+	// migrate.go, "Slot migration and the directory").
+	dir *kv.Directory
+
+	// TestHookMigration, when non-nil, runs at each migration phase
+	// boundary ("bulk-done", "fenced", "drained", "cutover"); chaos
+	// tests use it to kill servers at the protocol's tender points.
+	TestHookMigration func(phase string)
+
 	cfg kvserver.Config
 	rf  int
 }
@@ -80,35 +92,72 @@ func StartReplicated(n, rf int, cfg kvserver.Config) (*Cluster, error) {
 	}
 	cl := &Cluster{cfg: cfg, rf: rf}
 	for i := 0; i < n; i++ {
-		g := &Group{}
-		primary, err := cl.startMember(i, "")
+		g, err := cl.startGroup(i)
 		if err != nil {
 			cl.Close()
 			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
 		}
-		g.Primary = primary
-		g.Addrs = []string{primary.Addr()}
 		cl.Groups = append(cl.Groups, g)
-		cl.Servers = append(cl.Servers, primary)
-		cl.Addrs = append(cl.Addrs, primary.Addr())
-		for len(g.Backups) < rf-1 {
-			if err := cl.attachBackup(i); err != nil {
-				cl.Close()
-				return nil, fmt.Errorf("cluster: server %d backup: %w", i, err)
-			}
+		cl.Servers = append(cl.Servers, g.Primary)
+		cl.Addrs = append(cl.Addrs, g.Primary.Addr())
+	}
+	// Publish the identity directory (version 1, Routes[i] = i): the
+	// same placement the legacy modulo rule computes, now explicit,
+	// versioned, and movable (see migrate.go).
+	cl.buildDirectory()
+	return cl, nil
+}
+
+// startGroup launches one full replica group for slot/group index i: a
+// primary, rf-1 synced backups, and (when replicated) epoch 1 installed
+// with the fresh membership. Used by StartReplicated for the initial
+// slots and by AddServer for scale-out groups.
+//
+// NOTE: the group is NOT yet appended to cl.Groups; attachBackup needs
+// it there, so the group is appended temporarily during construction
+// when called for a new index.
+func (cl *Cluster) startGroup(i int) (*Group, error) {
+	g := &Group{}
+	primary, err := cl.startMember(i, "")
+	if err != nil {
+		return nil, err
+	}
+	g.Primary = primary
+	g.Addrs = []string{primary.Addr()}
+	appended := false
+	if i == len(cl.Groups) {
+		// attachBackup addresses groups by index; give the nascent group
+		// its slot for the duration of construction.
+		cl.Groups = append(cl.Groups, g)
+		appended = true
+	}
+	fail := func(err error) (*Group, error) {
+		if appended {
+			cl.Groups = cl.Groups[:len(cl.Groups)-1]
 		}
-		if rf > 1 {
-			// Install epoch 1 with the fresh group as members. The
-			// RecEpoch record mirrors to every backup like any stream
-			// record, and its acks double as the primary's first lease
-			// grants.
-			if _, err := g.Primary.BumpEpoch(append([]string(nil), g.Addrs...)); err != nil {
-				cl.Close()
-				return nil, fmt.Errorf("cluster: server %d epoch: %w", i, err)
-			}
+		for _, s := range append([]*kvserver.Server{g.Primary}, g.Backups...) {
+			s.Close()
+			s.Store().CloseLog()
+		}
+		return nil, err
+	}
+	for len(g.Backups) < cl.rf-1 {
+		if err := cl.attachBackup(i); err != nil {
+			return fail(err)
 		}
 	}
-	return cl, nil
+	if cl.rf > 1 {
+		// Install epoch 1 with the fresh group as members. The RecEpoch
+		// record mirrors to every backup like any stream record, and its
+		// acks double as the primary's first lease grants.
+		if _, err := g.Primary.BumpEpoch(append([]string(nil), g.Addrs...)); err != nil {
+			return fail(err)
+		}
+	}
+	if appended {
+		cl.Groups = cl.Groups[:len(cl.Groups)-1]
+	}
+	return g, nil
 }
 
 // startMember launches one storage server for slot i. suffix
@@ -170,6 +219,12 @@ func (cl *Cluster) attachBackup(i int) error {
 	}
 	g.Backups = append(g.Backups, backup)
 	g.Addrs = append(g.Addrs, backup.Addr())
+	// A member started after the directory was published needs its own
+	// copy — without it the fresh backup would accept follower reads
+	// for routes its group no longer owns.
+	if cl.dir != nil {
+		backup.Store().InstallDirectory(cl.dir, uint32(i))
+	}
 	return nil
 }
 
@@ -386,13 +441,25 @@ func (cl *Cluster) Restart(slot int) error {
 }
 
 // NewClient opens a kv client connected to every server slot, with
-// failover across each slot's replicas.
+// failover across each slot's replicas. The client eagerly adopts the
+// cluster's slot directory (best-effort), so its placement spreads over
+// every directory route — not just the groups — from the first OID it
+// allocates.
 func (cl *Cluster) NewClient() (*kvclient.Client, error) {
 	groups := make([][]string, len(cl.Groups))
 	for i, g := range cl.Groups {
 		groups[i] = append([]string(nil), g.Addrs...)
 	}
-	return kvclient.OpenReplicated(groups)
+	c, err := kvclient.OpenReplicated(groups)
+	if err != nil {
+		return nil, err
+	}
+	if cl.dir != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_ = c.FetchDirectory(ctx, 0)
+		cancel()
+	}
+	return c, nil
 }
 
 // Close shuts all servers down (flushing their logs, if any),
@@ -446,6 +513,8 @@ func (cl *Cluster) Stats() kvserver.StatsSnapshot {
 		out.GCVersions += st.GCVersions
 		out.EpochBumps += st.EpochBumps
 		out.WrongEpochRejects += st.WrongEpochRejects
+		out.WrongSlotRejects += st.WrongSlotRejects
+		out.MigratedVersions += st.MigratedVersions
 		out.Checkpoints += st.Checkpoints
 		out.CheckpointFailures += st.CheckpointFailures
 		out.LogRecordsTruncated += st.LogRecordsTruncated

@@ -1,0 +1,6 @@
+//go:build !race
+
+package cluster_test
+
+// raceDetector mirrors race_on_test.go for normal builds.
+const raceDetector = false

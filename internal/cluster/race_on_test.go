@@ -1,0 +1,9 @@
+//go:build race
+
+package cluster_test
+
+// raceDetector reports whether this test binary runs under the race
+// detector, whose ~5-10x per-op CPU multiplier changes what a one-core
+// host can be bound by. Perf-sensitive drills widen their emulated
+// latencies so the resource under test stays the binding one.
+const raceDetector = true

@@ -152,6 +152,13 @@ func NaiveConfig() Config {
 // RootOID returns the well-known OID of the root node of tree id for a
 // cluster with numServers servers. Roots use a reserved local-id range
 // (top local bit set) so they never collide with allocated node ids.
+//
+// numServers must be stable for a given cluster or different clients
+// would disagree on where tree roots live. Client.NumServers provides
+// that stability: once a slot directory is adopted it reports the
+// directory's route count, which is frozen at cluster formation —
+// scale-out repoints routes to new groups without changing the count,
+// so root OIDs (and Placement results) stay valid across migrations.
 func RootOID(id uint64, numServers int) kv.OID {
 	slot := uint16(id % uint64(numServers))
 	return kv.MakeOID(slot, 1<<46|id&((1<<46)-1))

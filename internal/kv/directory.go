@@ -1,0 +1,153 @@
+package kv
+
+import (
+	"fmt"
+
+	"yesquel/internal/wire"
+)
+
+// Directory is the versioned slot→group map that replaces the implicit
+// `oid % n` routing rule. Routes has a FIXED length chosen when the
+// cluster first forms (the initial server count): an OID's route index
+// is `slot % len(Routes)`, and Routes[route] names the group that owns
+// every OID on that route. Scale-out never changes len(Routes) — a new
+// machine joins as a new GROUP and the rebalancer repoints route
+// entries at it — so an OID's route, and therefore the placement the
+// DBT computed when it allocated the OID, is stable forever; only the
+// route's owner moves.
+//
+// Groups[g] lists group g's replica addresses, acting primary first —
+// the same shape as an epoch membership list, and like it advisory: the
+// authoritative membership of a group is its epoch state, learned
+// through ErrWrongEpoch redirects and ack piggybacks. The directory
+// only says which group to talk to, not who currently leads it.
+//
+// Version is monotonic, like an epoch. Version 0 means "no directory":
+// servers piggyback their version on every Ack (Ack.DirVersion), reject
+// requests for routes they no longer own with the typed
+// WrongSlotError, and serve the full map via MethodDirectory. A client
+// holding version v adopts any directory with a larger version and
+// never moves backwards.
+type Directory struct {
+	Version uint64
+	Routes  []uint32   // route index (slot % len(Routes)) → group index
+	Groups  [][]string // group index → replica addresses, primary first
+}
+
+// maxRoutes bounds a decoded route table (sanity, not policy — real
+// directories have one route per initial server).
+const maxRoutes = 1 << 16
+
+// RouteFor returns the directory route index oid maps to.
+func (d *Directory) RouteFor(oid OID) uint32 {
+	return uint32(int(oid.Slot()) % len(d.Routes))
+}
+
+// GroupFor returns the index of the group that owns oid.
+func (d *Directory) GroupFor(oid OID) uint32 {
+	return d.Routes[d.RouteFor(oid)]
+}
+
+// Clone returns a deep copy of d (nil-safe), so an installed directory
+// can be shared read-only while the authority mutates its own copy.
+func (d *Directory) Clone() *Directory {
+	if d == nil {
+		return nil
+	}
+	out := &Directory{
+		Version: d.Version,
+		Routes:  append([]uint32(nil), d.Routes...),
+		Groups:  make([][]string, len(d.Groups)),
+	}
+	for i, g := range d.Groups {
+		out.Groups[i] = append([]string(nil), g...)
+	}
+	return out
+}
+
+// EncodeDirectory appends d's canonical serialization to b.
+func EncodeDirectory(b *wire.Buffer, d *Directory) {
+	b.PutUvarint(d.Version)
+	b.PutUvarint(uint64(len(d.Routes)))
+	for _, g := range d.Routes {
+		b.PutUvarint(uint64(g))
+	}
+	b.PutUvarint(uint64(len(d.Groups)))
+	for _, g := range d.Groups {
+		encodeMembers(b, g)
+	}
+}
+
+// DecodeDirectory is the inverse of EncodeDirectory. Trailing bytes are
+// left unread, so messages may append optional fields after the
+// directory without breaking old decoders.
+func DecodeDirectory(r *wire.Reader) (*Directory, error) {
+	d := &Directory{}
+	var err error
+	if d.Version, err = r.Uvarint(); err != nil {
+		return nil, err
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxRoutes {
+		return nil, fmt.Errorf("%w: directory with %d routes", ErrBadRequest, n)
+	}
+	d.Routes = make([]uint32, 0, n)
+	for i := uint64(0); i < n; i++ {
+		g, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		d.Routes = append(d.Routes, uint32(g))
+	}
+	ng, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ng > maxRoutes {
+		return nil, fmt.Errorf("%w: directory with %d groups", ErrBadRequest, ng)
+	}
+	d.Groups = make([][]string, 0, ng)
+	for i := uint64(0); i < ng; i++ {
+		g, err := decodeMembers(r)
+		if err != nil {
+			return nil, err
+		}
+		d.Groups = append(d.Groups, g)
+	}
+	for _, g := range d.Routes {
+		if uint64(g) >= ng {
+			return nil, fmt.Errorf("%w: route names group %d of %d", ErrBadRequest, g, ng)
+		}
+	}
+	return d, nil
+}
+
+// DirectoryResp is the MethodDirectory response: the server's current
+// directory plus the usual clock piggyback. The request is empty.
+type DirectoryResp struct {
+	Dir   *Directory
+	Clock Timestamp
+}
+
+func (m *DirectoryResp) Encode() []byte {
+	b := wire.NewBuffer(64)
+	EncodeDirectory(b, m.Dir)
+	b.PutUint64(uint64(m.Clock))
+	return b.Bytes()
+}
+
+func DecodeDirectoryResp(p []byte) (*DirectoryResp, error) {
+	r := wire.NewReader(p)
+	d, err := DecodeDirectory(r)
+	if err != nil {
+		return nil, err
+	}
+	v, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	return &DirectoryResp{Dir: d, Clock: Timestamp(v)}, nil
+}

@@ -194,6 +194,14 @@ var (
 	// updating the group view from the carried epoch and membership — is
 	// always safe, for idempotent and non-idempotent requests alike.
 	ErrWrongEpoch = errors.New("kv: wrong epoch")
+	// ErrWrongSlot reports that a request reached a group that does not
+	// own the OID's slot under the current directory — the client routed
+	// with a stale (or absent) slot directory, or the slot migrated away.
+	// Like ErrWrongEpoch, the rejection guarantees the operation was NOT
+	// executed; the typed form (WrongSlotError) carries the rejecting
+	// member's directory version and the slot's owning group, so a stale
+	// client re-routes in one round trip.
+	ErrWrongSlot = errors.New("kv: wrong slot")
 )
 
 // Wire error codes: compact classifications stamped onto application
@@ -212,6 +220,7 @@ const (
 	CodeUncertain          uint64 = 5
 	CodeDiverged           uint64 = 6
 	CodeWrongEpoch         uint64 = 7
+	CodeWrongSlot          uint64 = 8
 	CodeSnapSessionExpired uint64 = 50
 	CodeUnknownMethod      uint64 = 51
 )
@@ -238,6 +247,8 @@ func WireErrorCode(err error) uint64 {
 		return CodeNotFound
 	case errors.Is(err, ErrWrongEpoch):
 		return CodeWrongEpoch
+	case errors.Is(err, ErrWrongSlot):
+		return CodeWrongSlot
 	case errors.Is(err, ErrDiverged):
 		return CodeDiverged
 	case errors.Is(err, ErrBadRequest):
@@ -286,6 +297,70 @@ func ParseWrongEpoch(msg string) (*WrongEpochError, bool) {
 		we.Members = strings.Split(list, ",")
 	}
 	return we, true
+}
+
+// WrongSlotError is the typed form of ErrWrongSlot: the rejecting
+// member's directory version, the route (directory index) the request's
+// OID maps to, the group that owns it under that version, and that
+// group's replica addresses (primary first) — enough for a stale client
+// to patch its directory and redirect in one round trip. It crosses the
+// RPC boundary as an application-error string in the canonical format
+// produced by Error; ParseWrongSlot recovers it on the other side.
+type WrongSlotError struct {
+	Version uint64   // rejecting member's directory version
+	Route   uint32   // directory route index of the OID's slot
+	Group   uint32   // owning group index under Version
+	Members []string // owning group's replica addresses, primary first
+}
+
+func (e *WrongSlotError) Error() string {
+	return fmt.Sprintf("%s: dir=%d route=%d group=%d members=%s",
+		ErrWrongSlot.Error(), e.Version, e.Route, e.Group, strings.Join(e.Members, ","))
+}
+
+func (e *WrongSlotError) Unwrap() error { return ErrWrongSlot }
+
+// ParseWrongSlot recovers a WrongSlotError from an error string that
+// crossed the RPC boundary. It tolerates wrapping prefixes; the
+// dir=/route=/group=/members= tuple must be the message tail, which
+// the canonical Error format guarantees.
+func ParseWrongSlot(msg string) (*WrongSlotError, bool) {
+	i := strings.Index(msg, ErrWrongSlot.Error()+": dir=")
+	if i < 0 {
+		return nil, false
+	}
+	rest := msg[i+len(ErrWrongSlot.Error())+len(": dir="):]
+	j := strings.Index(rest, " route=")
+	if j < 0 {
+		return nil, false
+	}
+	version, err := strconv.ParseUint(rest[:j], 10, 64)
+	if err != nil {
+		return nil, false
+	}
+	rest = rest[j+len(" route="):]
+	j = strings.Index(rest, " group=")
+	if j < 0 {
+		return nil, false
+	}
+	route, err := strconv.ParseUint(rest[:j], 10, 32)
+	if err != nil {
+		return nil, false
+	}
+	rest = rest[j+len(" group="):]
+	j = strings.Index(rest, " members=")
+	if j < 0 {
+		return nil, false
+	}
+	group, err := strconv.ParseUint(rest[:j], 10, 32)
+	if err != nil {
+		return nil, false
+	}
+	ws := &WrongSlotError{Version: version, Route: uint32(route), Group: uint32(group)}
+	if list := rest[j+len(" members="):]; list != "" {
+		ws.Members = strings.Split(list, ",")
+	}
+	return ws, true
 }
 
 // MarkClock stamps the server's clock onto an error that crosses the

@@ -27,8 +27,25 @@ import (
 // belongs to one goroutine, as in the paper's per-client query
 // processor).
 type Client struct {
+	// mu guards groups growth, the adopted slot directory, and the
+	// teardown/fetch bookkeeping below. groups is append-only — a
+	// *replicaGroup, once created, is stable for the client's lifetime —
+	// so holding mu only for the slice access (never across an RPC) is
+	// enough. Lock order: mu before any replicaGroup.mu.
+	mu     sync.Mutex
 	groups []*replicaGroup
-	hlc    *clock.HLC
+	// dir is the adopted slot directory (nil until one is learned — the
+	// client then routes by the legacy slot-modulo rule). Replaced
+	// wholesale on adoption, never mutated in place; version-gated so
+	// the view only moves forward. Learned from Ack.DirVersion
+	// piggybacks (async fetch) and WrongSlotError redirects (in-place
+	// route patch plus a refresh).
+	dir         *kv.Directory
+	dirFetching bool
+	dirWG       sync.WaitGroup
+	closed      bool
+
+	hlc *clock.HLC
 
 	nextTx  atomic.Uint64
 	nextOID atomic.Uint64
@@ -441,8 +458,8 @@ func (c *Client) StartHeartbeat(interval time.Duration) {
 			// others' freshness. The wait between ticks keeps at most
 			// one sweep in flight.
 			var wg sync.WaitGroup
-			for s := range c.groups {
-				if c.groups[s].size() <= 1 {
+			for s, g := range c.groupList() {
+				if g.size() <= 1 {
 					continue
 				}
 				wg.Add(1)
@@ -461,24 +478,218 @@ func (c *Client) StartHeartbeat(interval time.Duration) {
 // StopHeartbeat stops the background membership heartbeat.
 func (c *Client) StopHeartbeat() { c.StartHeartbeat(0) }
 
-// Close tears down all server connections.
+// Close tears down all server connections, after waiting out any
+// in-flight background directory fetch.
 func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
 	c.StopHeartbeat()
-	for _, g := range c.groups {
+	c.dirWG.Wait()
+	for _, g := range c.groupList() {
 		g.close()
 	}
 	return nil
 }
 
-// NumServers returns the number of storage server slots.
-func (c *Client) NumServers() int { return len(c.groups) }
+// NumServers returns the number of placement slots OIDs spread across.
+// With a slot directory adopted this is the directory's fixed route
+// count — frozen at cluster formation, unchanged by scale-out — so
+// placement computed from it (dbt root OIDs) stays stable when servers
+// join. Without a directory it is the number of known groups (the
+// legacy modulo rule).
+func (c *Client) NumServers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dir != nil {
+		return len(c.dir.Routes)
+	}
+	return len(c.groups)
+}
 
 // Clock exposes the client's hybrid logical clock.
 func (c *Client) Clock() *clock.HLC { return c.hlc }
 
-// ServerFor maps an OID to the index of its storage server slot.
+// ServerFor maps an OID to the index of the replica group that owns it:
+// through the adopted slot directory when one is known, by the legacy
+// slot-modulo rule otherwise.
 func (c *Client) ServerFor(oid kv.OID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dir != nil {
+		return int(c.dir.GroupFor(oid))
+	}
 	return int(oid.Slot()) % len(c.groups)
+}
+
+// group returns the replica group at index i (stable pointer).
+func (c *Client) group(i int) *replicaGroup {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.groups[i]
+}
+
+// groupList snapshots the current groups for iteration.
+func (c *Client) groupList() []*replicaGroup {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*replicaGroup(nil), c.groups...)
+}
+
+// DirectoryVersion returns the adopted slot directory's version (0 =
+// none adopted; routing falls back to slot modulo).
+func (c *Client) DirectoryVersion() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dir == nil {
+		return 0
+	}
+	return c.dir.Version
+}
+
+// adoptDirectory installs d as the client's routing directory if it is
+// newer than the adopted one, creating replica groups for any group
+// index the client has not seen yet. Reports whether it was adopted.
+func (c *Client) adoptDirectory(d *kv.Directory) bool {
+	if d == nil || len(d.Routes) == 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dir != nil && d.Version <= c.dir.Version {
+		return false
+	}
+	d = d.Clone()
+	c.ensureGroupsLocked(d)
+	c.dir = d
+	return true
+}
+
+// ensureGroupsLocked grows c.groups to cover every group d names. The
+// directory's address lists seed NEW groups only; a group the client
+// already tracks keeps its epoch-learned membership (the directory is
+// advisory about who serves a group — epoch state is authoritative).
+// Caller holds c.mu.
+func (c *Client) ensureGroupsLocked(d *kv.Directory) {
+	for gi := len(c.groups); gi < len(d.Groups); gi++ {
+		c.groups = append(c.groups, &replicaGroup{
+			addrs:   append([]string(nil), d.Groups[gi]...),
+			readCur: int(readSeed.Add(1)),
+		})
+	}
+}
+
+// FetchDirectory fetches the slot directory from server's group and
+// adopts it if newer — an eager, synchronous alternative to learning it
+// from ack piggybacks. Old peers answer unknown-method; the error
+// leaves modulo routing in force.
+func (c *Client) FetchDirectory(ctx context.Context, server int) error {
+	return c.fetchDirectory(ctx, server)
+}
+
+// fetchDirectory fetches the slot directory from server's group and
+// adopts it if newer. Old peers answer unknown-method; the error is the
+// caller's signal to keep modulo routing.
+func (c *Client) fetchDirectory(ctx context.Context, server int) error {
+	respB, err := c.call(ctx, server, kv.MethodDirectory, func(uint64) []byte { return nil }, retryAlways)
+	if err != nil {
+		return err
+	}
+	resp, err := kv.DecodeDirectoryResp(respB)
+	if err != nil {
+		return err
+	}
+	c.hlc.Observe(resp.Clock)
+	c.adoptDirectory(resp.Dir)
+	return nil
+}
+
+// fetchDirectoryAsync starts a single-flight background directory fetch
+// from server's group (the one whose ack advertised a newer version).
+// The goroutine is tracked so Close can wait it out.
+func (c *Client) fetchDirectoryAsync(server int) {
+	c.mu.Lock()
+	if c.closed || c.dirFetching {
+		c.mu.Unlock()
+		return
+	}
+	c.dirFetching = true
+	c.dirWG.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer c.dirWG.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), heartbeatTimeout)
+		c.fetchDirectory(ctx, server) // best-effort: the next ack re-triggers
+		cancel()
+		c.mu.Lock()
+		c.dirFetching = false
+		c.mu.Unlock()
+	}()
+}
+
+// noteWrongSlot reacts to a WrongSlotError redirect from server: it
+// patches the adopted directory's route in place (keeping the adopted
+// version, so the follow-up full fetch — which carries the rejecting
+// server's newer version — still lands), and triggers that fetch. A
+// client with no directory yet fetches synchronously: it cannot patch
+// what it does not have, and without the map every retry would bounce.
+func (c *Client) noteWrongSlot(server int, ws *kv.WrongSlotError) {
+	c.mu.Lock()
+	cur := uint64(0)
+	if c.dir != nil {
+		cur = c.dir.Version
+	}
+	if c.dir != nil && ws.Version > cur &&
+		int(ws.Route) < len(c.dir.Routes) && c.dir.Routes[ws.Route] != ws.Group {
+		d := c.dir.Clone()
+		for int(ws.Group) >= len(d.Groups) {
+			d.Groups = append(d.Groups, nil)
+		}
+		if len(ws.Members) > 0 {
+			d.Groups[ws.Group] = append([]string(nil), ws.Members...)
+		}
+		d.Routes[ws.Route] = ws.Group
+		c.ensureGroupsLocked(d)
+		c.dir = d
+	}
+	c.mu.Unlock()
+	if ws.Version <= cur {
+		return
+	}
+	if cur == 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), heartbeatTimeout)
+		c.fetchDirectory(ctx, server)
+		cancel()
+		return
+	}
+	c.fetchDirectoryAsync(server)
+}
+
+// Wrong-slot redirects are transient by design: during a migration
+// cutover there is a window where the source group already rejects a
+// moved route and the destination has not yet installed the directory
+// that says it owns it — both sides bounce. Data paths therefore retry
+// redirects patiently (re-resolving placement each attempt) instead of
+// surfacing them; the budget only bounds a pathological ping-pong.
+const (
+	wrongSlotRetries = 2000
+	wrongSlotPause   = 2 * time.Millisecond
+)
+
+// retryWrongSlot reports whether err is a wrong-slot redirect the
+// caller should retry (after adopting what the redirect teaches and a
+// short pause). tries counts the caller's attempts so far.
+func (c *Client) retryWrongSlot(ctx context.Context, server int, err error, tries int) bool {
+	var ws *kv.WrongSlotError
+	if !errors.As(err, &ws) {
+		return false
+	}
+	c.noteWrongSlot(server, ws)
+	if ctx.Err() != nil || tries >= wrongSlotRetries {
+		return false
+	}
+	time.Sleep(wrongSlotPause)
+	return true
 }
 
 // NewOID mints a fresh OID on server slot. Local ids combine a random
@@ -530,7 +741,7 @@ const maxEpochHops = 4
 // configuration (or rotates, if it learned nothing new) and retries.
 // Other application errors and context cancellation never fail over.
 func (c *Client) call(ctx context.Context, server int, method string, enc func(epoch uint64) []byte, policy callPolicy) ([]byte, error) {
-	g := c.groups[server]
+	g := c.group(server)
 	var lastErr error
 	epochHops := 0
 	for attempt := 0; attempt <= g.size(); attempt++ {
@@ -585,12 +796,19 @@ func (c *Client) call(ctx context.Context, server int, method string, enc func(e
 	return nil, lastErr
 }
 
-// observeAck merges an ack's clock, configuration, and durability-
-// frontier piggybacks.
+// observeAck merges an ack's clock, configuration, durability-frontier,
+// and directory-version piggybacks. A newer directory version triggers
+// a background fetch of the full map — so every client touching a
+// group, even only through its heartbeat ping, converges on the new
+// routing without a redirect.
 func (c *Client) observeAck(server int, ack *kv.Ack) {
 	c.hlc.Observe(ack.Clock)
-	c.groups[server].noteEpoch(ack.Epoch, ack.Members)
-	c.groups[server].noteFrontier(ack.Frontier)
+	g := c.group(server)
+	g.noteEpoch(ack.Epoch, ack.Members)
+	g.noteFrontier(ack.Frontier)
+	if ack.DirVersion > c.DirectoryVersion() {
+		c.fetchDirectoryAsync(server)
+	}
 }
 
 // Ping round-trips to server slot i, merging clocks and learning the
@@ -618,7 +836,7 @@ func (c *Client) Ping(ctx context.Context, server int) error {
 // callers fall back to a current-time snapshot then.
 func (c *Client) FollowerSnapshot() clock.Timestamp {
 	snap, any := clock.Timestamp(0), false
-	for _, g := range c.groups {
+	for _, g := range c.groupList() {
 		if g.size() < 2 {
 			continue
 		}
@@ -655,7 +873,7 @@ func (c *Client) BeginFollower() *Tx {
 // viaFollower reports which side answered, so the caller can file the
 // response's frontier under the right bound.
 func (c *Client) readCall(ctx context.Context, server int, snap clock.Timestamp, method string, enc func(epoch uint64) []byte) (respB []byte, viaFollower bool, err error) {
-	g := c.groups[server]
+	g := c.group(server)
 	if c.followerReads.Load() && snap <= g.routeFrontierNow() {
 		if conn, addr, ok := g.followerConn(); ok {
 			resp, err := conn.Call(ctx, method, enc(g.epochNow()))
@@ -683,22 +901,38 @@ func (c *Client) noteReadResp(server int, frontier clock.Timestamp, viaFollower 
 	if frontier == 0 {
 		return
 	}
+	g := c.group(server)
 	if viaFollower {
-		c.groups[server].noteReadFrontier(frontier)
+		g.noteReadFrontier(frontier)
 	} else {
-		c.groups[server].noteFrontier(frontier)
+		g.noteFrontier(frontier)
 	}
 }
 
-// readAt fetches the newest version of oid visible at snap.
+// readAt fetches the newest version of oid visible at snap, re-routing
+// through the directory on wrong-slot redirects (the owning group moved
+// mid-migration).
 func (c *Client) readAt(ctx context.Context, oid kv.OID, snap clock.Timestamp) (*kv.Value, error) {
-	server := c.ServerFor(oid)
 	durable := c.durableReads.Load()
-	respB, viaFollower, err := c.readCall(ctx, server, snap, kv.MethodRead, func(epoch uint64) []byte {
-		return (&kv.ReadReq{OID: oid, Snap: snap, Epoch: epoch, Durable: durable}).Encode()
-	})
-	if err != nil {
-		return nil, translateRPCErr(err)
+	var (
+		respB       []byte
+		viaFollower bool
+		server      int
+	)
+	for tries := 0; ; tries++ {
+		server = c.ServerFor(oid)
+		var err error
+		respB, viaFollower, err = c.readCall(ctx, server, snap, kv.MethodRead, func(epoch uint64) []byte {
+			return (&kv.ReadReq{OID: oid, Snap: snap, Epoch: epoch, Durable: durable}).Encode()
+		})
+		if err != nil {
+			terr := translateRPCErr(err)
+			if c.retryWrongSlot(ctx, server, terr, tries) {
+				continue
+			}
+			return nil, terr
+		}
+		break
 	}
 	resp, err := kv.DecodeReadResp(respB)
 	if err != nil {
@@ -716,13 +950,26 @@ func (c *Client) readAt(ctx context.Context, oid kv.OID, snap clock.Timestamp) (
 // [floor(from), to) capped at max (0 = unlimited), plus the node's
 // total cell count. Like readAt it carries no staged-write overlay.
 func (c *Client) readPartAt(ctx context.Context, oid kv.OID, snap clock.Timestamp, from, to []byte, max uint32) (*kv.Value, int, error) {
-	server := c.ServerFor(oid)
 	durable := c.durableReads.Load()
-	respB, viaFollower, err := c.readCall(ctx, server, snap, kv.MethodReadPart, func(epoch uint64) []byte {
-		return (&kv.ReadPartReq{OID: oid, Snap: snap, From: from, To: to, Max: max, Epoch: epoch, Durable: durable}).Encode()
-	})
-	if err != nil {
-		return nil, 0, translateRPCErr(err)
+	var (
+		respB       []byte
+		viaFollower bool
+		server      int
+	)
+	for tries := 0; ; tries++ {
+		server = c.ServerFor(oid)
+		var err error
+		respB, viaFollower, err = c.readCall(ctx, server, snap, kv.MethodReadPart, func(epoch uint64) []byte {
+			return (&kv.ReadPartReq{OID: oid, Snap: snap, From: from, To: to, Max: max, Epoch: epoch, Durable: durable}).Encode()
+		})
+		if err != nil {
+			terr := translateRPCErr(err)
+			if c.retryWrongSlot(ctx, server, terr, tries) {
+				continue
+			}
+			return nil, 0, terr
+		}
+		break
 	}
 	resp, err := kv.DecodeReadPartResp(respB)
 	if err != nil {
@@ -744,7 +991,7 @@ func (c *Client) readPartAt(ctx context.Context, oid kv.OID, snap clock.Timestam
 // the doomed attempt. Results are positional; absent objects come back
 // Found=false (Version is zero on the fallback path).
 func (c *Client) readBatchAt(ctx context.Context, server int, snap clock.Timestamp, items []kv.ReadBatchItem) ([]kv.ReadBatchResult, error) {
-	g := c.groups[server]
+	g := c.group(server)
 	if !g.noBatch.Load() {
 		durable := c.durableReads.Load()
 		respB, viaFollower, err := c.readCall(ctx, server, snap, kv.MethodReadBatch, func(epoch uint64) []byte {
@@ -793,11 +1040,25 @@ func (c *Client) readBatchAt(ctx context.Context, server int, snap clock.Timesta
 	return results, nil
 }
 
-// readBatchSlots partitions items by owning server slot, sends each
-// slot's sub-batch with one readBatchAt call — the sub-batches in
-// parallel when more than one slot is involved — and merges the
-// answers positionally.
+// readBatchSlots partitions items by owning group, sends each group's
+// sub-batch with one readBatchAt call — the sub-batches in parallel
+// when more than one group is involved — and merges the answers
+// positionally. A wrong-slot redirect from any group re-partitions the
+// whole batch under the directory the redirect taught and retries: the
+// grouping itself, not just one item's placement, is stale.
 func (c *Client) readBatchSlots(ctx context.Context, snap clock.Timestamp, items []kv.ReadBatchItem) ([]kv.ReadBatchResult, error) {
+	for tries := 0; ; tries++ {
+		results, server, err := c.readBatchSlotsOnce(ctx, snap, items)
+		if err != nil && c.retryWrongSlot(ctx, server, err, tries) {
+			continue
+		}
+		return results, err
+	}
+}
+
+// readBatchSlotsOnce runs one partition-and-fan-out round; server is
+// the group whose sub-batch produced err (for the redirect machinery).
+func (c *Client) readBatchSlotsOnce(ctx context.Context, snap clock.Timestamp, items []kv.ReadBatchItem) ([]kv.ReadBatchResult, int, error) {
 	bySlot := make(map[int][]int)
 	for i := range items {
 		s := c.ServerFor(items[i].OID)
@@ -805,14 +1066,16 @@ func (c *Client) readBatchSlots(ctx context.Context, snap clock.Timestamp, items
 	}
 	if len(bySlot) == 1 {
 		for s := range bySlot {
-			return c.readBatchAt(ctx, s, snap, items)
+			res, err := c.readBatchAt(ctx, s, snap, items)
+			return res, s, err
 		}
 	}
 	results := make([]kv.ReadBatchResult, len(items))
 	type slotResult struct {
-		idx []int
-		res []kv.ReadBatchResult
-		err error
+		server int
+		idx    []int
+		res    []kv.ReadBatchResult
+		err    error
 	}
 	ch := make(chan slotResult, len(bySlot))
 	for s, idx := range bySlot {
@@ -822,15 +1085,19 @@ func (c *Client) readBatchSlots(ctx context.Context, snap clock.Timestamp, items
 		}
 		go func(s int, idx []int, sub []kv.ReadBatchItem) {
 			res, err := c.readBatchAt(ctx, s, snap, sub)
-			ch <- slotResult{idx: idx, res: res, err: err}
+			ch <- slotResult{server: s, idx: idx, res: res, err: err}
 		}(s, idx, sub)
 	}
 	var firstErr error
+	errServer := 0
 	for range bySlot {
 		sr := <-ch
 		if sr.err != nil {
-			if firstErr == nil {
-				firstErr = sr.err
+			// Prefer reporting a wrong-slot failure: it is the one the
+			// caller can fix by re-partitioning.
+			var ws *kv.WrongSlotError
+			if firstErr == nil || (errors.As(sr.err, &ws) && !errors.Is(firstErr, kv.ErrWrongSlot)) {
+				firstErr, errServer = sr.err, sr.server
 			}
 			continue
 		}
@@ -839,9 +1106,9 @@ func (c *Client) readBatchSlots(ctx context.Context, snap clock.Timestamp, items
 		}
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, errServer, firstErr
 	}
-	return results, nil
+	return results, 0, nil
 }
 
 // isUnknownMethod reports that the server answered "no such RPC
@@ -925,6 +1192,13 @@ func translateRPCErr(err error) error {
 			return fmt.Errorf("%w: %s", kv.ErrConflict, app.Msg)
 		case rpc.AppErrIs(err, kv.CodeWrongEpoch, kv.ErrWrongEpoch):
 			return fmt.Errorf("%w: %s", kv.ErrWrongEpoch, app.Msg)
+		case rpc.AppErrIs(err, kv.CodeWrongSlot, kv.ErrWrongSlot):
+			// Keep the typed redirect: the data paths re-route on it
+			// (retryWrongSlot) instead of surfacing it.
+			if ws, ok := kv.ParseWrongSlot(app.Msg); ok {
+				return ws
+			}
+			return fmt.Errorf("%w: %s", kv.ErrWrongSlot, app.Msg)
 		case rpc.AppErrIs(err, kv.CodeBadRequest, kv.ErrBadRequest):
 			return fmt.Errorf("%w: %s", kv.ErrBadRequest, app.Msg)
 		}

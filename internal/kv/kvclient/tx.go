@@ -306,7 +306,27 @@ func (t *Tx) Commit(ctx context.Context) error {
 		return nil // read-only: snapshot isolation needs nothing more
 	}
 
-	// Partition staged ops by participant server, preserving order.
+	// A wrong-slot redirect restarts the whole commit: the rejection
+	// guarantees the rejecting participant executed nothing, a failed
+	// prepare round aborts the rest, and the writes are still buffered
+	// here — so the retry re-partitions under the directory the redirect
+	// taught and runs as a fresh transaction (new txid: an aborted
+	// round may have left the old id in participants' decided tables).
+	for tries := 0; ; tries++ {
+		err := t.commitOnce(ctx)
+		if errors.Is(err, kv.ErrWrongSlot) &&
+			t.c.retryWrongSlot(ctx, t.c.ServerFor(t.ops[0].OID), err, tries) {
+			t.txid = t.c.nextTx.Add(1)
+			continue
+		}
+		return err
+	}
+}
+
+// commitOnce runs one commit attempt: partition staged ops by
+// participant group, then fast-commit (one participant) or two-phase
+// commit (several).
+func (t *Tx) commitOnce(ctx context.Context) error {
 	byServer := make(map[int][]*kv.Op)
 	var servers []int
 	for _, op := range t.ops {
@@ -340,7 +360,7 @@ func (t *Tx) fastCommit(ctx context.Context, server int, ops []*kv.Op) error {
 		return err
 	}
 	t.c.hlc.Observe(resp.Clock)
-	t.c.groups[server].noteFrontier(resp.Frontier)
+	t.c.group(server).noteFrontier(resp.Frontier)
 	if !resp.OK {
 		return kv.ErrConflict
 	}

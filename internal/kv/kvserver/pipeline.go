@@ -824,6 +824,25 @@ func (s *Store) memberLoop(m *mirrorMember) {
 			}
 		}
 		for {
+			if d := s.cfg.MirrorSendDelay; d > 0 {
+				// Emulated link/storage latency: each batch occupies the
+				// member's one send slot for the whole delay, bounding
+				// the pipeline at MirrorBatchMaxRecords per
+				// MirrorSendDelay. The delay elapses BEFORE the batch is
+				// sliced so records emitted while it runs still ride
+				// this batch — like a real link, whose transmission time
+				// is exactly when the next frame accumulates.
+				if batchTimer == nil {
+					batchTimer = time.NewTimer(d)
+				} else {
+					batchTimer.Reset(d)
+				}
+				select {
+				case <-m.stopCh:
+					return
+				case <-batchTimer.C:
+				}
+			}
 			p.mu.Lock()
 			batch, _, to := m.takeBatchLocked(s.cfg.MirrorBatchMaxRecords)
 			p.mu.Unlock()

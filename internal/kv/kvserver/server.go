@@ -103,6 +103,7 @@ func NewServer(store *Store) *Server {
 	s.rpc.Register(kv.MethodSync, s.handleSync)
 	s.rpc.Register(kv.MethodSnap, s.handleSnap)
 	s.rpc.Register(kv.MethodLease, s.handleLease)
+	s.rpc.Register(kv.MethodDirectory, s.handleDirectory)
 	return s
 }
 
@@ -113,11 +114,24 @@ func NewServer(store *Store) *Server {
 // heartbeat sends).
 func (s *Server) ack() []byte {
 	return (&kv.Ack{
-		Clock:    s.store.Clock().Now(),
-		Epoch:    s.store.Epoch(),
-		Members:  s.store.Members(),
-		Frontier: s.store.DurableFrontier(),
+		Clock:      s.store.Clock().Now(),
+		Epoch:      s.store.Epoch(),
+		Members:    s.store.Members(),
+		Frontier:   s.store.DurableFrontier(),
+		DirVersion: s.store.DirVersion(),
 	}).Encode()
+}
+
+// handleDirectory serves the full slot directory (MethodDirectory). A
+// client that learns of a newer version — from an Ack piggyback or a
+// WrongSlotError redirect — fetches the map here; servers without a
+// directory answer BadRequest and the client stays on modulo routing.
+func (s *Server) handleDirectory(_ context.Context, _ []byte) ([]byte, error) {
+	dir := s.store.Directory()
+	if dir == nil {
+		return nil, fmt.Errorf("%w: no slot directory installed", kv.ErrBadRequest)
+	}
+	return (&kv.DirectoryResp{Dir: dir, Clock: s.store.Clock().Now()}).Encode(), nil
 }
 
 // AttachBackup makes this server a primary that replicates every
@@ -771,6 +785,9 @@ func (s *Server) handleRead(_ context.Context, p []byte) ([]byte, error) {
 	if err := s.store.CheckClientRead(req.Epoch, req.Snap); err != nil {
 		return nil, err
 	}
+	if err := s.store.CheckClientSlot(req.OID); err != nil {
+		return nil, err
+	}
 	if req.Durable {
 		if err := s.store.WaitDurable(req.Snap); err != nil {
 			return nil, err
@@ -800,6 +817,9 @@ func (s *Server) handleReadPart(_ context.Context, p []byte) ([]byte, error) {
 		return nil, err
 	}
 	if err := s.store.CheckClientRead(req.Epoch, req.Snap); err != nil {
+		return nil, err
+	}
+	if err := s.store.CheckClientSlot(req.OID); err != nil {
 		return nil, err
 	}
 	if req.Durable {
@@ -836,6 +856,14 @@ func (s *Server) handleReadBatch(_ context.Context, p []byte) ([]byte, error) {
 	}
 	if err := s.store.CheckClientRead(req.Epoch, req.Snap); err != nil {
 		return nil, err
+	}
+	// One stale item rejects the whole batch: the client regroups every
+	// item under the directory version the redirect carries, so a
+	// partial answer would only be re-fetched anyway.
+	for i := range req.Items {
+		if err := s.store.CheckClientSlot(req.Items[i].OID); err != nil {
+			return nil, err
+		}
 	}
 	if req.Durable {
 		if err := s.store.WaitDurable(req.Snap); err != nil {
@@ -882,6 +910,13 @@ func (s *Server) handlePrepare(_ context.Context, p []byte) ([]byte, error) {
 	}
 	if err := s.store.CheckClientOp(req.Epoch); err != nil {
 		return nil, err
+	}
+	// Early redirect before any lock work; the authoritative fence is
+	// the in-store ownership re-check under repMu (see store.prepare).
+	for _, op := range req.Ops {
+		if err := s.store.CheckClientSlot(op.OID); err != nil {
+			return nil, err
+		}
 	}
 	resp := &kv.PrepareResp{}
 	proposed, err := s.store.Prepare(req.TxID, req.Start, req.Ops)
@@ -932,6 +967,11 @@ func (s *Server) handleFastCommit(_ context.Context, p []byte) ([]byte, error) {
 	}
 	if err := s.store.CheckClientOp(req.Epoch); err != nil {
 		return nil, err
+	}
+	for _, op := range req.Ops {
+		if err := s.store.CheckClientSlot(op.OID); err != nil {
+			return nil, err
+		}
 	}
 	resp := &kv.FastCommitResp{}
 	commitTS, err := s.store.FastCommit(req.TxID, req.Start, req.Ops)

@@ -311,9 +311,9 @@
 //     snapshot-install rotation) each carry a //yesqlint:allow with
 //     the justification inline.
 //   - lockorder: the store's mutexes nest in one global order —
-//     repMu, then txMu, then epochMu, then snapMu. Acquiring them in
-//     any other order (directly or via a same-package call) is
-//     flagged.
+//     repMu, then txMu, then epochMu, then snapMu, then dirMu.
+//     Acquiring them in any other order (directly or via a
+//     same-package call) is flagged.
 //   - errsentinel: errors are classified by errors.Is/errors.As or by
 //     the typed RPC code (rpc.AppError.Code, kv.WireErrorCode), never
 //     by comparing message text. rpc.AppErrIs holds the single
@@ -416,6 +416,16 @@ type Config struct {
 	// added latency, and concurrent writers still coalesce into
 	// whatever accumulated during the previous batch's round trip).
 	GroupCommitInterval time.Duration
+	// MirrorSendDelay inserts a fixed wall-clock delay before every
+	// mirror batch send, emulating a slow replication link or storage
+	// device. Combined with MirrorBatchMaxRecords it turns a group's
+	// replication pipeline into a bounded-capacity resource
+	// (MaxRecords/Delay records per second per member), which the
+	// elastic-sharding drills and benchmarks use to demonstrate
+	// capacity scaling on hosts whose core count cannot — on a
+	// one-core CI box a purely in-memory pipeline measures CPU, and
+	// added groups cannot add CPU. 0 (the default) disables it.
+	MirrorSendDelay time.Duration
 	// NoFollowerReads disables serving snapshot reads from this store
 	// while it is a BACKUP (CheckClientRead then redirects every read
 	// to the primary, watermark or not). Off by default: a backup
@@ -526,6 +536,15 @@ type Stats struct {
 	FollowerReads     atomic.Uint64
 	FollowerReadWaits atomic.Uint64
 	DurableReadWaits  atomic.Uint64
+	// WrongSlotRejects counts requests turned away by the slot-directory
+	// fence — a stale client routing to a group that no longer owns the
+	// OID's route. A burst during a migration cutover is the fence
+	// working; a steadily climbing value means some client never adopts
+	// the new directory. MigratedVersions counts object versions this
+	// store ingested as a migration DESTINATION (bulk capture plus live
+	// tail).
+	WrongSlotRejects atomic.Uint64
+	MigratedVersions atomic.Uint64
 }
 
 // StatsSnapshot is a plain copy of the counters.
@@ -535,6 +554,7 @@ type StatsSnapshot struct {
 	Checkpoints, CheckpointFailures, LogRecordsTruncated, SnapshotsServed, SnapshotsInstalled     uint64
 	MirrorBatches, MirrorBatchRecords, WALSyncs, WALFailures                                      uint64
 	FollowerReads, FollowerReadWaits, DurableReadWaits                                            uint64
+	WrongSlotRejects, MigratedVersions                                                            uint64
 }
 
 type version struct {
@@ -740,6 +760,26 @@ type Store struct {
 	snapSessions  map[uint64]*snapSession
 	snapLastID    uint64
 	snapCapturing map[uint64]chan struct{}
+
+	// dirMu guards the slot directory: the versioned slot→group map
+	// this store checks client requests against (see "Slot migration
+	// and the directory" in the package comment), plus this store's own
+	// group index within it. dirMu is the INNERMOST store mutex — the
+	// write-path fence check takes it while holding repMu (so a
+	// directory install and a record emission are totally ordered), and
+	// dirMu holders take no other mutex.
+	dirMu sync.Mutex
+	// dir is the installed directory; nil until the cluster installs
+	// one (legacy modulo routing — no slot checks, no piggybacks).
+	dir *kv.Directory
+	// dirGroup is the index in dir.Groups of the group this store
+	// belongs to; dir.Routes entries equal to it are the routes this
+	// store serves.
+	dirGroup uint32
+	// routeLoad counts client operations per directory route — the
+	// rebalancer's donor-selection signal. Sized len(dir.Routes) at the
+	// first install; the route count never changes after that.
+	routeLoad []atomic.Uint64
 
 	stats Stats
 }
@@ -1505,6 +1545,9 @@ func (s *Store) Stats() StatsSnapshot {
 		FollowerReads:     s.stats.FollowerReads.Load(),
 		FollowerReadWaits: s.stats.FollowerReadWaits.Load(),
 		DurableReadWaits:  s.stats.DurableReadWaits.Load(),
+
+		WrongSlotRejects: s.stats.WrongSlotRejects.Load(),
+		MigratedVersions: s.stats.MigratedVersions.Load(),
 	}
 }
 
@@ -1741,6 +1784,18 @@ func (s *Store) prepare(txid uint64, start clock.Timestamp, ops []*kv.Op, replic
 	// so the abort owes it a decision record (s.abort emits one).
 	if replicate {
 		s.repMu.Lock()
+		// Migration fence: re-check route ownership under repMu, so the
+		// check and the emission are one atomic point in the stream
+		// relative to InstallDirectory. A write that loses the race gets
+		// the typed redirect and was provably never prepared here.
+		if wse := s.fencedOIDsLocked(oids); wse != nil {
+			s.repMu.Unlock()
+			s.releaseLocks(txid, locked)
+			s.txMu.Lock()
+			delete(s.txs, txid)
+			s.txMu.Unlock()
+			return 0, wse
+		}
 		if !s.replicatingLocked() {
 			s.repMu.Unlock()
 			return proposed, nil
@@ -1899,6 +1954,20 @@ func (s *Store) commit(txid uint64, commitTS clock.Timestamp) (applied bool, err
 		return false, err
 	}
 	s.clock.Observe(commitTS)
+	// Migration fence, fast-commit half: an UNREPLICATED prepare's ops
+	// enter the stream only now, so the ownership re-check happens here,
+	// atomically with the emission. A REPLICATED prepare is exempt by
+	// design: its RecPrepare sits below the fence in the stream, the
+	// migration tail carries it to the destination, and this decision
+	// rides the same tail — fencing it would strand a promised vote.
+	if !rec.replicated {
+		if wse := s.fencedOIDsLocked(rec.oids); wse != nil {
+			s.abortLocked(txid, rec, false)
+			s.maybeCheckpointLocked()
+			s.repMu.Unlock()
+			return false, wse
+		}
+	}
 	// The per-object locks are still held here, so the replication
 	// stream order, the log order, and per-object version order all
 	// agree — on this store and, because batches apply in sequence, on

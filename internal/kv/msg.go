@@ -44,6 +44,13 @@ const (
 	// lease expires, so a partitioned stale primary provably stops
 	// serving before a new epoch starts acknowledging writes.
 	MethodLease = "kv.lease"
+	// MethodDirectory returns the server's current slot directory (the
+	// versioned slot→group map; see Directory). Clients call it when an
+	// ack's DirVersion piggyback or an ErrWrongSlot redirect reveals a
+	// newer version than the one they hold. A server that predates the
+	// method answers rpc.ErrUnknownMethod; such clusters have no
+	// directory and clients keep modulo routing.
+	MethodDirectory = "kv.directory"
 )
 
 // Replication record kinds. The replication stream (mirror RPCs, the
@@ -907,12 +914,16 @@ type FastCommitResp struct {
 // Frontier piggybacks the responder's durability frontier — the highest
 // commit timestamp at which a snapshot read is quorum-durable — so
 // clients learn where follower reads are safe from ordinary traffic
-// (including the idle-client heartbeat ping).
+// (including the idle-client heartbeat ping). DirVersion piggybacks the
+// responder's slot-directory version (0 = no directory installed): a
+// client holding an older version fetches the full map with
+// MethodDirectory. Both are trailing optional fields old peers ignore.
 type Ack struct {
-	Clock    Timestamp
-	Epoch    uint64
-	Members  []string
-	Frontier Timestamp
+	Clock      Timestamp
+	Epoch      uint64
+	Members    []string
+	Frontier   Timestamp
+	DirVersion uint64
 }
 
 func (m *ReadReq) Encode() []byte {
@@ -1180,11 +1191,12 @@ func DecodeFastCommitResp(p []byte) (*FastCommitResp, error) {
 }
 
 func (m *Ack) Encode() []byte {
-	b := wire.NewBuffer(40)
+	b := wire.NewBuffer(48)
 	b.PutUint64(uint64(m.Clock))
 	b.PutUvarint(m.Epoch)
 	encodeMembers(b, m.Members)
 	b.PutUint64(uint64(m.Frontier))
+	b.PutUvarint(m.DirVersion)
 	return b.Bytes()
 }
 
@@ -1209,6 +1221,11 @@ func DecodeAck(p []byte) (*Ack, error) {
 			return nil, err
 		}
 		m.Frontier = Timestamp(fr)
+	}
+	if r.Remaining() > 0 {
+		if m.DirVersion, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
 	}
 	return m, nil
 }

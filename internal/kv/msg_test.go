@@ -315,11 +315,20 @@ func TestPiggybackFieldsBackwardCompat(t *testing.T) {
 		t.Fatalf("old mirror batch: got %+v (%v)", got, err)
 	}
 
-	// Ack without the trailing frontier.
+	// Ack without the trailing frontier and directory version (strip
+	// the zero DirVersion uvarint, then the frontier uint64).
 	old = (&Ack{Clock: 99, Epoch: 3, Members: []string{"a:1"}}).Encode()
-	old = old[:len(old)-8]
-	if got, err := DecodeAck(old); err != nil || got.Frontier != 0 || got.Epoch != 3 {
+	old = old[:len(old)-1-8]
+	if got, err := DecodeAck(old); err != nil || got.Frontier != 0 || got.DirVersion != 0 || got.Epoch != 3 {
 		t.Fatalf("old ack: got %+v (%v)", got, err)
+	}
+
+	// Ack with the frontier but without the directory version (the
+	// intermediate vintage).
+	old = (&Ack{Clock: 99, Epoch: 3, Members: []string{"a:1"}, Frontier: 42}).Encode()
+	old = old[:len(old)-1]
+	if got, err := DecodeAck(old); err != nil || got.Frontier != 42 || got.DirVersion != 0 {
+		t.Fatalf("mid ack: got %+v (%v)", got, err)
 	}
 
 	// FastCommitResp without the trailing frontier.

@@ -3,11 +3,13 @@
 // order, as documented on the Store struct and verified across the
 // replication stack, is:
 //
-//	repMu → txMu → epochMu → snapMu
+//	repMu → txMu → epochMu → snapMu → dirMu
 //
 // (prepare holds txMu while reading the epoch; emitLocked takes
-// epochMu under repMu; epochMu and snapMu holders never take another
-// store mutex). A function may acquire a mutex only when every mutex
+// epochMu under repMu; the slot-directory fence takes dirMu under
+// repMu on the write path; epochMu, snapMu, and dirMu holders never
+// take another store mutex). A function may acquire a mutex only when
+// every mutex
 // it already holds ranks strictly earlier; calling a function that
 // may (transitively, within the package) acquire an earlier-or-equal
 // rank while holding a later one is flagged the same way.
@@ -23,7 +25,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
-	Doc:  "enforce the repMu → txMu → epochMu → snapMu acquisition order",
+	Doc:  "enforce the repMu → txMu → epochMu → snapMu → dirMu acquisition order",
 	Run:  run,
 }
 
@@ -34,9 +36,10 @@ var rank = map[string]int{
 	"txMu":    1,
 	"epochMu": 2,
 	"snapMu":  3,
+	"dirMu":   4,
 }
 
-const orderDoc = "repMu → txMu → epochMu → snapMu"
+const orderDoc = "repMu → txMu → epochMu → snapMu → dirMu"
 
 func run(pass *analysis.Pass) error {
 	names := make(map[string]bool, len(rank))
